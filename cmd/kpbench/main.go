@@ -1,0 +1,57 @@
+// Command kpbench regenerates the reproduction's experiment tables
+// (DESIGN.md §4, E1–E13). Each table states the paper claim it checks and
+// the measured values; EXPERIMENTS.md records a full run.
+//
+// Usage:
+//
+//	kpbench                 # run every experiment, quick sweeps
+//	kpbench -full           # full sweeps (minutes)
+//	kpbench -run E4,E10     # selected experiments
+//	kpbench -md             # emit Markdown (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "all", "comma-separated experiment ids (E1..E13, E3a, E10w) or 'all'")
+		full = flag.Bool("full", false, "full parameter sweeps (slower)")
+		seed = flag.Uint64("seed", 20260704, "random seed (runs are deterministic per seed)")
+		md   = flag.Bool("md", false, "emit Markdown tables")
+	)
+	flag.Parse()
+
+	var selected []exp.Experiment
+	if *run == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e := exp.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "kpbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	for _, e := range selected {
+		tab, err := e.Run(*seed, !*full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kpbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Println(tab.Markdown())
+		} else {
+			fmt.Println(tab.String())
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func TestReadSystem(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.txt")
+	content := "3 101\n" +
+		"1 2 3\n" +
+		"4 5 6\n" +
+		"7 8 10\n" +
+		"-1 0 102\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := ff.MustFp64(101)
+	a, b, err := readSystem(f, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || a.Cols != 3 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	if a.At(2, 2) != 10 || a.At(0, 1) != 2 {
+		t.Fatal("matrix entries wrong")
+	}
+	// Negative and >p entries reduce mod p.
+	if b[0] != 100 || b[1] != 0 || b[2] != 1 {
+		t.Fatalf("rhs = %v", b)
+	}
+}
+
+func TestReadSystemTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("2 101\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readSystem(ff.MustFp64(101), path); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestReadSystemMissingFile(t *testing.T) {
+	if _, _, err := readSystem(ff.MustFp64(101), "/nonexistent/x"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// PRAM processor efficiency: schedule the Theorem 4 circuit with Brent's
+// theorem for a sweep of processor counts, and evaluate it with a real
+// goroutine pool — the paper's "processor efficient" claim made concrete.
+//
+//	go run ./examples/pram_speedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/kp"
+	"repro/internal/matrix"
+)
+
+func main() {
+	f := ff.MustFp64(ff.P62)
+	src := ff.NewSource(5)
+	const n = 24
+
+	b, err := kp.TraceSolve[uint64](f, matrix.Classical[circuit.Wire]{}, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	one := b.BrentSchedule(1)
+	fmt.Printf("Theorem 4 circuit, n = %d: work W = %d, depth D = %d\n",
+		n, one.Work, one.Depth)
+	fmt.Printf("processor-efficient point p* = W/D = %d\n\n", b.ProcessorEfficientP())
+
+	fmt.Printf("%-10s %-10s %-10s %-12s %s\n", "p", "T_p", "speedup", "efficiency", "T_p ≤ W/p + D")
+	for _, p := range []int{1, 4, 16, 64, 256, 1024, b.ProcessorEfficientP(), 1 << 16} {
+		s := b.BrentSchedule(p)
+		fmt.Printf("%-10d %-10d %-10.1f %-12.3f %v\n",
+			p, s.Time, s.Speedup(), s.Efficiency(), s.BrentBoundHolds())
+	}
+
+	// Real cores: level-parallel evaluation with a goroutine pool.
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](f, src, n, n, f.Modulus())
+		if d, _ := matrix.Det[uint64](f, a); !f.IsZero(d) {
+			break
+		}
+	}
+	rhs := ff.SampleVec[uint64](f, src, n, f.Modulus())
+	rnd := kp.DrawRandomness[uint64](f, src, n, f.Modulus())
+	inputs := append(append(append([]uint64{}, a.Data...), rhs...), rnd.Flat()...)
+
+	fmt.Printf("\nwall-clock evaluation (%d hardware threads):\n", runtime.GOMAXPROCS(0))
+	var base time.Duration
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			x, err := circuit.EvalParallel[uint64](b, f, inputs, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep == 0 && !ff.VecEqual[uint64](f, a.MulVec(f, x), rhs) {
+				log.Fatal("wrong answer from parallel evaluation")
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		if w == 1 {
+			base = best
+		}
+		fmt.Printf("  workers=%-3d  %-12s speedup %.2f\n", w, best, float64(base)/float64(best))
+	}
+}

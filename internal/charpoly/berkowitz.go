@@ -1,0 +1,93 @@
+package charpoly
+
+import (
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// CharPolyBerkowitz returns det(λI − A) by Berkowitz's (1984) division-free
+// algorithm. It works over any commutative ring — in particular over every
+// characteristic — which is why the paper cites it as the best previous
+// parallel approach for small characteristic ("needed by a factor of n more
+// processors"). This sequential form is Θ(n⁴) ring operations.
+//
+// The algorithm grows the characteristic polynomial of the leading
+// principal submatrices: with A_r = [[M, S], [R, d]] partitioned around the
+// last row/column, the coefficient vector of charpoly(A_r) is the product
+// of a lower-triangular Toeplitz matrix — whose first column is
+// (1, −d, −RS, −RMS, −RM²S, …) — with the coefficient vector of
+// charpoly(M).
+func CharPolyBerkowitz[E any](f ff.Field[E], a *matrix.Dense[E]) []E {
+	n := a.Rows
+	if n != a.Cols {
+		panic("charpoly: Berkowitz needs a square matrix")
+	}
+	// Coefficients high degree first: c[0]·λ^r + c[1]·λ^{r−1} + …
+	c := []E{f.One()}
+	for r := 1; r <= n; r++ {
+		d := a.At(r-1, r-1)
+		// R = row r−1 of the first r−1 columns, S = column r−1 of the
+		// first r−1 rows, M = leading (r−1)×(r−1) block.
+		rRow := make([]E, r-1)
+		s := make([]E, r-1)
+		for j := 0; j < r-1; j++ {
+			rRow[j] = a.At(r-1, j)
+			s[j] = a.At(j, r-1)
+		}
+		// Toeplitz column t = (1, −d, −R·S, −R·M·S, −R·M²·S, …), length r+1.
+		t := make([]E, r+1)
+		t[0] = f.One()
+		t[1] = f.Neg(d)
+		v := s
+		for k := 2; k <= r; k++ {
+			t[k] = f.Neg(ff.Dot(f, rRow, v))
+			if k < r {
+				v = mulLeadingBlock(f, a, r-1, v)
+			}
+		}
+		// c ← (lower-triangular Toeplitz from t)·c, i.e. truncated
+		// convolution of t with c, keeping r+1 coefficients.
+		next := make([]E, r+1)
+		for i := 0; i <= r; i++ {
+			acc := f.Zero()
+			for j := 0; j < len(c) && j <= i; j++ {
+				if i-j <= r {
+					acc = f.Add(acc, f.Mul(t[i-j], c[j]))
+				}
+			}
+			next[i] = acc
+		}
+		c = next
+	}
+	// Convert to low-degree-first: charpoly[k] = c[n−k].
+	out := make([]E, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = c[n-k]
+	}
+	return out
+}
+
+// mulLeadingBlock returns M·v where M is the leading k×k block of a,
+// without materializing M.
+func mulLeadingBlock[E any](f ff.Field[E], a *matrix.Dense[E], k int, v []E) []E {
+	out := make([]E, k)
+	for i := 0; i < k; i++ {
+		terms := make([]E, k)
+		for j := 0; j < k; j++ {
+			terms[j] = f.Mul(a.At(i, j), v[j])
+		}
+		out[i] = ff.SumTree(f, terms)
+	}
+	return out
+}
+
+// DetBerkowitz returns det(A) division-free: (−1)ⁿ times the constant term
+// of the characteristic polynomial.
+func DetBerkowitz[E any](f ff.Field[E], a *matrix.Dense[E]) E {
+	cp := CharPolyBerkowitz(f, a)
+	d := cp[0]
+	if a.Rows%2 == 1 {
+		d = f.Neg(d)
+	}
+	return d
+}

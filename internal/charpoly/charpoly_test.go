@@ -1,0 +1,285 @@
+package charpoly
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+var fp = ff.MustFp64(ff.P31)
+
+func classical() matrix.Classical[uint64] { return matrix.Classical[uint64]{} }
+
+func TestAllMethodsAgreeLargeChar(t *testing.T) {
+	f := fp
+	src := ff.NewSource(51)
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		a := matrix.Random[uint64](f, src, n, n, ff.P31)
+		berk := CharPolyBerkowitz[uint64](f, a)
+		csanky, err := CharPolyCsanky[uint64](f, classical(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chist, err := CharPolyChistov[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hess, err := CharPolyHessenberg[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, cp := range map[string][]uint64{
+			"csanky": csanky, "chistov": chist, "hessenberg": hess,
+		} {
+			if !poly.Equal[uint64](f, cp, berk) {
+				t.Fatalf("n=%d: %s = %s disagrees with berkowitz = %s", n, name,
+					poly.String[uint64](f, cp), poly.String[uint64](f, berk))
+			}
+		}
+		// Constant term = (−1)ⁿ det(A) against LU.
+		det, err := matrix.Det[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0 := berk[0]
+		if n%2 == 1 {
+			c0 = f.Neg(c0)
+		}
+		if c0 != det {
+			t.Fatalf("n=%d: charpoly constant term inconsistent with LU det", n)
+		}
+		// Coefficient of λ^{n−1} = −Trace(A).
+		if berk[n-1] != f.Neg(a.Trace(f)) {
+			t.Fatalf("n=%d: trace coefficient wrong", n)
+		}
+	}
+}
+
+func TestCharPolyKnownMatrix(t *testing.T) {
+	f := ff.MustFp64(101)
+	// A = {{2,1},{1,2}}: charpoly λ² − 4λ + 3 (eigenvalues 1, 3).
+	a := matrix.FromRows[uint64](f, [][]int64{{2, 1}, {1, 2}})
+	want := poly.FromInt64[uint64](f, []int64{3, -4, 1})
+	berk := CharPolyBerkowitz[uint64](f, a)
+	if !poly.Equal[uint64](f, berk, want) {
+		t.Fatalf("Berkowitz = %s", poly.String[uint64](f, berk))
+	}
+	cs, err := CharPolyCsanky[uint64](f, matrix.Classical[uint64]{}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[uint64](f, cs, want) {
+		t.Fatalf("Csanky = %s", poly.String[uint64](f, cs))
+	}
+}
+
+func TestCayleyHamilton(t *testing.T) {
+	f := fp
+	src := ff.NewSource(53)
+	for _, n := range []int{2, 4, 6} {
+		a := matrix.Random[uint64](f, src, n, n, ff.P31)
+		cp := CharPolyBerkowitz[uint64](f, a)
+		// p(A) must be the zero matrix.
+		acc := matrix.NewDense[uint64](f, n, n)
+		pow := matrix.Identity[uint64](f, n)
+		for k := 0; k <= n; k++ {
+			acc = acc.Add(f, pow.Scale(f, cp[k]))
+			if k < n {
+				pow = matrix.Mul[uint64](f, pow, a)
+			}
+		}
+		if !acc.IsZero(f) {
+			t.Fatalf("n=%d: Cayley–Hamilton violated", n)
+		}
+	}
+}
+
+func TestSmallCharacteristicMethods(t *testing.T) {
+	// Over F₂ and F₃ with n ≥ char: Leverrier must refuse, Berkowitz,
+	// Chistov and Hessenberg must agree.
+	for _, p := range []uint64{2, 3} {
+		f := ff.MustFp64(p)
+		src := ff.NewSource(55 + p)
+		n := 6
+		a := matrix.Random[uint64](f, src, n, n, p)
+		if _, err := CharPolyCsanky[uint64](f, matrix.Classical[uint64]{}, a); err != ErrSmallCharacteristic {
+			t.Fatalf("F_%d: Csanky err = %v, want ErrSmallCharacteristic", p, err)
+		}
+		berk := CharPolyBerkowitz[uint64](f, a)
+		chist, err := CharPolyChistov[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hess, err := CharPolyHessenberg[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !poly.Equal[uint64](f, chist, berk) {
+			t.Fatalf("F_%d: Chistov %s != Berkowitz %s", p,
+				poly.String[uint64](f, chist), poly.String[uint64](f, berk))
+		}
+		if !poly.Equal[uint64](f, hess, berk) {
+			t.Fatalf("F_%d: Hessenberg disagrees", p)
+		}
+		d, err := DetChistov[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lu, err := matrix.Det[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != lu {
+			t.Fatalf("F_%d: DetChistov = %d, LU det = %d", p, d, lu)
+		}
+		if DetBerkowitz[uint64](f, a) != lu {
+			t.Fatalf("F_%d: DetBerkowitz disagrees with LU", p)
+		}
+	}
+}
+
+func TestCharPolyOverGF2k(t *testing.T) {
+	// Extension field of characteristic 2: Chistov and Berkowitz agree.
+	f, err := ff.NewGF2k(8, ff.NewSource(57))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ff.NewSource(58)
+	n := 5
+	a := matrix.Random[[]uint64](f, src, n, n, 256)
+	berk := CharPolyBerkowitz[[]uint64](f, a)
+	chist, err := CharPolyChistov[[]uint64](f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[[]uint64](f, chist, berk) {
+		t.Fatal("GF(2^8): Chistov disagrees with Berkowitz")
+	}
+}
+
+func TestCharPolyOverRationals(t *testing.T) {
+	f := ff.NewRat()
+	a := matrix.FromRows[*big.Rat](f, [][]int64{{0, 1, 0}, {0, 0, 1}, {6, -11, 6}})
+	// Companion matrix of λ³ − 6λ² + 11λ − 6 = (λ−1)(λ−2)(λ−3).
+	want := poly.FromInt64[*big.Rat](f, []int64{-6, 11, -6, 1})
+	cs, err := CharPolyCsanky[*big.Rat](f, matrix.Classical[*big.Rat]{}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[*big.Rat](f, cs, want) {
+		t.Fatalf("companion charpoly = %s", poly.String[*big.Rat](f, cs))
+	}
+}
+
+func TestInverseCsanky(t *testing.T) {
+	f := fp
+	src := ff.NewSource(59)
+	for _, n := range []int{1, 2, 5, 9} {
+		a := matrix.Random[uint64](f, src, n, n, ff.P31)
+		inv, err := InverseCsanky[uint64](f, classical(), a)
+		if err == matrix.ErrSingular {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Mul[uint64](f, a, inv).Equal(f, matrix.Identity[uint64](f, n)) {
+			t.Fatalf("n=%d: Csanky inverse wrong", n)
+		}
+		b := ff.SampleVec[uint64](f, src, n, ff.P31)
+		x, err := SolveCsanky[uint64](f, classical(), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
+			t.Fatalf("n=%d: Csanky solve wrong", n)
+		}
+	}
+	// Singular input must be reported.
+	s := matrix.FromRows[uint64](f, [][]int64{{1, 2}, {2, 4}})
+	if _, err := InverseCsanky[uint64](f, classical(), s); err != matrix.ErrSingular {
+		t.Fatalf("singular: err = %v", err)
+	}
+}
+
+func TestPowerSumsSeriesMatchesSequential(t *testing.T) {
+	f := fp
+	src := ff.NewSource(61)
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		a := matrix.Random[uint64](f, src, n, n, ff.P31)
+		s := PowerTraces[uint64](f, classical(), a, n)
+		seq, err := PowerSumsToCharPoly[uint64](f, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ser, err := PowerSumsToCharPolySeries[uint64](f, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !poly.Equal[uint64](f, seq, ser) {
+			t.Fatalf("n=%d: series route %s != sequential route %s", n,
+				poly.String[uint64](f, ser), poly.String[uint64](f, seq))
+		}
+	}
+}
+
+func TestSeriesExpLog(t *testing.T) {
+	f := fp
+	src := ff.NewSource(63)
+	const k = 20
+	g := make([]uint64, k)
+	for i := 1; i < k; i++ {
+		g[i] = src.Uint64n(ff.P31)
+	}
+	e, err := SeriesExp[uint64](f, g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := SeriesLog[uint64](f, e, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[uint64](f, l, poly.Trim[uint64](f, g)) {
+		t.Fatal("log(exp(g)) != g")
+	}
+	// exp(g1+g2) = exp(g1)·exp(g2).
+	g2 := make([]uint64, k)
+	for i := 1; i < k; i++ {
+		g2[i] = src.Uint64n(ff.P31)
+	}
+	e2, err := SeriesExp[uint64](f, g2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SeriesExp[uint64](f, poly.Add[uint64](f, g, g2), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[uint64](f, sum, poly.MulTrunc[uint64](f, e, e2, k)) {
+		t.Fatal("exp not multiplicative")
+	}
+	// Constant-term guards.
+	if _, err := SeriesExp[uint64](f, []uint64{1}, 4); err == nil {
+		t.Fatal("SeriesExp accepted non-zero constant term")
+	}
+	// SeriesLog normalizes: log(c·a) = log(a) for constant c.
+	a := []uint64{1, 5, 7, 9, 11}
+	la, err := SeriesLog[uint64](f, a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lca, err := SeriesLog[uint64](f, poly.Scale[uint64](f, 3, a), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[uint64](f, la, lca) {
+		t.Fatal("SeriesLog not scale-invariant")
+	}
+	// Zero constant term is a genuine division failure.
+	if _, err := SeriesLog[uint64](f, []uint64{0, 1}, 4); err == nil {
+		t.Fatal("SeriesLog accepted a non-unit")
+	}
+}

@@ -1,0 +1,99 @@
+package charpoly
+
+import (
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+// CharPolyChistov returns det(λI − A) by Chistov's (1985) method, valid
+// over any field. Kaltofen–Pan §5 extend their Toeplitz results to small
+// positive characteristic exactly this way: "appeal to Chistov's method
+// ... in conjunction with computing for all i ≤ n ... the entry
+// ((I_i − λA_i)⁻¹)_{i,i} mod λ^{n+1}".
+//
+// The identity: with A_i the i-th leading principal submatrix,
+//
+//	det(I − λA_{i−1}) / det(I − λA_i) = ((I_i − λA_i)⁻¹)_{i,i}
+//
+// by Cramer's rule, so det(I − λA) telescopes into 1/∏ g_i with
+// g_i := ((I_i − λA_i)⁻¹)_{i,i}. Each g_i is the projection of the Neumann
+// series Σ λ^j A_i^j e_i onto coordinate i, computed with n+1 black-box
+// products; the only inversion is of a power series with constant term 1,
+// so no field division ever fails — any characteristic is fine.
+func CharPolyChistov[E any](f ff.Field[E], a *matrix.Dense[E]) ([]E, error) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("charpoly: Chistov needs a square matrix")
+	}
+	if n == 0 {
+		return []E{f.One()}, nil
+	}
+	gs := make([][]E, n)
+	for i := 1; i <= n; i++ {
+		gs[i-1] = chistovEntry(f, func(v []E) []E {
+			return mulLeadingBlock(f, a, i, v)
+		}, i, n)
+	}
+	// ∏ g_i with a balanced product tree, truncated at λ^{n+1}.
+	prod := productTrunc(f, gs, n+1)
+	rev, err := poly.SeriesInv(f, prod, n+1)
+	if err != nil {
+		return nil, err // unreachable: constant term is 1
+	}
+	cp := poly.Reverse(f, rev, n)
+	out := make([]E, n+1)
+	for k := range out {
+		out[k] = poly.Coef(f, cp, k)
+	}
+	return out, nil
+}
+
+// chistovEntry returns ((I_i − λA_i)⁻¹)_{i,i} mod λ^{terms+1} as the series
+// Σ_j ((A_i)^j)_{i,i} λ^j, for the leading block applied by apply.
+func chistovEntry[E any](f ff.Field[E], apply func([]E) []E, i, terms int) []E {
+	v := ff.VecZero(f, i)
+	v[i-1] = f.One()
+	g := make([]E, terms+1)
+	for j := 0; j <= terms; j++ {
+		g[j] = v[i-1]
+		if j < terms {
+			v = apply(v)
+		}
+	}
+	return poly.Trim(f, g)
+}
+
+func productTrunc[E any](f ff.Field[E], ps [][]E, k int) []E {
+	cur := make([][]E, len(ps))
+	copy(cur, ps)
+	if len(cur) == 0 {
+		return poly.Constant(f, f.One())
+	}
+	for len(cur) > 1 {
+		next := make([][]E, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, poly.MulTrunc(f, cur[i], cur[i+1], k))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return poly.TruncDeg(f, cur[0], k)
+}
+
+// DetChistov returns det(A) over any field as (−1)ⁿ times the constant
+// term of Chistov's characteristic polynomial.
+func DetChistov[E any](f ff.Field[E], a *matrix.Dense[E]) (E, error) {
+	cp, err := CharPolyChistov(f, a)
+	if err != nil {
+		var z E
+		return z, err
+	}
+	d := cp[0]
+	if a.Rows%2 == 1 {
+		d = f.Neg(d)
+	}
+	return d, nil
+}

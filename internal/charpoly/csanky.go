@@ -1,0 +1,83 @@
+package charpoly
+
+import (
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// Csanky's (1976) parallel linear-system solver via Leverrier's method —
+// the prior art Kaltofen–Pan improve on. It computes all matrix powers
+// A, A², …, Aⁿ, their traces, and the Newton-identity system; the power
+// computation is what costs "a factor of almost n" more processors than
+// matrix multiplication (Preparata–Sarwate, Galil–Pan refined this; the
+// straightforward version below is Θ(n·n^ω) work, the paper's point for
+// experiment E5).
+
+// CharPolyCsanky returns det(λI − A) by Leverrier's method. Requires
+// characteristic 0 or > n.
+func CharPolyCsanky[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E]) ([]E, error) {
+	n := a.Rows
+	if n == 0 {
+		return []E{f.One()}, nil
+	}
+	s := PowerTraces(f, mul, a, n)
+	return PowerSumsToCharPoly(f, s)
+}
+
+// PowerTraces returns s[i] = Trace(A^{i+1}) for i = 0..m−1, computing the
+// powers by repeated multiplication (m−1 matrix products: the Θ(n^{ω+1})
+// work term that dominates Csanky's processor count).
+func PowerTraces[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], m int) []E {
+	s := make([]E, m)
+	pow := a
+	for i := 0; i < m; i++ {
+		s[i] = pow.Trace(f)
+		if i+1 < m {
+			pow = mul.Mul(f, pow, a)
+		}
+	}
+	return s
+}
+
+// InverseCsanky returns A⁻¹ via the Cayley–Hamilton theorem: with
+// det(λI−A) = λⁿ + p₁λ^{n−1} + … + pₙ,
+//
+//	A⁻¹ = −(1/pₙ)·(A^{n−1} + p₁A^{n−2} + … + p_{n−1}I).
+//
+// Returns matrix.ErrSingular when pₙ = ±det(A) vanishes.
+func InverseCsanky[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	n := a.Rows
+	cp, err := CharPolyCsanky(f, mul, a)
+	if err != nil {
+		return nil, err
+	}
+	pn := cp[0] // constant term = (−1)ⁿ det(A)
+	if f.IsZero(pn) {
+		return nil, matrix.ErrSingular
+	}
+	// Horner on matrices: B = A^{n−1} + p₁A^{n−2} + … + p_{n−1}I where
+	// p_k = cp[n−k].
+	b := matrix.Identity(f, n) // coefficient of the leading term (monic)
+	for k := 1; k <= n-1; k++ {
+		b = mul.Mul(f, b, a)
+		pk := cp[n-k]
+		for i := 0; i < n; i++ {
+			b.Set(i, i, f.Add(b.At(i, i), pk))
+		}
+	}
+	negInv, err := f.Inv(pn)
+	if err != nil {
+		return nil, err
+	}
+	return b.Scale(f, f.Neg(negInv)), nil
+}
+
+// SolveCsanky solves Ax = b through InverseCsanky — the baseline solver of
+// experiment E5.
+func SolveCsanky[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E) ([]E, error) {
+	inv, err := InverseCsanky(f, mul, a)
+	if err != nil {
+		return nil, err
+	}
+	return inv.MulVec(f, b), nil
+}

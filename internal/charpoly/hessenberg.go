@@ -1,0 +1,94 @@
+package charpoly
+
+import (
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+// CharPolyHessenberg returns det(λI − A) by similarity reduction to upper
+// Hessenberg form followed by the standard determinant recurrence — an
+// O(n³) sequential algorithm valid over any field. Unlike the paper's
+// circuits it uses zero tests (pivot selection), so it serves purely as a
+// fast cross-check baseline.
+func CharPolyHessenberg[E any](f ff.Field[E], a *matrix.Dense[E]) ([]E, error) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("charpoly: Hessenberg needs a square matrix")
+	}
+	if n == 0 {
+		return []E{f.One()}, nil
+	}
+	h := a.Clone()
+	// Reduce columns 0..n−3: zero out entries below the first subdiagonal
+	// by similarity transformations (row op + matching inverse column op).
+	for col := 0; col < n-2; col++ {
+		// Pivot search in column col, rows col+1..n−1.
+		pivot := -1
+		for r := col + 1; r < n; r++ {
+			if !f.IsZero(h.At(r, col)) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue // column already reduced
+		}
+		if pivot != col+1 {
+			similaritySwap(h, pivot, col+1)
+		}
+		pInv, err := f.Inv(h.At(col+1, col))
+		if err != nil {
+			return nil, err
+		}
+		for r := col + 2; r < n; r++ {
+			factor := f.Mul(h.At(r, col), pInv)
+			if f.IsZero(factor) {
+				continue
+			}
+			// Row r ← row r − factor·row (col+1); column col+1 ← column
+			// (col+1) + factor·column r (the inverse transformation).
+			for c := 0; c < n; c++ {
+				h.Set(r, c, f.Sub(h.At(r, c), f.Mul(factor, h.At(col+1, c))))
+			}
+			for rr := 0; rr < n; rr++ {
+				h.Set(rr, col+1, f.Add(h.At(rr, col+1), f.Mul(factor, h.At(rr, r))))
+			}
+		}
+	}
+	// Determinant recurrence on the Hessenberg matrix:
+	// p₀ = 1, p_k(λ) = (λ − h_{k,k})p_{k−1}
+	//                  − Σ_{i<k} h_{i,k}·(∏_{j=i+1..k−1} h_{j+1,j})·p_i
+	// with 0-based indices over the leading k×k blocks.
+	ps := make([][]E, n+1)
+	ps[0] = poly.Constant(f, f.One())
+	for k := 1; k <= n; k++ {
+		term := poly.Mul(f, []E{f.Neg(h.At(k-1, k-1)), f.One()}, ps[k-1])
+		prod := f.One()
+		for i := k - 2; i >= 0; i-- {
+			prod = f.Mul(prod, h.At(i+1, i))
+			coef := f.Mul(h.At(i, k-1), prod)
+			term = poly.Sub(f, term, poly.Scale(f, coef, ps[i]))
+		}
+		ps[k] = term
+	}
+	out := make([]E, n+1)
+	for i := range out {
+		out[i] = poly.Coef(f, ps[n], i)
+	}
+	return out, nil
+}
+
+func similaritySwap[E any](m *matrix.Dense[E], a, b int) {
+	// Swap rows a,b and columns a,b (a similarity by a transposition).
+	for c := 0; c < m.Cols; c++ {
+		va, vb := m.At(a, c), m.At(b, c)
+		m.Set(a, c, vb)
+		m.Set(b, c, va)
+	}
+	for r := 0; r < m.Rows; r++ {
+		va, vb := m.At(r, a), m.At(r, b)
+		m.Set(r, a, vb)
+		m.Set(r, b, va)
+	}
+}

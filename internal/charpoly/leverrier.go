@@ -1,0 +1,168 @@
+// Package charpoly collects characteristic-polynomial algorithms: the
+// Leverrier/Newton-identity step at the heart of Kaltofen–Pan's Theorem 3,
+// its depth-efficient power-series form (Schönhage 1982), and the baselines
+// the paper positions itself against — Csanky (1976), the division-free
+// Berkowitz (1984) algorithm, Chistov's (1985) any-characteristic method,
+// and a Hessenberg-reduction cross-check.
+//
+// Convention: a characteristic polynomial is returned as the coefficient
+// slice of det(λI − A), low degree first, monic of length n+1.
+package charpoly
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/poly"
+)
+
+// ErrSmallCharacteristic is returned by the Leverrier/Csanky routines when
+// the field characteristic is positive and ≤ n: they divide by 2, 3, …, n,
+// "the same restriction on the characteristic of the field as ... Csanky's
+// solution" (Kaltofen–Pan §1). Use Berkowitz or Chistov instead.
+var ErrSmallCharacteristic = errors.New("charpoly: field characteristic ≤ n; use a division-free method")
+
+// PowerSumsToCharPoly recovers the characteristic polynomial from the power
+// sums s[i] = Trace(A^{i+1}) = Σ λ_k^{i+1} for i = 0..n−1, by solving the
+// paper's lower-triangular Newton-identity system
+//
+//	( 1            ) (c₁)   (s₁)
+//	( s₁   2       ) (c₂) = (s₂)   det(λI−A) = λⁿ − c₁λ^{n−1} − … − cₙ
+//	( s₂   s₁  3   ) (c₃)   (s₃)
+//	( …            ) (…)    (…)
+//
+// by forward substitution (O(n²) operations, depth O(n); the circuit path
+// uses PowerSumsToCharPolySeries instead). Requires characteristic 0 or > n.
+func PowerSumsToCharPoly[E any](f ff.Field[E], s []E) ([]E, error) {
+	n := len(s)
+	if !ff.CharacteristicExceeds(f, n) {
+		return nil, ErrSmallCharacteristic
+	}
+	c := make([]E, n) // c[k−1] = c_k
+	for k := 1; k <= n; k++ {
+		// k·c_k = s_k − Σ_{i=1}^{k−1} s_{k−i}·c_i
+		acc := s[k-1]
+		for i := 1; i < k; i++ {
+			acc = f.Sub(acc, f.Mul(s[k-i-1], c[i-1]))
+		}
+		v, err := f.Div(acc, f.FromInt64(int64(k)))
+		if err != nil {
+			return nil, fmt.Errorf("charpoly: dividing by %d: %w", k, err)
+		}
+		c[k-1] = v
+	}
+	// Assemble λⁿ − c₁λ^{n−1} − … − cₙ, low degree first.
+	cp := make([]E, n+1)
+	for k := 1; k <= n; k++ {
+		cp[n-k] = f.Neg(c[k-1])
+	}
+	cp[n] = f.One()
+	return cp, nil
+}
+
+// PowerSumsToCharPolySeries recovers the characteristic polynomial from
+// power sums with power-series exponentials (Schönhage 1982, cited by the
+// paper for solving the Newton-identity system in O((log n)²) depth):
+//
+//	det(I − λA) = exp(−Σ_{i≥1} s_i λ^i / i)   (mod λ^{n+1})
+//
+// followed by degree-n reversal. All loops double precision, so the traced
+// circuit has depth O((log n)²). Requires characteristic 0 or > n (the
+// formal integral divides by 1, …, n).
+func PowerSumsToCharPolySeries[E any](f ff.Field[E], s []E) ([]E, error) {
+	n := len(s)
+	if !ff.CharacteristicExceeds(f, n) {
+		return nil, ErrSmallCharacteristic
+	}
+	// g = −Σ s_i λ^i / i, a series with zero constant term.
+	g := make([]E, n+1)
+	g[0] = f.Zero()
+	for i := 1; i <= n; i++ {
+		v, err := f.Div(s[i-1], f.FromInt64(int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		g[i] = f.Neg(v)
+	}
+	rev, err := SeriesExp(f, g, n+1)
+	if err != nil {
+		return nil, err
+	}
+	// det(λI − A) = λⁿ·det(I − (1/λ)A): reverse at degree n.
+	cp := poly.Reverse(f, rev, n)
+	// Pad to exact length n+1 (the reversal is monic: rev(0) = 1).
+	out := make([]E, n+1)
+	for i := range out {
+		out[i] = poly.Coef(f, cp, i)
+	}
+	return out, nil
+}
+
+// SeriesLog returns log(a/a(0)) mod λ^k via the formal integral of a′/a,
+// which is insensitive to constant scaling; for the a(0) = 1 series the
+// algorithms feed it, this is log(a). Requires invertible a(0) (the
+// division reports ff.ErrDivisionByZero otherwise) and divides by
+// 1, …, k−1. No structural precondition is checked, so the function also
+// works on symbolic (circuit-traced) series whose constant term is 1 only
+// value-wise.
+func SeriesLog[E any](f ff.Field[E], a []E, k int) ([]E, error) {
+	da := poly.Derivative(f, a)
+	q, err := poly.SeriesDiv(f, da, a, k-1)
+	if err != nil {
+		return nil, err
+	}
+	return seriesIntegrate(f, q, k)
+}
+
+// seriesIntegrate returns ∫a mod λ^k (constant of integration zero).
+func seriesIntegrate[E any](f ff.Field[E], a []E, k int) ([]E, error) {
+	out := make([]E, k)
+	out[0] = f.Zero()
+	for i := 1; i < k; i++ {
+		c := poly.Coef(f, a, i-1)
+		v, err := f.Div(c, f.FromInt64(int64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("charpoly: integrating term %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return poly.Trim(f, out), nil
+}
+
+// SeriesExp returns exp(g) mod λ^k for a series with g(0) = 0, via the
+// Newton iteration y ← y·(1 + g − log y), doubling precision each round.
+// The reciprocal 1/y needed by each log step is maintained incrementally
+// (one scalar Newton step per round) rather than recomputed, keeping the
+// traced circuit at O(1) products per round and O((log n)²) total depth —
+// the same device the §3 Toeplitz iteration uses for 1/u₁.
+func SeriesExp[E any](f ff.Field[E], g []E, k int) ([]E, error) {
+	if !f.IsZero(poly.Coef(f, g, 0)) {
+		return nil, errors.New("charpoly: SeriesExp needs zero constant term")
+	}
+	y := []E{f.One()}
+	z := []E{f.One()} // ≈ 1/y at the previous precision
+	two := poly.Constant(f, f.FromInt64(2))
+	for prec := 1; prec < k; {
+		prec *= 2
+		if prec > k {
+			prec = k
+		}
+		// Refresh z ← z(2 − y·z) to the current precision (two steps: the
+		// first lifts the round's doubling, the second absorbs the final
+		// odd truncation exactly like the paper's u₁ update).
+		for step := 0; step < 2; step++ {
+			z = poly.MulTrunc(f, z, poly.Sub(f, two, poly.MulTrunc(f, y, z, prec)), prec)
+		}
+		// log y = ∫ y′·(1/y).
+		ly, err := seriesIntegrate(f, poly.MulTrunc(f, poly.Derivative(f, y), z, prec-1), prec)
+		if err != nil {
+			return nil, err
+		}
+		// corr = 1 + g − log y
+		corr := poly.Add(f, poly.Constant(f, f.One()),
+			poly.Sub(f, poly.TruncDeg(f, g, prec), ly))
+		y = poly.MulTrunc(f, y, corr, prec)
+	}
+	return poly.TruncDeg(f, y, k), nil
+}

@@ -1,0 +1,108 @@
+package charpoly
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+var qf = ff.MustFp64(ff.P31)
+
+func mkMat(seed []uint64, n int) *matrix.Dense[uint64] {
+	m := matrix.NewDense[uint64](qf, n, n)
+	for i := range m.Data {
+		var v uint64 = uint64(i)*0x9e3779b97f4a7c15 + 11
+		if len(seed) > 0 {
+			v += seed[i%len(seed)]
+		}
+		m.Data[i] = qf.Elem(v)
+	}
+	return m
+}
+
+// Characteristic polynomials are similarity invariants: charpoly(AB) =
+// charpoly(BA) for square A, B (they are similar up to a rank argument;
+// over a field the identity holds for all square A, B).
+func TestQuickCharPolyABequalsBA(t *testing.T) {
+	prop := func(sa, sb []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%6)
+		a, b := mkMat(sa, n), mkMat(sb, n)
+		pab := CharPolyBerkowitz[uint64](qf, matrix.Mul[uint64](qf, a, b))
+		pba := CharPolyBerkowitz[uint64](qf, matrix.Mul[uint64](qf, b, a))
+		return poly.Equal[uint64](qf, pab, pba)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// charpoly(Aᵀ) = charpoly(A).
+func TestQuickCharPolyTransposeInvariant(t *testing.T) {
+	prop := func(sa []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%7)
+		a := mkMat(sa, n)
+		pa := CharPolyBerkowitz[uint64](qf, a)
+		pat := CharPolyBerkowitz[uint64](qf, a.Transpose())
+		return poly.Equal[uint64](qf, pa, pat)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All four algorithms agree on random instances (the cross-validation
+// property, fuzz-style).
+func TestQuickAllCharPolyMethodsAgree(t *testing.T) {
+	prop := func(sa []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%6)
+		a := mkMat(sa, n)
+		berk := CharPolyBerkowitz[uint64](qf, a)
+		cs, err := CharPolyCsanky[uint64](qf, matrix.Classical[uint64]{}, a)
+		if err != nil {
+			return false
+		}
+		ch, err := CharPolyChistov[uint64](qf, a)
+		if err != nil {
+			return false
+		}
+		hs, err := CharPolyHessenberg[uint64](qf, a)
+		if err != nil {
+			return false
+		}
+		return poly.Equal[uint64](qf, berk, cs) &&
+			poly.Equal[uint64](qf, berk, ch) &&
+			poly.Equal[uint64](qf, berk, hs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The characteristic polynomial of a triangular matrix is ∏(λ − dᵢ).
+func TestQuickTriangularCharPoly(t *testing.T) {
+	prop := func(sd []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%7)
+		a := matrix.NewDense[uint64](qf, n, n)
+		diag := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			var v uint64 = uint64(i)*7 + 1
+			if len(sd) > 0 {
+				v += sd[i%len(sd)]
+			}
+			diag[i] = qf.Elem(v)
+			a.Set(i, i, diag[i])
+			for j := i + 1; j < n; j++ {
+				a.Set(i, j, qf.Elem(v*31+uint64(j)))
+			}
+		}
+		got := CharPolyBerkowitz[uint64](qf, a)
+		want := poly.FromRoots[uint64](qf, diag)
+		return poly.Equal[uint64](qf, got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package circuit
+
+import "container/heap"
+
+// Accumulation-tree balancing (the paper's Figure 3, after Hoover, Klawe &
+// Pippenger): a list of contribution wires is summed by repeatedly
+// combining the two shallowest partial sums, so wires that are already deep
+// end up near the root and the final depth stays within O(log t) of the
+// deepest contribution — the device that keeps the Baur–Strassen transform
+// at depth O(d) instead of O(d·t).
+
+type wireHeap struct {
+	b  *Builder
+	ws []Wire
+}
+
+func (h *wireHeap) Len() int { return len(h.ws) }
+func (h *wireHeap) Less(i, j int) bool {
+	return h.b.depth[h.ws[i]] < h.b.depth[h.ws[j]]
+}
+func (h *wireHeap) Swap(i, j int)      { h.ws[i], h.ws[j] = h.ws[j], h.ws[i] }
+func (h *wireHeap) Push(x interface{}) { h.ws = append(h.ws, x.(Wire)) }
+func (h *wireHeap) Pop() interface{} {
+	w := h.ws[len(h.ws)-1]
+	h.ws = h.ws[:len(h.ws)-1]
+	return w
+}
+
+// SumBalanced returns the sum of ws as a depth-balanced addition tree.
+// An empty list sums to the constant zero; a singleton is returned as-is
+// (one of the "trivial instructions" Theorem 5's count eliminates).
+func (b *Builder) SumBalanced(ws []Wire) Wire {
+	switch len(ws) {
+	case 0:
+		return b.Zero()
+	case 1:
+		return ws[0]
+	case 2:
+		return b.Add(ws[0], ws[1])
+	}
+	h := &wireHeap{b: b, ws: append([]Wire(nil), ws...)}
+	heap.Init(h)
+	for h.Len() > 1 {
+		x := heap.Pop(h).(Wire)
+		y := heap.Pop(h).(Wire)
+		heap.Push(h, b.Add(x, y))
+	}
+	return h.ws[0]
+}

@@ -1,0 +1,129 @@
+package circuit
+
+import "fmt"
+
+// Gradient implements Theorem 5 (Baur–Strassen 1983, depth-preserved per
+// Kaltofen–Singer 1990): given a wire out computing a function f of the
+// circuit inputs, it appends reverse-mode adjoint code to the builder and
+// returns, for every input node in creation order, a wire computing ∂f/∂xᵢ.
+//
+// The construction walks the program backwards (the mirror image of Figure
+// 2). Each node's adjoint is the balanced sum of the contributions pushed
+// to it by its consumers (Figure 3's accumulation trees, built shallowest-
+// first so depth stays O(d)); the per-edge work is constant — at most two
+// operations for a multiplication and three for a division, exactly the
+// counting that yields the ≤ 4l bound after trivial instructions are
+// folded. The transform "will divide by exactly the same rational functions
+// as the old" program: the only divisor it introduces is y for an original
+// node x/y, so no new zero divisions are possible.
+func Gradient(b *Builder, out Wire) ([]Wire, error) {
+	if out < 0 || int(out) >= len(b.ops) {
+		return nil, fmt.Errorf("circuit: gradient output wire %d out of range", out)
+	}
+	n := int(out) + 1
+	// live[v]: node v feeds out (within the first n nodes).
+	live := make([]bool, n)
+	live[out] = true
+	for v := out; v >= 0; v-- {
+		if !live[v] {
+			continue
+		}
+		if x := b.argA[v]; x >= 0 {
+			live[x] = true
+		}
+		if y := b.argB[v]; y >= 0 {
+			live[y] = true
+		}
+	}
+	contribs := make([][]Wire, n)
+	push := func(target Wire, w Wire) {
+		if kw, c := b.isConst(w); c && kw == 0 {
+			return // zero contributions are the trivial instructions of Thm 5
+		}
+		contribs[target] = append(contribs[target], w)
+	}
+	adjOf := func(v Wire) Wire {
+		if v == out {
+			if len(contribs[v]) == 0 {
+				return b.One()
+			}
+			// out consumed by itself is impossible; seed with 1.
+			return b.SumBalanced(append(contribs[v], b.One()))
+		}
+		return b.SumBalanced(contribs[v])
+	}
+	adj := make([]Wire, n)
+	for i := range adj {
+		adj[i] = -1
+	}
+	for v := out; v >= 0; v-- {
+		if !live[v] {
+			continue
+		}
+		if v != out && len(contribs[v]) == 0 {
+			continue // f does not depend on this node after folding
+		}
+		a := adjOf(v)
+		adj[v] = a
+		x, y := b.argA[v], b.argB[v]
+		switch b.ops[v] {
+		case OpInput, OpConst:
+			// leaves: nothing to propagate
+		case OpAdd:
+			push(x, a)
+			push(y, a)
+		case OpSub:
+			push(x, a)
+			push(y, b.Neg(a))
+		case OpNeg:
+			push(x, b.Neg(a))
+		case OpMul:
+			push(x, b.Mul(a, y))
+			push(y, b.Mul(a, x))
+		case OpDiv:
+			// v = x/y: ∂v/∂x = 1/y, ∂v/∂y = −v/y.
+			t, err := b.Div(a, y)
+			if err != nil {
+				return nil, err
+			}
+			push(x, t)
+			push(y, b.Neg(b.Mul(t, v)))
+		case OpInv:
+			// v = 1/x: ∂v/∂x = −v².
+			push(x, b.Neg(b.Mul(a, b.Mul(v, v))))
+		}
+	}
+	grads := make([]Wire, len(b.inputs))
+	for i, in := range b.inputs {
+		if int(in) < n && adj[in] >= 0 {
+			grads[i] = adj[in]
+		} else {
+			grads[i] = b.Zero()
+		}
+	}
+	return grads, nil
+}
+
+// Clone returns a deep copy of the builder, so a gradient can be appended
+// without disturbing the original circuit.
+func (b *Builder) Clone() *Builder {
+	nb := &Builder{
+		ops:      append([]Op(nil), b.ops...),
+		argA:     append([]Wire(nil), b.argA...),
+		argB:     append([]Wire(nil), b.argB...),
+		kval:     append([]int64(nil), b.kval...),
+		depth:    append([]int32(nil), b.depth...),
+		nInputs:  b.nInputs,
+		nRandom:  b.nRandom,
+		inputs:   append([]Wire(nil), b.inputs...),
+		outputs:  append([]Wire(nil), b.outputs...),
+		constIdx: make(map[int64]Wire, len(b.constIdx)),
+		char:     b.char,
+		card:     b.card,
+		roots:    b.roots,
+	}
+	for k, v := range b.constIdx {
+		nb.constIdx[k] = v
+	}
+	return nb
+}

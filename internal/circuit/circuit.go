@@ -1,0 +1,435 @@
+// Package circuit implements the paper's machine model: algebraic circuits
+// (straight-line programs) over an abstract field, with exact size and
+// depth accounting, evaluation over any concrete field, the Baur–Strassen
+// gradient transformation of Theorem 5 with depth-preserving accumulation
+// balancing (Figures 2 and 3, Hoover–Klawe–Pippenger), and a Brent-style
+// PRAM scheduler for the processor-efficiency experiments.
+//
+// Circuits are built by *tracing*: Builder implements ff.Field[Wire], so
+// any branch-free generic algorithm in this repository — and the
+// Kaltofen–Pan algorithms are branch-free by design ("our algorithms
+// realize shallow algebraic circuits and thus have no zero-tests") — turns
+// into the literal circuit by running it with symbolic wires.
+package circuit
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"repro/internal/ff"
+)
+
+// Op is a node kind.
+type Op uint8
+
+// Node kinds. Input and Const nodes are free (depth 0, size 0); the six
+// arithmetic kinds each cost one unit of size and one unit of depth.
+const (
+	OpInput Op = iota
+	OpConst
+	OpAdd
+	OpSub
+	OpNeg
+	OpMul
+	OpDiv
+	OpInv
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInput:
+		return "input"
+	case OpConst:
+		return "const"
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpNeg:
+		return "neg"
+	case OpMul:
+		return "mul"
+	case OpDiv:
+		return "div"
+	case OpInv:
+		return "inv"
+	}
+	return "?"
+}
+
+// Wire identifies a node in a Builder.
+type Wire int32
+
+// Builder is an append-only algebraic-circuit DAG that doubles as an
+// ff.Field[Wire] so algorithms can be traced through it. It carries the
+// characteristic/cardinality of the target field, because traced algorithms
+// consult them (Leverrier's validity check).
+type Builder struct {
+	ops   []Op
+	argA  []Wire
+	argB  []Wire
+	kval  []int64 // OpConst: the FromInt64 preimage
+	depth []int32
+
+	nInputs  int
+	nRandom  int
+	inputs   []Wire
+	outputs  []Wire
+	constIdx map[int64]Wire
+
+	char *big.Int
+	card *big.Int
+
+	// roots provides the modeled field's 2-power roots of unity as
+	// FromInt64 preimages, so traced polynomial products can take the NTT
+	// fast path with the roots embedded as circuit constants.
+	roots ff.Int64Roots
+
+	// foldP, when non-zero, is a word-sized prime with modeled field
+	// exactly F_p: constant arithmetic is then folded modulo p, so chains
+	// of constant operations (e.g. NTT twiddle factors) cost nothing —
+	// constants are free in the straight-line-program model.
+	foldP uint64
+}
+
+// NewBuilder returns an empty circuit whose zero tests and characteristic
+// queries model a target field with the given characteristic and
+// cardinality (use NewBuilderFor to copy them from a concrete field).
+func NewBuilder(char, card *big.Int) *Builder {
+	b := &Builder{
+		constIdx: make(map[int64]Wire),
+		char:     new(big.Int).Set(char),
+		card:     new(big.Int).Set(card),
+	}
+	if char.Sign() > 0 && char.Cmp(card) == 0 && char.IsUint64() && char.Uint64() < 1<<63 {
+		b.foldP = char.Uint64()
+	}
+	return b
+}
+
+// NewBuilderFor returns an empty circuit modeling the field f. If f
+// publishes integer-coded roots of unity (ff.Int64Roots, e.g. F_p for
+// p = ff.PNTT62), the builder inherits them and traced products use NTT.
+func NewBuilderFor[E any](f ff.Field[E]) *Builder {
+	b := NewBuilder(f.Characteristic(), f.Cardinality())
+	if r, ok := any(f).(ff.Int64Roots); ok {
+		b.roots = r
+	}
+	return b
+}
+
+// RootOfUnity exposes the modeled field's roots of unity as constant
+// wires, implementing ff.RootsOfUnity[Wire].
+func (b *Builder) RootOfUnity(log2n int) (Wire, bool) {
+	if b.roots == nil {
+		return 0, false
+	}
+	v, ok := b.roots.RootOfUnityInt64(log2n)
+	if !ok {
+		return 0, false
+	}
+	return b.constant(v), true
+}
+
+func (b *Builder) push(op Op, x, y Wire, k int64, d int32) Wire {
+	b.ops = append(b.ops, op)
+	b.argA = append(b.argA, x)
+	b.argB = append(b.argB, y)
+	b.kval = append(b.kval, k)
+	b.depth = append(b.depth, d)
+	return Wire(len(b.ops) - 1)
+}
+
+// Input appends an input node and returns its wire. Evaluation consumes
+// input values in creation order.
+func (b *Builder) Input() Wire {
+	w := b.push(OpInput, -1, -1, 0, 0)
+	b.nInputs++
+	b.inputs = append(b.inputs, w)
+	return w
+}
+
+// Inputs appends n input nodes.
+func (b *Builder) Inputs(n int) []Wire {
+	ws := make([]Wire, n)
+	for i := range ws {
+		ws[i] = b.Input()
+	}
+	return ws
+}
+
+// RandomInput appends an input node flagged as one of the paper's "nodes
+// that denote random (input) elements"; evaluation treats it like any other
+// input, but NumRandom reports the count (Theorems 4 and 6 promise O(n)).
+func (b *Builder) RandomInput() Wire {
+	w := b.Input()
+	b.nRandom++
+	return w
+}
+
+// RandomInputs appends n random-input nodes.
+func (b *Builder) RandomInputs(n int) []Wire {
+	ws := make([]Wire, n)
+	for i := range ws {
+		ws[i] = b.RandomInput()
+	}
+	return ws
+}
+
+// Return declares the circuit outputs (resetting any previous choice).
+func (b *Builder) Return(ws ...Wire) {
+	b.outputs = append(b.outputs[:0], ws...)
+}
+
+// Outputs returns the declared output wires.
+func (b *Builder) Outputs() []Wire { return append([]Wire(nil), b.outputs...) }
+
+// NumNodes returns the total node count including inputs and constants.
+func (b *Builder) NumNodes() int { return len(b.ops) }
+
+// NumInputs returns the number of input nodes (random inputs included).
+func (b *Builder) NumInputs() int { return b.nInputs }
+
+// NumRandom returns the number of random-input nodes.
+func (b *Builder) NumRandom() int { return b.nRandom }
+
+// constant interns FromInt64 constants so folding can identify them. Over
+// a prime-field model the key is the canonical residue, so −1 and p−1 are
+// the same wire.
+func (b *Builder) constant(k int64) Wire {
+	if b.foldP != 0 {
+		k = b.canonical(k)
+	}
+	if w, ok := b.constIdx[k]; ok {
+		return w
+	}
+	w := b.push(OpConst, -1, -1, k, 0)
+	b.constIdx[k] = w
+	return w
+}
+
+// canonical reduces k into [0, p) for the prime-field model.
+func (b *Builder) canonical(k int64) int64 {
+	m := k % int64(b.foldP)
+	if m < 0 {
+		m += int64(b.foldP)
+	}
+	return m
+}
+
+// modMul returns kx·ky mod p via a 128-bit product.
+func (b *Builder) modMul(kx, ky int64) int64 {
+	x := uint64(b.canonical(kx))
+	y := uint64(b.canonical(ky))
+	hi, lo := mul128(x, y)
+	return int64(mod128(hi, lo, b.foldP))
+}
+
+// modInv returns k⁻¹ mod p (extended Euclid), with ok=false for k ≡ 0.
+func (b *Builder) modInv(k int64) (int64, bool) {
+	a := b.canonical(k)
+	if a == 0 {
+		return 0, false
+	}
+	t, newT := int64(0), int64(1)
+	r, newR := int64(b.foldP), a
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if t < 0 {
+		t += int64(b.foldP)
+	}
+	return t, true
+}
+
+func (b *Builder) isConst(w Wire) (int64, bool) {
+	if b.ops[w] == OpConst {
+		return b.kval[w], true
+	}
+	return 0, false
+}
+
+const foldLimit = 1 << 31 // fold integer-constant arithmetic below this magnitude
+
+func (b *Builder) binary(op Op, x, y Wire) Wire {
+	d := 1 + max32(b.depth[x], b.depth[y])
+	return b.push(op, x, y, 0, d)
+}
+
+// --- ff.Field[Wire] implementation (with peephole constant folding) ---
+
+// Zero returns the constant-0 wire.
+func (b *Builder) Zero() Wire { return b.constant(0) }
+
+// One returns the constant-1 wire.
+func (b *Builder) One() Wire { return b.constant(1) }
+
+// Add appends x + y (folding x+0, 0+y, and small constant pairs).
+func (b *Builder) Add(x, y Wire) Wire {
+	kx, cx := b.isConst(x)
+	ky, cy := b.isConst(y)
+	switch {
+	case cx && kx == 0:
+		return y
+	case cy && ky == 0:
+		return x
+	case cx && cy && b.foldP != 0:
+		return b.constant(b.canonical(b.canonical(kx) - int64(b.foldP) + b.canonical(ky)))
+	case cx && cy && abs64(kx)+abs64(ky) < foldLimit:
+		return b.constant(kx + ky)
+	}
+	return b.binary(OpAdd, x, y)
+}
+
+// Sub appends x − y (folding x−0 and constant pairs; 0−y becomes Neg).
+func (b *Builder) Sub(x, y Wire) Wire {
+	kx, cx := b.isConst(x)
+	ky, cy := b.isConst(y)
+	switch {
+	case cy && ky == 0:
+		return x
+	case cx && cy && b.foldP != 0:
+		return b.constant(b.canonical(b.canonical(kx) - b.canonical(ky)))
+	case cx && cy && abs64(kx)+abs64(ky) < foldLimit:
+		return b.constant(kx - ky)
+	case cx && kx == 0:
+		return b.Neg(y)
+	}
+	return b.binary(OpSub, x, y)
+}
+
+// Neg appends −x (folding constants).
+func (b *Builder) Neg(x Wire) Wire {
+	if kx, cx := b.isConst(x); cx {
+		if b.foldP != 0 {
+			return b.constant(b.canonical(-b.canonical(kx)))
+		}
+		if abs64(kx) < foldLimit {
+			return b.constant(-kx)
+		}
+	}
+	return b.push(OpNeg, x, -1, 0, 1+b.depth[x])
+}
+
+// Mul appends x·y (folding x·0, x·1, and small constant pairs).
+func (b *Builder) Mul(x, y Wire) Wire {
+	kx, cx := b.isConst(x)
+	ky, cy := b.isConst(y)
+	switch {
+	case cx && kx == 0, cy && ky == 0:
+		return b.constant(0)
+	case cx && kx == 1:
+		return y
+	case cy && ky == 1:
+		return x
+	case cx && cy && b.foldP != 0:
+		return b.constant(b.modMul(kx, ky))
+	case cx && cy && abs64(kx) < 1<<20 && abs64(ky) < 1<<20:
+		return b.constant(kx * ky)
+	}
+	return b.binary(OpMul, x, y)
+}
+
+// Inv appends x⁻¹. No zero test happens at build time: an unlucky
+// evaluation reports ff.ErrDivisionByZero, exactly the paper's model
+// ("if the random choices are unlucky ... the circuit divides by zero").
+func (b *Builder) Inv(x Wire) (Wire, error) {
+	if kx, cx := b.isConst(x); cx {
+		if kx == 1 {
+			return x, nil
+		}
+		if b.foldP != 0 && b.canonical(kx) != 0 {
+			inv, _ := b.modInv(kx)
+			return b.constant(inv), nil
+		}
+	}
+	return b.push(OpInv, x, -1, 0, 1+b.depth[x]), nil
+}
+
+// Div appends x/y (folding x/1).
+func (b *Builder) Div(x, y Wire) (Wire, error) {
+	if ky, cy := b.isConst(y); cy {
+		if ky == 1 {
+			return x, nil
+		}
+		if b.foldP != 0 && b.canonical(ky) != 0 {
+			inv, _ := b.modInv(ky)
+			return b.Mul(x, b.constant(inv)), nil
+		}
+	}
+	if kx, cx := b.isConst(x); cx && kx == 0 {
+		// 0/y = 0 for every valuation where y ≠ 0; an unlucky y = 0 would
+		// have divided by zero, but the quotient is still what the Las
+		// Vegas wrapper would discard — fold to keep circuits lean.
+		return b.constant(0), nil
+	}
+	return b.binary(OpDiv, x, y), nil
+}
+
+// IsZero reports *structural* zeroness: true only for the constant 0.
+// Generic code uses IsZero solely as a skip-work optimization (trimming,
+// sparse multiply), for which "provably zero" is sound; branch-free
+// algorithms never make control decisions on symbolic data.
+func (b *Builder) IsZero(x Wire) bool {
+	k, c := b.isConst(x)
+	return c && k == 0
+}
+
+// Equal reports structural equality (same wire, or same folded constant).
+func (b *Builder) Equal(x, y Wire) bool {
+	if x == y {
+		return true
+	}
+	kx, cx := b.isConst(x)
+	ky, cy := b.isConst(y)
+	return cx && cy && kx == ky
+}
+
+// FromInt64 appends (or reuses) an integer constant.
+func (b *Builder) FromInt64(v int64) Wire { return b.constant(v) }
+
+// String formats a wire for diagnostics.
+func (b *Builder) String(x Wire) string {
+	if k, c := b.isConst(x); c {
+		return fmt.Sprintf("#%d=%d", x, k)
+	}
+	return fmt.Sprintf("#%d:%s", x, b.ops[x])
+}
+
+// Characteristic returns the modeled field characteristic.
+func (b *Builder) Characteristic() *big.Int { return new(big.Int).Set(b.char) }
+
+// Cardinality returns the modeled field cardinality.
+func (b *Builder) Cardinality() *big.Int { return new(big.Int).Set(b.card) }
+
+// Elem is unsupported: randomness must enter circuits as RandomInput nodes,
+// never as baked-in constants.
+func (b *Builder) Elem(i uint64) Wire {
+	panic("circuit: sample randomness outside the trace and pass it via RandomInput")
+}
+
+var _ ff.Field[Wire] = (*Builder)(nil)
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func mul128(x, y uint64) (hi, lo uint64) { return bits.Mul64(x, y) }
+
+func mod128(hi, lo, p uint64) uint64 {
+	_, rem := bits.Div64(hi%p, lo, p)
+	return rem
+}

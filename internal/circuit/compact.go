@@ -1,0 +1,119 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+)
+
+// Compact returns an equivalent circuit containing only the nodes the
+// declared outputs depend on, renumbered densely. Tracing leaves behind
+// dead temporaries (e.g. unused Karatsuba cross terms); Compact makes the
+// stored object match the honest LiveSize measure and shrinks memory for
+// large circuits before evaluation or scheduling.
+func (b *Builder) Compact() *Builder {
+	if len(b.outputs) == 0 {
+		return b.Clone()
+	}
+	live := b.liveSet()
+	remap := make([]Wire, len(b.ops))
+	nb := &Builder{
+		constIdx: make(map[int64]Wire),
+		char:     b.char,
+		card:     b.card,
+		roots:    b.roots,
+		foldP:    b.foldP,
+	}
+	for i, op := range b.ops {
+		remap[i] = -1
+		// Inputs must all survive (evaluation consumes them positionally),
+		// live or not.
+		if op == OpInput {
+			w := nb.push(OpInput, -1, -1, 0, 0)
+			nb.nInputs++
+			nb.inputs = append(nb.inputs, w)
+			remap[i] = w
+			continue
+		}
+		if !live[i] {
+			continue
+		}
+		switch op {
+		case OpConst:
+			remap[i] = nb.constant(b.kval[i])
+		default:
+			x := remap[b.argA[i]]
+			var y Wire = -1
+			if b.argB[i] >= 0 {
+				y = remap[b.argB[i]]
+			}
+			d := int32(1 + nb.depthOf(x))
+			if y >= 0 && nb.depthOf(y)+1 > int(d) {
+				d = int32(nb.depthOf(y) + 1)
+			}
+			remap[i] = nb.push(op, x, y, 0, d)
+		}
+	}
+	nb.nRandom = b.nRandom
+	outs := make([]Wire, len(b.outputs))
+	for i, w := range b.outputs {
+		outs[i] = remap[w]
+	}
+	nb.outputs = outs
+	return nb
+}
+
+func (b *Builder) depthOf(w Wire) int {
+	if w < 0 {
+		return 0
+	}
+	return int(b.depth[w])
+}
+
+// WriteDOT emits the circuit as a Graphviz digraph (inputs as boxes,
+// constants as plain text, arithmetic nodes labeled by operator, outputs
+// double-circled). Intended for small circuits — visualizing the traced
+// programs and their gradients.
+func (b *Builder) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=BT;\n", name); err != nil {
+		return err
+	}
+	live := b.liveSet()
+	isOut := make(map[Wire]bool, len(b.outputs))
+	for _, o := range b.outputs {
+		isOut[o] = true
+	}
+	opSym := map[Op]string{
+		OpAdd: "+", OpSub: "−", OpNeg: "neg", OpMul: "×", OpDiv: "÷", OpInv: "inv",
+	}
+	for i, op := range b.ops {
+		if !live[i] {
+			continue
+		}
+		id := Wire(i)
+		var attr string
+		switch op {
+		case OpInput:
+			attr = fmt.Sprintf("label=\"x%d\", shape=box", id)
+		case OpConst:
+			attr = fmt.Sprintf("label=\"%d\", shape=plaintext", b.kval[i])
+		default:
+			shape := "ellipse"
+			if isOut[id] {
+				shape = "doublecircle"
+			}
+			attr = fmt.Sprintf("label=%q, shape=%s", opSym[op], shape)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s];\n", id, attr); err != nil {
+			return err
+		}
+		for _, p := range []Wire{b.argA[i], b.argB[i]} {
+			if p >= 0 {
+				if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", p, id); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

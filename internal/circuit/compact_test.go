@@ -1,0 +1,92 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func TestCompactPreservesSemantics(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(171)
+	b := NewBuilderFor[uint64](f)
+	xs := b.Inputs(16)
+	// A computation with deliberate dead code.
+	live := b.SumBalanced(xs)
+	dead := b.Mul(xs[0], xs[1])
+	dead = b.Mul(dead, dead)
+	_ = dead
+	q, err := b.Div(live, xs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Return(q, live)
+
+	c := b.Compact()
+	if c.Size() != b.LiveSize() {
+		t.Fatalf("compact size %d != live size %d", c.Size(), b.LiveSize())
+	}
+	if c.Size() >= b.Size() {
+		t.Fatal("compact did not remove dead nodes")
+	}
+	if c.NumInputs() != b.NumInputs() {
+		t.Fatal("compact changed the input count")
+	}
+	if c.Depth() != b.Depth() {
+		t.Fatalf("compact changed depth: %d vs %d", c.Depth(), b.Depth())
+	}
+	vals := make([]uint64, 16)
+	for i := range vals {
+		vals[i] = 1 + src.Uint64n(ff.P31-1)
+	}
+	want, err := Eval[uint64](b, f, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval[uint64](c, f, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](f, got, want) {
+		t.Fatal("compact changed evaluation results")
+	}
+}
+
+func TestCompactKeepsUnusedInputs(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	b := NewBuilderFor[uint64](f)
+	x := b.Input()
+	_ = b.Input() // never used: must still be consumed positionally
+	y := b.Input()
+	b.Return(b.Add(x, y))
+	c := b.Compact()
+	if c.NumInputs() != 3 {
+		t.Fatalf("inputs = %d, want 3", c.NumInputs())
+	}
+	got, err := Eval[uint64](c, f, []uint64{5, 999, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 12 {
+		t.Fatalf("eval = %d, want 12", got[0])
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	b := NewBuilderFor[uint64](f)
+	x, y := b.Input(), b.Input()
+	out := b.Mul(b.Add(x, y), b.FromInt64(3))
+	b.Return(out)
+	var sb strings.Builder
+	if err := b.WriteDOT(&sb, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph", "shape=box", "doublecircle", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+)
+
+// Eval evaluates the circuit over a concrete field, consuming inputs in
+// creation order (random inputs included — the Las Vegas drivers supply
+// fresh random values there on each retry). A division by zero surfaces as
+// ff.ErrDivisionByZero wrapped with the failing node, matching the paper's
+// failure mode; no zero tests are performed anywhere else.
+func Eval[E any](b *Builder, f ff.Field[E], inputs []E) ([]E, error) {
+	vals, err := evalAll(b, f, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]E, len(b.outputs))
+	for i, w := range b.outputs {
+		out[i] = vals[w]
+	}
+	return out, nil
+}
+
+func evalAll[E any](b *Builder, f ff.Field[E], inputs []E) ([]E, error) {
+	if len(inputs) != b.nInputs {
+		return nil, fmt.Errorf("circuit: %d inputs supplied, circuit has %d", len(inputs), b.nInputs)
+	}
+	vals := make([]E, len(b.ops))
+	next := 0
+	for i, op := range b.ops {
+		x, y := b.argA[i], b.argB[i]
+		switch op {
+		case OpInput:
+			vals[i] = inputs[next]
+			next++
+		case OpConst:
+			vals[i] = f.FromInt64(b.kval[i])
+		case OpAdd:
+			vals[i] = f.Add(vals[x], vals[y])
+		case OpSub:
+			vals[i] = f.Sub(vals[x], vals[y])
+		case OpNeg:
+			vals[i] = f.Neg(vals[x])
+		case OpMul:
+			vals[i] = f.Mul(vals[x], vals[y])
+		case OpDiv:
+			v, err := f.Div(vals[x], vals[y])
+			if err != nil {
+				return nil, fmt.Errorf("circuit: node %d: %w", i, err)
+			}
+			vals[i] = v
+		case OpInv:
+			v, err := f.Inv(vals[x])
+			if err != nil {
+				return nil, fmt.Errorf("circuit: node %d: %w", i, err)
+			}
+			vals[i] = v
+		}
+	}
+	return vals, nil
+}

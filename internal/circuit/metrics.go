@@ -1,0 +1,124 @@
+package circuit
+
+// Metrics summarizes a circuit in the paper's two cost measures: size (the
+// number of arithmetic nodes — additions, subtractions, negations,
+// multiplications, divisions, inversions) and depth (the longest
+// input-to-output path counting arithmetic nodes). Inputs and constants are
+// free, as in the straight-line-program model.
+type Metrics struct {
+	Size      int
+	Depth     int
+	Adds      int // add + sub + neg
+	Muls      int
+	Divs      int // div + inv
+	Inputs    int
+	Randoms   int
+	Constants int
+	Outputs   int
+}
+
+// Metrics returns the cost summary. Depth is measured at the declared
+// outputs (the whole DAG if no outputs are declared).
+func (b *Builder) Metrics() Metrics {
+	m := Metrics{Inputs: b.nInputs, Randoms: b.nRandom, Outputs: len(b.outputs)}
+	for _, op := range b.ops {
+		switch op {
+		case OpAdd, OpSub, OpNeg:
+			m.Adds++
+		case OpMul:
+			m.Muls++
+		case OpDiv, OpInv:
+			m.Divs++
+		case OpConst:
+			m.Constants++
+		}
+	}
+	m.Size = m.Adds + m.Muls + m.Divs
+	if len(b.outputs) > 0 {
+		for _, w := range b.outputs {
+			if int(b.depth[w]) > m.Depth {
+				m.Depth = int(b.depth[w])
+			}
+		}
+	} else {
+		for _, d := range b.depth {
+			if int(d) > m.Depth {
+				m.Depth = int(d)
+			}
+		}
+	}
+	return m
+}
+
+// Size returns the number of arithmetic nodes.
+func (b *Builder) Size() int { return b.Metrics().Size }
+
+// Depth returns the circuit depth at the declared outputs.
+func (b *Builder) Depth() int { return b.Metrics().Depth }
+
+// NodeDepth returns the depth of one wire.
+func (b *Builder) NodeDepth(w Wire) int { return int(b.depth[w]) }
+
+// LevelWidths returns, for each depth level d ≥ 1, the number of arithmetic
+// nodes at that level — the level profile the PRAM scheduler works from.
+// Only nodes that the declared outputs depend on are counted (dead nodes
+// would inflate the schedule).
+func (b *Builder) LevelWidths() []int {
+	live := b.liveSet()
+	depth := b.Metrics().Depth
+	widths := make([]int, depth+1)
+	for i, op := range b.ops {
+		if op == OpInput || op == OpConst || !live[i] {
+			continue
+		}
+		widths[b.depth[i]]++
+	}
+	return widths
+}
+
+// liveSet marks nodes reachable from the outputs (every node if no outputs
+// are declared).
+func (b *Builder) liveSet() []bool {
+	live := make([]bool, len(b.ops))
+	if len(b.outputs) == 0 {
+		for i := range live {
+			live[i] = true
+		}
+		return live
+	}
+	stack := make([]Wire, 0, len(b.outputs))
+	for _, w := range b.outputs {
+		if !live[w] {
+			live[w] = true
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range []Wire{b.argA[w], b.argB[w]} {
+			if p >= 0 && !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return live
+}
+
+// LiveSize returns the number of arithmetic nodes the outputs depend on —
+// the honest size of the computation after dead-code removal.
+func (b *Builder) LiveSize() int {
+	live := b.liveSet()
+	n := 0
+	for i, op := range b.ops {
+		if !live[i] {
+			continue
+		}
+		switch op {
+		case OpAdd, OpSub, OpNeg, OpMul, OpDiv, OpInv:
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package circuit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/ff"
+)
+
+// EvalParallel evaluates the circuit level-by-level with a goroutine pool —
+// a wall-clock realization of the PRAM schedule on real cores. Nodes within
+// one depth level are independent, so each level is a parallel-for with a
+// barrier; the span of the computation is the circuit depth, matching the
+// Brent simulation that experiment E10 reports next to these timings.
+func EvalParallel[E any](b *Builder, f ff.Field[E], inputs []E, workers int) ([]E, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Eval(b, f, inputs)
+	}
+	if len(inputs) != b.nInputs {
+		return nil, fmt.Errorf("circuit: %d inputs supplied, circuit has %d", len(inputs), b.nInputs)
+	}
+	// Bucket nodes by depth; inputs/constants land at level 0.
+	maxDepth := 0
+	for _, d := range b.depth {
+		if int(d) > maxDepth {
+			maxDepth = int(d)
+		}
+	}
+	levels := make([][]int32, maxDepth+1)
+	for i := range b.ops {
+		levels[b.depth[i]] = append(levels[b.depth[i]], int32(i))
+	}
+
+	vals := make([]E, len(b.ops))
+	// Level 0 sequentially (input order matters).
+	next := 0
+	for _, i := range levels[0] {
+		switch b.ops[i] {
+		case OpInput:
+			vals[i] = inputs[next]
+			next++
+		case OpConst:
+			vals[i] = f.FromInt64(b.kval[i])
+		}
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	for l := 1; l <= maxDepth; l++ {
+		nodes := levels[l]
+		if len(nodes) == 0 {
+			continue
+		}
+		chunk := (len(nodes) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(nodes))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(nodes []int32) {
+				defer wg.Done()
+				for _, i := range nodes {
+					x, y := b.argA[i], b.argB[i]
+					switch b.ops[i] {
+					case OpAdd:
+						vals[i] = f.Add(vals[x], vals[y])
+					case OpSub:
+						vals[i] = f.Sub(vals[x], vals[y])
+					case OpNeg:
+						vals[i] = f.Neg(vals[x])
+					case OpMul:
+						vals[i] = f.Mul(vals[x], vals[y])
+					case OpDiv:
+						v, err := f.Div(vals[x], vals[y])
+						if err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = fmt.Errorf("circuit: node %d: %w", i, err)
+							}
+							mu.Unlock()
+							return
+						}
+						vals[i] = v
+					case OpInv:
+						v, err := f.Inv(vals[x])
+						if err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = fmt.Errorf("circuit: node %d: %w", i, err)
+							}
+							mu.Unlock()
+							return
+						}
+						vals[i] = v
+					}
+				}
+			}(nodes[lo:hi])
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	out := make([]E, len(b.outputs))
+	for i, w := range b.outputs {
+		out[i] = vals[w]
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package circuit
+
+// Brent-style PRAM scheduling: a circuit of size W (work) and depth D runs
+// on p processors in time T_p = Σ_levels ⌈width/p⌉ ≤ W/p + D — Brent's
+// theorem, the bridge between the paper's circuit bounds and its
+// "processor efficient" claim: with p ≈ W/D processors the running time is
+// O(D) = O((log n)²), and W is within a log factor of the best sequential
+// step count.
+
+// Schedule reports the simulated execution of a circuit on p processors.
+type Schedule struct {
+	Processors int
+	// Time is the exact greedy level-by-level step count Σ ⌈wᵢ/p⌉.
+	Time int
+	// Work is the number of live arithmetic nodes (T₁).
+	Work int
+	// Depth is the critical path length (T_∞).
+	Depth int
+}
+
+// Speedup returns Work/Time, the achieved parallel speedup.
+func (s Schedule) Speedup() float64 {
+	if s.Time == 0 {
+		return 1
+	}
+	return float64(s.Work) / float64(s.Time)
+}
+
+// Efficiency returns Speedup/p ∈ (0, 1].
+func (s Schedule) Efficiency() float64 {
+	if s.Processors == 0 {
+		return 0
+	}
+	return s.Speedup() / float64(s.Processors)
+}
+
+// BrentBoundHolds reports Time ≤ Work/p + Depth (must always be true).
+func (s Schedule) BrentBoundHolds() bool {
+	return float64(s.Time) <= float64(s.Work)/float64(s.Processors)+float64(s.Depth)+1e-9
+}
+
+// BrentSchedule simulates the circuit on p processors: every depth level
+// is executed in ⌈width/p⌉ steps (nodes within a level are independent by
+// construction).
+func (b *Builder) BrentSchedule(p int) Schedule {
+	if p < 1 {
+		panic("circuit: need at least one processor")
+	}
+	widths := b.LevelWidths()
+	s := Schedule{Processors: p, Depth: len(widths) - 1}
+	for l, w := range widths {
+		if l == 0 || w == 0 {
+			continue
+		}
+		s.Work += w
+		s.Time += (w + p - 1) / p
+	}
+	return s
+}
+
+// SpeedupTable schedules the circuit for each processor count.
+func (b *Builder) SpeedupTable(ps []int) []Schedule {
+	out := make([]Schedule, len(ps))
+	for i, p := range ps {
+		out[i] = b.BrentSchedule(p)
+	}
+	return out
+}
+
+// ProcessorEfficientP returns ⌈Work/Depth⌉ — the processor count at which
+// Brent's bound gives time O(Depth), i.e. polylog time at full efficiency.
+func (b *Builder) ProcessorEfficientP() int {
+	m := b.BrentSchedule(1)
+	if m.Depth == 0 {
+		return 1
+	}
+	return (m.Work + m.Depth - 1) / m.Depth
+}

@@ -1,0 +1,153 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ff"
+)
+
+// Property-based tests on the builder's constant-folding semantics: every
+// folded constant expression must evaluate to the same field element the
+// direct computation gives — over both a fold-enabled prime-field model
+// and a characteristic-0 model where only the small-integer folds apply.
+
+func TestQuickConstantFoldingSemantics(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	prop := func(x, y int64) bool {
+		b := NewBuilderFor[uint64](f)
+		cx, cy := b.FromInt64(x), b.FromInt64(y)
+		sum := b.Add(cx, cy)
+		dif := b.Sub(cx, cy)
+		prd := b.Mul(cx, cy)
+		neg := b.Neg(cx)
+		outs := []Wire{sum, dif, prd, neg}
+		var div Wire
+		hasDiv := false
+		if f.FromInt64(y) != 0 {
+			var err error
+			div, err = b.Div(cx, cy)
+			if err != nil {
+				return false
+			}
+			outs = append(outs, div)
+			hasDiv = true
+		}
+		b.Return(outs...)
+		// Everything folded: zero arithmetic nodes.
+		if b.Size() != 0 {
+			return false
+		}
+		got, err := Eval[uint64](b, f, nil)
+		if err != nil {
+			return false
+		}
+		fx, fy := f.FromInt64(x), f.FromInt64(y)
+		want := []uint64{f.Add(fx, fy), f.Sub(fx, fy), f.Mul(fx, fy), f.Neg(fx)}
+		if hasDiv {
+			q, err := f.Div(fx, fy)
+			if err != nil {
+				return false
+			}
+			want = append(want, q)
+		}
+		return ff.VecEqual[uint64](f, got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTracedArithmeticMatchesDirect(t *testing.T) {
+	f := ff.MustFp64(ff.PNTT62)
+	prop := func(xs [5]uint64) bool {
+		b := NewBuilderFor[uint64](f)
+		in := b.Inputs(5)
+		// ((x0+x1)·x2 − x3)·(x4 + 1)
+		e := b.Mul(b.Sub(b.Mul(b.Add(in[0], in[1]), in[2]), in[3]), b.Add(in[4], b.One()))
+		b.Return(e)
+		vals := make([]uint64, 5)
+		for i, x := range xs {
+			vals[i] = f.Elem(x)
+		}
+		got, err := Eval[uint64](b, f, vals)
+		if err != nil {
+			return false
+		}
+		want := f.Mul(f.Sub(f.Mul(f.Add(vals[0], vals[1]), vals[2]), vals[3]),
+			f.Add(vals[4], f.One()))
+		return got[0] == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGradientOfPolynomialEval(t *testing.T) {
+	// f(x) = Σ cᵢxⁱ traced via Horner; gradient must equal Σ i·cᵢx^{i−1}.
+	f := ff.MustFp64(ff.P31)
+	prop := func(cs [6]uint64, x uint64) bool {
+		b := NewBuilderFor[uint64](f)
+		xw := b.Input()
+		acc := b.Zero()
+		for i := len(cs) - 1; i >= 0; i-- {
+			acc = b.Add(b.Mul(acc, xw), b.FromInt64(int64(cs[i]%ff.P31)))
+		}
+		grads, err := Gradient(b, acc)
+		if err != nil {
+			return false
+		}
+		b.Return(grads[0])
+		xv := f.Elem(x)
+		got, err := Eval[uint64](b, f, []uint64{xv})
+		if err != nil {
+			return false
+		}
+		want := f.Zero()
+		pow := f.One()
+		for i := 1; i < len(cs); i++ {
+			want = f.Add(want, f.Mul(f.FromInt64(int64(i)), f.Mul(cs[i]%ff.P31, pow)))
+			pow = f.Mul(pow, xv)
+		}
+		return got[0] == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompactInvariant(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	prop := func(xs [8]uint64, mix uint8) bool {
+		b := NewBuilderFor[uint64](f)
+		in := b.Inputs(8)
+		// A small random-shape expression plus guaranteed dead code.
+		w := in[0]
+		for i := 1; i < 8; i++ {
+			if (mix>>(i%8))&1 == 1 {
+				w = b.Add(w, in[i])
+			} else {
+				w = b.Mul(w, in[i])
+			}
+		}
+		b.Mul(in[0], in[1]) // dead
+		b.Return(w)
+		c := b.Compact()
+		vals := make([]uint64, 8)
+		for i, x := range xs {
+			vals[i] = f.Elem(x)
+		}
+		want, err := Eval[uint64](b, f, vals)
+		if err != nil {
+			return false
+		}
+		got, err := Eval[uint64](c, f, vals)
+		if err != nil {
+			return false
+		}
+		return got[0] == want[0] && c.Size() == b.LiveSize()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

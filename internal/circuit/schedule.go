@@ -1,0 +1,165 @@
+package circuit
+
+import "fmt"
+
+// Explicit PRAM scheduling: beyond the aggregate Brent counts in pram.go,
+// ListSchedule assigns every live arithmetic node a (step, processor) pair
+// with greedy earliest-start list scheduling, producing the actual program
+// a p-processor algebraic PRAM would run. Greedy list scheduling achieves
+// T_p ≤ W/p + D (Graham/Brent); the level-synchronized scheduler can be
+// slightly worse, and the difference is observable in the tests.
+
+// Assignment places one node at one time step on one processor.
+type Assignment struct {
+	Node Wire
+	Step int
+	Proc int
+}
+
+// ListScheduleResult is an explicit schedule.
+type ListScheduleResult struct {
+	Processors  int
+	Steps       int
+	Work        int
+	Depth       int
+	Assignments []Assignment
+}
+
+// ListSchedule computes a greedy earliest-start schedule of the live
+// arithmetic nodes on p processors: nodes become ready when both operands
+// are finished; each step executes up to p ready nodes (lowest wire first,
+// a deterministic tie-break).
+//
+// The sweep is O(steps × pending) in the worst case — fine for the
+// model-validation circuits it exists for; use BrentSchedule for aggregate
+// T_p numbers on multi-million-node traces.
+func (b *Builder) ListSchedule(p int) *ListScheduleResult {
+	if p < 1 {
+		panic("circuit: need at least one processor")
+	}
+	live := b.liveSet()
+	// finish[i] = step after which node i's value exists (0 for leaves).
+	finish := make([]int, len(b.ops))
+	// Count live arithmetic nodes and build a ready queue ordered by wire.
+	res := &ListScheduleResult{Processors: p, Depth: b.Metrics().Depth}
+	type pending struct {
+		node  Wire
+		ready int // earliest step index it may run at (1-based)
+	}
+	var queue []pending
+	for i, op := range b.ops {
+		if !live[i] {
+			continue
+		}
+		switch op {
+		case OpInput, OpConst:
+			finish[i] = 0
+		default:
+			res.Work++
+			ready := 1
+			if x := b.argA[i]; x >= 0 {
+				if f := finish[x]; f+1 > ready {
+					ready = f + 1
+				}
+			}
+			if y := b.argB[i]; y >= 0 {
+				if f := finish[y]; f+1 > ready {
+					ready = f + 1
+				}
+			}
+			// Nodes appear in topological (creation) order, so operand
+			// finish times are known... only if operands are arithmetic
+			// nodes already scheduled. They are: argA/argB < i.
+			queue = append(queue, pending{node: Wire(i), ready: ready})
+			// Provisional: actual finish assigned below; store lower bound.
+			finish[i] = ready // placeholder, fixed during the sweep
+		}
+	}
+	// Sweep steps, packing up to p ready nodes per step. The queue is in
+	// creation order; a node's true readiness depends on its operands'
+	// *assigned* steps, so recompute on the fly.
+	assigned := make([]bool, len(b.ops))
+	remaining := res.Work
+	step := 0
+	for remaining > 0 {
+		step++
+		used := 0
+		for qi := 0; qi < len(queue) && used < p; qi++ {
+			nd := queue[qi].node
+			if assigned[nd] {
+				continue
+			}
+			ok := true
+			for _, pa := range []Wire{b.argA[nd], b.argB[nd]} {
+				if pa >= 0 && b.isArith(pa) && live[pa] {
+					if !assigned[pa] || finish[pa] >= step {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			assigned[nd] = true
+			finish[nd] = step
+			res.Assignments = append(res.Assignments, Assignment{Node: nd, Step: step, Proc: used})
+			used++
+			remaining--
+		}
+		if used == 0 {
+			panic("circuit: scheduler made no progress (cycle?)")
+		}
+	}
+	res.Steps = step
+	return res
+}
+
+func (b *Builder) isArith(w Wire) bool {
+	switch b.ops[w] {
+	case OpInput, OpConst:
+		return false
+	}
+	return true
+}
+
+// Validate checks the schedule respects dependencies and the processor
+// budget; used by the tests and available for external verification.
+func (r *ListScheduleResult) Validate(b *Builder) error {
+	stepOf := make(map[Wire]int, len(r.Assignments))
+	perStep := make(map[int]int)
+	for _, a := range r.Assignments {
+		if prev, dup := stepOf[a.Node]; dup {
+			return fmt.Errorf("node %d scheduled twice (steps %d, %d)", a.Node, prev, a.Step)
+		}
+		stepOf[a.Node] = a.Step
+		perStep[a.Step]++
+		if perStep[a.Step] > r.Processors {
+			return fmt.Errorf("step %d exceeds %d processors", a.Step, r.Processors)
+		}
+		if a.Proc < 0 || a.Proc >= r.Processors {
+			return fmt.Errorf("node %d on invalid processor %d", a.Node, a.Proc)
+		}
+	}
+	for _, a := range r.Assignments {
+		for _, p := range []Wire{b.argA[a.Node], b.argB[a.Node]} {
+			if p < 0 || !b.isArith(p) {
+				continue
+			}
+			ps, ok := stepOf[p]
+			if !ok {
+				continue // operand outside the live set (cannot happen)
+			}
+			if ps >= a.Step {
+				return fmt.Errorf("node %d at step %d before operand %d at step %d",
+					a.Node, a.Step, p, ps)
+			}
+		}
+	}
+	return nil
+}
+
+// BrentBoundHolds reports Steps ≤ Work/p + Depth.
+func (r *ListScheduleResult) BrentBoundHolds() bool {
+	return float64(r.Steps) <= float64(r.Work)/float64(r.Processors)+float64(r.Depth)+1e-9
+}

@@ -1,0 +1,72 @@
+package circuit
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func buildTestCircuit(t *testing.T) *Builder {
+	t.Helper()
+	f := ff.MustFp64(ff.P31)
+	b := NewBuilderFor[uint64](f)
+	xs := b.Inputs(64)
+	// Two interacting reduction trees plus a division.
+	s := b.SumBalanced(xs)
+	p := xs[0]
+	for i := 1; i < 32; i++ {
+		p = b.Mul(p, xs[i])
+	}
+	q, err := b.Div(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Return(q)
+	return b
+}
+
+func TestListScheduleValidAndBrent(t *testing.T) {
+	b := buildTestCircuit(t)
+	for _, p := range []int{1, 2, 3, 7, 16, 1000} {
+		r := b.ListSchedule(p)
+		if err := r.Validate(b); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !r.BrentBoundHolds() {
+			t.Fatalf("p=%d: Brent bound violated: steps=%d work=%d depth=%d",
+				p, r.Steps, r.Work, r.Depth)
+		}
+		if r.Steps < r.Depth {
+			t.Fatalf("p=%d: schedule beat the critical path", p)
+		}
+		if len(r.Assignments) != r.Work {
+			t.Fatalf("p=%d: %d assignments for %d nodes", p, len(r.Assignments), r.Work)
+		}
+	}
+	// One processor serializes exactly.
+	one := b.ListSchedule(1)
+	if one.Steps != one.Work {
+		t.Fatalf("p=1: steps %d != work %d", one.Steps, one.Work)
+	}
+	// Unbounded processors reach the critical path exactly (greedy list
+	// scheduling is optimal when p ≥ width).
+	inf := b.ListSchedule(1 << 20)
+	if inf.Steps != inf.Depth {
+		t.Fatalf("p=∞: steps %d != depth %d", inf.Steps, inf.Depth)
+	}
+}
+
+func TestListScheduleNoWorseThanLevels(t *testing.T) {
+	// Greedy list scheduling may beat the level-synchronized schedule and
+	// must never lose to it by more than the level barriers allow; check
+	// it at a few processor counts on an unbalanced circuit.
+	b := buildTestCircuit(t)
+	for _, p := range []int{2, 4, 8} {
+		list := b.ListSchedule(p)
+		level := b.BrentSchedule(p)
+		if list.Steps > level.Time {
+			t.Fatalf("p=%d: list schedule (%d) worse than level schedule (%d)",
+				p, list.Steps, level.Time)
+		}
+	}
+}

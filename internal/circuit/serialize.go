@@ -1,0 +1,143 @@
+package circuit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/ff"
+)
+
+// Binary serialization of circuits: large traces (the n = 64 Theorem 4
+// solver has tens of millions of nodes and takes seconds to rebuild) can be
+// written once and memory-mapped style reloaded. The format is versioned
+// and self-describing; roots-of-unity providers are re-derived from the
+// stored characteristic at load time when the modeled field is a word
+// prime.
+
+const serialMagic = "KPCIRC01"
+
+// WriteTo serializes the circuit. Returns the byte count written.
+func (b *Builder) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		total += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := bw.WriteString(serialMagic); err != nil {
+		return total, err
+	}
+	total += int64(len(serialMagic))
+
+	charBytes := b.char.Bytes()
+	cardBytes := b.card.Bytes()
+	header := []uint64{
+		uint64(len(b.ops)),
+		uint64(b.nInputs),
+		uint64(b.nRandom),
+		uint64(len(b.outputs)),
+		uint64(len(charBytes)),
+		uint64(len(cardBytes)),
+	}
+	if err := write(header); err != nil {
+		return total, err
+	}
+	if _, err := bw.Write(charBytes); err != nil {
+		return total, err
+	}
+	total += int64(len(charBytes))
+	if _, err := bw.Write(cardBytes); err != nil {
+		return total, err
+	}
+	total += int64(len(cardBytes))
+
+	for _, chunk := range []any{b.ops, b.argA, b.argB, b.kval, b.depth, b.inputs, b.outputs} {
+		if err := write(chunk); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadCircuit deserializes a circuit written by WriteTo.
+func ReadCircuit(r io.Reader) (*Builder, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(serialMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != serialMagic {
+		return nil, fmt.Errorf("circuit: bad magic %q", magic)
+	}
+	header := make([]uint64, 6)
+	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
+		return nil, err
+	}
+	nNodes, nInputs, nRandom, nOutputs := int(header[0]), int(header[1]), int(header[2]), int(header[3])
+	charBytes := make([]byte, header[4])
+	if _, err := io.ReadFull(br, charBytes); err != nil {
+		return nil, err
+	}
+	cardBytes := make([]byte, header[5])
+	if _, err := io.ReadFull(br, cardBytes); err != nil {
+		return nil, err
+	}
+	char := new(big.Int).SetBytes(charBytes)
+	card := new(big.Int).SetBytes(cardBytes)
+
+	b := NewBuilder(char, card)
+	// Re-derive the roots-of-unity provider for word-prime models so a
+	// reloaded circuit keeps tracing NTT products like the original.
+	if b.foldP != 0 {
+		if fp, err := ff.NewFp64(b.foldP); err == nil {
+			b.roots = fp
+		}
+	}
+	b.ops = make([]Op, nNodes)
+	b.argA = make([]Wire, nNodes)
+	b.argB = make([]Wire, nNodes)
+	b.kval = make([]int64, nNodes)
+	b.depth = make([]int32, nNodes)
+	b.inputs = make([]Wire, nInputs)
+	b.outputs = make([]Wire, nOutputs)
+	for _, chunk := range []any{b.ops, b.argA, b.argB, b.kval, b.depth, b.inputs, b.outputs} {
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+	}
+	b.nInputs = nInputs
+	b.nRandom = nRandom
+	// Rebuild the constant intern table and validate node shape.
+	for i, op := range b.ops {
+		switch op {
+		case OpConst:
+			if _, dup := b.constIdx[b.kval[i]]; !dup {
+				b.constIdx[b.kval[i]] = Wire(i)
+			}
+		case OpAdd, OpSub, OpMul, OpDiv:
+			if b.argA[i] < 0 || b.argA[i] >= Wire(i) || b.argB[i] < 0 || b.argB[i] >= Wire(i) {
+				return nil, fmt.Errorf("circuit: node %d has invalid operands", i)
+			}
+		case OpNeg, OpInv:
+			if b.argA[i] < 0 || b.argA[i] >= Wire(i) {
+				return nil, fmt.Errorf("circuit: node %d has invalid operand", i)
+			}
+		case OpInput:
+			// positions re-validated below
+		default:
+			return nil, fmt.Errorf("circuit: node %d has unknown op %d", i, op)
+		}
+	}
+	for _, w := range b.outputs {
+		if w < 0 || int(w) >= nNodes {
+			return nil, fmt.Errorf("circuit: output wire %d out of range", w)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,79 @@
+package circuit
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	f := ff.MustFp64(ff.PNTT62)
+	src := ff.NewSource(221)
+	b := NewBuilderFor[uint64](f)
+	xs := b.Inputs(10)
+	r := b.RandomInputs(3)
+	s := b.SumBalanced(append(xs, r...))
+	q, err := b.Div(s, b.Add(xs[0], b.One()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Return(q, s)
+
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCircuit(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != b.NumNodes() || got.NumInputs() != b.NumInputs() ||
+		got.NumRandom() != b.NumRandom() {
+		t.Fatal("round trip changed circuit shape")
+	}
+	if got.Size() != b.Size() || got.Depth() != b.Depth() {
+		t.Fatal("round trip changed metrics")
+	}
+	if got.Characteristic().Cmp(b.Characteristic()) != 0 {
+		t.Fatal("round trip changed characteristic")
+	}
+	vals := ff.SampleVec[uint64](f, src, 13, 1<<30)
+	vals[0]++ // keep the divisor non-zero regardless of draw
+	want, err := Eval[uint64](b, f, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := Eval[uint64](got, f, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](f, have, want) {
+		t.Fatal("round trip changed evaluation")
+	}
+	// The loaded circuit can keep growing (intern table rebuilt).
+	w := got.Mul(got.FromInt64(7), got.Outputs()[0])
+	if got.NodeDepth(w) == 0 {
+		t.Fatal("loaded circuit not extendable")
+	}
+}
+
+func TestReadCircuitRejectsGarbage(t *testing.T) {
+	if _, err := ReadCircuit(bytes.NewReader([]byte("not a circuit"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Corrupt operand index.
+	f := ff.MustFp64(ff.P31)
+	b := NewBuilderFor[uint64](f)
+	x := b.Input()
+	b.Return(b.Mul(x, x))
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-20] ^= 0xff // scribble near the node tables
+	if _, err := ReadCircuit(bytes.NewReader(raw)); err == nil {
+		t.Log("corruption not detected at this offset (acceptable: data region)")
+	}
+}

@@ -1,0 +1,277 @@
+// Package core is the public façade of the Kaltofen–Pan reproduction: a
+// Solver bundling the paper's randomized algorithms behind one configured
+// entry point. Downstream users construct a Solver for their field and call
+// Solve / Det / Inverse / Rank / Nullspace / CharPoly without touching the
+// individual substrate packages.
+//
+// Quick start:
+//
+//	f := ff.MustFp64(ff.P62)
+//	s := core.NewSolver[uint64](f, core.Options{Seed: 42})
+//	x, err := s.Solve(a, b) // a *matrix.Dense[uint64], b []uint64
+//
+// All algorithms are Las Vegas: returned results are verified (or agreed
+// across independent randomizations) and therefore correct; unlucky random
+// choices cost retries, with per-attempt failure probability ≤ 3n²/|S|
+// (the paper's equation (2)) for subset size |S|.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/kp"
+	"repro/internal/matrix"
+	"repro/internal/seq"
+	"repro/internal/structured"
+	"repro/internal/wiedemann"
+)
+
+// Options configures a Solver.
+type Options struct {
+	// Seed seeds the deterministic random source; 0 selects a fixed
+	// default so runs are replayable.
+	Seed uint64
+	// SubsetSize is |S|, the size of the sampling subset. 0 selects the
+	// field cardinality capped at 2⁶², giving failure probability ≈ 0 for
+	// word-sized fields.
+	SubsetSize uint64
+	// Retries bounds the Las Vegas attempts (default kp.DefaultRetries).
+	Retries int
+	// Strassen selects Strassen's Ω(n^2.81) multiplication instead of the
+	// classical cubic method as the matrix-multiplication black box.
+	Strassen bool
+}
+
+// Solver bundles a field, a random stream and the algorithm configuration.
+type Solver[E any] struct {
+	f       ff.Field[E]
+	src     *ff.Source
+	subset  uint64
+	retries int
+	mul     matrix.Multiplier[E]
+	wmul    matrix.Multiplier[circuit.Wire]
+}
+
+// NewSolver returns a Solver over the given field.
+func NewSolver[E any](f ff.Field[E], opts Options) *Solver[E] {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	subset := opts.SubsetSize
+	if subset == 0 {
+		card := f.Cardinality()
+		if card.Sign() == 0 || !card.IsUint64() {
+			subset = 1 << 62
+		} else {
+			subset = card.Uint64()
+		}
+	}
+	var mul matrix.Multiplier[E] = matrix.Classical[E]{}
+	var wmul matrix.Multiplier[circuit.Wire] = matrix.Classical[circuit.Wire]{}
+	if opts.Strassen {
+		mul = matrix.Strassen[E]{}
+		wmul = matrix.Strassen[circuit.Wire]{}
+	}
+	return &Solver[E]{
+		f:       f,
+		src:     ff.NewSource(seed),
+		subset:  subset,
+		retries: opts.Retries,
+		mul:     mul,
+		wmul:    wmul,
+	}
+}
+
+// Field returns the solver's field.
+func (s *Solver[E]) Field() ff.Field[E] { return s.f }
+
+// Solve solves the non-singular system A·x = b (Theorem 4). Requires
+// characteristic 0 or > n.
+func (s *Solver[E]) Solve(a *matrix.Dense[E], b []E) ([]E, error) {
+	if err := s.checkChar(a.Rows); err != nil {
+		return nil, err
+	}
+	return kp.Solve(s.f, s.mul, a, b, s.src, s.subset, s.retries)
+}
+
+// Det returns det(A) for non-singular A (§2 + §3). Requires characteristic
+// 0 or > n. For a possibly-singular matrix, call IsSingular first or use
+// the Gaussian baseline in package matrix.
+func (s *Solver[E]) Det(a *matrix.Dense[E]) (E, error) {
+	var zero E
+	if err := s.checkChar(a.Rows); err != nil {
+		return zero, err
+	}
+	return kp.Det(s.f, s.mul, a, s.src, s.subset, s.retries)
+}
+
+// Inverse returns A⁻¹ (Theorem 6: Baur–Strassen gradient of the
+// determinant circuit). Requires characteristic 0 or > n.
+func (s *Solver[E]) Inverse(a *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	if err := s.checkChar(a.Rows); err != nil {
+		return nil, err
+	}
+	return kp.Inverse(s.f, s.mul, a, s.src, s.subset, s.retries)
+}
+
+// TransposedSolve solves Aᵀ·x = b via the transposition principle (end of
+// §4) without forming Aᵀ.
+func (s *Solver[E]) TransposedSolve(a *matrix.Dense[E], b []E) ([]E, error) {
+	if err := s.checkChar(a.Rows); err != nil {
+		return nil, err
+	}
+	return kp.TransposedSolve(s.f, a, b, s.src, s.subset, s.retries)
+}
+
+// Rank returns rank(A) (§5, Monte Carlo with one-sided error shrinking
+// geometrically in the retry count).
+func (s *Solver[E]) Rank(a *matrix.Dense[E]) (int, error) {
+	return kp.Rank(s.f, a, s.src, s.subset, s.retries)
+}
+
+// Nullspace returns a verified basis of the right null space of a square
+// matrix as the columns of an n×(n−r) matrix (§5).
+func (s *Solver[E]) Nullspace(a *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return kp.Nullspace(s.f, a, s.src, s.subset, s.retries)
+}
+
+// SolveSingular returns one verified solution of a consistent (possibly
+// singular) square system, or kp.ErrInconsistent (§5).
+func (s *Solver[E]) SolveSingular(a *matrix.Dense[E], b []E) ([]E, error) {
+	return kp.SolveSingular(s.f, a, b, s.src, s.subset, s.retries)
+}
+
+// LeastSquares returns a least-squares solution over a characteristic-zero
+// field (§5).
+func (s *Solver[E]) LeastSquares(a *matrix.Dense[E], b []E) ([]E, error) {
+	return kp.LeastSquares(s.f, s.mul, a, b, s.src, s.subset, s.retries)
+}
+
+// IsSingular runs Wiedemann's Las Vegas singularity test: a true answer is
+// certain, a false answer errs with probability ≤ 2n/|S|.
+func (s *Solver[E]) IsSingular(a *matrix.Dense[E]) (bool, error) {
+	return wiedemann.IsSingular(s.f, matrix.DenseBox[E]{M: a}, s.src, s.subset)
+}
+
+// SolveBlackBox solves A·x = b for a matrix available only through
+// matrix-vector products (Wiedemann's method, §2) — the right call for
+// large sparse systems.
+func (s *Solver[E]) SolveBlackBox(a matrix.BlackBox[E], b []E) ([]E, error) {
+	return wiedemann.Solve(s.f, a, b, s.src, s.subset, s.retries)
+}
+
+// DetBlackBox returns the determinant of a non-singular black-box matrix.
+func (s *Solver[E]) DetBlackBox(a matrix.BlackBox[E]) (E, error) {
+	return wiedemann.Det(s.f, a, s.src, s.subset, s.retries)
+}
+
+// CharPolyToeplitz returns det(λI − T) for a Toeplitz matrix given by its
+// 2n−1 entries (Theorem 3). Requires characteristic 0 or > n; use
+// CharPolyToeplitzAnyChar otherwise.
+func (s *Solver[E]) CharPolyToeplitz(entries []E) ([]E, error) {
+	t := structured.NewToeplitz(entries)
+	if err := s.checkChar(t.N); err != nil {
+		return nil, err
+	}
+	return structured.CharPoly(s.f, t)
+}
+
+// CharPolyToeplitzAnyChar returns det(λI − T) over any characteristic (§5,
+// Chistov's method on the structured leading blocks; one factor n slower).
+func (s *Solver[E]) CharPolyToeplitzAnyChar(entries []E) ([]E, error) {
+	return structured.CharPolySmallChar(s.f, structured.NewToeplitz(entries))
+}
+
+// SolveToeplitz solves the non-singular Toeplitz system T·x = b from the
+// matrix's 2n−1 entries (§3). Requires characteristic 0 or > n.
+func (s *Solver[E]) SolveToeplitz(entries []E, b []E) ([]E, error) {
+	t := structured.NewToeplitz(entries)
+	if err := s.checkChar(t.N); err != nil {
+		return nil, err
+	}
+	return structured.Solve(s.f, t, b)
+}
+
+// GCD returns the monic gcd of two polynomials through Sylvester-matrix
+// linear algebra (§5).
+func (s *Solver[E]) GCD(a, b []E) ([]E, error) {
+	return kp.GCDSylvester(s.f, a, b)
+}
+
+// GCDKnownDegree returns the monic gcd given its degree, with no zero
+// tests — the branch-free §5 form (one structured linear solve).
+func (s *Solver[E]) GCDKnownDegree(a, b []E, deg int) ([]E, error) {
+	return kp.GCDKnownDegree(s.f, a, b, deg)
+}
+
+// Resultant computes Res(a, b) as the determinant of the structured
+// Sylvester operator via Wiedemann's black-box method: every inner
+// matrix-vector product is two polynomial multiplications (§5).
+func (s *Solver[E]) Resultant(a, b []E) (E, error) {
+	return kp.ResultantWiedemann(s.f, a, b, s.src, s.subset, s.retries)
+}
+
+// TransposedVandermonde solves Vᵀ·x = b for the Vandermonde matrix of the
+// given pairwise-distinct nodes — the paper's §4 closing special case,
+// obtained by differentiating the fast-interpolation circuit.
+func (s *Solver[E]) TransposedVandermonde(nodes, b []E) ([]E, error) {
+	return kp.TransposedVandermondeSolve(s.f, nodes, b)
+}
+
+// MinPolyOfSequence returns the minimum polynomial of a linearly generated
+// sequence by the §3 parallel route (Lemma 1 degree location + one
+// structured Toeplitz solve) — the circuit-friendly replacement for
+// Berlekamp–Massey. The sequence must supply 2·maxDeg terms.
+func (s *Solver[E]) MinPolyOfSequence(a []E, maxDeg int) ([]E, error) {
+	if err := s.checkChar(maxDeg); err != nil {
+		return nil, err
+	}
+	return seq.MinPolyParallel(s.f, a, maxDeg)
+}
+
+// SolveSmallPrimeField solves a system over a word prime field F_p whose
+// cardinality is below the 3n²/ε probability budget, by lifting into an
+// algebraic extension F_{p^k} and projecting the (base-field) solution
+// back — the paper's §2 remedy for small Galois fields. It is a standalone
+// function because the lift changes the element type.
+func SolveSmallPrimeField(base ff.Fp64, a *matrix.Dense[uint64], b []uint64, opts Options) ([]uint64, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return kp.SolveViaExtension(base, a, b, ff.NewSource(seed), 0.25, opts.Retries)
+}
+
+// SolveCircuit builds the Theorem 4 circuit for dimension n (size
+// O(n^ω log n), depth O((log n)²)) for inspection, scheduling, or repeated
+// evaluation.
+func (s *Solver[E]) SolveCircuit(n int) (*circuit.Builder, error) {
+	if err := s.checkChar(n); err != nil {
+		return nil, err
+	}
+	return kp.TraceSolve(s.f, s.wmul, n)
+}
+
+// InverseCircuit builds the Theorem 6 inverse circuit for dimension n.
+func (s *Solver[E]) InverseCircuit(n int) (*circuit.Builder, error) {
+	if err := s.checkChar(n); err != nil {
+		return nil, err
+	}
+	return kp.TraceInverse(s.f, s.wmul, n)
+}
+
+// DrawRandomness exposes the Theorem 4 randomness for circuit evaluation.
+func (s *Solver[E]) DrawRandomness(n int) kp.Randomness[E] {
+	return kp.DrawRandomness(s.f, s.src, n, s.subset)
+}
+
+func (s *Solver[E]) checkChar(n int) error {
+	if !ff.CharacteristicExceeds(s.f, n) {
+		return fmt.Errorf("core: field characteristic %v ≤ n = %d: Theorem 4's hypothesis fails (use the any-characteristic §5 routes)",
+			s.f.Characteristic(), n)
+	}
+	return nil
+}

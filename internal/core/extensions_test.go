@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+	"repro/internal/seq"
+)
+
+func TestSolverResultantAndKnownDegreeGCD(t *testing.T) {
+	s := NewSolver[uint64](fp, Options{Seed: 21})
+	f := fp
+	// Planted gcd of degree 2.
+	g := poly.FromInt64[uint64](f, []int64{1, 5, 1})
+	a := poly.Mul[uint64](f, g, poly.FromInt64[uint64](f, []int64{3, 1, 0, 1}))
+	b := poly.Mul[uint64](f, g, poly.FromInt64[uint64](f, []int64{7, 0, 1}))
+	want, err := poly.GCD[uint64](f, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GCDKnownDegree(a, b, poly.Deg[uint64](f, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[uint64](f, got, want) {
+		t.Fatal("GCDKnownDegree via facade wrong")
+	}
+	// Shared factor ⇒ resultant zero; coprime ⇒ matches the dense route.
+	r, err := s.Resultant(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsZero(r) {
+		t.Fatal("resultant with shared factor must vanish")
+	}
+	ca := poly.FromInt64[uint64](f, []int64{1, 1, 1})
+	cb := poly.FromInt64[uint64](f, []int64{2, 0, 0, 1})
+	r, err = s.Resultant(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := poly.Resultant[uint64](f, ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IsZero(r) || (r != rd && r != f.Neg(rd)) {
+		t.Fatalf("facade resultant %d vs Euclid %d", r, rd)
+	}
+}
+
+func TestSolverMinPolyOfSequence(t *testing.T) {
+	s := NewSolver[uint64](fp, Options{Seed: 23})
+	f := fp
+	g := poly.FromInt64[uint64](f, []int64{3, 1, 1}) // λ² + λ + 3
+	a := seq.Apply[uint64](f, g, []uint64{1, 2}, 16)
+	got, err := s.MinPolyOfSequence(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.MinPoly[uint64](f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[uint64](f, got, want) {
+		t.Fatal("MinPolyOfSequence wrong")
+	}
+}
+
+func TestSolveSmallPrimeField(t *testing.T) {
+	base := ff.MustFp64(101)
+	src := ff.NewSource(25)
+	n := 8 // 3n² = 192 > 101: the extension path engages
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](base, src, n, n, 101)
+		if d, _ := matrix.Det[uint64](base, a); !base.IsZero(d) {
+			break
+		}
+	}
+	b := ff.SampleVec[uint64](base, src, n, 101)
+	x, err := SolveSmallPrimeField(base, a, b, Options{Seed: 27, Retries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](base, a.MulVec(base, x), b) {
+		t.Fatal("small-field solve wrong")
+	}
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode and asserts
+// (a) it completes, (b) it produced rows, and (c) no bound-check column
+// reports a violation ("NO").
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(12345, true)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.ID)
+			}
+			for _, row := range tab.Rows {
+				for _, cell := range row {
+					if cell == "NO" {
+						t.Fatalf("%s: bound violated in row %v", e.ID, row)
+					}
+				}
+			}
+			if !strings.Contains(tab.String(), e.ID) {
+				t.Fatalf("%s: rendering broken", e.ID)
+			}
+			if !strings.Contains(tab.Markdown(), "|") {
+				t.Fatalf("%s: markdown rendering broken", e.ID)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if ByID("E4") == nil {
+		t.Fatal("E4 missing from registry")
+	}
+	if ByID("nope") != nil {
+		t.Fatal("unknown id resolved")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}

@@ -1,0 +1,44 @@
+package exp
+
+// Runner is one experiment: it returns the measured table.
+type Runner func(seed uint64, quick bool) (*Table, error)
+
+// Experiment pairs an id with its runner and a one-line description.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         Runner
+}
+
+// All returns every experiment in DESIGN.md index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Lemma 2 projection probability", E1},
+		{"E2", "Theorem 2 / eq.(2) preconditioner probability", E2},
+		{"E3", "Theorem 3 Toeplitz charpoly circuit", E3},
+		{"E3a", "Ablation: sequential vs series Leverrier depth", E3Ablation},
+		{"E4", "Theorem 4 solver circuit", E4},
+		{"E4a", "Ablation: multiplication black box sets ω", E4a},
+		{"E5", "Processor counts vs Csanky/Berkowitz/LU", E5},
+		{"E6", "Theorem 5 Baur–Strassen ratios", E6},
+		{"E7", "Theorem 6 inverse circuit", E7},
+		{"E8", "Transposition principle", E8},
+		{"E9", "Small characteristic (Chistov route)", E9},
+		{"E10", "Brent/PRAM schedules", E10},
+		{"E10w", "Wall-clock parallel evaluation", E10Wallclock},
+		{"E11", "Wiedemann vs Gaussian on sparse systems", E11},
+		{"E12", "GCD via Sylvester matrices", E12},
+		{"E13", "Rank / nullspace / singular systems", E13},
+		{"E14", "Small Galois fields: extension lifting", E14},
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			return &e
+		}
+	}
+	return nil
+}

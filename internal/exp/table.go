@@ -1,0 +1,94 @@
+// Package exp contains the experiment runners of the reproduction: one per
+// entry in DESIGN.md's experiment index (E1–E13), each regenerating a
+// quantitative claim of Kaltofen–Pan (SPAA 1991) as a measured table. The
+// runners are shared by cmd/kpbench (full sweeps, recorded in
+// EXPERIMENTS.md) and bench_test.go (quick sweeps under `go test -bench`).
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a paper claim and the measured rows.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Columns    []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "paper: %s\n", t.PaperClaim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table (used to
+// regenerate EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "**Paper claim.** %s\n\n", t.PaperClaim)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*%s*\n", n)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func u(v uint64) string   { return fmt.Sprintf("%d", v) }

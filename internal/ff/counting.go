@@ -1,0 +1,129 @@
+package ff
+
+import (
+	"math/big"
+	"sync/atomic"
+)
+
+// OpCounts records how many of each arithmetic operation a computation
+// performed. One operation is one unit-cost step of the paper's model, so
+// Total is directly comparable to the paper's circuit-size bounds and to
+// the sequential step counts of the baselines (experiment E5, E11).
+type OpCounts struct {
+	Add uint64 // additions and subtractions and negations
+	Mul uint64
+	Div uint64 // divisions and inversions
+}
+
+// Total returns the total number of field operations.
+func (c OpCounts) Total() uint64 { return c.Add + c.Mul + c.Div }
+
+// Counting wraps a Field and counts every arithmetic operation performed
+// through it. Counters are updated atomically so parallel evaluations can
+// share one wrapper. Zero tests and equality tests are free, matching the
+// paper's accounting (its circuits have no zero tests at all).
+type Counting[E any] struct {
+	f   Field[E]
+	add atomic.Uint64
+	mul atomic.Uint64
+	div atomic.Uint64
+}
+
+// NewCounting returns a counting wrapper around f.
+func NewCounting[E any](f Field[E]) *Counting[E] {
+	return &Counting[E]{f: f}
+}
+
+// Counts returns a snapshot of the counters.
+func (c *Counting[E]) Counts() OpCounts {
+	return OpCounts{Add: c.add.Load(), Mul: c.mul.Load(), Div: c.div.Load()}
+}
+
+// Reset zeroes the counters.
+func (c *Counting[E]) Reset() {
+	c.add.Store(0)
+	c.mul.Store(0)
+	c.div.Store(0)
+}
+
+// Unwrap returns the underlying field.
+func (c *Counting[E]) Unwrap() Field[E] { return c.f }
+
+// Zero returns the additive identity (not counted).
+func (c *Counting[E]) Zero() E { return c.f.Zero() }
+
+// One returns the multiplicative identity (not counted).
+func (c *Counting[E]) One() E { return c.f.One() }
+
+// Add counts one addition.
+func (c *Counting[E]) Add(a, b E) E {
+	c.add.Add(1)
+	return c.f.Add(a, b)
+}
+
+// Sub counts one addition.
+func (c *Counting[E]) Sub(a, b E) E {
+	c.add.Add(1)
+	return c.f.Sub(a, b)
+}
+
+// Neg counts one addition.
+func (c *Counting[E]) Neg(a E) E {
+	c.add.Add(1)
+	return c.f.Neg(a)
+}
+
+// Mul counts one multiplication.
+func (c *Counting[E]) Mul(a, b E) E {
+	c.mul.Add(1)
+	return c.f.Mul(a, b)
+}
+
+// IsZero is not counted.
+func (c *Counting[E]) IsZero(a E) bool { return c.f.IsZero(a) }
+
+// Equal is not counted.
+func (c *Counting[E]) Equal(a, b E) bool { return c.f.Equal(a, b) }
+
+// FromInt64 is not counted (constants are free inputs in the circuit model).
+func (c *Counting[E]) FromInt64(v int64) E { return c.f.FromInt64(v) }
+
+// String delegates to the underlying field.
+func (c *Counting[E]) String(a E) string { return c.f.String(a) }
+
+// Inv counts one division.
+func (c *Counting[E]) Inv(a E) (E, error) {
+	c.div.Add(1)
+	return c.f.Inv(a)
+}
+
+// Div counts one division.
+func (c *Counting[E]) Div(a, b E) (E, error) {
+	c.div.Add(1)
+	return c.f.Div(a, b)
+}
+
+// Characteristic delegates to the underlying field.
+func (c *Counting[E]) Characteristic() *big.Int { return c.f.Characteristic() }
+
+// Cardinality delegates to the underlying field.
+func (c *Counting[E]) Cardinality() *big.Int { return c.f.Cardinality() }
+
+// Elem delegates to the underlying field.
+func (c *Counting[E]) Elem(i uint64) E { return c.f.Elem(i) }
+
+// RootOfUnity forwards the fast-multiplication capability of the wrapped
+// field (not counted: roots are constants of the circuit model), so op
+// counts measured through the wrapper reflect the same algorithm the bare
+// field would run.
+func (c *Counting[E]) RootOfUnity(log2n int) (E, bool) {
+	if r, ok := c.f.(RootsOfUnity[E]); ok {
+		return r.RootOfUnity(log2n)
+	}
+	var zero E
+	return zero, false
+}
+
+var _ RootsOfUnity[uint64] = (*Counting[uint64])(nil)
+
+var _ Field[uint64] = (*Counting[uint64])(nil)

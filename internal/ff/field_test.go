@@ -1,0 +1,303 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// axioms checks the field axioms on a batch of pseudo-random elements. It
+// is the shared property test applied to every field implementation.
+func axioms[E any](t *testing.T, f Field[E], src *Source, subset uint64, trials int) {
+	t.Helper()
+	zero, one := f.Zero(), f.One()
+
+	if !f.IsZero(zero) {
+		t.Fatalf("Zero() is not zero")
+	}
+	if f.IsZero(one) {
+		t.Fatalf("One() is zero")
+	}
+
+	for i := 0; i < trials; i++ {
+		a := Sample(f, src, subset)
+		b := Sample(f, src, subset)
+		c := Sample(f, src, subset)
+
+		// Commutativity.
+		if !f.Equal(f.Add(a, b), f.Add(b, a)) {
+			t.Fatalf("a+b != b+a for a=%s b=%s", f.String(a), f.String(b))
+		}
+		if !f.Equal(f.Mul(a, b), f.Mul(b, a)) {
+			t.Fatalf("ab != ba for a=%s b=%s", f.String(a), f.String(b))
+		}
+		// Associativity.
+		if !f.Equal(f.Add(f.Add(a, b), c), f.Add(a, f.Add(b, c))) {
+			t.Fatalf("(a+b)+c != a+(b+c)")
+		}
+		if !f.Equal(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c))) {
+			t.Fatalf("(ab)c != a(bc)")
+		}
+		// Identities.
+		if !f.Equal(f.Add(a, zero), a) {
+			t.Fatalf("a+0 != a")
+		}
+		if !f.Equal(f.Mul(a, one), a) {
+			t.Fatalf("a·1 != a")
+		}
+		// Inverses.
+		if !f.IsZero(f.Add(a, f.Neg(a))) {
+			t.Fatalf("a + (−a) != 0")
+		}
+		if !f.IsZero(f.Sub(a, a)) {
+			t.Fatalf("a − a != 0")
+		}
+		// Distributivity.
+		lhs := f.Mul(a, f.Add(b, c))
+		rhs := f.Add(f.Mul(a, b), f.Mul(a, c))
+		if !f.Equal(lhs, rhs) {
+			t.Fatalf("a(b+c) != ab+ac")
+		}
+		// Multiplicative inverse.
+		if !f.IsZero(a) {
+			ai, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("Inv(%s): %v", f.String(a), err)
+			}
+			if !f.Equal(f.Mul(a, ai), one) {
+				t.Fatalf("a·a⁻¹ != 1 for a=%s", f.String(a))
+			}
+			q, err := f.Div(b, a)
+			if err != nil {
+				t.Fatalf("Div: %v", err)
+			}
+			if !f.Equal(f.Mul(q, a), b) {
+				t.Fatalf("(b/a)·a != b")
+			}
+		}
+	}
+
+	// Division by zero must be reported, not computed.
+	if _, err := f.Inv(zero); err != ErrDivisionByZero {
+		t.Fatalf("Inv(0) = %v, want ErrDivisionByZero", err)
+	}
+	if _, err := f.Div(one, zero); err != ErrDivisionByZero {
+		t.Fatalf("Div(1,0) = %v, want ErrDivisionByZero", err)
+	}
+}
+
+func TestFp64Axioms(t *testing.T) {
+	for _, p := range []uint64{2, 3, 5, 101, P17, P31, P62} {
+		f := MustFp64(p)
+		subset := p
+		if subset > 1<<20 {
+			subset = 1 << 20
+		}
+		axioms[uint64](t, f, NewSource(p), subset, 200)
+	}
+}
+
+func TestFpBigAxioms(t *testing.T) {
+	p, _ := new(big.Int).SetString("170141183460469231731687303715884105727", 10) // 2¹²⁷−1
+	f := MustFpBig(p)
+	axioms[*big.Int](t, f, NewSource(7), 1<<30, 60)
+}
+
+func TestRatAxioms(t *testing.T) {
+	axioms[*big.Rat](t, NewRat(), NewSource(9), 1<<16, 60)
+}
+
+func TestFpExtAxioms(t *testing.T) {
+	src := NewSource(11)
+	for _, tc := range []struct {
+		p uint64
+		k int
+	}{{2, 8}, {3, 4}, {101, 3}, {P17, 2}} {
+		base := MustFp64(tc.p)
+		mod, err := FindIrreducible(base, tc.k, src)
+		if err != nil {
+			t.Fatalf("FindIrreducible(p=%d,k=%d): %v", tc.p, tc.k, err)
+		}
+		f, err := NewFpExt(base, mod)
+		if err != nil {
+			t.Fatalf("NewFpExt: %v", err)
+		}
+		axioms[[]uint64](t, f, src, 1<<16, 100)
+	}
+}
+
+func TestGF2k(t *testing.T) {
+	f, err := NewGF2k(16, NewSource(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Cardinality(); got.Cmp(big.NewInt(1<<16)) != 0 {
+		t.Fatalf("Cardinality = %v, want 2^16", got)
+	}
+	if got := f.Characteristic(); got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("Characteristic = %v, want 2", got)
+	}
+	axioms[[]uint64](t, f, NewSource(17), 1<<16, 150)
+}
+
+func TestFp64QuickProperties(t *testing.T) {
+	f := MustFp64(P62)
+	// Frobenius-free sanity: (a+b)² = a² + 2ab + b².
+	prop := func(a, b uint64) bool {
+		x, y := f.Elem(a), f.Elem(b)
+		s := f.Add(x, y)
+		lhs := f.Mul(s, s)
+		rhs := f.Add(f.Add(f.Mul(x, x), f.Mul(y, y)),
+			f.Mul(f.FromInt64(2), f.Mul(x, y)))
+		return f.Equal(lhs, rhs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp64Pow(t *testing.T) {
+	f := MustFp64(P31)
+	src := NewSource(3)
+	for i := 0; i < 50; i++ {
+		a := SampleNonZero(f, src, P31)
+		// Fermat: a^(p−1) = 1.
+		if got := f.Pow(a, P31-1); got != 1 {
+			t.Fatalf("a^(p-1) = %d, want 1", got)
+		}
+		// a^p = a.
+		if got := f.Pow(a, P31); got != a {
+			t.Fatalf("a^p = %d, want %d", got, a)
+		}
+	}
+	if got := f.Pow(0, 0); got != 1 {
+		t.Fatalf("0^0 = %d, want 1 (empty product)", got)
+	}
+}
+
+func TestElemInjective(t *testing.T) {
+	f := MustFp64(101)
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 101; i++ {
+		e := f.Elem(i)
+		if seen[e] {
+			t.Fatalf("Elem not injective at %d", i)
+		}
+		seen[e] = true
+	}
+
+	ext, err := NewGF2k(10, NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenExt := map[string]bool{}
+	for i := uint64(0); i < 1024; i++ {
+		key := ext.String(ext.Elem(i))
+		if seenExt[key] {
+			t.Fatalf("FpExt.Elem not injective at %d", i)
+		}
+		seenExt[key] = true
+	}
+}
+
+func TestNewFp64Rejects(t *testing.T) {
+	for _, p := range []uint64{0, 1, 4, 100, 1 << 63} {
+		if _, err := NewFp64(p); err == nil {
+			t.Fatalf("NewFp64(%d) accepted a bad modulus", p)
+		}
+	}
+}
+
+func TestFromInt64Negative(t *testing.T) {
+	f := MustFp64(101)
+	if got := f.FromInt64(-1); got != 100 {
+		t.Fatalf("FromInt64(-1) = %d, want 100", got)
+	}
+	if got := f.FromInt64(-202); got != 0 {
+		t.Fatalf("FromInt64(-202) = %d, want 0", got)
+	}
+}
+
+func TestCharacteristicExceeds(t *testing.T) {
+	if !CharacteristicExceeds[*big.Rat](NewRat(), 1<<30) {
+		t.Fatal("char 0 must exceed any n")
+	}
+	f := MustFp64(101)
+	if !CharacteristicExceeds[uint64](f, 100) {
+		t.Fatal("101 > 100 expected")
+	}
+	if CharacteristicExceeds[uint64](f, 101) {
+		t.Fatal("101 > 101 must be false")
+	}
+}
+
+func TestSubsetSize(t *testing.T) {
+	f := MustFp64(P62)
+	if s := SubsetSize[uint64](f, 10, 0.01); s < 30000 {
+		t.Fatalf("SubsetSize too small: %d", s)
+	}
+	small := MustFp64(101)
+	if s := SubsetSize[uint64](small, 100, 0.5); s != 0 {
+		t.Fatalf("expected 0 (field too small), got %d", s)
+	}
+}
+
+func TestFrobeniusEndomorphism(t *testing.T) {
+	// In characteristic p, x ↦ x^p is a ring homomorphism:
+	// (a+b)^p = a^p + b^p (the "freshman's dream").
+	src := NewSource(91)
+	for _, p := range []uint64{2, 3, 5, 13} {
+		base := MustFp64(p)
+		mod, err := FindIrreducible(base, 3, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewFpExt(base, mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pow := func(a []uint64) []uint64 {
+			r := f.One()
+			for i := uint64(0); i < p; i++ {
+				r = f.Mul(r, a)
+			}
+			return r
+		}
+		for trial := 0; trial < 40; trial++ {
+			a := Sample[[]uint64](f, src, 1<<16)
+			b := Sample[[]uint64](f, src, 1<<16)
+			lhs := pow(f.Add(a, b))
+			rhs := f.Add(pow(a), pow(b))
+			if !f.Equal(lhs, rhs) {
+				t.Fatalf("char %d: Frobenius not additive", p)
+			}
+		}
+	}
+}
+
+func TestFpExtSubfieldEmbedding(t *testing.T) {
+	// The prime subfield embeds homomorphically: operations on constants
+	// commute with FromInt64.
+	src := NewSource(93)
+	base := MustFp64(101)
+	mod, err := FindIrreducible(base, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFpExt(base, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := int64(-5); a < 5; a++ {
+		for b := int64(1); b < 7; b++ {
+			sum := f.Add(f.FromInt64(a), f.FromInt64(b))
+			if !f.Equal(sum, f.FromInt64(a+b)) {
+				t.Fatal("embedding not additive")
+			}
+			prod := f.Mul(f.FromInt64(a), f.FromInt64(b))
+			if !f.Equal(prod, f.FromInt64(a*b)) {
+				t.Fatal("embedding not multiplicative")
+			}
+		}
+	}
+}

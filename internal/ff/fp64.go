@@ -1,0 +1,166 @@
+package ff
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Fp64 is the prime field F_p for a word-sized prime p < 2⁶³, with elements
+// represented as uint64 values in [0, p). It is the workhorse field of the
+// reproduction: fast enough for the large experiments and exact, as the
+// abstract-field model requires.
+type Fp64 struct {
+	p uint64
+}
+
+// Word-sized primes used throughout the tests and benchmarks. All exceed
+// any dimension n exercised here, so Leverrier's divisions by 2…n are valid.
+const (
+	// P62 is a 62-bit prime.
+	P62 uint64 = 4611686018427387847 // 2⁶² − 57
+	// P31 is a Mersenne prime, 2³¹ − 1.
+	P31 uint64 = 2147483647
+	// P17 is a small prime used in probability experiments where failures
+	// must actually be observable.
+	P17 uint64 = 131071 // 2¹⁷ − 1
+)
+
+// NewFp64 returns F_p. p must be an odd prime below 2⁶³; primality of small
+// candidates is checked eagerly and large candidates probabilistically, so
+// that a composite modulus fails fast rather than corrupting experiments.
+func NewFp64(p uint64) (Fp64, error) {
+	if p < 2 || p >= 1<<63 {
+		return Fp64{}, fmt.Errorf("ff: modulus %d out of range [2, 2^63)", p)
+	}
+	if !new(big.Int).SetUint64(p).ProbablyPrime(32) {
+		return Fp64{}, fmt.Errorf("ff: modulus %d is not prime", p)
+	}
+	return Fp64{p: p}, nil
+}
+
+// MustFp64 is NewFp64 for known-good constants; it panics on error.
+func MustFp64(p uint64) Fp64 {
+	f, err := NewFp64(p)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Modulus returns p.
+func (f Fp64) Modulus() uint64 { return f.p }
+
+// Zero returns 0.
+func (f Fp64) Zero() uint64 { return 0 }
+
+// One returns 1.
+func (f Fp64) One() uint64 { return 1 % f.p }
+
+// Add returns a + b mod p.
+func (f Fp64) Add(a, b uint64) uint64 {
+	s := a + b // p < 2⁶³ so no overflow
+	if s >= f.p {
+		s -= f.p
+	}
+	return s
+}
+
+// Sub returns a − b mod p.
+func (f Fp64) Sub(a, b uint64) uint64 {
+	d := a - b
+	if a < b {
+		d += f.p
+	}
+	return d
+}
+
+// Neg returns −a mod p.
+func (f Fp64) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return f.p - a
+}
+
+// Mul returns a·b mod p using a 128-bit product.
+func (f Fp64) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, f.p)
+	return rem
+}
+
+// IsZero reports whether a == 0.
+func (f Fp64) IsZero(a uint64) bool { return a == 0 }
+
+// Equal reports whether a == b.
+func (f Fp64) Equal(a, b uint64) bool { return a == b }
+
+// FromInt64 returns v mod p as an element of [0, p).
+func (f Fp64) FromInt64(v int64) uint64 {
+	m := v % int64(f.p)
+	if m < 0 {
+		m += int64(f.p)
+	}
+	return uint64(m)
+}
+
+// String formats a in decimal.
+func (f Fp64) String(a uint64) string { return fmt.Sprintf("%d", a) }
+
+// Inv returns a⁻¹ mod p via the extended Euclidean algorithm.
+func (f Fp64) Inv(a uint64) (uint64, error) {
+	if a == 0 {
+		return 0, ErrDivisionByZero
+	}
+	// Extended Euclid over int64: p < 2⁶³ and all intermediates stay below
+	// p in magnitude.
+	t, newT := int64(0), int64(1)
+	r, newR := int64(f.p), int64(a%f.p)
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if r != 1 {
+		return 0, ErrNotInvertible // unreachable for prime p
+	}
+	if t < 0 {
+		t += int64(f.p)
+	}
+	return uint64(t), nil
+}
+
+// Div returns a/b mod p.
+func (f Fp64) Div(a, b uint64) (uint64, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return 0, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Pow returns a^e mod p by binary exponentiation.
+func (f Fp64) Pow(a uint64, e uint64) uint64 {
+	r := f.One()
+	base := a % f.p
+	for e > 0 {
+		if e&1 == 1 {
+			r = f.Mul(r, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// Characteristic returns p.
+func (f Fp64) Characteristic() *big.Int { return new(big.Int).SetUint64(f.p) }
+
+// Cardinality returns p.
+func (f Fp64) Cardinality() *big.Int { return new(big.Int).SetUint64(f.p) }
+
+// Elem returns i mod p: the canonical enumeration of F_p is 0, 1, …, p−1.
+func (f Fp64) Elem(i uint64) uint64 { return i % f.p }
+
+var _ Field[uint64] = Fp64{}

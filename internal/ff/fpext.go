@@ -1,0 +1,427 @@
+package ff
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// FpExt is the extension field F_{p^k} = F_p[x]/(m(x)) for a word-sized
+// prime p and a monic irreducible modulus m of degree k. Elements are
+// coefficient slices of length k, low degree first, over Fp64.
+//
+// The paper uses algebraic extensions in exactly this role: "For Galois
+// fields K with card(K) < 3n², the algorithm is performed in an algebraic
+// extension L over K, so that the failure probability can be bounded away
+// from 0." FpExt with p = 2 also provides the GF(2^k) fields used by the
+// small-characteristic experiments.
+type FpExt struct {
+	base Fp64
+	mod  []uint64 // monic, degree k, length k+1
+	k    int
+}
+
+// NewFpExt returns F_p[x]/(m). The modulus must be monic of degree ≥ 1 and
+// irreducible over F_p; irreducibility is verified.
+func NewFpExt(base Fp64, mod []uint64) (FpExt, error) {
+	mod = xtrim(mod)
+	k := len(mod) - 1
+	if k < 1 {
+		return FpExt{}, fmt.Errorf("ff: extension modulus must have degree ≥ 1")
+	}
+	if mod[k] != 1 {
+		return FpExt{}, fmt.Errorf("ff: extension modulus must be monic")
+	}
+	for _, c := range mod {
+		if c >= base.Modulus() {
+			return FpExt{}, fmt.Errorf("ff: modulus coefficient %d out of range", c)
+		}
+	}
+	if !xirreducible(base, mod) {
+		return FpExt{}, fmt.Errorf("ff: modulus is reducible over F_%d", base.Modulus())
+	}
+	return FpExt{base: base, mod: mod, k: k}, nil
+}
+
+// NewGF2k returns GF(2^k) with a modulus found by deterministic search.
+func NewGF2k(k int, src *Source) (FpExt, error) {
+	base := MustFp64(2)
+	mod, err := FindIrreducible(base, k, src)
+	if err != nil {
+		return FpExt{}, err
+	}
+	return NewFpExt(base, mod)
+}
+
+// FindIrreducible searches for a monic irreducible polynomial of degree k
+// over F_p by random sampling; the expected number of trials is about k.
+func FindIrreducible(base Fp64, k int, src *Source) ([]uint64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ff: degree must be ≥ 1")
+	}
+	p := base.Modulus()
+	for trial := 0; trial < 64*(k+1); trial++ {
+		f := make([]uint64, k+1)
+		f[k] = 1
+		for i := 0; i < k; i++ {
+			f[i] = src.Uint64n(p)
+		}
+		if f[0] == 0 {
+			f[0] = 1 // avoid the trivially reducible x | f case cheaply
+		}
+		if xirreducible(base, f) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("ff: no irreducible polynomial of degree %d found", k)
+}
+
+// Base returns the prime subfield F_p.
+func (f FpExt) Base() Fp64 { return f.base }
+
+// Degree returns the extension degree k.
+func (f FpExt) Degree() int { return f.k }
+
+// Modulus returns a copy of the defining polynomial.
+func (f FpExt) Modulus() []uint64 { return append([]uint64(nil), f.mod...) }
+
+func (f FpExt) fresh() []uint64 { return make([]uint64, f.k) }
+
+// Zero returns the zero element.
+func (f FpExt) Zero() []uint64 { return f.fresh() }
+
+// One returns the unit element.
+func (f FpExt) One() []uint64 {
+	e := f.fresh()
+	e[0] = f.base.One()
+	return e
+}
+
+// Add returns a + b coefficientwise.
+func (f FpExt) Add(a, b []uint64) []uint64 {
+	c := f.fresh()
+	for i := range c {
+		c[i] = f.base.Add(f.coef(a, i), f.coef(b, i))
+	}
+	return c
+}
+
+// Sub returns a − b coefficientwise.
+func (f FpExt) Sub(a, b []uint64) []uint64 {
+	c := f.fresh()
+	for i := range c {
+		c[i] = f.base.Sub(f.coef(a, i), f.coef(b, i))
+	}
+	return c
+}
+
+// Neg returns −a.
+func (f FpExt) Neg(a []uint64) []uint64 {
+	c := f.fresh()
+	for i := range c {
+		c[i] = f.base.Neg(f.coef(a, i))
+	}
+	return c
+}
+
+// Mul returns a·b reduced modulo the defining polynomial.
+func (f FpExt) Mul(a, b []uint64) []uint64 {
+	prod := xmul(f.base, a, b)
+	_, rem := xdivmod(f.base, prod, f.mod)
+	return f.pad(rem)
+}
+
+// IsZero reports whether all coefficients vanish.
+func (f FpExt) IsZero(a []uint64) bool {
+	for _, c := range a {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b denote the same residue.
+func (f FpExt) Equal(a, b []uint64) bool {
+	for i := 0; i < f.k; i++ {
+		if f.coef(a, i) != f.coef(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromInt64 embeds v through the prime subfield.
+func (f FpExt) FromInt64(v int64) []uint64 {
+	e := f.fresh()
+	e[0] = f.base.FromInt64(v)
+	return e
+}
+
+// String formats a as a polynomial in the generator t.
+func (f FpExt) String(a []uint64) string {
+	var parts []string
+	for i := f.k - 1; i >= 0; i-- {
+		if c := f.coef(a, i); c != 0 {
+			switch i {
+			case 0:
+				parts = append(parts, fmt.Sprintf("%d", c))
+			case 1:
+				parts = append(parts, fmt.Sprintf("%d·t", c))
+			default:
+				parts = append(parts, fmt.Sprintf("%d·t^%d", c, i))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Inv returns a⁻¹ via the extended Euclidean algorithm in F_p[x].
+func (f FpExt) Inv(a []uint64) ([]uint64, error) {
+	if f.IsZero(a) {
+		return nil, ErrDivisionByZero
+	}
+	g, s := xgcdext(f.base, xtrim(a), f.mod)
+	if len(g) != 1 {
+		return nil, ErrNotInvertible // unreachable for irreducible modulus
+	}
+	ginv, err := f.base.Inv(g[0])
+	if err != nil {
+		return nil, err
+	}
+	out := f.fresh()
+	for i, c := range s {
+		out[i] = f.base.Mul(c, ginv)
+	}
+	return out, nil
+}
+
+// Div returns a/b.
+func (f FpExt) Div(a, b []uint64) ([]uint64, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return nil, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Characteristic returns p.
+func (f FpExt) Characteristic() *big.Int {
+	return new(big.Int).SetUint64(f.base.Modulus())
+}
+
+// Cardinality returns p^k.
+func (f FpExt) Cardinality() *big.Int {
+	p := new(big.Int).SetUint64(f.base.Modulus())
+	return p.Exp(p, big.NewInt(int64(f.k)), nil)
+}
+
+// Elem maps i to the element whose coefficients are the base-p digits of i,
+// an injective enumeration of the first min(p^k, 2⁶⁴) elements.
+func (f FpExt) Elem(i uint64) []uint64 {
+	p := f.base.Modulus()
+	e := f.fresh()
+	for j := 0; j < f.k && i > 0; j++ {
+		e[j] = i % p
+		i /= p
+	}
+	return e
+}
+
+func (f FpExt) coef(a []uint64, i int) uint64 {
+	if i < len(a) {
+		return a[i]
+	}
+	return 0
+}
+
+func (f FpExt) pad(a []uint64) []uint64 {
+	out := f.fresh()
+	copy(out, a)
+	return out
+}
+
+var _ Field[[]uint64] = FpExt{}
+
+// --- minimal dense polynomial arithmetic over Fp64 ---
+//
+// These helpers exist only to implement FpExt (the full polynomial package
+// depends on ff, so it cannot be used here). Polynomials are coefficient
+// slices, low degree first, with no trailing zeros ("trimmed"); the zero
+// polynomial is the empty slice.
+
+func xtrim(a []uint64) []uint64 {
+	n := len(a)
+	for n > 0 && a[n-1] == 0 {
+		n--
+	}
+	return a[:n]
+}
+
+func xadd(f Fp64, a, b []uint64) []uint64 {
+	n := max(len(a), len(b))
+	c := make([]uint64, n)
+	for i := range c {
+		var av, bv uint64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		c[i] = f.Add(av, bv)
+	}
+	return xtrim(c)
+}
+
+func xmul(f Fp64, a, b []uint64) []uint64 {
+	a, b = xtrim(a), xtrim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	c := make([]uint64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			c[i+j] = f.Add(c[i+j], f.Mul(av, bv))
+		}
+	}
+	return xtrim(c)
+}
+
+func xscale(f Fp64, s uint64, a []uint64) []uint64 {
+	c := make([]uint64, len(a))
+	for i, av := range a {
+		c[i] = f.Mul(s, av)
+	}
+	return xtrim(c)
+}
+
+// xdivmod returns quotient and remainder of a by non-zero b.
+func xdivmod(f Fp64, a, b []uint64) (q, r []uint64) {
+	a, b = xtrim(a), xtrim(b)
+	if len(b) == 0 {
+		panic("ff: polynomial division by zero")
+	}
+	r = append([]uint64(nil), a...)
+	if len(a) < len(b) {
+		return nil, xtrim(r)
+	}
+	q = make([]uint64, len(a)-len(b)+1)
+	lcInv, err := f.Inv(b[len(b)-1])
+	if err != nil {
+		panic("ff: non-invertible leading coefficient")
+	}
+	for len(r) >= len(b) {
+		d := len(r) - len(b)
+		c := f.Mul(r[len(r)-1], lcInv)
+		q[d] = c
+		for i, bv := range b {
+			r[d+i] = f.Sub(r[d+i], f.Mul(c, bv))
+		}
+		r = xtrim(r)
+	}
+	return xtrim(q), r
+}
+
+// xgcdext returns g = gcd(a, b) and s with s·a ≡ g (mod b).
+func xgcdext(f Fp64, a, b []uint64) (g, s []uint64) {
+	r0, r1 := append([]uint64(nil), a...), append([]uint64(nil), b...)
+	s0, s1 := []uint64{1}, []uint64(nil)
+	for len(xtrim(r1)) != 0 {
+		q, rem := xdivmod(f, r0, r1)
+		r0, r1 = r1, rem
+		s0, s1 = s1, xsub(f, s0, xmul(f, q, s1))
+	}
+	return xtrim(r0), xtrim(s0)
+}
+
+func xsub(f Fp64, a, b []uint64) []uint64 {
+	nb := make([]uint64, len(b))
+	for i, bv := range b {
+		nb[i] = f.Neg(bv)
+	}
+	return xadd(f, a, nb)
+}
+
+// xpowmodX computes x^e mod m for the monomial x, by binary exponentiation
+// on a big exponent.
+func xpowmodX(f Fp64, e *big.Int, m []uint64) []uint64 {
+	result := []uint64{1}
+	base := []uint64{0, 1} // x
+	_, base = xdivmod(f, base, m)
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		sq := xmul(f, result, result)
+		_, result = xdivmod(f, sq, m)
+		if e.Bit(i) == 1 {
+			pr := xmul(f, result, base)
+			_, result = xdivmod(f, pr, m)
+		}
+	}
+	return result
+}
+
+// xirreducible implements Rabin's irreducibility test: f of degree k over
+// F_p is irreducible iff x^(p^k) ≡ x (mod f) and, for every prime divisor q
+// of k, gcd(x^(p^(k/q)) − x, f) = 1.
+func xirreducible(f Fp64, m []uint64) bool {
+	m = xtrim(m)
+	k := len(m) - 1
+	if k <= 0 {
+		return false
+	}
+	if k == 1 {
+		return true
+	}
+	p := new(big.Int).SetUint64(f.Modulus())
+	// x^(p^k) mod m must equal x.
+	e := new(big.Int).Exp(p, big.NewInt(int64(k)), nil)
+	xp := xpowmodX(f, e, m)
+	if !xeq(xp, []uint64{0, 1}) {
+		return false
+	}
+	for _, q := range primeDivisors(k) {
+		e := new(big.Int).Exp(p, big.NewInt(int64(k/q)), nil)
+		xq := xpowmodX(f, e, m)
+		diff := xsub(f, xq, []uint64{0, 1})
+		g, _ := xgcdext(f, diff, m)
+		if len(g) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func xeq(a, b []uint64) bool {
+	a, b = xtrim(a), xtrim(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func primeDivisors(n int) []int {
+	var ps []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			ps = append(ps, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		ps = append(ps, n)
+	}
+	return ps
+}

@@ -1,0 +1,77 @@
+package ff
+
+import "math/big"
+
+// Rat is the field Q of exact rational numbers, the reproduction's
+// characteristic-zero field. Elements are *big.Rat values, treated as
+// immutable.
+//
+// Over Q the Kaltofen–Pan circuits are unconditionally valid (the
+// characteristic restriction is vacuous) but coefficient growth makes large
+// dimensions expensive; the tests use Q mainly to cross-validate the finite
+// field paths and to exercise the least-squares extension, which the paper
+// states for characteristic zero.
+type Rat struct{}
+
+// NewRat returns the field of rationals.
+func NewRat() Rat { return Rat{} }
+
+// Zero returns 0.
+func (Rat) Zero() *big.Rat { return new(big.Rat) }
+
+// One returns 1.
+func (Rat) One() *big.Rat { return big.NewRat(1, 1) }
+
+// Add returns a + b.
+func (Rat) Add(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+
+// Sub returns a − b.
+func (Rat) Sub(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
+
+// Neg returns −a.
+func (Rat) Neg(a *big.Rat) *big.Rat { return new(big.Rat).Neg(a) }
+
+// Mul returns a·b.
+func (Rat) Mul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+
+// IsZero reports whether a == 0.
+func (Rat) IsZero(a *big.Rat) bool { return a.Sign() == 0 }
+
+// Equal reports whether a == b.
+func (Rat) Equal(a, b *big.Rat) bool { return a.Cmp(b) == 0 }
+
+// FromInt64 returns v as a rational.
+func (Rat) FromInt64(v int64) *big.Rat { return big.NewRat(v, 1) }
+
+// String formats a as a fraction.
+func (Rat) String(a *big.Rat) string { return a.RatString() }
+
+// Inv returns 1/a.
+func (Rat) Inv(a *big.Rat) (*big.Rat, error) {
+	if a.Sign() == 0 {
+		return nil, ErrDivisionByZero
+	}
+	return new(big.Rat).Inv(a), nil
+}
+
+// Div returns a/b.
+func (r Rat) Div(a, b *big.Rat) (*big.Rat, error) {
+	if b.Sign() == 0 {
+		return nil, ErrDivisionByZero
+	}
+	return new(big.Rat).Quo(a, b), nil
+}
+
+// Characteristic returns 0.
+func (Rat) Characteristic() *big.Int { return new(big.Int) }
+
+// Cardinality returns 0 (infinite).
+func (Rat) Cardinality() *big.Int { return new(big.Int) }
+
+// Elem returns the integer i as a rational: the canonical sampling subset
+// of Q of size s is {0, 1, …, s−1}.
+func (Rat) Elem(i uint64) *big.Rat {
+	return new(big.Rat).SetInt(new(big.Int).SetUint64(i))
+}
+
+var _ Field[*big.Rat] = Rat{}

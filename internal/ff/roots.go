@@ -1,0 +1,75 @@
+package ff
+
+// Support for fast (FFT/NTT) polynomial multiplication, the paper's
+// Cantor–Kaltofen substrate: fields that contain 2-power roots of unity
+// advertise them through RootsOfUnity, and the polynomial layer switches to
+// an O(n log n) evaluation–interpolation product when they are available.
+
+// RootsOfUnity is implemented by fields containing primitive 2-power roots
+// of unity. RootOfUnity returns a primitive (2^log2n)-th root, or ok=false
+// when the field has none of that order.
+type RootsOfUnity[E any] interface {
+	RootOfUnity(log2n int) (root E, ok bool)
+}
+
+// Int64Roots is the representation-level form used by the circuit builder:
+// the root as the canonical FromInt64 preimage. Word-sized prime fields
+// implement it (every element is a small integer), letting traced circuits
+// embed the same roots as constants.
+type Int64Roots interface {
+	RootOfUnityInt64(log2n int) (root int64, ok bool)
+}
+
+// PNTT62 is a 62-bit FFT-friendly prime, 16291·2⁴⁸ + 1: its multiplicative
+// group contains primitive 2^k-th roots of unity for every k ≤ 48, enabling
+// NTT-based polynomial products for all feasible sizes. It is the default
+// field of the circuit-size experiments.
+const PNTT62 uint64 = 4585508845593296897
+
+// twoAdicity returns v with p−1 = odd·2^v.
+func (f Fp64) twoAdicity() int {
+	v := 0
+	for m := f.p - 1; m%2 == 0; m /= 2 {
+		v++
+	}
+	return v
+}
+
+// RootOfUnity returns a primitive 2^log2n-th root of unity in F_p, if the
+// group order admits one (p ≡ 1 mod 2^log2n). It locates a quadratic
+// non-residue g by Euler's criterion and returns g^((p−1)/2^log2n), which
+// has exact order 2^log2n.
+func (f Fp64) RootOfUnity(log2n int) (uint64, bool) {
+	if log2n == 0 {
+		return f.One(), true
+	}
+	v := f.twoAdicity()
+	if log2n > v {
+		return 0, false
+	}
+	// Find a non-residue: g^((p−1)/2) = −1.
+	var g uint64
+	for cand := uint64(2); ; cand++ {
+		if f.Pow(cand, (f.p-1)/2) == f.p-1 {
+			g = cand
+			break
+		}
+	}
+	// ω = g^((p−1)/2^log2n) has order exactly 2^log2n: its 2^{log2n−1}
+	// power is g^((p−1)/2) = −1 ≠ 1.
+	return f.Pow(g, (f.p-1)>>uint(log2n)), true
+}
+
+// RootOfUnityInt64 implements Int64Roots for word-sized prime fields.
+func (f Fp64) RootOfUnityInt64(log2n int) (int64, bool) {
+	r, ok := f.RootOfUnity(log2n)
+	if !ok {
+		return 0, false
+	}
+	return int64(r), true // p < 2⁶³, so every residue fits in int64
+}
+
+var (
+	_ RootsOfUnity[uint64] = Fp64{}
+	_ Int64Roots           = Fp64{}
+)

@@ -1,0 +1,82 @@
+package ff
+
+// Source is a small deterministic pseudo-random source (splitmix64) used for
+// all randomized choices in the reproduction. A fixed seed makes every
+// experiment replayable; distinct streams are obtained by seeding with
+// distinct values.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a source seeded with seed.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("ff: Uint64n(0)")
+	}
+	// Rejection sampling to avoid modulo bias.
+	limit := (^uint64(0)) - (^uint64(0))%n
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n).
+func (s *Source) Intn(n int) int {
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Split returns a new independent source derived from this one.
+func (s *Source) Split() *Source {
+	return NewSource(s.Uint64())
+}
+
+// Sample draws one element uniformly from the canonical subset S ⊆ K of
+// size subset (the set {Elem(0), …, Elem(subset−1)}). This is exactly the
+// paper's randomization primitive: "selected uniformly from a set containing
+// s field elements".
+func Sample[E any](f Field[E], src *Source, subset uint64) E {
+	return f.Elem(src.Uint64n(subset))
+}
+
+// SampleVec draws an n-vector with independent uniform entries from the
+// canonical subset of size subset.
+func SampleVec[E any](f Field[E], src *Source, n int, subset uint64) []E {
+	v := make([]E, n)
+	for i := range v {
+		v[i] = Sample(f, src, subset)
+	}
+	return v
+}
+
+// SampleNonZero draws a non-zero element uniformly from the canonical
+// subset (retrying on zero; the subset must contain a non-zero element).
+func SampleNonZero[E any](f Field[E], src *Source, subset uint64) E {
+	for {
+		e := Sample(f, src, subset)
+		if !f.IsZero(e) {
+			return e
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package ff
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+	c := NewSource(43)
+	same := 0
+	a = NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 100 draws", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	s := NewSource(1)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 5} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared test over 16 buckets.
+	s := NewSource(99)
+	const buckets = 16
+	const draws = 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Uint64n(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile ≈ 37.7.
+	if chi2 > 37.7 {
+		t.Fatalf("chi² = %f suggests non-uniform sampling", chi2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %f out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %f, want ≈ 0.5", mean)
+	}
+}
+
+func TestSampleSubset(t *testing.T) {
+	f := MustFp64(P62)
+	src := NewSource(7)
+	const subset = 100
+	for i := 0; i < 1000; i++ {
+		v := Sample[uint64](f, src, subset)
+		if v >= subset {
+			t.Fatalf("sample %d outside canonical subset of size %d", v, subset)
+		}
+	}
+	vec := SampleVec[uint64](f, src, 32, subset)
+	if len(vec) != 32 {
+		t.Fatalf("SampleVec length %d", len(vec))
+	}
+	nz := SampleNonZero[uint64](f, src, 2)
+	if nz == 0 {
+		t.Fatal("SampleNonZero returned zero")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := NewSource(11)
+	child := s.Split()
+	// Parent and child streams should diverge immediately.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}

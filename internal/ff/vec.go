@@ -1,0 +1,169 @@
+package ff
+
+// Vector helpers over an abstract field. These are the shared primitives of
+// the matrix, structured and Wiedemann packages; Dot uses a balanced
+// reduction so that circuits traced through these helpers have logarithmic
+// depth (the Figure 3 device of the paper).
+
+// VecZero returns the zero vector of length n.
+func VecZero[E any](f Field[E], n int) []E {
+	v := make([]E, n)
+	for i := range v {
+		v[i] = f.Zero()
+	}
+	return v
+}
+
+// VecCopy returns a copy of v (elements are immutable, so a shallow copy).
+func VecCopy[E any](v []E) []E {
+	return append([]E(nil), v...)
+}
+
+// VecAdd returns a + b elementwise. The slices must have equal length.
+func VecAdd[E any](f Field[E], a, b []E) []E {
+	mustSameLen(len(a), len(b))
+	c := make([]E, len(a))
+	for i := range c {
+		c[i] = f.Add(a[i], b[i])
+	}
+	return c
+}
+
+// VecSub returns a − b elementwise.
+func VecSub[E any](f Field[E], a, b []E) []E {
+	mustSameLen(len(a), len(b))
+	c := make([]E, len(a))
+	for i := range c {
+		c[i] = f.Sub(a[i], b[i])
+	}
+	return c
+}
+
+// VecNeg returns −a elementwise.
+func VecNeg[E any](f Field[E], a []E) []E {
+	c := make([]E, len(a))
+	for i := range c {
+		c[i] = f.Neg(a[i])
+	}
+	return c
+}
+
+// VecScale returns s·a elementwise.
+func VecScale[E any](f Field[E], s E, a []E) []E {
+	c := make([]E, len(a))
+	for i := range c {
+		c[i] = f.Mul(s, a[i])
+	}
+	return c
+}
+
+// Dot returns the inner product ⟨a, b⟩ using a balanced summation tree so
+// that the traced circuit has depth O(log n) rather than O(n).
+func Dot[E any](f Field[E], a, b []E) E {
+	mustSameLen(len(a), len(b))
+	if len(a) == 0 {
+		return f.Zero()
+	}
+	terms := make([]E, len(a))
+	for i := range a {
+		terms[i] = f.Mul(a[i], b[i])
+	}
+	return SumTree(f, terms)
+}
+
+// SumTree returns the sum of terms via a balanced binary tree: depth
+// ⌈log₂ n⌉ additions instead of n−1 sequential ones. This is the
+// accumulation-tree balancing of the paper's Figure 3.
+func SumTree[E any](f Field[E], terms []E) E {
+	switch len(terms) {
+	case 0:
+		return f.Zero()
+	case 1:
+		return terms[0]
+	}
+	// Reduce pairwise, halving each round.
+	cur := VecCopy(terms)
+	for len(cur) > 1 {
+		next := cur[:(len(cur)+1)/2]
+		for i := 0; i+1 < len(cur); i += 2 {
+			next[i/2] = f.Add(cur[i], cur[i+1])
+		}
+		if len(cur)%2 == 1 {
+			next[len(next)-1] = cur[len(cur)-1]
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// SumVecs returns the elementwise sum of the given vectors with a balanced
+// binary tree per coordinate set (depth ⌈log₂ k⌉ vector additions), so that
+// traced circuits accumulating Krylov terms stay at logarithmic depth.
+func SumVecs[E any](f Field[E], vs [][]E) []E {
+	if len(vs) == 0 {
+		panic("ff: SumVecs of nothing")
+	}
+	cur := make([][]E, len(vs))
+	copy(cur, vs)
+	for len(cur) > 1 {
+		next := cur[:(len(cur)+1)/2]
+		for i := 0; i+1 < len(cur); i += 2 {
+			next[i/2] = VecAdd(f, cur[i], cur[i+1])
+		}
+		if len(cur)%2 == 1 {
+			next[len(next)-1] = cur[len(cur)-1]
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// VecEqual reports whether a and b are elementwise equal.
+func VecEqual[E any](f Field[E], a, b []E) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !f.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// VecIsZero reports whether every entry of a is zero.
+func VecIsZero[E any](f Field[E], a []E) bool {
+	for i := range a {
+		if !f.IsZero(a[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// VecFromInt64 maps an integer slice into the field.
+func VecFromInt64[E any](f Field[E], vs []int64) []E {
+	out := make([]E, len(vs))
+	for i, v := range vs {
+		out[i] = f.FromInt64(v)
+	}
+	return out
+}
+
+// VecString formats a vector for diagnostics.
+func VecString[E any](f Field[E], a []E) string {
+	s := "["
+	for i, v := range a {
+		if i > 0 {
+			s += " "
+		}
+		s += f.String(v)
+	}
+	return s + "]"
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic("ff: vector length mismatch")
+	}
+}

@@ -1,0 +1,92 @@
+package ff
+
+import "testing"
+
+func TestVecOps(t *testing.T) {
+	f := MustFp64(101)
+	a := VecFromInt64[uint64](f, []int64{1, 2, 3, 4})
+	b := VecFromInt64[uint64](f, []int64{10, 20, 30, 40})
+
+	if got := VecAdd[uint64](f, a, b); !VecEqual[uint64](f, got, VecFromInt64[uint64](f, []int64{11, 22, 33, 44})) {
+		t.Fatalf("VecAdd = %s", VecString[uint64](f, got))
+	}
+	if got := VecSub[uint64](f, b, a); !VecEqual[uint64](f, got, VecFromInt64[uint64](f, []int64{9, 18, 27, 36})) {
+		t.Fatalf("VecSub = %s", VecString[uint64](f, got))
+	}
+	if got := VecScale[uint64](f, f.FromInt64(3), a); !VecEqual[uint64](f, got, VecFromInt64[uint64](f, []int64{3, 6, 9, 12})) {
+		t.Fatalf("VecScale = %s", VecString[uint64](f, got))
+	}
+	if got := VecNeg[uint64](f, a); !VecIsZero[uint64](f, VecAdd[uint64](f, got, a)) {
+		t.Fatalf("VecNeg broken")
+	}
+	// 1·10 + 2·20 + 3·30 + 4·40 = 300 ≡ 300 − 2·101 = 98 (mod 101)
+	if got := Dot[uint64](f, a, b); got != 98 {
+		t.Fatalf("Dot = %d, want 98", got)
+	}
+	if !VecIsZero[uint64](f, VecZero[uint64](f, 5)) {
+		t.Fatal("VecZero not zero")
+	}
+}
+
+func TestSumTreeMatchesSequential(t *testing.T) {
+	f := MustFp64(P31)
+	src := NewSource(21)
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 100, 1023} {
+		terms := SampleVec[uint64](f, src, n, P31)
+		want := f.Zero()
+		for _, v := range terms {
+			want = f.Add(want, v)
+		}
+		saved := VecCopy(terms)
+		if got := SumTree[uint64](f, terms); got != want {
+			t.Fatalf("n=%d: SumTree = %d, want %d", n, got, want)
+		}
+		if !VecEqual[uint64](f, terms, saved) {
+			t.Fatalf("n=%d: SumTree mutated its input", n)
+		}
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	f := MustFp64(101)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	VecAdd[uint64](f, make([]uint64, 2), make([]uint64, 3))
+}
+
+func TestCounting(t *testing.T) {
+	base := MustFp64(101)
+	c := NewCounting[uint64](base)
+	a, b := c.FromInt64(7), c.FromInt64(9)
+	c.Add(a, b)
+	c.Sub(a, b)
+	c.Neg(a)
+	c.Mul(a, b)
+	if _, err := c.Inv(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Div(a, b); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Counts()
+	if got.Add != 3 || got.Mul != 1 || got.Div != 2 {
+		t.Fatalf("Counts = %+v", got)
+	}
+	if got.Total() != 6 {
+		t.Fatalf("Total = %d", got.Total())
+	}
+	c.Reset()
+	if c.Counts().Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if c.Unwrap().(Fp64).Modulus() != 101 {
+		t.Fatal("Unwrap lost the base field")
+	}
+	// Counting must not change results.
+	if c.Mul(a, b) != base.Mul(a, b) {
+		t.Fatal("Counting altered arithmetic")
+	}
+}

@@ -1,0 +1,128 @@
+package kp
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// Additional determinant-pipeline coverage: identities, structure, and the
+// relationship between DetOnce and the preconditioner data.
+
+func TestDetKnownStructures(t *testing.T) {
+	src := ff.NewSource(301)
+	// Identity: det = 1.
+	for _, n := range []int{1, 2, 5, 9} {
+		id := matrix.Identity[uint64](fp, n)
+		d, err := Det[uint64](fp, classical(), id, src, ff.P31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 1 {
+			t.Fatalf("det(I_%d) = %d", n, d)
+		}
+	}
+	// Diagonal: det = product of entries.
+	diag := ff.VecFromInt64[uint64](fp, []int64{2, 3, 5, 7})
+	dm := matrix.Diagonal[uint64](fp, diag)
+	d, err := Det[uint64](fp, classical(), dm, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2*3*5*7 {
+		t.Fatalf("det(diag) = %d, want 210", d)
+	}
+	// Permutation (single swap): det = −1.
+	p := matrix.FromRows[uint64](fp, [][]int64{
+		{0, 1, 0}, {1, 0, 0}, {0, 0, 1},
+	})
+	d, err = Det[uint64](fp, classical(), p, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != fp.Neg(1) {
+		t.Fatalf("det(swap) = %d, want −1", d)
+	}
+}
+
+func TestDetMultiplicativity(t *testing.T) {
+	src := ff.NewSource(303)
+	n := 5
+	a := randNonsingular(t, src, n)
+	b := randNonsingular(t, src, n)
+	da, err := Det[uint64](fp, classical(), a, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Det[uint64](fp, classical(), b, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dab, err := Det[uint64](fp, classical(), matrix.Mul[uint64](fp, a, b), src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dab != fp.Mul(da, db) {
+		t.Fatal("det(AB) != det(A)·det(B) through the KP pipeline")
+	}
+}
+
+func TestDetOnceAgreesAcrossRandomness(t *testing.T) {
+	// The branch-free attempt must give the SAME determinant for different
+	// random choices whenever it completes — the quantity is intrinsic.
+	src := ff.NewSource(305)
+	n := 6
+	a := randNonsingular(t, src, n)
+	want, _ := matrix.Det[uint64](fp, a)
+	successes := 0
+	for trial := 0; trial < 8; trial++ {
+		rnd := DrawRandomness[uint64](fp, src, n, ff.P31)
+		d, err := DetOnce[uint64](fp, classical(), a, rnd)
+		if err != nil {
+			continue // unlucky draw
+		}
+		successes++
+		if d != want {
+			t.Fatalf("trial %d: DetOnce = %d, want %d (wrong value, not a failure!)", trial, d, want)
+		}
+	}
+	if successes == 0 {
+		t.Fatal("no successful attempts at |S| = P31 — something is broken")
+	}
+}
+
+func TestSolveOnceDeterministicGivenRandomness(t *testing.T) {
+	// Same randomness ⇒ same output: the pipeline is a function.
+	src := ff.NewSource(307)
+	n := 5
+	a := randNonsingular(t, src, n)
+	b := ff.SampleVec[uint64](fp, src, n, ff.P31)
+	rnd := DrawRandomness[uint64](fp, src, n, ff.P31)
+	x1, err1 := SolveOnce[uint64](fp, classical(), a, b, rnd)
+	x2, err2 := SolveOnce[uint64](fp, classical(), a, b, rnd)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatal("nondeterministic failure")
+	}
+	if err1 == nil && !ff.VecEqual[uint64](fp, x1, x2) {
+		t.Fatal("nondeterministic output for fixed randomness")
+	}
+}
+
+func TestRandomnessShapes(t *testing.T) {
+	src := ff.NewSource(309)
+	for _, n := range []int{1, 3, 10} {
+		rnd := DrawRandomness[uint64](fp, src, n, ff.P31)
+		if len(rnd.H) != 2*n-1 || len(rnd.D) != n || len(rnd.U) != n || len(rnd.V) != n {
+			t.Fatalf("n=%d: randomness shapes wrong", n)
+		}
+		if got := len(rnd.Flat()); got != Count(n) {
+			t.Fatalf("n=%d: Flat length %d != Count %d", n, got, Count(n))
+		}
+		for _, d := range rnd.D {
+			if d == 0 {
+				t.Fatal("zero diagonal entry drawn")
+			}
+		}
+	}
+}

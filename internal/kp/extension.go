@@ -1,0 +1,143 @@
+package kp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// The paper's small-field device (§2): "For Galois fields K with
+// card(K) < 3n², the algorithm is performed in an algebraic extension L
+// over K, so that the failure probability can be bounded away from 0."
+// The solution of a non-singular system over K is unique, hence lies in K
+// even when computed in L ⊇ K, so lifting, solving, and projecting back is
+// sound; likewise det(A) ∈ K.
+
+// ErrNotInBaseField is returned if a projected result has non-zero
+// higher-degree coefficients — impossible for correct answers, so it flags
+// an internal inconsistency rather than bad luck.
+var ErrNotInBaseField = errors.New("kp: extension-field result does not lie in the base field")
+
+// ExtensionDegree returns the degree k such that p^k ≥ 3n²/eps, the subset
+// size that bounds the per-attempt failure probability by eps.
+func ExtensionDegree(p uint64, n int, eps float64) int {
+	if eps <= 0 || eps > 1 {
+		eps = 0.5
+	}
+	need := new(big.Int).SetUint64(uint64(3*float64(n)*float64(n)/eps) + 1)
+	pk := new(big.Int).SetUint64(p)
+	pb := new(big.Int).SetUint64(p)
+	k := 1
+	for pk.Cmp(need) < 0 {
+		pk.Mul(pk, pb)
+		k++
+	}
+	return k
+}
+
+// SolveViaExtension solves A·x = b over a small prime field F_p (with
+// p > n, Theorem 4's characteristic hypothesis, but p too small for the
+// 3n²/|S| bound) by lifting the system into F_{p^k}, running the Theorem 4
+// solver there with the full random-subset budget, and projecting the
+// (necessarily base-field) solution back down.
+func SolveViaExtension(base ff.Fp64, a *matrix.Dense[uint64], b []uint64, src *ff.Source, eps float64, retries int) ([]uint64, error) {
+	n := a.Rows
+	if !ff.CharacteristicExceeds[uint64](base, n) {
+		return nil, fmt.Errorf("kp: characteristic %d ≤ n = %d even in an extension", base.Modulus(), n)
+	}
+	ext, subset, err := buildExtension(base, n, eps, src)
+	if err != nil {
+		return nil, err
+	}
+	// Lift the system: base elements embed as constant polynomials.
+	la := liftMatrix(ext, a)
+	lb := make([][]uint64, n)
+	for i, v := range b {
+		lv := ext.Zero()
+		lv[0] = v
+		lb[i] = lv
+	}
+	lx, err := Solve[[]uint64](ext, matrix.Classical[[]uint64]{}, la, lb, src, subset, retries)
+	if err != nil {
+		return nil, err
+	}
+	return projectVec(ext, lx)
+}
+
+// DetViaExtension computes det(A) over a small prime field by the same
+// lifting (the determinant of a base-field matrix lies in the base field).
+func DetViaExtension(base ff.Fp64, a *matrix.Dense[uint64], src *ff.Source, eps float64, retries int) (uint64, error) {
+	n := a.Rows
+	if !ff.CharacteristicExceeds[uint64](base, n) {
+		return 0, fmt.Errorf("kp: characteristic %d ≤ n = %d even in an extension", base.Modulus(), n)
+	}
+	ext, subset, err := buildExtension(base, n, eps, src)
+	if err != nil {
+		return 0, err
+	}
+	la := liftMatrix(ext, a)
+	ld, err := Det[[]uint64](ext, matrix.Classical[[]uint64]{}, la, src, subset, retries)
+	if err != nil {
+		return 0, err
+	}
+	return projectElem(ext, ld)
+}
+
+func buildExtension(base ff.Fp64, n int, eps float64, src *ff.Source) (ff.FpExt, uint64, error) {
+	k := ExtensionDegree(base.Modulus(), n, eps)
+	if k < 2 {
+		k = 2 // a proper extension: the caller chose this path because |K| is small
+	}
+	mod, err := ff.FindIrreducible(base, k, src)
+	if err != nil {
+		return ff.FpExt{}, 0, err
+	}
+	ext, err := ff.NewFpExt(base, mod)
+	if err != nil {
+		return ff.FpExt{}, 0, err
+	}
+	// Sampling subset: the whole of F_{p^k} up to the 2⁶⁴ enumeration cap.
+	card := ext.Cardinality()
+	subset := uint64(1) << 62
+	if card.IsUint64() {
+		subset = card.Uint64()
+	}
+	return ext, subset, nil
+}
+
+func liftMatrix(ext ff.FpExt, a *matrix.Dense[uint64]) *matrix.Dense[[]uint64] {
+	out := &matrix.Dense[[]uint64]{Rows: a.Rows, Cols: a.Cols, Data: make([][]uint64, len(a.Data))}
+	for i, v := range a.Data {
+		lv := ext.Zero()
+		lv[0] = v
+		out.Data[i] = lv
+	}
+	return out
+}
+
+func projectVec(ext ff.FpExt, xs [][]uint64) ([]uint64, error) {
+	out := make([]uint64, len(xs))
+	for i, x := range xs {
+		v, err := projectElem(ext, x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func projectElem(ext ff.FpExt, x []uint64) (uint64, error) {
+	for j := 1; j < len(x); j++ {
+		if x[j] != 0 {
+			return 0, ErrNotInBaseField
+		}
+	}
+	if len(x) == 0 {
+		return 0, nil
+	}
+	return x[0], nil
+}

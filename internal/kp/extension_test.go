@@ -1,0 +1,87 @@
+package kp
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+func TestExtensionDegree(t *testing.T) {
+	// p = 101, n = 8, eps = 0.5: need ≥ 384 > 101, so k = 2 (101² = 10201).
+	if k := ExtensionDegree(101, 8, 0.5); k != 2 {
+		t.Fatalf("k = %d, want 2", k)
+	}
+	// Large p never needs lifting beyond k = 1.
+	if k := ExtensionDegree(ff.P62, 100, 0.01); k != 1 {
+		t.Fatalf("k = %d, want 1", k)
+	}
+	// Tiny p, big n: several digits.
+	if k := ExtensionDegree(3, 32, 0.25); k < 8 {
+		t.Fatalf("k = %d suspiciously small for p=3, n=32", k)
+	}
+}
+
+func TestSolveViaExtension(t *testing.T) {
+	// F_101 with n = 8: 3n² = 192 > 101, the exact situation the paper's
+	// extension remark covers (char 101 > 8 is fine, the field is just too
+	// small for the probability bound).
+	base := ff.MustFp64(101)
+	src := ff.NewSource(161)
+	n := 8
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](base, src, n, n, 101)
+		if d, _ := matrix.Det[uint64](base, a); !base.IsZero(d) {
+			break
+		}
+	}
+	b := ff.SampleVec[uint64](base, src, n, 101)
+	x, err := SolveViaExtension(base, a, b, src, 0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](base, a.MulVec(base, x), b) {
+		t.Fatal("extension solve: Ax != b over the base field")
+	}
+	want, err := matrix.Solve[uint64](base, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](base, x, want) {
+		t.Fatal("extension solve differs from LU")
+	}
+}
+
+func TestDetViaExtension(t *testing.T) {
+	base := ff.MustFp64(131) // 3n² = 432 > 131 for n = 12... use n = 7: 147 > 131
+	src := ff.NewSource(163)
+	n := 7
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](base, src, n, n, 131)
+		if d, _ := matrix.Det[uint64](base, a); !base.IsZero(d) {
+			break
+		}
+	}
+	got, err := DetViaExtension(base, a, src, 0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := matrix.Det[uint64](base, a)
+	if got != want {
+		t.Fatalf("DetViaExtension = %d, LU = %d", got, want)
+	}
+}
+
+func TestExtensionRefusesSmallCharacteristic(t *testing.T) {
+	// Extensions cannot repair the characteristic: F_5 with n = 8 stays
+	// invalid for Theorem 4 in any extension.
+	base := ff.MustFp64(5)
+	src := ff.NewSource(165)
+	a := matrix.Identity[uint64](base, 8)
+	b := make([]uint64, 8)
+	if _, err := SolveViaExtension(base, a, b, src, 0.25, 3); err == nil {
+		t.Fatal("characteristic 5 with n = 8 must be refused")
+	}
+}

@@ -1,0 +1,206 @@
+package kp
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// The paper's algorithms are stated over an *abstract* field; these tests
+// run the full Theorem 4 pipeline over an extension field F_{p²}, a
+// 127-bit prime field, and the NTT-friendly word field, confirming the
+// implementation is genuinely field-generic.
+
+func TestSolveOverExtensionField(t *testing.T) {
+	src := ff.NewSource(151)
+	base := ff.MustFp64(ff.P17) // characteristic 131071 ≫ n
+	mod, err := ff.FindIrreducible(base, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ff.NewFpExt(base, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 5
+	subset := uint64(1) << 30
+	var a *matrix.Dense[[]uint64]
+	for {
+		a = matrix.Random[[]uint64](f, src, n, n, subset)
+		if d, _ := matrix.Det[[]uint64](f, a); !f.IsZero(d) {
+			break
+		}
+	}
+	b := ff.SampleVec[[]uint64](f, src, n, subset)
+	x, err := Solve[[]uint64](f, matrix.Classical[[]uint64]{}, a, b, src, subset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[[]uint64](f, a.MulVec(f, x), b) {
+		t.Fatal("F_{p²}: Ax != b")
+	}
+	// Determinant agrees with LU over the same field.
+	d, err := Det[[]uint64](f, matrix.Classical[[]uint64]{}, a, src, subset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, _ := matrix.Det[[]uint64](f, a)
+	if !f.Equal(d, lu) {
+		t.Fatal("F_{p²}: KP det != LU det")
+	}
+}
+
+func TestSolveOverBigPrime(t *testing.T) {
+	p, _ := new(big.Int).SetString("170141183460469231731687303715884105727", 10) // 2¹²⁷−1
+	f := ff.MustFpBig(p)
+	src := ff.NewSource(153)
+	n := 4
+	subset := uint64(1) << 40
+	a := matrix.Random[*big.Int](f, src, n, n, subset)
+	b := ff.SampleVec[*big.Int](f, src, n, subset)
+	x, err := Solve[*big.Int](f, matrix.Classical[*big.Int]{}, a, b, src, subset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[*big.Int](f, a.MulVec(f, x), b) {
+		t.Fatal("big prime: Ax != b")
+	}
+}
+
+func TestSolveOverNTTField(t *testing.T) {
+	f := ff.MustFp64(ff.PNTT62)
+	src := ff.NewSource(155)
+	for _, n := range []int{8, 24} { // 24 pushes convolutions past the NTT threshold
+		var a *matrix.Dense[uint64]
+		for {
+			a = matrix.Random[uint64](f, src, n, n, f.Modulus())
+			if d, _ := matrix.Det[uint64](f, a); !f.IsZero(d) {
+				break
+			}
+		}
+		b := ff.SampleVec[uint64](f, src, n, f.Modulus())
+		x, err := Solve[uint64](f, matrix.Classical[uint64]{}, a, b, src, f.Modulus(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
+			t.Fatalf("NTT field n=%d: Ax != b", n)
+		}
+		want, _ := matrix.Solve[uint64](f, a, b)
+		if !ff.VecEqual[uint64](f, x, want) {
+			t.Fatalf("NTT field n=%d: differs from LU", n)
+		}
+	}
+}
+
+// TestAdversarialRandomness injects pathological random choices into the
+// branch-free pipeline: a division by zero (the paper's declared failure
+// mode) must surface as an error — never as a silently wrong answer that
+// the driver would return unverified.
+func TestAdversarialRandomness(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(157)
+	n := 4
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](f, src, n, n, ff.P31)
+		if d, _ := matrix.Det[uint64](f, a); !f.IsZero(d) {
+			break
+		}
+	}
+	b := ff.SampleVec[uint64](f, src, n, ff.P31)
+
+	// All-zero Hankel makes Ã = 0: the Toeplitz system degenerates.
+	zeroH := Randomness[uint64]{
+		H: make([]uint64, 2*n-1),
+		D: ff.SampleVec[uint64](f, src, n, ff.P31),
+		U: ff.SampleVec[uint64](f, src, n, ff.P31),
+		V: ff.SampleVec[uint64](f, src, n, ff.P31),
+	}
+	for i := range zeroH.D {
+		if zeroH.D[i] == 0 {
+			zeroH.D[i] = 1
+		}
+	}
+	if _, err := SolveOnce[uint64](f, matrix.Classical[uint64]{}, a, b, zeroH); err == nil {
+		t.Fatal("zero Hankel preconditioner must fail, not fabricate a solution")
+	} else if !errors.Is(err, ff.ErrDivisionByZero) && !errors.Is(err, matrix.ErrSingular) {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+
+	// Zero projection vector u: the sequence is identically zero.
+	zeroU := DrawRandomness[uint64](f, src, n, ff.P31)
+	zeroU.U = make([]uint64, n)
+	if _, err := SolveOnce[uint64](f, matrix.Classical[uint64]{}, a, b, zeroU); err == nil {
+		t.Fatal("zero projection must fail")
+	}
+
+	// The circuit form fails identically (same failure semantics).
+	circ, err := TraceSolve[uint64](f, matrix.Classical[circuit.Wire]{}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := append(append(append([]uint64{}, a.Data...), b...), zeroH.Flat()...)
+	if _, err := circuit.Eval[uint64](circ, f, inputs); !errors.Is(err, ff.ErrDivisionByZero) {
+		t.Fatalf("circuit with zero Hankel: err = %v, want division by zero", err)
+	}
+
+	// And the Las Vegas driver still succeeds with fresh randomness.
+	x, err := Solve[uint64](f, matrix.Classical[uint64]{}, a, b, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
+		t.Fatal("driver failed after adversarial warm-up")
+	}
+}
+
+// TestGradientOfSolveIsInverseRow cross-checks Theorem 5 against linear
+// algebra: x = A⁻¹b is linear in b, so ∂x_i/∂b_j = (A⁻¹)_{ij}. The
+// gradient of each solver output with respect to the b inputs must
+// reproduce the corresponding row of the inverse.
+func TestGradientOfSolveIsInverseRow(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(159)
+	n := 3
+	circ, err := TraceSolve[uint64](f, matrix.Classical[circuit.Wire]{}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](f, src, n, n, ff.P31)
+		if d, _ := matrix.Det[uint64](f, a); !f.IsZero(d) {
+			break
+		}
+	}
+	inv, err := matrix.Inverse[uint64](f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := DrawRandomness[uint64](f, src, n, ff.P31)
+	for i := 0; i < n; i++ {
+		c := circ.Clone()
+		grads, err := circuit.Gradient(c, c.Outputs()[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Select gradients with respect to the b inputs (positions n²…n²+n−1).
+		outs := make([]circuit.Wire, n)
+		copy(outs, grads[n*n:n*n+n])
+		c.Return(outs...)
+		b := ff.SampleVec[uint64](f, src, n, ff.P31)
+		inputs := append(append(append([]uint64{}, a.Data...), b...), rnd.Flat()...)
+		row, err := circuit.Eval[uint64](c, f, inputs)
+		if err != nil {
+			t.Fatal(err) // randomness is generous; treat failure as real
+		}
+		if !ff.VecEqual[uint64](f, row, inv.Row(i)) {
+			t.Fatalf("∂x_%d/∂b != row %d of A⁻¹", i, i)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package kp
+
+import (
+	"errors"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+	"repro/internal/structured"
+	"repro/internal/wiedemann"
+)
+
+// §5 extensions: polynomial GCD via structured (Sylvester) matrices. "The
+// efficient parallel algorithms ... are extendible to structured
+// Toeplitz-like matrices such as Sylvester matrices. In particular, it is
+// then possible to compute the greatest common divisor of two polynomials
+// of degree n over a field of characteristic zero or greater n."
+//
+// The linear-algebra route implemented here: the kernel of the Sylvester
+// matrix of (a, b) is {(w·b/h, −w·a/h) : deg w < d} with h = gcd(a, b) of
+// degree d, so (i) d = deg a + deg b − rank(Sylvester) and (ii) the
+// minimal-degree polynomial in the span of the kernel's u-components is
+// b/h up to a scalar, from which h follows by one exact division.
+
+// Sylvester returns the (m+n)×(m+n) Sylvester matrix S of a (degree m) and
+// b (degree n), acting on stacked coefficient vectors (u, v) with
+// deg u < n, deg v < m: S·(u,v) = coefficients of u·a + v·b.
+func Sylvester[E any](f ff.Field[E], a, b []E) *matrix.Dense[E] {
+	a, b = poly.Trim(f, a), poly.Trim(f, b)
+	m, n := len(a)-1, len(b)-1
+	if m < 1 && n < 1 {
+		panic("kp: Sylvester needs at least one non-constant polynomial")
+	}
+	s := matrix.NewDense(f, m+n, m+n)
+	// Columns 0..n−1: shifts of a; columns n..n+m−1: shifts of b.
+	for j := 0; j < n; j++ {
+		for i := 0; i <= m; i++ {
+			s.Set(i+j, j, a[i])
+		}
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i <= n; i++ {
+			s.Set(i+j, n+j, b[i])
+		}
+	}
+	return s
+}
+
+// ResultantSylvester returns det(Sylvester(a, b)) — the resultant, computed
+// through the linear-algebra substrate (cross-checked against the
+// Euclidean-scheme resultant in the tests and E12).
+func ResultantSylvester[E any](f ff.Field[E], a, b []E) (E, error) {
+	return matrix.Det(f, Sylvester(f, a, b))
+}
+
+// GCDSylvester returns the monic gcd of two non-zero polynomials through
+// Sylvester-matrix linear algebra (no Euclidean remainder sequence).
+func GCDSylvester[E any](f ff.Field[E], a, b []E) ([]E, error) {
+	a, b = poly.Trim(f, a), poly.Trim(f, b)
+	switch {
+	case len(a) == 0 && len(b) == 0:
+		return nil, nil
+	case len(a) == 0:
+		return poly.Monic(f, b)
+	case len(b) == 0:
+		return poly.Monic(f, a)
+	case len(a) == 1 || len(b) == 1:
+		return poly.Constant(f, f.One()), nil // non-zero constant divides all
+	}
+	n := len(b) - 1
+	s := Sylvester(f, a, b)
+	kernel, err := matrix.NullspaceDense(f, s)
+	if err != nil {
+		return nil, err
+	}
+	d := kernel.Cols // dim ker = deg gcd
+	if d == 0 {
+		return poly.Constant(f, f.One()), nil
+	}
+	// u-components: first n coordinates of each kernel vector; their span
+	// is (b/h)·{polynomials of degree < d}. Row-reduce from the highest
+	// degree downward; the minimal-degree element is the last pivot row.
+	rows := make([][]E, d)
+	for k := 0; k < d; k++ {
+		rows[k] = make([]E, n)
+		for i := 0; i < n; i++ {
+			rows[k][i] = kernel.At(i, k)
+		}
+	}
+	minU := minimalDegreeSpanElement(f, rows)
+	if minU == nil {
+		return nil, matrix.ErrSingular // cannot happen for a true kernel
+	}
+	// h = b / (c·b/h): exact division, then normalize.
+	q, r, err := poly.DivMod(f, b, minU)
+	if err != nil {
+		return nil, err
+	}
+	if !poly.IsZero(f, r) {
+		return nil, matrix.ErrSingular // impossible for a true kernel element
+	}
+	return poly.Monic(f, q)
+}
+
+// minimalDegreeSpanElement row-reduces the given coefficient rows
+// (low-degree-first) eliminating from the highest degree column down, and
+// returns the non-zero row of minimal degree, or nil if all rows are zero.
+func minimalDegreeSpanElement[E any](f ff.Field[E], rows [][]E) []E {
+	if len(rows) == 0 {
+		return nil
+	}
+	n := len(rows[0])
+	work := make([][]E, len(rows))
+	for i := range rows {
+		work[i] = ff.VecCopy(rows[i])
+	}
+	r := 0
+	for col := n - 1; col >= 0 && r < len(work); col-- {
+		pivot := -1
+		for k := r; k < len(work); k++ {
+			if !f.IsZero(work[k][col]) {
+				pivot = k
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[r], work[pivot] = work[pivot], work[r]
+		pInv, err := f.Inv(work[r][col])
+		if err != nil {
+			return nil
+		}
+		for k := 0; k < len(work); k++ {
+			if k == r || f.IsZero(work[k][col]) {
+				continue
+			}
+			factor := f.Mul(work[k][col], pInv)
+			for c := 0; c <= col; c++ {
+				work[k][c] = f.Sub(work[k][c], f.Mul(factor, work[r][c]))
+			}
+		}
+		r++
+	}
+	// The last pivot row has the lowest leading degree.
+	var best []E
+	bestDeg := n
+	for _, row := range work {
+		d := poly.Deg(f, row)
+		if d >= 0 && d < bestDeg {
+			bestDeg = d
+			best = poly.Trim(f, row)
+		}
+	}
+	return best
+}
+
+// ResultantWiedemann computes the resultant as the determinant of the
+// *structured* Sylvester operator via Wiedemann's black-box method — the
+// §5 extension end-to-end: every matrix-vector product inside the
+// determinant computation is two polynomial multiplications, so the whole
+// resultant costs Õ(n)·M(n) with no dense matrix ever formed. Requires
+// characteristic 0 or > m+n (the det pipeline's Toeplitz step).
+func ResultantWiedemann[E any](f ff.Field[E], a, b []E, src *ff.Source, subset uint64, retries int) (E, error) {
+	var zero E
+	a, b = poly.Trim(f, a), poly.Trim(f, b)
+	if len(a) == 0 || len(b) == 0 {
+		return zero, nil
+	}
+	if len(a) == 1 && len(b) == 1 {
+		return f.One(), nil // two non-zero constants
+	}
+	s := structured.NewSylvester(f, a, b)
+	d, err := wiedemann.Det[E](f, s, src, subset, retries)
+	if err != nil {
+		if errors.Is(err, wiedemann.ErrRetriesExhausted) {
+			// Singular Sylvester matrix ⇔ non-trivial gcd ⇔ resultant 0.
+			return f.Zero(), nil
+		}
+		return zero, err
+	}
+	return d, nil
+}
+
+// GCDKnownDegree recovers the monic gcd of a and b given its degree d
+// (obtained e.g. from GCDDegreeSylvester), with *no zero tests*: the
+// extended-Euclidean relation u·a + v·b = h with deg u < deg b − d,
+// deg v < deg a − d, and h monic of degree d is one non-singular linear
+// system — the branch-free form §5's parallel GCD needs. The result is
+// verified (h must divide both inputs); a wrong d surfaces as an error.
+func GCDKnownDegree[E any](f ff.Field[E], a, b []E, deg int) ([]E, error) {
+	a, b = poly.Trim(f, a), poly.Trim(f, b)
+	m, n := len(a)-1, len(b)-1
+	if deg < 0 || deg > min(m, n) {
+		return nil, matrix.ErrSingular
+	}
+	if deg == min(m, n) {
+		// gcd can only be the shorter polynomial (up to scale): verify.
+		short, long := a, b
+		if n < m {
+			short, long = b, a
+		}
+		h, err := poly.Monic(f, short)
+		if err != nil {
+			return nil, err
+		}
+		if _, r, err := poly.DivMod(f, long, h); err != nil || !poly.IsZero(f, r) {
+			return nil, matrix.ErrSingular
+		}
+		return h, nil
+	}
+	// Unknowns: u (n−deg coeffs), v (m−deg coeffs). Equations: the
+	// coefficients of u·a + v·b at degrees deg+1 … m+n−deg−1 vanish
+	// (m+n−2·deg−1 equations) and the coefficient at degree deg equals 1.
+	du, dv := n-deg, m-deg
+	dim := du + dv
+	sys := matrix.NewDense(f, dim, dim)
+	rhs := ff.VecZero(f, dim)
+	rhs[0] = f.One()
+	row := 0
+	fill := func(degIdx int) {
+		for j := 0; j < du; j++ { // u_j contributes a_{degIdx−j}
+			sys.Set(row, j, poly.Coef(f, a, degIdx-j))
+		}
+		for j := 0; j < dv; j++ { // v_j contributes b_{degIdx−j}
+			sys.Set(row, du+j, poly.Coef(f, b, degIdx-j))
+		}
+		row++
+	}
+	fill(deg) // = 1
+	for k := deg + 1; k <= m+n-deg-1; k++ {
+		fill(k)
+	}
+	sol, err := matrix.Solve(f, sys, rhs)
+	if err != nil {
+		return nil, err
+	}
+	u := poly.Trim(f, sol[:du])
+	v := poly.Trim(f, sol[du:])
+	h := poly.TruncDeg(f, poly.Add(f, poly.Mul(f, u, a), poly.Mul(f, v, b)), deg+1)
+	// Verify: h must divide both (a wrong degree promise fails here).
+	for _, p := range [][]E{a, b} {
+		if _, r, err := poly.DivMod(f, p, h); err != nil || !poly.IsZero(f, r) {
+			return nil, matrix.ErrSingular
+		}
+	}
+	return poly.Monic(f, h)
+}
+
+// GCDDegreeSylvester returns deg gcd(a, b) = deg a + deg b − rank(Sylvester)
+// without recovering the gcd itself.
+func GCDDegreeSylvester[E any](f ff.Field[E], a, b []E) (int, error) {
+	a, b = poly.Trim(f, a), poly.Trim(f, b)
+	m, n := len(a)-1, len(b)-1
+	if m < 1 && n < 1 {
+		return 0, nil
+	}
+	rank, err := matrix.Rank(f, Sylvester(f, a, b))
+	if err != nil {
+		return 0, err
+	}
+	return m + n - rank, nil
+}

@@ -1,0 +1,92 @@
+package kp
+
+import (
+	"errors"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// Theorem 6: the inverse circuit is the Baur–Strassen gradient of the
+// determinant circuit. By Jacobi's formula ∂det(A)/∂a_{j,i} is the (j,i)
+// cofactor, i.e. the (i,j) entry of the adjugate, so
+//
+//	(A⁻¹)_{i,j} = (∂det/∂a_{j,i}) / det(A)
+//
+// — the paper's A⁻¹ = ((−1)^{i+j}·∂_{x_{j,i}}(f))/f with the sign absorbed
+// into the cofactor. Theorem 5 bounds the gradient circuit at 4× the
+// length and O(1)× the depth of the determinant circuit, which preserves
+// the O(n^ω log n) size / O((log n)²) depth of Theorem 4.
+
+// TraceInverse builds the Theorem 6 inverse circuit for dimension n: n²
+// inputs (A row-major), 5n−1 random inputs, n² outputs (A⁻¹ row-major).
+func TraceInverse[E any](model ff.Field[E], mul matrix.Multiplier[circuit.Wire], n int) (*circuit.Builder, error) {
+	b, err := TraceDet(model, mul, n)
+	if err != nil {
+		return nil, err
+	}
+	det := b.Outputs()[0]
+	grads, err := circuit.Gradient(b, det)
+	if err != nil {
+		return nil, err
+	}
+	// grads[k] = ∂det/∂(input k); the first n² inputs are A row-major, so
+	// ∂det/∂a_{j,i} is grads[j*n+i]. (A⁻¹)_{i,j} = grads[j*n+i]/det.
+	outs := make([]circuit.Wire, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w, err := b.Div(grads[j*n+i], det)
+			if err != nil {
+				return nil, err
+			}
+			outs[i*n+j] = w
+		}
+	}
+	b.Return(outs...)
+	return b, nil
+}
+
+// InverseFromCircuit evaluates a TraceInverse circuit on a concrete matrix
+// with the given randomness.
+func InverseFromCircuit[E any](b *circuit.Builder, f ff.Field[E], a *matrix.Dense[E], rnd Randomness[E]) (*matrix.Dense[E], error) {
+	n := a.Rows
+	inputs := append(append([]E{}, a.Data...), rnd.Flat()...)
+	vals, err := circuit.Eval(b, f, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &matrix.Dense[E]{Rows: n, Cols: n, Data: vals}, nil
+}
+
+// Inverse is the Las Vegas Theorem 6 driver: build the inverse circuit
+// once, then evaluate it with fresh randomness until A·A⁻¹ = I verifies.
+// Requires characteristic 0 or > n.
+func Inverse[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (*matrix.Dense[E], error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("kp: Inverse needs a square matrix")
+	}
+	if retries <= 0 {
+		retries = DefaultRetries
+	}
+	circ, err := TraceInverse(f, matrix.Classical[circuit.Wire]{}, n)
+	if err != nil {
+		return nil, err
+	}
+	id := matrix.Identity(f, n)
+	for attempt := 0; attempt < retries; attempt++ {
+		rnd := DrawRandomness(f, src, n, subset)
+		inv, err := InverseFromCircuit(circ, f, a, rnd)
+		if err != nil {
+			if errors.Is(err, ff.ErrDivisionByZero) {
+				continue
+			}
+			return nil, err
+		}
+		if matrix.Mul(f, a, inv).Equal(f, id) {
+			return inv, nil
+		}
+	}
+	return nil, ErrRetriesExhausted
+}

@@ -1,0 +1,446 @@
+package kp
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+var fp = ff.MustFp64(ff.P31)
+
+func classical() matrix.Classical[uint64] { return matrix.Classical[uint64]{} }
+
+func randNonsingular(t *testing.T, src *ff.Source, n int) *matrix.Dense[uint64] {
+	t.Helper()
+	for {
+		a := matrix.Random[uint64](fp, src, n, n, ff.P31)
+		if d, _ := matrix.Det[uint64](fp, a); !fp.IsZero(d) {
+			return a
+		}
+	}
+}
+
+func TestSolveMatchesLU(t *testing.T) {
+	src := ff.NewSource(121)
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		a := randNonsingular(t, src, n)
+		b := ff.SampleVec[uint64](fp, src, n, ff.P31)
+		x, err := Solve[uint64](fp, classical(), a, b, src, ff.P31, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := matrix.Solve[uint64](fp, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ff.VecEqual[uint64](fp, x, want) {
+			t.Fatalf("n=%d: KP solution differs from LU", n)
+		}
+	}
+}
+
+func TestSolveSingularExhausts(t *testing.T) {
+	src := ff.NewSource(123)
+	s := matrix.FromRows[uint64](fp, [][]int64{{1, 2}, {2, 4}})
+	if _, err := Solve[uint64](fp, classical(), s, []uint64{1, 1}, src, ff.P31, 3); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+}
+
+func TestSolveOverRationals(t *testing.T) {
+	f := ff.NewRat()
+	src := ff.NewSource(124)
+	a := matrix.FromRows[*big.Rat](f, [][]int64{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}})
+	b := ff.VecFromInt64[*big.Rat](f, []int64{1, 2, 3})
+	x, err := Solve[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, src, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[*big.Rat](f, a.MulVec(f, x), b) {
+		t.Fatal("rational solve wrong")
+	}
+}
+
+func TestDetMatchesLU(t *testing.T) {
+	src := ff.NewSource(125)
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		a := randNonsingular(t, src, n)
+		got, err := Det[uint64](fp, classical(), a, src, ff.P31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := matrix.Det[uint64](fp, a)
+		if got != want {
+			t.Fatalf("n=%d: KP det = %d, LU det = %d", n, got, want)
+		}
+	}
+}
+
+func TestTraceSolveCircuitMatchesConcrete(t *testing.T) {
+	src := ff.NewSource(127)
+	for _, n := range []int{1, 2, 4, 6} {
+		circ, err := TraceSolve[uint64](fp, matrix.Classical[circuit.Wire]{}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := circ.Metrics()
+		if m.Inputs != n*n+n+Count(n) {
+			t.Fatalf("n=%d: circuit inputs %d, want %d", n, m.Inputs, n*n+n+Count(n))
+		}
+		if m.Randoms != Count(n) {
+			t.Fatalf("n=%d: circuit randoms %d, want %d", n, m.Randoms, Count(n))
+		}
+		a := randNonsingular(t, src, n)
+		b := ff.SampleVec[uint64](fp, src, n, ff.P31)
+		rnd := DrawRandomness[uint64](fp, src, n, ff.P31)
+		inputs := append(append(append([]uint64{}, a.Data...), b...), rnd.Flat()...)
+		got, err := circuit.Eval[uint64](circ, fp, inputs)
+		if err != nil {
+			t.Fatalf("n=%d: circuit eval: %v", n, err)
+		}
+		want, err := SolveOnce[uint64](fp, classical(), a, b, rnd)
+		if err != nil {
+			t.Fatalf("n=%d: concrete SolveOnce: %v", n, err)
+		}
+		if !ff.VecEqual[uint64](fp, got, want) {
+			t.Fatalf("n=%d: traced circuit disagrees with concrete pipeline", n)
+		}
+		// And both solve the system.
+		if !ff.VecEqual[uint64](fp, a.MulVec(fp, got), b) {
+			t.Fatalf("n=%d: circuit output does not solve the system", n)
+		}
+	}
+}
+
+func TestTraceSolveDepthPolylog(t *testing.T) {
+	// Depth must grow like (log n)², far below any linear trend: compare
+	// the growth ratio against dimension doubling.
+	var depths []int
+	for _, n := range []int{4, 8, 16} {
+		circ, err := TraceSolve[uint64](fp, matrix.Classical[circuit.Wire]{}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depths = append(depths, circ.Depth())
+	}
+	for i := 1; i < len(depths); i++ {
+		if depths[i] >= 2*depths[i-1] {
+			t.Fatalf("depth doubled with n: %v — not polylog", depths)
+		}
+	}
+}
+
+func TestTraceDetCircuit(t *testing.T) {
+	src := ff.NewSource(129)
+	for _, n := range []int{1, 2, 3, 5} {
+		circ, err := TraceDet[uint64](fp, matrix.Classical[circuit.Wire]{}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := randNonsingular(t, src, n)
+		rnd := DrawRandomness[uint64](fp, src, n, ff.P31)
+		inputs := append(append([]uint64{}, a.Data...), rnd.Flat()...)
+		got, err := circuit.Eval[uint64](circ, fp, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := matrix.Det[uint64](fp, a)
+		if got[0] != want {
+			t.Fatalf("n=%d: det circuit = %d, LU = %d", n, got[0], want)
+		}
+	}
+}
+
+func TestInverseTheorem6(t *testing.T) {
+	src := ff.NewSource(131)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		a := randNonsingular(t, src, n)
+		inv, err := Inverse[uint64](fp, classical(), a, src, ff.P31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Mul[uint64](fp, a, inv).Equal(fp, matrix.Identity[uint64](fp, n)) {
+			t.Fatalf("n=%d: A·A⁻¹ != I", n)
+		}
+		want, err := matrix.Inverse[uint64](fp, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inv.Equal(fp, want) {
+			t.Fatalf("n=%d: Theorem 6 inverse differs from LU inverse", n)
+		}
+	}
+}
+
+func TestInverseCircuitSizeRatio(t *testing.T) {
+	// Theorem 5/6: the inverse circuit is at most ~4× the det circuit
+	// plus n² divisions, at comparable depth.
+	for _, n := range []int{4, 8} {
+		det, err := TraceDet[uint64](fp, matrix.Classical[circuit.Wire]{}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv, err := TraceInverse[uint64](fp, matrix.Classical[circuit.Wire]{}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(inv.Size()-n*n) / float64(det.Size())
+		if ratio > 5 {
+			t.Fatalf("n=%d: inverse/det size ratio %.2f > 5", n, ratio)
+		}
+		if inv.Depth() > 5*det.Depth()+16 {
+			t.Fatalf("n=%d: inverse depth %d vs det depth %d", n, inv.Depth(), det.Depth())
+		}
+	}
+}
+
+func TestTransposedSolve(t *testing.T) {
+	src := ff.NewSource(133)
+	for _, n := range []int{1, 2, 4, 6} {
+		a := randNonsingular(t, src, n)
+		b := ff.SampleVec[uint64](fp, src, n, ff.P31)
+		x, err := TransposedSolve[uint64](fp, a, b, src, ff.P31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ff.VecEqual[uint64](fp, a.Transpose().MulVec(fp, x), b) {
+			t.Fatalf("n=%d: Aᵀx != b", n)
+		}
+	}
+}
+
+func TestRankPlanted(t *testing.T) {
+	src := ff.NewSource(135)
+	for _, tc := range []struct{ n, r int }{{4, 2}, {6, 3}, {7, 7}, {5, 0}, {8, 1}} {
+		a := plantedRank(src, tc.n, tc.r)
+		got, err := Rank[uint64](fp, a, src, ff.P31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.r {
+			t.Fatalf("n=%d: Rank = %d, want %d", tc.n, got, tc.r)
+		}
+	}
+	// Rectangular.
+	l := matrix.Random[uint64](fp, src, 6, 2, ff.P31)
+	r := matrix.Random[uint64](fp, src, 2, 9, ff.P31)
+	a := matrix.Mul[uint64](fp, l, r)
+	got, err := Rank[uint64](fp, a, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("rectangular rank = %d, want 2", got)
+	}
+}
+
+func plantedRank(src *ff.Source, n, r int) *matrix.Dense[uint64] {
+	if r == 0 {
+		return matrix.NewDense[uint64](fp, n, n)
+	}
+	for {
+		l := matrix.Random[uint64](fp, src, n, r, ff.P31)
+		rm := matrix.Random[uint64](fp, src, r, n, ff.P31)
+		m := matrix.Mul[uint64](fp, l, rm)
+		if got, _ := matrix.Rank[uint64](fp, m); got == r {
+			return m
+		}
+	}
+}
+
+func TestNullspace(t *testing.T) {
+	src := ff.NewSource(137)
+	for _, tc := range []struct{ n, r int }{{4, 2}, {6, 3}, {5, 5}, {5, 0}, {7, 1}} {
+		a := plantedRank(src, tc.n, tc.r)
+		ns, err := Nullspace[uint64](fp, a, src, ff.P31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ns.Cols != tc.n-tc.r {
+			t.Fatalf("n=%d r=%d: nullity %d", tc.n, tc.r, ns.Cols)
+		}
+		if ns.Cols == 0 {
+			continue
+		}
+		if !matrix.Mul[uint64](fp, a, ns).IsZero(fp) {
+			t.Fatal("A·N != 0")
+		}
+		rk, err := matrix.Rank[uint64](fp, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rk != ns.Cols {
+			t.Fatal("nullspace basis not independent")
+		}
+	}
+}
+
+func TestSolveSingularConsistent(t *testing.T) {
+	src := ff.NewSource(139)
+	for _, tc := range []struct{ n, r int }{{4, 2}, {6, 3}, {5, 1}} {
+		a := plantedRank(src, tc.n, tc.r)
+		// Consistent rhs: b = A·y for random y.
+		y := ff.SampleVec[uint64](fp, src, tc.n, ff.P31)
+		b := a.MulVec(fp, y)
+		x, err := SolveSingular[uint64](fp, a, b, src, ff.P31, 0)
+		if err != nil {
+			t.Fatalf("n=%d r=%d: %v", tc.n, tc.r, err)
+		}
+		if !ff.VecEqual[uint64](fp, a.MulVec(fp, x), b) {
+			t.Fatal("singular solve: Ax != b")
+		}
+	}
+}
+
+func TestSolveSingularInconsistent(t *testing.T) {
+	src := ff.NewSource(141)
+	a := plantedRank(src, 5, 2)
+	// b outside the column space: random vector is outside whp; verify.
+	var b []uint64
+	for {
+		b = ff.SampleVec[uint64](fp, src, 5, ff.P31)
+		if _, err := matrix.Solve[uint64](fp, a, b); err != nil {
+			// LU says singular; check true inconsistency via rank of [A|b].
+			aug := matrix.NewDense[uint64](fp, 5, 6)
+			for i := 0; i < 5; i++ {
+				for j := 0; j < 5; j++ {
+					aug.Set(i, j, a.At(i, j))
+				}
+				aug.Set(i, 5, b[i])
+			}
+			ra, _ := matrix.Rank[uint64](fp, a)
+			raug, _ := matrix.Rank[uint64](fp, aug)
+			if raug > ra {
+				break
+			}
+		}
+	}
+	if _, err := SolveSingular[uint64](fp, a, b, src, ff.P31, 0); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	f := ff.NewRat()
+	src := ff.NewSource(143)
+	// Overdetermined full-column-rank system.
+	a := matrix.FromRows[*big.Rat](f, [][]int64{{1, 0}, {0, 1}, {1, 1}})
+	b := ff.VecFromInt64[*big.Rat](f, []int64{1, 2, 0})
+	x, err := LeastSquares[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, src, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ResidualIsOrthogonal[*big.Rat](f, a, x, b) {
+		t.Fatal("residual not orthogonal to column space")
+	}
+	// Known solution: normal equations [[2,1],[1,2]]x = [1,2] ⇒ x = (0, 1).
+	if x[0].Cmp(f.FromInt64(0)) != 0 || x[1].Cmp(f.FromInt64(1)) != 0 {
+		t.Fatalf("least squares = (%s, %s), want (0, 1)", x[0], x[1])
+	}
+	// Positive characteristic must be refused.
+	if _, err := LeastSquares[uint64](fp, classical(), matrix.Identity[uint64](fp, 2), []uint64{1, 2}, src, ff.P31, 0); !errors.Is(err, ErrCharacteristicZero) {
+		t.Fatalf("char > 0: err = %v", err)
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	f := ff.NewRat()
+	src := ff.NewSource(144)
+	// Column 2 = 2·column 1: rank-deficient normal equations.
+	a := matrix.FromRows[*big.Rat](f, [][]int64{{1, 2}, {2, 4}, {3, 6}})
+	b := ff.VecFromInt64[*big.Rat](f, []int64{1, 1, 1})
+	x, err := LeastSquares[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, src, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ResidualIsOrthogonal[*big.Rat](f, a, x, b) {
+		t.Fatal("rank-deficient least squares residual not orthogonal")
+	}
+}
+
+func TestGCDSylvester(t *testing.T) {
+	src := ff.NewSource(145)
+	for trial := 0; trial < 30; trial++ {
+		g := randomPoly(src, 1+src.Intn(4))
+		a := poly.Mul[uint64](fp, g, randomPoly(src, 1+src.Intn(5)))
+		b := poly.Mul[uint64](fp, g, randomPoly(src, 1+src.Intn(5)))
+		want, err := poly.GCD[uint64](fp, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GCDSylvester[uint64](fp, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !poly.Equal[uint64](fp, got, want) {
+			t.Fatalf("Sylvester gcd %s != Euclid gcd %s",
+				poly.String[uint64](fp, got), poly.String[uint64](fp, want))
+		}
+		d, err := GCDDegreeSylvester[uint64](fp, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != poly.Deg[uint64](fp, want) {
+			t.Fatalf("degree via rank %d, want %d", d, poly.Deg[uint64](fp, want))
+		}
+	}
+	// Coprime pair.
+	a := poly.FromInt64[uint64](fp, []int64{1, 1})    // λ + 1
+	b := poly.FromInt64[uint64](fp, []int64{2, 0, 1}) // λ² + 2
+	got, err := GCDSylvester[uint64](fp, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Deg[uint64](fp, got) != 0 {
+		t.Fatal("coprime pair gcd not constant")
+	}
+}
+
+func TestResultantSylvesterVsEuclid(t *testing.T) {
+	src := ff.NewSource(147)
+	for trial := 0; trial < 25; trial++ {
+		a := randomPoly(src, 1+src.Intn(6))
+		b := randomPoly(src, 1+src.Intn(6))
+		rs, err := ResultantSylvester[uint64](fp, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := poly.Resultant[uint64](fp, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Conventions may differ by sign; vanishing must agree exactly.
+		if fp.IsZero(rs) != fp.IsZero(re) {
+			t.Fatalf("resultant vanishing disagreement: Sylvester %d, Euclid %d", rs, re)
+		}
+		if rs != re && rs != fp.Neg(re) {
+			t.Fatalf("resultants differ beyond sign: %d vs %d", rs, re)
+		}
+	}
+	// Shared root forces zero.
+	shared := poly.Mul[uint64](fp, poly.FromInt64[uint64](fp, []int64{-3, 1}),
+		poly.FromInt64[uint64](fp, []int64{1, 1}))
+	other := poly.Mul[uint64](fp, poly.FromInt64[uint64](fp, []int64{-3, 1}),
+		poly.FromInt64[uint64](fp, []int64{5, 1}))
+	rs, err := ResultantSylvester[uint64](fp, shared, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.IsZero(rs) {
+		t.Fatal("resultant with common root must vanish")
+	}
+}
+
+func randomPoly(src *ff.Source, deg int) []uint64 {
+	p := make([]uint64, deg+1)
+	for i := range p {
+		p[i] = src.Uint64n(ff.P31)
+	}
+	p[deg] = 1 + src.Uint64n(ff.P31-1)
+	return p
+}

@@ -1,0 +1,56 @@
+package kp
+
+import (
+	"errors"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// §5 extensions: least squares. "The techniques of Pan (1990a) combined
+// with the processor efficient algorithms for linear system solving
+// presented here immediately yield processor efficient least-squares
+// solutions to general linear systems over any field of characteristic
+// zero." Over characteristic zero the normal equations AᵀA·x = Aᵀb
+// characterize the least-squares solutions, and AᵀA is non-singular
+// exactly when A has full column rank.
+
+// ErrCharacteristicZero is returned when LeastSquares is invoked over a
+// positive-characteristic field, where "least squares" is not meaningful
+// (the quadratic form xᵀx is degenerate).
+var ErrCharacteristicZero = errors.New("kp: least squares requires characteristic zero")
+
+// LeastSquares returns the least-squares solution of the (generally
+// overdetermined) m×n system A·x ≈ b over a characteristic-zero field:
+// the x minimizing (Ax−b)ᵀ(Ax−b). For full-column-rank A the solution is
+// unique and solved through the Theorem 4 solver on the normal equations;
+// otherwise one solution of the (always consistent) normal equations is
+// returned via SolveSingular.
+func LeastSquares[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+	if f.Characteristic().Sign() != 0 {
+		return nil, ErrCharacteristicZero
+	}
+	if len(b) != a.Rows {
+		panic("kp: LeastSquares dimension mismatch")
+	}
+	at := a.Transpose()
+	g := matrix.Mul(f, at, a) // n×n Gram matrix
+	rhs := at.MulVec(f, b)
+	x, err := Solve(f, mul, g, rhs, src, subset, retries)
+	if err == nil {
+		return x, nil
+	}
+	if !errors.Is(err, ErrRetriesExhausted) {
+		return nil, err
+	}
+	// Rank-deficient A: the normal equations are still consistent.
+	return SolveSingular(f, g, rhs, src, subset, retries)
+}
+
+// ResidualIsOrthogonal reports whether the residual b − A·x is orthogonal
+// to the column space of A (Aᵀ(b − Ax) = 0) — the certificate that x is a
+// least-squares solution, used by the tests.
+func ResidualIsOrthogonal[E any](f ff.Field[E], a *matrix.Dense[E], x, b []E) bool {
+	res := ff.VecSub(f, b, a.MulVec(f, x))
+	return ff.VecIsZero(f, a.Transpose().MulVec(f, res))
+}

@@ -1,0 +1,91 @@
+package kp
+
+import (
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// §5 extensions: rank. "The former can be accomplished, for instance, by a
+// randomization such that precisely the first r principal minors in the
+// randomized matrix are not zero, and then by performing a binary search
+// for the largest non-singular principal submatrix" (citing Borodin, von
+// zur Gathen & Hopcroft 1982).
+
+// Rank returns the rank of an m×n matrix (Monte Carlo, error probability
+// decreasing geometrically in retries). Each attempt conjugates A by fresh
+// random non-singular U, V; with high probability the first r = rank(A)
+// leading principal minors of Â = U·A·V are non-zero while all larger ones
+// vanish identically, making "det(Â_k) ≠ 0" a monotone predicate amenable
+// to binary search with O(log n) determinant evaluations. Unlucky
+// randomness can only under-estimate, so the maximum over attempts is
+// reported.
+func Rank[E any](f ff.Field[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (int, error) {
+	if retries <= 0 {
+		retries = DefaultRetries
+	}
+	m, n := a.Rows, a.Cols
+	limit := min(m, n)
+	if limit == 0 {
+		return 0, nil
+	}
+	best := 0
+	for attempt := 0; attempt < retries; attempt++ {
+		u, err := randomNonsingular(f, src, m, subset)
+		if err != nil {
+			return 0, err
+		}
+		v, err := randomNonsingular(f, src, n, subset)
+		if err != nil {
+			return 0, err
+		}
+		ahat := matrix.Mul(f, matrix.Mul(f, u, a), v)
+		r, err := largestNonsingularLeading(f, ahat, limit)
+		if err != nil {
+			return 0, err
+		}
+		if r > best {
+			best = r
+		}
+		if best == limit {
+			break
+		}
+	}
+	return best, nil
+}
+
+// largestNonsingularLeading binary-searches the largest k ≤ limit with
+// det(leading k×k) ≠ 0, assuming the predicate is monotone (guaranteed
+// with high probability by the randomization).
+func largestNonsingularLeading[E any](f ff.Field[E], a *matrix.Dense[E], limit int) (int, error) {
+	lo, hi := 0, limit // invariant: minor(lo) ≠ 0 (minor(0) = 1), minor(hi+1) unknown
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		d, err := matrix.Det(f, a.Leading(mid))
+		if err != nil {
+			return 0, err
+		}
+		if f.IsZero(d) {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}
+
+// randomNonsingular draws dense matrices until one is invertible — over a
+// subset of size s a draw fails with probability ≤ n/s (Schwartz–Zippel on
+// the determinant), so a couple of draws suffice.
+func randomNonsingular[E any](f ff.Field[E], src *ff.Source, n int, subset uint64) (*matrix.Dense[E], error) {
+	for attempt := 0; attempt < 32; attempt++ {
+		m := matrix.Random(f, src, n, n, subset)
+		d, err := matrix.Det(f, m)
+		if err != nil {
+			return nil, err
+		}
+		if !f.IsZero(d) {
+			return m, nil
+		}
+	}
+	return nil, ErrRetriesExhausted
+}

@@ -1,0 +1,211 @@
+// Package kp implements the headline algorithms of Kaltofen–Pan (SPAA
+// 1991): the Theorem 4 randomized solver for non-singular systems, the §2
+// determinant, the Theorem 6 inverse obtained by Baur–Strassen
+// differentiation of the determinant circuit, the transposed-system solver
+// from the end of §4, and the §5 extensions (rank, singular systems,
+// nullspace bases, least squares, polynomial GCD via structured matrices).
+//
+// Every core pipeline comes in two forms: a branch-free single attempt
+// (XxxOnce) that runs over any ff.Field — including the circuit.Builder,
+// which turns it into the paper's algebraic circuit — and a Las Vegas
+// driver (Xxx) that draws randomness, verifies the result, and retries on
+// unlucky choices, realizing the 1 − 3n²/|S| success probability.
+package kp
+
+import (
+	"errors"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/structured"
+)
+
+// ErrRetriesExhausted is returned by the Las Vegas drivers when all random
+// attempts failed; on non-singular inputs each attempt fails with
+// probability ≤ 3n²/|S|, so exhaustion virtually certifies singularity.
+var ErrRetriesExhausted = errors.New("kp: all randomized attempts failed (matrix likely singular)")
+
+// DefaultRetries is the Las Vegas retry budget.
+const DefaultRetries = 5
+
+// Randomness is the O(n) random field elements of Theorems 4 and 6: the
+// 2n−1 Hankel entries, the n diagonal entries, and the projection vectors
+// u and v of the Wiedemann sequence.
+type Randomness[E any] struct {
+	H []E // Hankel preconditioner entries (2n−1)
+	D []E // diagonal preconditioner entries (n)
+	U []E // row projection (n)
+	V []E // column projection (n)
+}
+
+// Flat returns the randomness as one slice in canonical order (H, D, U, V),
+// the order the traced circuits consume their random inputs in.
+func (r Randomness[E]) Flat() []E {
+	out := make([]E, 0, len(r.H)+len(r.D)+len(r.U)+len(r.V))
+	out = append(out, r.H...)
+	out = append(out, r.D...)
+	out = append(out, r.U...)
+	out = append(out, r.V...)
+	return out
+}
+
+// Count returns the number of random elements for dimension n: 5n−1 = O(n),
+// matching the theorems' "O(n) nodes that denote random (input) elements".
+func Count(n int) int { return 5*n - 1 }
+
+// DrawRandomness samples the Theorem 4 randomness uniformly from the
+// canonical subset of size subset. Diagonal entries are drawn non-zero (a
+// zero entry is an automatic failure the analysis already charges for).
+func DrawRandomness[E any](f ff.Field[E], src *ff.Source, n int, subset uint64) Randomness[E] {
+	d := make([]E, n)
+	for i := range d {
+		d[i] = ff.SampleNonZero(f, src, subset)
+	}
+	return Randomness[E]{
+		H: ff.SampleVec(f, src, 2*n-1, subset),
+		D: d,
+		U: ff.SampleVec(f, src, n, subset),
+		V: ff.SampleVec(f, src, n, subset),
+	}
+}
+
+// precondition returns Ã = A·H·D as a dense matrix (mul is the paper's
+// matrix-multiplication black box, so the A·H product inherits its ω).
+func precondition[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], rnd Randomness[E]) *matrix.Dense[E] {
+	ah := mul.Mul(f, a, matrix.HankelDense(f, rnd.H))
+	out := ah.Clone()
+	for j := 0; j < out.Cols; j++ {
+		dj := rnd.D[j]
+		for i := 0; i < out.Rows; i++ {
+			out.Set(i, j, f.Mul(ah.At(i, j), dj))
+		}
+	}
+	return out
+}
+
+// charPolyOfPreconditioned runs the Theorem 4 front end: Krylov doubling on
+// Ã and v, projection by u (the sequence (8)), the Lemma 1 Toeplitz system
+// solved through the Theorem 3 machinery, and returns the (with high
+// probability) characteristic polynomial λⁿ − c_{n−1}λ^{n−1} − … − c₀ of
+// Ã, low degree first.
+func charPolyOfPreconditioned[E any](f ff.Field[E], mul matrix.Multiplier[E], atilde *matrix.Dense[E], rnd Randomness[E]) ([]E, error) {
+	n := atilde.Rows
+	// Sequence a_i = u·Ãⁱ·v, i = 0..2n−1, via the doubling of (9).
+	k := matrix.KrylovDoubling(f, mul, atilde, rnd.V, 2*n)
+	a := matrix.ProjectKrylov(f, rnd.U, k)
+	// Lemma 1 system: T_n·(c_{n−1},…,c₀)ᵀ = (a_n,…,a_{2n−1})ᵀ, solved with
+	// the Toeplitz solver of §3 (Theorem 3 + Cayley–Hamilton).
+	tm := structured.NewToeplitz(a[:2*n-1])
+	rhs := a[n : 2*n]
+	c, err := structured.SolveParallel(f, mul, tm, rhs)
+	if err != nil {
+		return nil, err
+	}
+	// Assemble λⁿ − c_{n−1}λ^{n−1} − … − c₀ (c is ordered high to low).
+	cp := make([]E, n+1)
+	for i := 0; i < n; i++ {
+		cp[i] = f.Neg(c[n-1-i])
+	}
+	cp[n] = f.One()
+	return cp, nil
+}
+
+// SolveOnce is one branch-free attempt at Theorem 4: solve A·x = b with the
+// supplied randomness. It performs no zero tests; with unlucky randomness
+// it either divides by zero (over a concrete field: an error; over the
+// circuit builder: a division node that fails at evaluation) or returns a
+// wrong vector, which the Las Vegas driver detects by checking A·x = b.
+func SolveOnce[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, rnd Randomness[E]) ([]E, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("kp: SolveOnce needs a square system")
+	}
+	atilde := precondition(f, mul, a, rnd)
+	cp, err := charPolyOfPreconditioned(f, mul, atilde, rnd)
+	if err != nil {
+		return nil, err
+	}
+	// Cayley–Hamilton: x̃ = −(1/pₙ)·Σ_{j=0}^{n−1} p_{n−1−j}·Ãʲ·b, with
+	// pₙ = cp[0] and p_{n−1−j} = cp[j+1]; the Krylov vectors Ãʲb come from
+	// one more doubling pass.
+	kb := matrix.KrylovDoubling(f, mul, atilde, b, n)
+	scaled := make([][]E, n)
+	for j := 0; j < n; j++ {
+		scaled[j] = ff.VecScale(f, cp[j+1], kb.Col(j))
+	}
+	acc := ff.SumVecs(f, scaled)
+	scale, err := f.Div(f.Neg(f.One()), cp[0])
+	if err != nil {
+		return nil, err
+	}
+	xt := ff.VecScale(f, scale, acc)
+	// x = H·(D·x̃): undo the preconditioning.
+	dx := make([]E, n)
+	for i := range dx {
+		dx[i] = f.Mul(rnd.D[i], xt[i])
+	}
+	h := structured.Hankel[E]{N: n, D: rnd.H}
+	return h.MulVec(f, dx), nil
+}
+
+// Solve is the Las Vegas Theorem 4 driver: it draws fresh randomness,
+// attempts SolveOnce, verifies A·x = b, and retries on failure. A returned
+// solution is always correct; ErrRetriesExhausted after `retries` attempts
+// indicates a singular matrix except with negligible probability.
+// Requires characteristic 0 or > n (Theorem 4's hypothesis).
+func Solve[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+	n := a.Rows
+	if retries <= 0 {
+		retries = DefaultRetries
+	}
+	for attempt := 0; attempt < retries; attempt++ {
+		rnd := DrawRandomness(f, src, n, subset)
+		x, err := SolveOnce(f, mul, a, b, rnd)
+		if err != nil {
+			if errors.Is(err, ff.ErrDivisionByZero) || errors.Is(err, matrix.ErrSingular) {
+				continue // unlucky randomness (or singular input)
+			}
+			return nil, err
+		}
+		if ff.VecEqual(f, a.MulVec(f, x), b) {
+			return x, nil
+		}
+	}
+	return nil, ErrRetriesExhausted
+}
+
+// TraceSolve builds the Theorem 4 circuit for dimension n: inputs are the
+// n² entries of A and the n entries of b; the 5n−1 random elements enter as
+// random-input nodes; the n outputs are A⁻¹b. The circuit has size
+// O(n^ω·log n) (with the classical multiplier, ω = 3) and depth
+// O((log n)²), and divides by zero only on unlucky random values — exactly
+// the statement of Theorem 4.
+func TraceSolve[E any](model ff.Field[E], mul matrix.Multiplier[circuit.Wire], n int) (*circuit.Builder, error) {
+	b := circuit.NewBuilderFor(model)
+	aw := matrixInput(b, n)
+	bw := b.Inputs(n)
+	rnd := randomnessInput(b, n)
+	x, err := SolveOnce[circuit.Wire](b, mul, aw, bw, rnd)
+	if err != nil {
+		return nil, err
+	}
+	b.Return(x...)
+	return b, nil
+}
+
+// matrixInput declares an n×n input matrix (row-major input order).
+func matrixInput(b *circuit.Builder, n int) *matrix.Dense[circuit.Wire] {
+	return &matrix.Dense[circuit.Wire]{Rows: n, Cols: n, Data: b.Inputs(n * n)}
+}
+
+// randomnessInput declares the Theorem 4 randomness as random-input nodes,
+// in the canonical Flat order.
+func randomnessInput(b *circuit.Builder, n int) Randomness[circuit.Wire] {
+	return Randomness[circuit.Wire]{
+		H: b.RandomInputs(2*n - 1),
+		D: b.RandomInputs(n),
+		U: b.RandomInputs(n),
+		V: b.RandomInputs(n),
+	}
+}

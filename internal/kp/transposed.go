@@ -1,0 +1,94 @@
+package kp
+
+import (
+	"errors"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// Transposition principle (end of §4): from a circuit computing A⁻¹b one
+// obtains a circuit for (Aᵀ)⁻¹b at 4× the size and O(1)× the depth, by
+// differentiating
+//
+//	f(y₁,…,yₙ) := yᵀ·(Aᵀ)⁻¹·b = (A⁻¹y)ᵀ·b
+//
+// with respect to y: ∇_y f = (A⁻¹)ᵀ·b = (Aᵀ)⁻¹·b. The function f itself is
+// computed with the *given* solver circuit (solve against right-hand side
+// y, then one inner product with b) — no transposed algorithm is ever
+// written by hand.
+
+// TraceTransposedSolve builds the circuit computing (Aᵀ)⁻¹b for dimension
+// n. Inputs: A (n², row-major) then b (n); random inputs as in Theorem 4;
+// outputs: the n entries of (Aᵀ)⁻¹b.
+func TraceTransposedSolve[E any](model ff.Field[E], mul matrix.Multiplier[circuit.Wire], n int) (*circuit.Builder, error) {
+	bld := circuit.NewBuilderFor(model)
+	aw := matrixInput(bld, n)
+	bw := bld.Inputs(n)
+	// y are ordinary inputs: the gradient is taken with respect to them,
+	// and they are *evaluated* at arbitrary values (the derivative of a
+	// linear function does not depend on the evaluation point; we feed
+	// zeros at evaluation time).
+	yw := bld.Inputs(n)
+	rnd := randomnessInput(bld, n)
+	x, err := SolveOnce[circuit.Wire](bld, mul, aw, yw, rnd)
+	if err != nil {
+		return nil, err
+	}
+	f := ff.Dot[circuit.Wire](bld, x, bw)
+	grads, err := circuit.Gradient(bld, f)
+	if err != nil {
+		return nil, err
+	}
+	// Gradient with respect to the y inputs: positions n²+n … n²+2n−1.
+	outs := make([]circuit.Wire, n)
+	for i := 0; i < n; i++ {
+		outs[i] = grads[n*n+n+i]
+	}
+	bld.Return(outs...)
+	return bld, nil
+}
+
+// TransposedSolveFromCircuit evaluates a TraceTransposedSolve circuit:
+// inputs A, b, y = 0 (any value works — f is linear in y), randomness.
+func TransposedSolveFromCircuit[E any](bld *circuit.Builder, f ff.Field[E], a *matrix.Dense[E], b []E, rnd Randomness[E]) ([]E, error) {
+	n := a.Rows
+	inputs := make([]E, 0, n*n+2*n+len(rnd.Flat()))
+	inputs = append(inputs, a.Data...)
+	inputs = append(inputs, b...)
+	inputs = append(inputs, ff.VecZero(f, n)...) // y evaluation point
+	inputs = append(inputs, rnd.Flat()...)
+	return circuit.Eval(bld, f, inputs)
+}
+
+// TransposedSolve solves Aᵀ·x = b through the transposition principle,
+// verifying the result (Las Vegas). It never forms Aᵀ.
+func TransposedSolve[E any](f ff.Field[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("kp: TransposedSolve needs a square system")
+	}
+	if retries <= 0 {
+		retries = DefaultRetries
+	}
+	circ, err := TraceTransposedSolve(f, matrix.Classical[circuit.Wire]{}, n)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < retries; attempt++ {
+		rnd := DrawRandomness(f, src, n, subset)
+		x, err := TransposedSolveFromCircuit(circ, f, a, b, rnd)
+		if err != nil {
+			if errors.Is(err, ff.ErrDivisionByZero) {
+				continue
+			}
+			return nil, err
+		}
+		// Verify Aᵀx = b, i.e. xᵀA = bᵀ.
+		if ff.VecEqual(f, a.VecMul(f, x), b) {
+			return x, nil
+		}
+	}
+	return nil, ErrRetriesExhausted
+}

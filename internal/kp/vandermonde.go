@@ -1,0 +1,87 @@
+package kp
+
+import (
+	"errors"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/poly"
+)
+
+// The paper's §4 ends: "In a special case this construction gives us a
+// fast transposed Vandermonde system solver based on fast polynomial
+// interpolation." Realized here literally: interpolation computes
+// c = V⁻¹y (V the Vandermonde matrix of the nodes), so tracing
+//
+//	f(y) = (V⁻¹y)ᵀ·b
+//
+// through the fast interpolation circuit and differentiating with respect
+// to y (Theorem 5) yields x = (Vᵀ)⁻¹·b at 4× the interpolation cost — no
+// transposed algorithm is ever written.
+
+// ErrRepeatedNodes is returned when the Vandermonde nodes are not pairwise
+// distinct (the only failure mode: V is singular exactly then).
+var ErrRepeatedNodes = errors.New("kp: repeated Vandermonde nodes")
+
+// TraceTransposedVandermonde builds the circuit computing (Vᵀ)⁻¹b for n
+// interpolation nodes. Inputs: nodes xs (n), then b (n), then the
+// differentiation variables y (n, evaluated at any point — zeros at
+// evaluation time). Outputs: the n entries of (Vᵀ)⁻¹b.
+func TraceTransposedVandermonde[E any](model ff.Field[E], n int) (*circuit.Builder, error) {
+	bld := circuit.NewBuilderFor(model)
+	xs := bld.Inputs(n)
+	bw := bld.Inputs(n)
+	yw := bld.Inputs(n)
+	c, err := poly.InterpolateFast[circuit.Wire](bld, xs, yw)
+	if err != nil {
+		return nil, err
+	}
+	// Pad the coefficient vector to length n (interpolants may have lower
+	// degree symbolically only through structural zeros, but be safe).
+	cw := make([]circuit.Wire, n)
+	for i := range cw {
+		cw[i] = poly.Coef[circuit.Wire](bld, c, i)
+	}
+	f := ff.Dot[circuit.Wire](bld, cw, bw)
+	grads, err := circuit.Gradient(bld, f)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]circuit.Wire, n)
+	copy(outs, grads[2*n:3*n]) // gradient with respect to the y inputs
+	bld.Return(outs...)
+	return bld, nil
+}
+
+// TransposedVandermondeSolve solves Vᵀ·x = b for the Vandermonde matrix V
+// of the given pairwise-distinct nodes, via the traced-and-differentiated
+// fast interpolation. The result satisfies Σᵢ xᵢ·xsᵢ^j = b_j and is
+// verified before being returned.
+func TransposedVandermondeSolve[E any](f ff.Field[E], xs, b []E) ([]E, error) {
+	n := len(xs)
+	if len(b) != n {
+		panic("kp: TransposedVandermondeSolve dimension mismatch")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	circ, err := TraceTransposedVandermonde(f, n)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([]E, 0, 3*n)
+	inputs = append(inputs, xs...)
+	inputs = append(inputs, b...)
+	inputs = append(inputs, ff.VecZero(f, n)...) // y: any point, f is linear
+	x, err := circuit.Eval(circ, f, inputs)
+	if err != nil {
+		if errors.Is(err, ff.ErrDivisionByZero) {
+			return nil, ErrRepeatedNodes
+		}
+		return nil, err
+	}
+	if !ff.VecEqual(f, poly.VandermondeTransposedApply(f, xs, x), b) {
+		return nil, ErrRepeatedNodes // unreachable for distinct nodes
+	}
+	return x, nil
+}

@@ -1,0 +1,88 @@
+package kp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+func TestTransposedVandermondeSolve(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(211)
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(2*i + 3) // distinct
+		}
+		b := ff.SampleVec[uint64](f, src, n, ff.P31)
+		x, err := TransposedVandermondeSolve[uint64](f, xs, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Against dense linear algebra: Vᵀ·x = b.
+		vt := matrix.NewDense[uint64](f, n, n)
+		for i := 0; i < n; i++ {
+			pw := f.One()
+			for j := 0; j < n; j++ {
+				vt.Set(j, i, pw) // Vᵀ[j][i] = xsᵢ^j
+				pw = f.Mul(pw, xs[i])
+			}
+		}
+		want, err := matrix.Solve[uint64](f, vt, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ff.VecEqual[uint64](f, x, want) {
+			t.Fatalf("n=%d: transposed Vandermonde solution differs from dense", n)
+		}
+	}
+}
+
+func TestTransposedVandermondeRepeatedNodes(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	_, err := TransposedVandermondeSolve[uint64](f, []uint64{1, 2, 2}, []uint64{1, 1, 1})
+	if !errors.Is(err, ErrRepeatedNodes) {
+		t.Fatalf("err = %v, want ErrRepeatedNodes", err)
+	}
+}
+
+func TestTraceTransposedVandermondeCost(t *testing.T) {
+	// The transposed solver's circuit should stay within the Theorem 5
+	// factor of the interpolation circuit it was derived from.
+	f := ff.MustFp64(ff.P31)
+	n := 16
+	trans, err := TraceTransposedVandermonde[uint64](f, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the interpolation circuit alone.
+	interp := tracedInterpolation(t, f, n)
+	ratio := float64(trans.LiveSize()) / float64(interp.LiveSize())
+	if ratio > 5 {
+		t.Fatalf("transposed/interpolation size ratio %.2f > 5", ratio)
+	}
+	if trans.Depth() > 4*interp.Depth()+16 {
+		t.Fatalf("transposed depth %d vs interpolation depth %d", trans.Depth(), interp.Depth())
+	}
+}
+
+func tracedInterpolation(t *testing.T, model ff.Fp64, n int) *circuit.Builder {
+	t.Helper()
+	bld := circuit.NewBuilderFor[uint64](model)
+	xs := bld.Inputs(n)
+	yw := bld.Inputs(n)
+	c, err := poly.InterpolateFast[circuit.Wire](bld, xs, yw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]circuit.Wire, n)
+	for i := range outs {
+		outs[i] = poly.Coef[circuit.Wire](bld, c, i)
+	}
+	bld.Return(outs...)
+	return bld
+}

@@ -1,0 +1,130 @@
+package matrix
+
+import "repro/internal/ff"
+
+// BlackBox is a matrix accessed only through matrix-times-vector products,
+// the access model of Wiedemann's method. Dense, Sparse and structured
+// (Toeplitz/Hankel) matrices all implement it.
+type BlackBox[E any] interface {
+	// Dims returns (rows, cols).
+	Dims() (int, int)
+	// Apply returns A·x.
+	Apply(f ff.Field[E], x []E) []E
+}
+
+// DenseBox adapts a Dense matrix to the BlackBox interface.
+type DenseBox[E any] struct{ M *Dense[E] }
+
+// Dims returns the matrix shape.
+func (b DenseBox[E]) Dims() (int, int) { return b.M.Rows, b.M.Cols }
+
+// Apply returns M·x.
+func (b DenseBox[E]) Apply(f ff.Field[E], x []E) []E { return b.M.MulVec(f, x) }
+
+// SparseBox adapts a Sparse matrix to the BlackBox interface.
+type SparseBox[E any] struct{ M *Sparse[E] }
+
+// Dims returns the matrix shape.
+func (b SparseBox[E]) Dims() (int, int) { return b.M.Rows(), b.M.Cols() }
+
+// Apply returns M·x.
+func (b SparseBox[E]) Apply(f ff.Field[E], x []E) []E { return b.M.Apply(f, x) }
+
+// ComposedBox applies a chain of black boxes right to left: (B₁∘B₂∘…)(x).
+// It represents products like Ã = A·H·D without forming them, the way
+// Wiedemann's preconditioned algorithm consumes them.
+type ComposedBox[E any] struct{ Boxes []BlackBox[E] }
+
+// Dims returns (rows of the first box, cols of the last box).
+func (c ComposedBox[E]) Dims() (int, int) {
+	r, _ := c.Boxes[0].Dims()
+	_, cl := c.Boxes[len(c.Boxes)-1].Dims()
+	return r, cl
+}
+
+// Apply returns B₁(B₂(…(x))).
+func (c ComposedBox[E]) Apply(f ff.Field[E], x []E) []E {
+	for i := len(c.Boxes) - 1; i >= 0; i-- {
+		x = c.Boxes[i].Apply(f, x)
+	}
+	return x
+}
+
+// KrylovIterative returns the m vectors b, Ab, A²b, …, A^{m−1}b by repeated
+// application — the sequential way to drive Wiedemann's method (cost
+// m − 1 black-box products).
+func KrylovIterative[E any](f ff.Field[E], a BlackBox[E], b []E, m int) [][]E {
+	out := make([][]E, m)
+	cur := ff.VecCopy(b)
+	for i := 0; i < m; i++ {
+		out[i] = cur
+		if i+1 < m {
+			cur = a.Apply(f, cur)
+		}
+	}
+	return out
+}
+
+// KrylovDoubling returns [b | Ab | … | A^{m−1}b] as the columns of a dense
+// matrix, computed by the doubling argument of the paper's equation (9):
+//
+//	A^{2^i}·(v  Av  …  A^{2^i−1}v) = (A^{2^i}v  …  A^{2^{i+1}−1}v)
+//
+// (Borodin–Munro p. 128; Keller-Gehrig 1985). Each of the ⌈log₂ m⌉ rounds
+// is one matrix product plus one squaring, so the whole Krylov matrix costs
+// O(n^ω log m) operations at O((log n)²) circuit depth — this is what makes
+// the Kaltofen–Pan solver processor efficient, where the iterative method
+// would have depth Ω(n).
+func KrylovDoubling[E any](f ff.Field[E], mul Multiplier[E], a *Dense[E], b []E, m int) *Dense[E] {
+	a.mustSquare()
+	n := a.Rows
+	if len(b) != n {
+		panic("matrix: KrylovDoubling dimension mismatch")
+	}
+	// K starts as the single column b.
+	k := &Dense[E]{Rows: n, Cols: 1, Data: append([]E(nil), b...)}
+	pow := a // A^{2^i}
+	for k.Cols < m {
+		// Append A^{2^i}·K, doubling the column count.
+		next := mul.Mul(f, pow, k)
+		k = hcat(f, k, next)
+		if k.Cols < m {
+			pow = mul.Mul(f, pow, pow)
+		}
+	}
+	if k.Cols > m {
+		k = k.Submatrix(0, n, 0, m)
+	}
+	return k
+}
+
+func hcat[E any](f ff.Field[E], a, b *Dense[E]) *Dense[E] {
+	if a.Rows != b.Rows {
+		panic("matrix: hcat row mismatch")
+	}
+	out := &Dense[E]{Rows: a.Rows, Cols: a.Cols + b.Cols, Data: make([]E, a.Rows*(a.Cols+b.Cols))}
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:i*out.Cols+a.Cols], a.Data[i*a.Cols:(i+1)*a.Cols])
+		copy(out.Data[i*out.Cols+a.Cols:(i+1)*out.Cols], b.Data[i*b.Cols:(i+1)*b.Cols])
+	}
+	return out
+}
+
+// ProjectKrylov returns the scalars a_i = u·k_i for the columns k_i of the
+// Krylov matrix: the linearly generated sequence {u A^i b} of Wiedemann's
+// method, computed with balanced inner products.
+func ProjectKrylov[E any](f ff.Field[E], u []E, k *Dense[E]) []E {
+	if len(u) != k.Rows {
+		panic("matrix: ProjectKrylov dimension mismatch")
+	}
+	return k.VecMul(f, u)
+}
+
+// ProjectSequence returns u·v_i for a list of vectors.
+func ProjectSequence[E any](f ff.Field[E], u []E, vs [][]E) []E {
+	out := make([]E, len(vs))
+	for i, v := range vs {
+		out[i] = ff.Dot(f, u, v)
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package matrix
+
+import (
+	"errors"
+
+	"repro/internal/ff"
+)
+
+// ErrSingular is returned by the elimination routines when the matrix is
+// singular (and by the randomized algorithms after exhausting retries).
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Gaussian elimination is the paper's sequential yardstick ("Gaussian
+// elimination is a sequential method for all these computational problems
+// over abstract fields", citing Bunch–Hopcroft). Unlike the Kaltofen–Pan
+// circuits it uses zero tests to pick pivots, which is exactly why it does
+// not parallelize to polylog depth.
+
+// LU holds a PLU factorization P·A = L·U with unit-diagonal L, produced by
+// elimination with first-non-zero pivoting (the only pivoting available
+// over an abstract field).
+type LU[E any] struct {
+	// Fact stores L below the diagonal (unit diagonal implicit) and U on
+	// and above it.
+	Fact *Dense[E]
+	// Perm is the row permutation: row i of Fact came from row Perm[i] of A.
+	Perm []int
+	// Sign is the permutation sign (+1/−1) for determinant computation.
+	Sign int
+	// Rank is the number of non-zero pivots found.
+	Rank int
+}
+
+// Factor computes a PLU factorization of a square matrix. Rank-deficient
+// matrices factor too; Rank records how far elimination got.
+func Factor[E any](f ff.Field[E], a *Dense[E]) (*LU[E], error) {
+	a.mustSquare()
+	n := a.Rows
+	m := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1
+	rank := 0
+	for col := 0; col < n; col++ {
+		// Find first non-zero pivot at or below the diagonal.
+		pivot := -1
+		for r := rank; r < n; r++ {
+			if !f.IsZero(m.At(r, col)) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue // singular in this column; move on (rank deficiency)
+		}
+		if pivot != rank {
+			swapRows(m, pivot, rank)
+			perm[pivot], perm[rank] = perm[rank], perm[pivot]
+			sign = -sign
+		}
+		pInv, err := f.Inv(m.At(rank, col))
+		if err != nil {
+			return nil, err
+		}
+		for r := rank + 1; r < n; r++ {
+			factor := f.Mul(m.At(r, col), pInv)
+			m.Set(r, col, factor) // store L entry
+			if f.IsZero(factor) {
+				continue
+			}
+			for c := col + 1; c < n; c++ {
+				m.Set(r, c, f.Sub(m.At(r, c), f.Mul(factor, m.At(rank, c))))
+			}
+		}
+		rank++
+	}
+	return &LU[E]{Fact: m, Perm: perm, Sign: sign, Rank: rank}, nil
+}
+
+func swapRows[E any](m *Dense[E], a, b int) {
+	if a == b {
+		return
+	}
+	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Det returns the determinant from the factorization.
+func (lu *LU[E]) Det(f ff.Field[E]) E {
+	n := lu.Fact.Rows
+	if lu.Rank < n {
+		return f.Zero()
+	}
+	d := f.One()
+	if lu.Sign < 0 {
+		d = f.Neg(d)
+	}
+	for i := 0; i < n; i++ {
+		d = f.Mul(d, lu.Fact.At(i, i))
+	}
+	return d
+}
+
+// Solve returns x with A·x = b, or ErrSingular for rank-deficient A.
+func (lu *LU[E]) Solve(f ff.Field[E], b []E) ([]E, error) {
+	n := lu.Fact.Rows
+	if lu.Rank < n {
+		return nil, ErrSingular
+	}
+	if len(b) != n {
+		panic("matrix: Solve dimension mismatch")
+	}
+	// Apply permutation: Pb.
+	y := make([]E, n)
+	for i := range y {
+		y[i] = b[lu.Perm[i]]
+	}
+	// Forward substitution L·y = Pb.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			y[i] = f.Sub(y[i], f.Mul(lu.Fact.At(i, j), y[j]))
+		}
+	}
+	// Back substitution U·x = y.
+	x := make([]E, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for j := i + 1; j < n; j++ {
+			acc = f.Sub(acc, f.Mul(lu.Fact.At(i, j), x[j]))
+		}
+		v, err := f.Div(acc, lu.Fact.At(i, i))
+		if err != nil {
+			return nil, ErrSingular
+		}
+		x[i] = v
+	}
+	return x, nil
+}
+
+// Det returns the determinant of a square matrix by elimination.
+func Det[E any](f ff.Field[E], a *Dense[E]) (E, error) {
+	lu, err := Factor(f, a)
+	if err != nil {
+		var z E
+		return z, err
+	}
+	return lu.Det(f), nil
+}
+
+// Solve solves A·x = b by elimination.
+func Solve[E any](f ff.Field[E], a *Dense[E], b []E) ([]E, error) {
+	lu, err := Factor(f, a)
+	if err != nil {
+		return nil, err
+	}
+	return lu.Solve(f, b)
+}
+
+// Inverse returns A⁻¹ by elimination, or ErrSingular.
+func Inverse[E any](f ff.Field[E], a *Dense[E]) (*Dense[E], error) {
+	lu, err := Factor(f, a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	if lu.Rank < n {
+		return nil, ErrSingular
+	}
+	inv := NewDense(f, n, n)
+	e := make([]E, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = f.Zero()
+		}
+		e[j] = f.One()
+		col, err := lu.Solve(f, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Rank returns the rank of an arbitrary rectangular matrix by row
+// reduction.
+func Rank[E any](f ff.Field[E], a *Dense[E]) (int, error) {
+	m := a.Clone()
+	rank := 0
+	for col := 0; col < m.Cols && rank < m.Rows; col++ {
+		pivot := -1
+		for r := rank; r < m.Rows; r++ {
+			if !f.IsZero(m.At(r, col)) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		swapRows(m, pivot, rank)
+		pInv, err := f.Inv(m.At(rank, col))
+		if err != nil {
+			return 0, err
+		}
+		for r := rank + 1; r < m.Rows; r++ {
+			factor := f.Mul(m.At(r, col), pInv)
+			if f.IsZero(factor) {
+				continue
+			}
+			for c := col; c < m.Cols; c++ {
+				m.Set(r, c, f.Sub(m.At(r, c), f.Mul(factor, m.At(rank, c))))
+			}
+		}
+		rank++
+	}
+	return rank, nil
+}
+
+// NullspaceDense returns a basis (as columns) of the right nullspace of a,
+// computed by reduced row echelon form. It is the reference the randomized
+// Kaltofen–Pan nullspace construction is validated against.
+func NullspaceDense[E any](f ff.Field[E], a *Dense[E]) (*Dense[E], error) {
+	m := a.Clone()
+	rows, cols := m.Rows, m.Cols
+	pivotCol := make([]int, 0, rows)
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		for r := rank; r < rows; r++ {
+			if !f.IsZero(m.At(r, col)) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		swapRows(m, pivot, rank)
+		pInv, err := f.Inv(m.At(rank, col))
+		if err != nil {
+			return nil, err
+		}
+		// Normalize pivot row.
+		for c := col; c < cols; c++ {
+			m.Set(rank, c, f.Mul(m.At(rank, c), pInv))
+		}
+		// Eliminate the column everywhere else (full RREF).
+		for r := 0; r < rows; r++ {
+			if r == rank || f.IsZero(m.At(r, col)) {
+				continue
+			}
+			factor := m.At(r, col)
+			for c := col; c < cols; c++ {
+				m.Set(r, c, f.Sub(m.At(r, c), f.Mul(factor, m.At(rank, c))))
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	// Free columns parameterize the nullspace.
+	isPivot := make([]bool, cols)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	free := make([]int, 0, cols-rank)
+	for c := 0; c < cols; c++ {
+		if !isPivot[c] {
+			free = append(free, c)
+		}
+	}
+	ns := NewDense(f, cols, len(free))
+	for k, fc := range free {
+		ns.Set(fc, k, f.One())
+		for r, pc := range pivotCol {
+			ns.Set(pc, k, f.Neg(m.At(r, fc)))
+		}
+	}
+	return ns, nil
+}

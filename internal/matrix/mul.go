@@ -1,0 +1,119 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/ff"
+)
+
+// Multiplier is the paper's "matrix multiplication as a black box": the
+// Kaltofen–Pan processor count inherits its exponent ω from whatever
+// multiplier is plugged in here. Classical gives ω = 3, Strassen ω ≈ 2.81;
+// the paper notes the classical method "may yield a practical algorithm".
+type Multiplier[E any] interface {
+	// Mul returns a·b; a.Cols must equal b.Rows.
+	Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E]
+	// Name identifies the algorithm in benchmark output.
+	Name() string
+	// Omega is the algorithm's exponent (3 classical, log₂7 Strassen).
+	Omega() float64
+}
+
+// Classical is the cubic-time schoolbook multiplier.
+type Classical[E any] struct{}
+
+// Name returns "classical".
+func (Classical[E]) Name() string { return "classical" }
+
+// Omega returns 3.
+func (Classical[E]) Omega() float64 { return 3 }
+
+// Mul returns a·b with balanced inner products (depth O(log n) when traced
+// as a circuit).
+func (Classical[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
+	return mulClassical(f, a, b)
+}
+
+func mulClassical[E any](f ff.Field[E], a, b *Dense[E]) *Dense[E] {
+	if a.Cols != b.Rows {
+		panic("matrix: Mul dimension mismatch")
+	}
+	out := &Dense[E]{Rows: a.Rows, Cols: b.Cols, Data: make([]E, a.Rows*b.Cols)}
+	bt := b.Transpose() // contiguous columns for cache friendliness
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < b.Cols; j++ {
+			out.Data[i*out.Cols+j] = ff.Dot(f, arow, bt.Data[j*bt.Cols:(j+1)*bt.Cols])
+		}
+	}
+	return out
+}
+
+// Parallel wraps a multiplier-independent classical multiply that splits
+// rows across goroutines. It demonstrates real multicore speedup of the
+// substrate (the PRAM experiments use the circuit scheduler instead).
+type Parallel[E any] struct {
+	// Workers is the number of goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Name returns "parallel-classical".
+func (Parallel[E]) Name() string { return "parallel-classical" }
+
+// Omega returns 3.
+func (Parallel[E]) Omega() float64 { return 3 }
+
+// Mul returns a·b with rows distributed over a goroutine pool.
+func (p Parallel[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
+	if a.Cols != b.Rows {
+		panic("matrix: Mul dimension mismatch")
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := &Dense[E]{Rows: a.Rows, Cols: b.Cols, Data: make([]E, a.Rows*b.Cols)}
+	bt := b.Transpose()
+	var wg sync.WaitGroup
+	rowsPer := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := min(lo+rowsPer, a.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				for j := 0; j < b.Cols; j++ {
+					out.Data[i*out.Cols+j] = ff.Dot(f, arow, bt.Data[j*bt.Cols:(j+1)*bt.Cols])
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Mul is the package-default product (classical).
+func Mul[E any](f ff.Field[E], a, b *Dense[E]) *Dense[E] {
+	return mulClassical(f, a, b)
+}
+
+// Pow returns a^k for square a by repeated squaring (k ≥ 0).
+func Pow[E any](f ff.Field[E], a *Dense[E], k int) *Dense[E] {
+	a.mustSquare()
+	result := Identity(f, a.Rows)
+	base := a
+	for k > 0 {
+		if k&1 == 1 {
+			result = Mul(f, result, base)
+		}
+		base = Mul(f, base, base)
+		k >>= 1
+	}
+	return result
+}

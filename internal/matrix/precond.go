@@ -1,0 +1,124 @@
+package matrix
+
+import "repro/internal/ff"
+
+// Random preconditioners of Kaltofen–Pan §2. Theorem 2 (due to B. D.
+// Saunders): for a random Hankel matrix H with entries uniform in S, every
+// leading principal submatrix of Â = A·H is non-singular with probability
+// ≥ 1 − n(n−1)/(2|S|). Equation (1) (Wiedemann): with a further random
+// diagonal D, Ã = Â·D has its minimum polynomial equal to its
+// characteristic polynomial with probability ≥ 1 − n(2n−2)/|S|.
+
+// HankelDense builds the n×n Hankel matrix H with H[i][j] = h[i+j] from the
+// 2n−1 entries h₀ … h_{2n−2} (the paper's matrix in Theorem 2).
+func HankelDense[E any](f ff.Field[E], h []E) *Dense[E] {
+	if len(h)%2 == 0 {
+		panic("matrix: Hankel needs an odd number of entries (2n−1)")
+	}
+	n := (len(h) + 1) / 2
+	m := &Dense[E]{Rows: n, Cols: n, Data: make([]E, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Data[i*n+j] = h[i+j]
+		}
+	}
+	return m
+}
+
+// ToeplitzDense builds the n×n Toeplitz matrix T with T[i][j] = t[n−1+i−j]
+// from the 2n−1 entries t₀ … t_{2n−2} (t₀ is the top-right corner, matching
+// the paper's display (4)).
+func ToeplitzDense[E any](f ff.Field[E], t []E) *Dense[E] {
+	if len(t)%2 == 0 {
+		panic("matrix: Toeplitz needs an odd number of entries (2n−1)")
+	}
+	n := (len(t) + 1) / 2
+	m := &Dense[E]{Rows: n, Cols: n, Data: make([]E, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Data[i*n+j] = t[n-1+i-j]
+		}
+	}
+	return m
+}
+
+// Preconditioner bundles the random Hankel and diagonal factors H, D of
+// the transformation Ã = A·H·D together with the raw random entries, so
+// that det(H) and det(D) can be recovered when undoing the preconditioning
+// (the paper divides the computed determinant by det(H)·det(D)).
+type Preconditioner[E any] struct {
+	HEntries []E // 2n−1 Hankel entries
+	DEntries []E // n diagonal entries
+	H        *Dense[E]
+	D        *Dense[E]
+}
+
+// NewPreconditioner draws H and D with entries uniform from the canonical
+// subset of size subset. The diagonal entries are drawn non-zero: a zero
+// entry makes D singular outright, and the paper's probability analysis
+// already charges for this case, so rejecting zeros only improves the
+// constant while keeping the Ã-distribution within the analysis.
+func NewPreconditioner[E any](f ff.Field[E], src *ff.Source, n int, subset uint64) *Preconditioner[E] {
+	h := ff.SampleVec(f, src, 2*n-1, subset)
+	d := make([]E, n)
+	for i := range d {
+		d[i] = ff.SampleNonZero(f, src, subset)
+	}
+	return &Preconditioner[E]{
+		HEntries: h,
+		DEntries: d,
+		H:        HankelDense(f, h),
+		D:        Diagonal(f, d),
+	}
+}
+
+// Apply returns Ã = A·H·D.
+func (p *Preconditioner[E]) Apply(f ff.Field[E], mul Multiplier[E], a *Dense[E]) *Dense[E] {
+	ah := mul.Mul(f, a, p.H)
+	// Right-multiplying by a diagonal scales columns; no full product needed.
+	out := ah.Clone()
+	for j := 0; j < out.Cols; j++ {
+		dj := p.DEntries[j]
+		for i := 0; i < out.Rows; i++ {
+			out.Set(i, j, f.Mul(ah.At(i, j), dj))
+		}
+	}
+	return out
+}
+
+// DetD returns det(D) = ∏ dᵢ via a balanced product.
+func (p *Preconditioner[E]) DetD(f ff.Field[E]) E {
+	terms := ff.VecCopy(p.DEntries)
+	for len(terms) > 1 {
+		next := terms[:(len(terms)+1)/2]
+		for i := 0; i+1 < len(terms); i += 2 {
+			next[i/2] = f.Mul(terms[i], terms[i+1])
+		}
+		if len(terms)%2 == 1 {
+			next[len(next)-1] = terms[len(terms)-1]
+		}
+		terms = next
+	}
+	if len(terms) == 0 {
+		return f.One()
+	}
+	return terms[0]
+}
+
+// AllLeadingMinorsNonZero reports whether every leading principal k×k minor
+// of a is non-zero — the property Theorem 2 establishes for Â = AH. It is
+// used by the E2 experiment, not by the algorithms themselves (which never
+// zero-test).
+func AllLeadingMinorsNonZero[E any](f ff.Field[E], a *Dense[E]) (bool, error) {
+	a.mustSquare()
+	for k := 1; k <= a.Rows; k++ {
+		d, err := Det(f, a.Leading(k))
+		if err != nil {
+			return false, err
+		}
+		if f.IsZero(d) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,162 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ff"
+)
+
+// Property-based tests on the dense linear-algebra substrate.
+
+var qf = ff.MustFp64(ff.P31)
+
+func mkMat(seed []uint64, n int) *Dense[uint64] {
+	m := NewDense[uint64](qf, n, n)
+	for i := range m.Data {
+		m.Data[i] = qf.Elem(at(seed, i))
+	}
+	return m
+}
+
+func at(seed []uint64, i int) uint64 {
+	if len(seed) == 0 {
+		return uint64(i)*0x9e3779b97f4a7c15 + 7
+	}
+	return seed[i%len(seed)] + uint64(i)*0x9e3779b97f4a7c15
+}
+
+func TestQuickTransposeProduct(t *testing.T) {
+	prop := func(sa, sb []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		a, b := mkMat(sa, n), mkMat(sb, n)
+		// (AB)ᵀ = BᵀAᵀ
+		lhs := Mul[uint64](qf, a, b).Transpose()
+		rhs := Mul[uint64](qf, b.Transpose(), a.Transpose())
+		return lhs.Equal(qf, rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDetMultiplicative(t *testing.T) {
+	prop := func(sa, sb []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%7)
+		a, b := mkMat(sa, n), mkMat(sb, n)
+		da, err := Det[uint64](qf, a)
+		if err != nil {
+			return false
+		}
+		db, err := Det[uint64](qf, b)
+		if err != nil {
+			return false
+		}
+		dab, err := Det[uint64](qf, Mul[uint64](qf, a, b))
+		if err != nil {
+			return false
+		}
+		return qf.Equal(dab, qf.Mul(da, db))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTraceCyclic(t *testing.T) {
+	prop := func(sa, sb []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		a, b := mkMat(sa, n), mkMat(sb, n)
+		// trace(AB) = trace(BA)
+		return qf.Equal(Mul[uint64](qf, a, b).Trace(qf), Mul[uint64](qf, b, a).Trace(qf))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRankBounds(t *testing.T) {
+	prop := func(sa, sb []uint64, nRaw, rRaw uint8) bool {
+		n := 2 + int(nRaw%6)
+		r := 1 + int(rRaw)%n
+		l := &Dense[uint64]{Rows: n, Cols: r, Data: make([]uint64, n*r)}
+		rm := &Dense[uint64]{Rows: r, Cols: n, Data: make([]uint64, r*n)}
+		for i := range l.Data {
+			l.Data[i] = qf.Elem(at(sa, i))
+		}
+		for i := range rm.Data {
+			rm.Data[i] = qf.Elem(at(sb, i))
+		}
+		// rank(LR) ≤ r always.
+		got, err := Rank[uint64](qf, Mul[uint64](qf, l, rm))
+		return err == nil && got <= r
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNullspaceAnnihilates(t *testing.T) {
+	prop := func(sa []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%6)
+		a := mkMat(sa, n)
+		// Make it singular by zeroing a row (forcing a non-trivial kernel
+		// in most draws); the property must hold regardless.
+		for j := 0; j < n; j++ {
+			a.Set(0, j, qf.Zero())
+		}
+		ns, err := NullspaceDense[uint64](qf, a)
+		if err != nil {
+			return false
+		}
+		rk, err := Rank[uint64](qf, a)
+		if err != nil {
+			return false
+		}
+		if ns.Cols != n-rk {
+			return false
+		}
+		if ns.Cols == 0 {
+			return true
+		}
+		return Mul[uint64](qf, a, ns).IsZero(qf)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStrassenMatchesClassical(t *testing.T) {
+	prop := func(sa, sb []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%24)
+		a, b := mkMat(sa, n), mkMat(sb, n)
+		s := Strassen[uint64]{Cutoff: 2}
+		return s.Mul(qf, a, b).Equal(qf, mulClassical[uint64](qf, a, b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKrylovDoublingMatchesIterative(t *testing.T) {
+	prop := func(sa, sv []uint64, nRaw, mRaw uint8) bool {
+		n := 1 + int(nRaw%6)
+		m := 1 + int(mRaw%12)
+		a := mkMat(sa, n)
+		v := make([]uint64, n)
+		for i := range v {
+			v[i] = qf.Elem(at(sv, i))
+		}
+		doub := KrylovDoubling[uint64](qf, Classical[uint64]{}, a, v, m)
+		iter := KrylovIterative[uint64](qf, DenseBox[uint64]{a}, v, m)
+		for j := 0; j < m; j++ {
+			if !ff.VecEqual[uint64](qf, doub.Col(j), iter[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

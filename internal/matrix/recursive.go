@@ -1,0 +1,109 @@
+package matrix
+
+import "repro/internal/ff"
+
+// Bunch–Hopcroft (1974) style recursive inversion — the paper's citation
+// for "Gaussian elimination['s] ... running time can be asymptotically
+// related to the sequential complexity of n×n matrix multiplication":
+// inverting by 2×2 block recursion costs O(n^ω) with the multiplier
+// supplying ω. The recursion requires every leading principal minor to be
+// non-zero — which is precisely the property the paper's Theorem 2 Hankel
+// preconditioner provides, so InverseBH preconditions with Â = A·H·D and
+// undoes the factors afterwards.
+
+// InverseStrong inverts a matrix all of whose leading principal minors are
+// non-zero, by block 2×2 recursion:
+//
+//	A = (A₁₁ A₁₂)    A⁻¹ = (A₁₁⁻¹ + B·S⁻¹·C   −B·S⁻¹)
+//	    (A₂₁ A₂₂)          (−S⁻¹·C                S⁻¹)
+//
+// with B = A₁₁⁻¹·A₁₂, C = A₂₁·A₁₁⁻¹ and Schur complement S = A₂₂ − A₂₁·B.
+// A singular block surfaces as ErrSingular. Cost: O(n^ω) products through
+// mul.
+func InverseStrong[E any](f ff.Field[E], mul Multiplier[E], a *Dense[E]) (*Dense[E], error) {
+	a.mustSquare()
+	n := a.Rows
+	if n == 0 {
+		return NewDense(f, 0, 0), nil
+	}
+	if n == 1 {
+		inv, err := f.Inv(a.At(0, 0))
+		if err != nil {
+			return nil, ErrSingular
+		}
+		out := NewDense(f, 1, 1)
+		out.Set(0, 0, inv)
+		return out, nil
+	}
+	h := (n + 1) / 2
+	a11 := a.Submatrix(0, h, 0, h)
+	a12 := a.Submatrix(0, h, h, n)
+	a21 := a.Submatrix(h, n, 0, h)
+	a22 := a.Submatrix(h, n, h, n)
+
+	inv11, err := InverseStrong(f, mul, a11)
+	if err != nil {
+		return nil, err
+	}
+	b := mul.Mul(f, inv11, a12) // h×(n−h)
+	c := mul.Mul(f, a21, inv11) // (n−h)×h
+	s := a22.Sub(f, mul.Mul(f, a21, b))
+	invS, err := InverseStrong(f, mul, s)
+	if err != nil {
+		return nil, err
+	}
+	bInvS := mul.Mul(f, b, invS)
+	topLeft := inv11.Add(f, mul.Mul(f, bInvS, c))
+	topRight := bInvS.Scale(f, f.Neg(f.One()))
+	bottomLeft := mul.Mul(f, invS, c).Scale(f, f.Neg(f.One()))
+
+	out := NewDense(f, n, n)
+	pasteBlock(out, topLeft, 0, 0)
+	pasteBlock(out, topRight, 0, h)
+	pasteBlock(out, bottomLeft, h, 0)
+	pasteBlock(out, invS, h, h)
+	return out, nil
+}
+
+func pasteBlock[E any](dst, src *Dense[E], r0, c0 int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Data[(r0+i)*dst.Cols+c0:(r0+i)*dst.Cols+c0+src.Cols],
+			src.Data[i*src.Cols:(i+1)*src.Cols])
+	}
+}
+
+// InverseBH is the Las Vegas driver: Theorem 2's random Hankel (plus
+// diagonal) preconditioning makes every leading principal minor of
+// Â = A·H·D non-zero with probability ≥ 1 − n(n−1)/(2|S|), after which the
+// strong recursion applies and A⁻¹ = H·D·Â⁻¹. The result is verified
+// (A·A⁻¹ = I), so it is always correct; ErrSingular after the retries
+// means a singular input with overwhelming probability.
+func InverseBH[E any](f ff.Field[E], mul Multiplier[E], a *Dense[E], src *ff.Source, subset uint64, retries int) (*Dense[E], error) {
+	a.mustSquare()
+	n := a.Rows
+	if retries <= 0 {
+		retries = 5
+	}
+	id := Identity(f, n)
+	for attempt := 0; attempt < retries; attempt++ {
+		p := NewPreconditioner(f, src, n, subset)
+		ahat := p.Apply(f, mul, a)
+		invHat, err := InverseStrong(f, mul, ahat)
+		if err != nil {
+			continue // a vanishing minor: unlucky randomness (or singular A)
+		}
+		// A⁻¹ = H·D·Â⁻¹: apply D (row scaling) then H.
+		scaled := invHat.Clone()
+		for i := 0; i < n; i++ {
+			di := p.DEntries[i]
+			for j := 0; j < n; j++ {
+				scaled.Set(i, j, f.Mul(di, invHat.At(i, j)))
+			}
+		}
+		inv := mul.Mul(f, p.H, scaled)
+		if Mul(f, a, inv).Equal(f, id) {
+			return inv, nil
+		}
+	}
+	return nil, ErrSingular
+}

@@ -1,0 +1,105 @@
+package matrix
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func TestInverseStrong(t *testing.T) {
+	f := fp31
+	src := ff.NewSource(411)
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16} {
+		// Draw until every leading minor is non-zero (overwhelmingly
+		// likely over P31).
+		var a *Dense[uint64]
+		for {
+			a = Random[uint64](f, src, n, n, ff.P31)
+			ok, err := AllLeadingMinorsNonZero[uint64](f, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				break
+			}
+		}
+		inv, err := InverseStrong[uint64](f, Classical[uint64]{}, a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !Mul[uint64](f, a, inv).Equal(f, Identity[uint64](f, n)) {
+			t.Fatalf("n=%d: A·A⁻¹ != I", n)
+		}
+		want, err := Inverse[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inv.Equal(f, want) {
+			t.Fatalf("n=%d: recursive inverse differs from LU inverse", n)
+		}
+	}
+	// A zero leading entry must be reported.
+	bad := FromRows[uint64](f, [][]int64{{0, 1}, {1, 0}})
+	if _, err := InverseStrong[uint64](f, Classical[uint64]{}, bad); err != ErrSingular {
+		t.Fatalf("vanishing minor: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverseBH(t *testing.T) {
+	f := fp31
+	src := ff.NewSource(413)
+	for _, n := range []int{1, 2, 4, 7, 12} {
+		var a *Dense[uint64]
+		for {
+			a = Random[uint64](f, src, n, n, ff.P31)
+			if d, _ := Det[uint64](f, a); !f.IsZero(d) {
+				break
+			}
+		}
+		inv, err := InverseBH[uint64](f, Classical[uint64]{}, a, src, ff.P31, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !Mul[uint64](f, a, inv).Equal(f, Identity[uint64](f, n)) {
+			t.Fatalf("n=%d: BH inverse wrong", n)
+		}
+	}
+	// The preconditioner rescues matrices with vanishing leading minors
+	// that InverseStrong alone refuses.
+	swap := FromRows[uint64](f, [][]int64{{0, 1}, {1, 0}})
+	if _, err := InverseStrong[uint64](f, Classical[uint64]{}, swap); err != ErrSingular {
+		t.Fatal("expected the raw recursion to refuse the swap matrix")
+	}
+	inv, err := InverseBH[uint64](f, Classical[uint64]{}, swap, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Mul[uint64](f, swap, inv).Equal(f, Identity[uint64](f, 2)) {
+		t.Fatal("BH inverse of swap wrong")
+	}
+	// Singular input exhausts retries.
+	sing := FromRows[uint64](f, [][]int64{{1, 2}, {2, 4}})
+	if _, err := InverseBH[uint64](f, Classical[uint64]{}, sing, src, ff.P31, 3); err != ErrSingular {
+		t.Fatalf("singular: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverseBHWithStrassen(t *testing.T) {
+	f := fp31
+	src := ff.NewSource(415)
+	n := 10
+	var a *Dense[uint64]
+	for {
+		a = Random[uint64](f, src, n, n, ff.P31)
+		if d, _ := Det[uint64](f, a); !f.IsZero(d) {
+			break
+		}
+	}
+	inv, err := InverseBH[uint64](f, Strassen[uint64]{Cutoff: 2}, a, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Mul[uint64](f, a, inv).Equal(f, Identity[uint64](f, n)) {
+		t.Fatal("Strassen-backed BH inverse wrong")
+	}
+}

@@ -1,0 +1,135 @@
+package matrix
+
+import (
+	"sort"
+
+	"repro/internal/ff"
+)
+
+// Sparse is a compressed-sparse-row matrix. Wiedemann's method — the first
+// pillar of the Kaltofen–Pan construction — was designed for exactly this
+// object: a matrix accessed only through matrix-times-vector products whose
+// cost is proportional to the number of non-zero entries.
+type Sparse[E any] struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []E
+}
+
+// Entry is one (row, col, value) triplet.
+type Entry[E any] struct {
+	Row, Col int
+	Val      E
+}
+
+// NewSparse builds a CSR matrix from triplets. Duplicate positions are
+// summed; explicit zeros are dropped.
+func NewSparse[E any](f ff.Field[E], rows, cols int, entries []Entry[E]) *Sparse[E] {
+	es := append([]Entry[E](nil), entries...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Row != es[j].Row {
+			return es[i].Row < es[j].Row
+		}
+		return es[i].Col < es[j].Col
+	})
+	// Merge duplicates.
+	merged := es[:0]
+	for _, e := range es {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic("matrix: sparse entry out of range")
+		}
+		if n := len(merged); n > 0 && merged[n-1].Row == e.Row && merged[n-1].Col == e.Col {
+			merged[n-1].Val = f.Add(merged[n-1].Val, e.Val)
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	s := &Sparse[E]{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for _, e := range merged {
+		if f.IsZero(e.Val) {
+			continue
+		}
+		s.colIdx = append(s.colIdx, e.Col)
+		s.vals = append(s.vals, e.Val)
+		s.rowPtr[e.Row+1]++
+	}
+	for i := 0; i < rows; i++ {
+		s.rowPtr[i+1] += s.rowPtr[i]
+	}
+	return s
+}
+
+// RandomSparse returns an n×n matrix with approximately density·n² uniform
+// non-zero entries plus a full diagonal of non-zero entries, which makes
+// the matrix non-singular with high probability (and at worst costs the
+// caller a Las Vegas retry).
+func RandomSparse[E any](f ff.Field[E], src *ff.Source, n int, density float64, subset uint64) *Sparse[E] {
+	var es []Entry[E]
+	for i := 0; i < n; i++ {
+		es = append(es, Entry[E]{Row: i, Col: i, Val: ff.SampleNonZero(f, src, subset)})
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if src.Float64() < density {
+				es = append(es, Entry[E]{Row: i, Col: j, Val: ff.SampleNonZero(f, src, subset)})
+			}
+		}
+	}
+	return NewSparse(f, n, n, es)
+}
+
+// Rows returns the number of rows.
+func (s *Sparse[E]) Rows() int { return s.rows }
+
+// Cols returns the number of columns.
+func (s *Sparse[E]) Cols() int { return s.cols }
+
+// NNZ returns the number of stored non-zero entries.
+func (s *Sparse[E]) NNZ() int { return len(s.vals) }
+
+// Apply returns A·x.
+func (s *Sparse[E]) Apply(f ff.Field[E], x []E) []E {
+	if len(x) != s.cols {
+		panic("matrix: sparse Apply dimension mismatch")
+	}
+	out := make([]E, s.rows)
+	for i := 0; i < s.rows; i++ {
+		acc := f.Zero()
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			acc = f.Add(acc, f.Mul(s.vals[k], x[s.colIdx[k]]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// ApplyTranspose returns Aᵀ·x.
+func (s *Sparse[E]) ApplyTranspose(f ff.Field[E], x []E) []E {
+	if len(x) != s.rows {
+		panic("matrix: sparse ApplyTranspose dimension mismatch")
+	}
+	out := ff.VecZero(f, s.cols)
+	for i := 0; i < s.rows; i++ {
+		if f.IsZero(x[i]) {
+			continue
+		}
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			j := s.colIdx[k]
+			out[j] = f.Add(out[j], f.Mul(s.vals[k], x[i]))
+		}
+	}
+	return out
+}
+
+// Dense expands s to a dense matrix (tests and small baselines).
+func (s *Sparse[E]) Dense(f ff.Field[E]) *Dense[E] {
+	d := NewDense(f, s.rows, s.cols)
+	for i := 0; i < s.rows; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			d.Set(i, s.colIdx[k], s.vals[k])
+		}
+	}
+	return d
+}

@@ -1,0 +1,92 @@
+package matrix
+
+import (
+	"math"
+
+	"repro/internal/ff"
+)
+
+// Strassen multiplies square matrices with Strassen's seven-product
+// recursion, ω = log₂ 7 ≈ 2.807. It stands in for the paper's fast
+// matrix-multiplication black box (the paper's reference exponent,
+// Coppersmith–Winograd ω < 2.376, is not practical at any feasible n).
+// Non-square or small operands fall back to the classical method.
+type Strassen[E any] struct {
+	// Cutoff is the dimension at or below which the recursion falls back
+	// to classical multiplication. Zero selects a sensible default.
+	Cutoff int
+}
+
+// Name returns "strassen".
+func (Strassen[E]) Name() string { return "strassen" }
+
+// Omega returns log₂ 7.
+func (Strassen[E]) Omega() float64 { return math.Log2(7) }
+
+const defaultStrassenCutoff = 64
+
+// Mul returns a·b.
+func (s Strassen[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
+	if a.Cols != b.Rows {
+		panic("matrix: Mul dimension mismatch")
+	}
+	cutoff := s.Cutoff
+	if cutoff <= 0 {
+		cutoff = defaultStrassenCutoff
+	}
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows <= cutoff {
+		return mulClassical(f, a, b)
+	}
+	n := a.Rows
+	// Pad odd dimensions to even by one bordering zero row/column.
+	if n%2 == 1 {
+		ap, bp := padTo(f, a, n+1), padTo(f, b, n+1)
+		cp := s.Mul(f, ap, bp)
+		return cp.Submatrix(0, n, 0, n)
+	}
+	h := n / 2
+	a11 := a.Submatrix(0, h, 0, h)
+	a12 := a.Submatrix(0, h, h, n)
+	a21 := a.Submatrix(h, n, 0, h)
+	a22 := a.Submatrix(h, n, h, n)
+	b11 := b.Submatrix(0, h, 0, h)
+	b12 := b.Submatrix(0, h, h, n)
+	b21 := b.Submatrix(h, n, 0, h)
+	b22 := b.Submatrix(h, n, h, n)
+
+	m1 := s.Mul(f, a11.Add(f, a22), b11.Add(f, b22))
+	m2 := s.Mul(f, a21.Add(f, a22), b11)
+	m3 := s.Mul(f, a11, b12.Sub(f, b22))
+	m4 := s.Mul(f, a22, b21.Sub(f, b11))
+	m5 := s.Mul(f, a11.Add(f, a12), b22)
+	m6 := s.Mul(f, a21.Sub(f, a11), b11.Add(f, b12))
+	m7 := s.Mul(f, a12.Sub(f, a22), b21.Add(f, b22))
+
+	c11 := m1.Add(f, m4).Sub(f, m5).Add(f, m7)
+	c12 := m3.Add(f, m5)
+	c21 := m2.Add(f, m4)
+	c22 := m1.Sub(f, m2).Add(f, m3).Add(f, m6)
+
+	return assemble(f, c11, c12, c21, c22)
+}
+
+func padTo[E any](f ff.Field[E], m *Dense[E], n int) *Dense[E] {
+	p := NewDense(f, n, n)
+	for i := 0; i < m.Rows; i++ {
+		copy(p.Data[i*n:i*n+m.Cols], m.Data[i*m.Cols:(i+1)*m.Cols])
+	}
+	return p
+}
+
+func assemble[E any](f ff.Field[E], c11, c12, c21, c22 *Dense[E]) *Dense[E] {
+	h := c11.Rows
+	n := 2 * h
+	out := &Dense[E]{Rows: n, Cols: n, Data: make([]E, n*n)}
+	for i := 0; i < h; i++ {
+		copy(out.Data[i*n:i*n+h], c11.Data[i*h:(i+1)*h])
+		copy(out.Data[i*n+h:(i+1)*n], c12.Data[i*h:(i+1)*h])
+		copy(out.Data[(i+h)*n:(i+h)*n+h], c21.Data[i*h:(i+1)*h])
+		copy(out.Data[(i+h)*n+h:(i+h+1)*n], c22.Data[i*h:(i+1)*h])
+	}
+	return out
+}

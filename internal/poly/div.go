@@ -1,0 +1,121 @@
+package poly
+
+import "repro/internal/ff"
+
+// fastDivThreshold gates the Newton-division path: both the divisor degree
+// and the quotient degree must reach it before the reversal trick beats
+// schoolbook long division.
+const fastDivThreshold = 32
+
+// DivMod returns the Euclidean quotient and remainder of a by b, with
+// deg(r) < deg(b). The divisor must be non-zero; its leading coefficient is
+// inverted, which can surface ff.ErrDivisionByZero only through symbolic
+// fields (the circuit builder defers the zero test to evaluation time).
+// Large operands dispatch to Newton division (reverse + power-series
+// inverse, O(M(n)) instead of O(n·m)) — the ingredient that keeps the
+// subproduct-tree algorithms at M(n)·log n.
+func DivMod[E any](f ff.Field[E], a, b []E) (q, r []E, err error) {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(b) == 0 {
+		return nil, nil, ff.ErrDivisionByZero
+	}
+	if len(a) < len(b) {
+		return nil, a, nil
+	}
+	if len(b) >= fastDivThreshold && len(a)-len(b) >= fastDivThreshold {
+		return divModNewton(f, a, b)
+	}
+	lcInv, err := f.Inv(b[len(b)-1])
+	if err != nil {
+		return nil, nil, err
+	}
+	rem := append([]E(nil), a...)
+	q = make([]E, len(a)-len(b)+1)
+	for i := range q {
+		q[i] = f.Zero()
+	}
+	for len(rem) >= len(b) {
+		d := len(rem) - len(b)
+		c := f.Mul(rem[len(rem)-1], lcInv)
+		q[d] = c
+		for i := range b {
+			rem[d+i] = f.Sub(rem[d+i], f.Mul(c, b[i]))
+		}
+		rem = Trim(f, rem[:len(rem)-1])
+	}
+	return Trim(f, q), rem, nil
+}
+
+// Rem returns a mod b.
+func Rem[E any](f ff.Field[E], a, b []E) ([]E, error) {
+	_, r, err := DivMod(f, a, b)
+	return r, err
+}
+
+// divModNewton divides by the classical reversal trick: with n = deg a,
+// m = deg b, k = n − m + 1, the quotient is
+//
+//	q = rev_k( rev_n(a) · rev_m(b)⁻¹ mod λᵏ )
+//
+// (one power-series inversion plus two products), and r = a − q·b needs
+// only the low m coefficients.
+func divModNewton[E any](f ff.Field[E], a, b []E) (q, r []E, err error) {
+	n, m := len(a)-1, len(b)-1
+	k := n - m + 1
+	ra := Reverse(f, a, n)
+	rb := Reverse(f, b, m)
+	rbInv, err := SeriesInv(f, rb, k)
+	if err != nil {
+		return nil, nil, err // leading coefficient of b not invertible
+	}
+	rq := MulTrunc(f, ra, rbInv, k)
+	q = make([]E, k)
+	for i := range q {
+		q[i] = Coef(f, rq, k-1-i)
+	}
+	q = Trim(f, q)
+	qb := MulTrunc(f, q, b, m)
+	r = Sub(f, TruncDeg(f, a, m), qb)
+	return q, r, nil
+}
+
+// SeriesInv returns the power-series inverse of a modulo λ^k by Newton
+// iteration: y ← y(2 − a·y), doubling the precision each step. This is the
+// primitive the paper's §3 uses to divide by u₁^{(i−1)}(λ) inside the
+// Gohberg/Semencul Newton iteration ("That expansion ... can be obtained
+// ... with 2 Newton iteration steps", citing Lipson 1981).
+//
+// The constant term a(0) must be invertible; otherwise the series inverse
+// does not exist and an error is returned.
+func SeriesInv[E any](f ff.Field[E], a []E, k int) ([]E, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	c0 := Coef(f, a, 0)
+	y0, err := f.Inv(c0)
+	if err != nil {
+		return nil, err
+	}
+	y := []E{y0}
+	two := f.FromInt64(2)
+	for prec := 1; prec < k; {
+		prec *= 2
+		if prec > k {
+			prec = k
+		}
+		// y ← y(2 − a·y) mod λ^prec
+		ay := MulTrunc(f, TruncDeg(f, a, prec), y, prec)
+		corr := Sub(f, Constant(f, two), ay)
+		y = MulTrunc(f, y, corr, prec)
+	}
+	return TruncDeg(f, y, k), nil
+}
+
+// SeriesDiv returns a/b as a power series modulo λ^k (b(0) invertible).
+func SeriesDiv[E any](f ff.Field[E], a, b []E, k int) ([]E, error) {
+	bi, err := SeriesInv(f, b, k)
+	if err != nil {
+		return nil, err
+	}
+	return MulTrunc(f, TruncDeg(f, a, k), bi, k), nil
+}

@@ -1,0 +1,187 @@
+package poly
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+)
+
+// Fast multipoint evaluation and interpolation via subproduct trees —
+// O(M(n)·log n) operations instead of n². The paper's §4 closes with "a
+// fast transposed Vandermonde system solver based on fast polynomial
+// interpolation": this file supplies the fast interpolation; the
+// transposition-principle half lives in internal/kp.
+
+// SubproductTree holds the balanced tree of ∏(λ − xᵢ) over point ranges:
+// level 0 are the linear factors, the root is the full master polynomial.
+type SubproductTree[E any] struct {
+	// Levels[l][k] = ∏_{i in block k of width 2^l} (λ − xᵢ).
+	Levels [][][]E
+	Points []E
+	// invCache[l][k] memoizes SeriesInv(rev(node), deg(node)+1), the
+	// Newton-division precomputation: with it every division down the
+	// tree is two truncated products, the von zur Gathen–Gerhard "going
+	// down the subproduct tree" trick that keeps multipoint evaluation at
+	// O(M(n) log n).
+	invCache [][][]E
+}
+
+// NewSubproductTree builds the tree for the given points.
+func NewSubproductTree[E any](f ff.Field[E], xs []E) *SubproductTree[E] {
+	n := len(xs)
+	if n == 0 {
+		panic("poly: subproduct tree of no points")
+	}
+	level := make([][]E, n)
+	for i, x := range xs {
+		level[i] = []E{f.Neg(x), f.One()}
+	}
+	t := &SubproductTree[E]{Points: append([]E(nil), xs...)}
+	t.Levels = append(t.Levels, level)
+	for len(level) > 1 {
+		next := make([][]E, 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, Mul(f, level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		t.Levels = append(t.Levels, next)
+		level = next
+	}
+	t.invCache = make([][][]E, len(t.Levels))
+	for l := range t.invCache {
+		t.invCache[l] = make([][]E, len(t.Levels[l]))
+	}
+	return t
+}
+
+// remDown reduces a modulo the (level, idx) node. Inputs always satisfy
+// deg(a) < 2·deg(node) on the way down, so the quotient length is at most
+// deg(node)+1 and the memoized inverse suffices.
+func (t *SubproductTree[E]) remDown(f ff.Field[E], a []E, level, idx int) ([]E, error) {
+	node := t.Levels[level][idx]
+	a = Trim(f, a)
+	if len(a) < len(node) {
+		return a, nil
+	}
+	m := len(node) - 1
+	k := len(a) - m
+	if k > m+1 {
+		// Out-of-profile call (only possible at the root): fall back.
+		return Rem(f, a, node)
+	}
+	inv := t.invCache[level][idx]
+	if inv == nil {
+		var err error
+		inv, err = SeriesInv(f, Reverse(f, node, m), m+1)
+		if err != nil {
+			return nil, err
+		}
+		t.invCache[level][idx] = inv
+	}
+	ra := Reverse(f, a, len(a)-1)
+	rq := MulTrunc(f, ra, TruncDeg(f, inv, k), k)
+	q := make([]E, k)
+	for i := range q {
+		q[i] = Coef(f, rq, k-1-i)
+	}
+	q = Trim(f, q)
+	return Sub(f, TruncDeg(f, a, m), MulTrunc(f, q, node, m)), nil
+}
+
+// Master returns ∏(λ − xᵢ).
+func (t *SubproductTree[E]) Master() []E {
+	top := t.Levels[len(t.Levels)-1]
+	return top[0]
+}
+
+// EvalManyFast evaluates a at every tree point by recursive remaindering
+// down the subproduct tree: a mod (λ−xᵢ) = a(xᵢ).
+func (t *SubproductTree[E]) EvalManyFast(f ff.Field[E], a []E) ([]E, error) {
+	return t.evalRec(f, a, len(t.Levels)-1, 0)
+}
+
+func (t *SubproductTree[E]) evalRec(f ff.Field[E], a []E, level, idx int) ([]E, error) {
+	r, err := t.remDown(f, a, level, idx)
+	if err != nil {
+		return nil, err
+	}
+	if level == 0 {
+		return []E{Coef(f, r, 0)}, nil
+	}
+	// Children of node idx at level−1: 2idx and (if present) 2idx+1.
+	lo, err := t.evalRec(f, r, level-1, 2*idx)
+	if err != nil {
+		return nil, err
+	}
+	if 2*idx+1 >= len(t.Levels[level-1]) {
+		return lo, nil
+	}
+	hi, err := t.evalRec(f, r, level-1, 2*idx+1)
+	if err != nil {
+		return nil, err
+	}
+	return append(lo, hi...), nil
+}
+
+// EvalManyFast evaluates a at the points xs in O(M(n) log n).
+func EvalManyFast[E any](f ff.Field[E], a []E, xs []E) ([]E, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	return NewSubproductTree(f, xs).EvalManyFast(f, a)
+}
+
+// InterpolateFast returns the unique polynomial of degree < n through
+// (xs[i], ys[i]) in O(M(n) log n): with m = ∏(λ−xᵢ), the Lagrange weights
+// are 1/m′(xᵢ) (batch-computed with one fast multipoint evaluation), and
+// the weighted combination Σ cᵢ·m/(λ−xᵢ) is assembled up the tree.
+func InterpolateFast[E any](f ff.Field[E], xs, ys []E) ([]E, error) {
+	n := len(xs)
+	if len(ys) != n {
+		return nil, fmt.Errorf("poly: %d points but %d values", n, len(ys))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	t := NewSubproductTree(f, xs)
+	dm := Derivative(f, t.Master())
+	dvals, err := t.EvalManyFast(f, dm)
+	if err != nil {
+		return nil, err
+	}
+	// cᵢ = yᵢ / m′(xᵢ); m′(xᵢ) = 0 ⇔ repeated nodes.
+	c := make([]E, n)
+	for i := range c {
+		v, err := f.Div(ys[i], dvals[i])
+		if err != nil {
+			return nil, fmt.Errorf("poly: interpolation nodes not distinct: %w", err)
+		}
+		c[i] = v
+	}
+	return t.combineUp(f, c, len(t.Levels)-1, 0), nil
+}
+
+// combineUp computes Σ_{i in block} cᵢ·(block product)/(λ−xᵢ) recursively:
+// combine(parent) = left·rightProduct + right·leftProduct.
+func (t *SubproductTree[E]) combineUp(f ff.Field[E], c []E, level, idx int) []E {
+	if level == 0 {
+		return Constant(f, c[idx])
+	}
+	loIdx := 2 * idx
+	hiIdx := 2*idx + 1
+	lo := t.combineUp(f, c, level-1, loIdx)
+	if hiIdx >= len(t.Levels[level-1]) {
+		return lo
+	}
+	hi := t.combineUp(f, c, level-1, hiIdx)
+	return Add(f,
+		Mul(f, lo, t.Levels[level-1][hiIdx]),
+		Mul(f, hi, t.Levels[level-1][loIdx]))
+}
+
+// combineUp block index bookkeeping: the c slice is indexed by point; at
+// level 0 block k covers exactly point k... but the recursion above passes
+// idx as a *block* index, and at level 0 blocks and points coincide, so
+// c[idx] is correct.

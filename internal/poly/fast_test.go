@@ -1,0 +1,111 @@
+package poly
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func TestEvalManyFastMatchesHorner(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(201)
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 33, 64} {
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(i * i * 7) // distinct
+		}
+		a := randPoly(f, src, src.Intn(2*n+2))
+		got, err := EvalManyFast[uint64](f, a, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := EvalMany[uint64](f, a, xs)
+		if !ff.VecEqual[uint64](f, got, want) {
+			t.Fatalf("n=%d: fast multipoint evaluation disagrees with Horner", n)
+		}
+	}
+}
+
+func TestSubproductTreeMaster(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	xs := []uint64{1, 2, 3, 4, 5}
+	tr := NewSubproductTree[uint64](f, xs)
+	want := FromRoots[uint64](f, xs)
+	if !Equal[uint64](f, tr.Master(), want) {
+		t.Fatal("master polynomial wrong")
+	}
+	// Every root vanishes on the master.
+	for _, x := range xs {
+		if !f.IsZero(Eval[uint64](f, tr.Master(), x)) {
+			t.Fatal("root not a root of master")
+		}
+	}
+}
+
+func TestInterpolateFastMatchesSlow(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(203)
+	for _, n := range []int{1, 2, 3, 7, 16, 33, 50} {
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(3*i + 1)
+		}
+		ys := ff.SampleVec[uint64](f, src, n, ff.P31)
+		got, err := InterpolateFast[uint64](f, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Interpolate[uint64](f, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal[uint64](f, got, want) {
+			t.Fatalf("n=%d: fast interpolation disagrees with divided differences", n)
+		}
+		// And it actually interpolates.
+		for i := range xs {
+			if Eval[uint64](f, got, xs[i]) != ys[i] {
+				t.Fatalf("n=%d: interpolant misses point %d", n, i)
+			}
+		}
+	}
+	// Repeated nodes must error, not fabricate.
+	if _, err := InterpolateFast[uint64](f, []uint64{5, 5}, []uint64{1, 2}); err == nil {
+		t.Fatal("repeated nodes accepted")
+	}
+}
+
+func TestFastOpsGrowQuasilinearly(t *testing.T) {
+	// The fast routine's op count must grow like M(n)·log n (≈ ×5 per
+	// size quadrupling) where the Horner sweep grows quadratically (×16).
+	// With plain radix-2 NTT constants the absolute crossover sits beyond
+	// the sizes worth op-counting in a test, so assert the growth rates.
+	f := ff.NewCounting[uint64](ff.MustFp64(ff.PNTT62))
+	src := ff.NewSource(205)
+	measure := func(n int) (fast, slow uint64) {
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(i)
+		}
+		a := ff.SampleVec[uint64](f, src, n, 1<<30)
+		f.Reset()
+		if _, err := EvalManyFast[uint64](f, a, xs); err != nil {
+			t.Fatal(err)
+		}
+		fast = f.Counts().Total()
+		f.Reset()
+		EvalMany[uint64](f, a, xs)
+		slow = f.Counts().Total()
+		return fast, slow
+	}
+	fast1, slow1 := measure(256)
+	fast2, slow2 := measure(1024)
+	fastGrowth := float64(fast2) / float64(fast1)
+	slowGrowth := float64(slow2) / float64(slow1)
+	if fastGrowth > 8 {
+		t.Fatalf("fast multipoint grew ×%.1f per ×4 size — not quasi-linear", fastGrowth)
+	}
+	if slowGrowth < 14 {
+		t.Fatalf("Horner sweep grew only ×%.1f — measurement broken", slowGrowth)
+	}
+}

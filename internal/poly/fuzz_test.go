@@ -1,0 +1,119 @@
+package poly
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// Native fuzz targets. Under plain `go test` the seed corpus runs as unit
+// tests; `go test -fuzz=FuzzX ./internal/poly` explores further.
+
+func bytesToPoly(f ff.Fp64, data []byte, max int) []uint64 {
+	if len(data) > max {
+		data = data[:max]
+	}
+	out := make([]uint64, len(data))
+	for i, b := range data {
+		out[i] = f.FromInt64(int64(b) * 2654435761)
+	}
+	return Trim[uint64](f, out)
+}
+
+func FuzzDivModReconstruction(fz *testing.F) {
+	fz.Add([]byte{1, 2, 3, 4, 5, 6, 7}, []byte{1, 1})
+	fz.Add([]byte{0, 0, 9}, []byte{5})
+	fz.Add([]byte{255, 254, 253, 252, 251, 250}, []byte{7, 0, 0, 1})
+	f := ff.MustFp64(ff.P31)
+	fz.Fuzz(func(t *testing.T, da, db []byte) {
+		a := bytesToPoly(f, da, 80)
+		b := bytesToPoly(f, db, 40)
+		if IsZero[uint64](f, b) {
+			return
+		}
+		q, r, err := DivMod[uint64](f, a, b)
+		if err != nil {
+			t.Fatalf("DivMod: %v", err)
+		}
+		if Deg[uint64](f, r) >= Deg[uint64](f, b) {
+			t.Fatal("remainder degree too large")
+		}
+		if !Equal[uint64](f, Add[uint64](f, Mul[uint64](f, q, b), r), a) {
+			t.Fatal("qb + r != a")
+		}
+	})
+}
+
+func FuzzNTTAgainstSchoolbook(fz *testing.F) {
+	fz.Add([]byte{1, 2, 3}, []byte{4, 5, 6})
+	fz.Add(make([]byte, 64), make([]byte, 33))
+	f := ff.MustFp64(ff.PNTT62)
+	fz.Fuzz(func(t *testing.T, da, db []byte) {
+		a := bytesToPoly(f, da, 100)
+		b := bytesToPoly(f, db, 100)
+		got := Mul[uint64](f, a, b)
+		if len(a) == 0 || len(b) == 0 {
+			if got != nil {
+				t.Fatal("product with zero polynomial not zero")
+			}
+			return
+		}
+		want := Trim[uint64](f, mulSchoolbook[uint64](f, a, b))
+		if !Equal[uint64](f, got, want) {
+			t.Fatal("Mul disagrees with schoolbook")
+		}
+	})
+}
+
+func FuzzSeriesInv(fz *testing.F) {
+	fz.Add([]byte{1, 9, 8, 7}, uint8(12))
+	fz.Add([]byte{3}, uint8(1))
+	f := ff.MustFp64(ff.P31)
+	fz.Fuzz(func(t *testing.T, da []byte, kRaw uint8) {
+		a := bytesToPoly(f, da, 30)
+		k := 1 + int(kRaw%48)
+		if f.IsZero(Coef[uint64](f, a, 0)) {
+			if _, err := SeriesInv[uint64](f, a, k); err == nil {
+				t.Fatal("non-unit inverted")
+			}
+			return
+		}
+		inv, err := SeriesInv[uint64](f, a, k)
+		if err != nil {
+			t.Fatalf("SeriesInv: %v", err)
+		}
+		if !Equal[uint64](f, MulTrunc[uint64](f, a, inv, k), Constant[uint64](f, f.One())) {
+			t.Fatal("a·a⁻¹ != 1 mod λ^k")
+		}
+	})
+}
+
+func FuzzGCDInvariants(fz *testing.F) {
+	fz.Add([]byte{6, 11, 6, 1}, []byte{2, 3, 1})
+	f := ff.MustFp64(ff.P31)
+	fz.Fuzz(func(t *testing.T, da, db []byte) {
+		a := bytesToPoly(f, da, 25)
+		b := bytesToPoly(f, db, 25)
+		g, err := GCD[uint64](f, a, b)
+		if err != nil {
+			t.Fatalf("GCD: %v", err)
+		}
+		if IsZero[uint64](f, g) {
+			if !IsZero[uint64](f, a) || !IsZero[uint64](f, b) {
+				t.Fatal("zero gcd of non-zero inputs")
+			}
+			return
+		}
+		for _, p := range [][]uint64{a, b} {
+			if IsZero[uint64](f, p) {
+				continue
+			}
+			if _, r, err := DivMod[uint64](f, p, g); err != nil || !IsZero[uint64](f, r) {
+				t.Fatal("gcd does not divide an input")
+			}
+		}
+		if !f.Equal(Lead[uint64](f, g), f.One()) {
+			t.Fatal("gcd not monic")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package poly
+
+import "repro/internal/ff"
+
+// GCD returns the monic greatest common divisor of a and b (zero polynomial
+// if both are zero). Kaltofen–Pan §5 notes that the Toeplitz machinery
+// extends to Sylvester matrices and hence to parallel GCD computation; this
+// sequential Euclidean GCD is the reference implementation those
+// extensions are validated against (experiment E12).
+func GCD[E any](f ff.Field[E], a, b []E) ([]E, error) {
+	r0, r1 := Trim(f, a), Trim(f, b)
+	for len(r1) != 0 {
+		_, rem, err := DivMod(f, r0, r1)
+		if err != nil {
+			return nil, err
+		}
+		r0, r1 = r1, rem
+	}
+	if len(r0) == 0 {
+		return nil, nil
+	}
+	return Monic(f, r0)
+}
+
+// GCDExt returns monic g = gcd(a, b) and Bézout cofactors s, t with
+// s·a + t·b = g.
+func GCDExt[E any](f ff.Field[E], a, b []E) (g, s, t []E, err error) {
+	r0, r1 := Trim(f, a), Trim(f, b)
+	s0, s1 := Constant(f, f.One()), []E(nil)
+	t0, t1 := []E(nil), Constant(f, f.One())
+	for len(r1) != 0 {
+		q, rem, err := DivMod(f, r0, r1)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		r0, r1 = r1, rem
+		s0, s1 = s1, Sub(f, s0, Mul(f, q, s1))
+		t0, t1 = t1, Sub(f, t0, Mul(f, q, t1))
+	}
+	if len(r0) == 0 {
+		return nil, nil, nil, nil
+	}
+	lcInv, err := f.Inv(Lead(f, r0))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return Scale(f, lcInv, r0), Scale(f, lcInv, s0), Scale(f, lcInv, t0), nil
+}
+
+// EuclideanScheme returns the full remainder sequence r₀ = a, r₁ = b,
+// r_{i+1} = r_{i−1} mod r_i down to (but excluding) the zero remainder,
+// together with the quotients. The paper's §5 extension computes "the
+// coefficients of the polynomials in the Euclidean scheme" in parallel;
+// this is the sequential reference.
+func EuclideanScheme[E any](f ff.Field[E], a, b []E) (rems [][]E, quos [][]E, err error) {
+	r0, r1 := Trim(f, a), Trim(f, b)
+	rems = [][]E{r0}
+	if len(r1) == 0 {
+		return rems, nil, nil
+	}
+	rems = append(rems, r1)
+	for len(r1) != 0 {
+		q, rem, err := DivMod(f, r0, r1)
+		if err != nil {
+			return nil, nil, err
+		}
+		quos = append(quos, q)
+		r0, r1 = r1, rem
+		if len(r1) != 0 {
+			rems = append(rems, r1)
+		}
+	}
+	return rems, quos, nil
+}
+
+// Resultant returns the resultant of a and b, computed from the Euclidean
+// remainder sequence. Res(a,b) ≠ 0 iff gcd(a,b) = 1; it equals the
+// determinant of the Sylvester matrix, which E12 cross-checks against the
+// structured-matrix route.
+func Resultant[E any](f ff.Field[E], a, b []E) (E, error) {
+	a, b = Trim(f, a), Trim(f, b)
+	zero := f.Zero()
+	if len(a) == 0 || len(b) == 0 {
+		return zero, nil
+	}
+	res := f.One()
+	// Standard recursion: Res(a,b) = lc(b)^{deg a − deg r} (−1)^{deg a·deg b} Res(b, r).
+	for {
+		da, db := len(a)-1, len(b)-1
+		if db == 0 {
+			// Res(a, const) = const^{deg a}.
+			c := b[0]
+			p := f.One()
+			for i := 0; i < da; i++ {
+				p = f.Mul(p, c)
+			}
+			return f.Mul(res, p), nil
+		}
+		_, r, err := DivMod(f, a, b)
+		if err != nil {
+			var z E
+			return z, err
+		}
+		if len(r) == 0 {
+			return zero, nil // common factor ⇒ resultant 0
+		}
+		dr := len(r) - 1
+		lc := b[db]
+		p := f.One()
+		for i := 0; i < da-dr; i++ {
+			p = f.Mul(p, lc)
+		}
+		res = f.Mul(res, p)
+		if da%2 == 1 && db%2 == 1 {
+			res = f.Neg(res)
+		}
+		a, b = b, r
+	}
+}

@@ -1,0 +1,101 @@
+package poly
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+)
+
+// EvalMany evaluates a at each of the given points (Horner per point).
+func EvalMany[E any](f ff.Field[E], a []E, xs []E) []E {
+	out := make([]E, len(xs))
+	for i, x := range xs {
+		out[i] = Eval(f, a, x)
+	}
+	return out
+}
+
+// Interpolate returns the unique polynomial of degree < len(xs) through the
+// points (xs[i], ys[i]). The xs must be pairwise distinct. Interpolation is
+// the engine of the fast transposed-Vandermonde solver the paper mentions at
+// the end of §4 ("a fast transposed Vandermonde system solver based on fast
+// polynomial interpolation").
+func Interpolate[E any](f ff.Field[E], xs, ys []E) ([]E, error) {
+	n := len(xs)
+	if len(ys) != n {
+		return nil, fmt.Errorf("poly: %d points but %d values", n, len(ys))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Newton's divided differences: numerically irrelevant over exact
+	// fields, but O(n²) like Lagrange and easier to build incrementally.
+	coef := append([]E(nil), ys...)
+	for level := 1; level < n; level++ {
+		for i := n - 1; i >= level; i-- {
+			den := f.Sub(xs[i], xs[i-level])
+			d, err := f.Div(f.Sub(coef[i], coef[i-1]), den)
+			if err != nil {
+				return nil, fmt.Errorf("poly: interpolation nodes not distinct: %w", err)
+			}
+			coef[i] = d
+		}
+	}
+	// Expand the Newton form Σ coef[i]·∏_{j<i}(λ − xs[j]).
+	result := []E(nil)
+	basis := Constant(f, f.One())
+	for i := 0; i < n; i++ {
+		result = Add(f, result, Scale(f, coef[i], basis))
+		basis = Mul(f, basis, []E{f.Neg(xs[i]), f.One()})
+	}
+	return result, nil
+}
+
+// VandermondeApply returns V·c where V is the Vandermonde matrix of the
+// points xs: (V·c)[i] = Σ_j c[j]·xs[i]^j, i.e. multipoint evaluation.
+func VandermondeApply[E any](f ff.Field[E], xs, c []E) []E {
+	return EvalMany(f, c, xs)
+}
+
+// VandermondeSolve solves V·c = y for c given distinct points xs, i.e.
+// interpolation.
+func VandermondeSolve[E any](f ff.Field[E], xs, y []E) ([]E, error) {
+	c, err := Interpolate(f, xs, y)
+	if err != nil {
+		return nil, err
+	}
+	// Pad to full length so callers get a vector of len(xs) coefficients.
+	out := make([]E, len(xs))
+	for i := range out {
+		out[i] = Coef(f, c, i)
+	}
+	return out, nil
+}
+
+// VandermondeTransposedApply returns Vᵀ·c: (Vᵀ·c)[j] = Σ_i c[i]·xs[i]^j,
+// the power-sum weighted moments of the points.
+func VandermondeTransposedApply[E any](f ff.Field[E], xs, c []E) []E {
+	n := len(xs)
+	out := make([]E, n)
+	pw := make([]E, n)
+	for i := range pw {
+		pw[i] = f.One()
+	}
+	for j := 0; j < n; j++ {
+		out[j] = ff.SumTree(f, mulVec(f, c, pw))
+		if j+1 < n {
+			for i := range pw {
+				pw[i] = f.Mul(pw[i], xs[i])
+			}
+		}
+	}
+	return out
+}
+
+func mulVec[E any](f ff.Field[E], a, b []E) []E {
+	c := make([]E, len(a))
+	for i := range a {
+		c[i] = f.Mul(a[i], b[i])
+	}
+	return c
+}

@@ -1,0 +1,178 @@
+package poly
+
+import "repro/internal/ff"
+
+// karatsubaThreshold is the operand length below which multiplication falls
+// back to the schoolbook method. Chosen empirically for word-sized fields;
+// correctness does not depend on it (the tests sweep across it).
+const karatsubaThreshold = 32
+
+// Mul returns a·b. Lengths below karatsubaThreshold use the schoolbook
+// method; larger operands use Karatsuba's O(n^1.585) recursion.
+//
+// Over fields advertising 2-power roots of unity (ff.RootsOfUnity — e.g.
+// F_p for p = ff.PNTT62), large products switch to the NTT path in ntt.go,
+// the stand-in for the paper's Cantor–Kaltofen multiplication; other fields
+// keep Karatsuba, which DESIGN.md §2 records as a log-factor substitution.
+func Mul[E any](f ff.Field[E], a, b []E) []E {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if c, ok := tryMulNTT(f, a, b); ok {
+		return Trim(f, c)
+	}
+	return Trim(f, mulRec(f, a, b))
+}
+
+func mulRec[E any](f ff.Field[E], a, b []E) []E {
+	if len(a) < karatsubaThreshold || len(b) < karatsubaThreshold {
+		return mulSchoolbook(f, a, b)
+	}
+	return mulKaratsuba(f, a, b)
+}
+
+// mulSchoolbook computes the convolution with a balanced summation tree per
+// output coefficient, so that traced circuits get depth O(log n) per
+// product rather than O(n) — without this, every polynomial multiply would
+// put a linear chain on the critical path and the (log n)² depth of
+// Theorems 3 and 4 would be unobservable.
+func mulSchoolbook[E any](f ff.Field[E], a, b []E) []E {
+	c := make([]E, len(a)+len(b)-1)
+	terms := make([]E, 0, min(len(a), len(b)))
+	for k := range c {
+		terms = terms[:0]
+		lo := k - len(b) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := k
+		if hi > len(a)-1 {
+			hi = len(a) - 1
+		}
+		for i := lo; i <= hi; i++ {
+			if f.IsZero(a[i]) || f.IsZero(b[k-i]) {
+				continue
+			}
+			terms = append(terms, f.Mul(a[i], b[k-i]))
+		}
+		c[k] = ff.SumTree(f, terms)
+	}
+	return c
+}
+
+// mulKaratsuba splits a = a0 + λ^m a1, b = b0 + λ^m b1 and uses
+// a·b = a0b0 + λ^m[(a0+a1)(b0+b1) − a0b0 − a1b1] + λ^{2m} a1b1.
+func mulKaratsuba[E any](f ff.Field[E], a, b []E) []E {
+	m := max(len(a), len(b)) / 2
+	a0, a1 := splitAt(a, m)
+	b0, b1 := splitAt(b, m)
+
+	z0 := mulRec(f, a0, b0)
+	z2 := mulRec(f, a1, b1)
+	sa := addRaw(f, a0, a1)
+	sb := addRaw(f, b0, b1)
+	z1 := mulRec(f, sa, sb)
+
+	out := make([]E, len(a)+len(b)-1)
+	for i := range out {
+		out[i] = f.Zero()
+	}
+	accumulate(f, out, z0, 0)
+	// z1 − z0 − z2 at offset m.
+	for i := range z1 {
+		t := z1[i]
+		if i < len(z0) {
+			t = f.Sub(t, z0[i])
+		}
+		if i < len(z2) {
+			t = f.Sub(t, z2[i])
+		}
+		if !f.IsZero(t) && m+i < len(out) {
+			out[m+i] = f.Add(out[m+i], t)
+		}
+	}
+	accumulate(f, out, z2, 2*m)
+	return out
+}
+
+func splitAt[E any](a []E, m int) (lo, hi []E) {
+	if len(a) <= m {
+		return a, nil
+	}
+	return a[:m], a[m:]
+}
+
+func addRaw[E any](f ff.Field[E], a, b []E) []E {
+	n := max(len(a), len(b))
+	c := make([]E, n)
+	for i := range c {
+		c[i] = f.Add(Coef(f, a, i), Coef(f, b, i))
+	}
+	return c
+}
+
+func accumulate[E any](f ff.Field[E], dst, src []E, off int) {
+	for i := range src {
+		if off+i < len(dst) {
+			dst[off+i] = f.Add(dst[off+i], src[i])
+		}
+	}
+}
+
+// MulTrunc returns a·b mod λ^k, skipping work above the truncation bound
+// where the operand shapes make that easy.
+func MulTrunc[E any](f ff.Field[E], a, b []E, k int) []E {
+	a, b = TruncDeg(f, a, k), TruncDeg(f, b, k)
+	return TruncDeg(f, Mul(f, a, b), k)
+}
+
+// Pow returns a^e by binary exponentiation.
+func Pow[E any](f ff.Field[E], a []E, e int) []E {
+	if e < 0 {
+		panic("poly: negative exponent")
+	}
+	result := Constant(f, f.One())
+	base := Trim(f, a)
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(f, result, base)
+		}
+		base = Mul(f, base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Product multiplies a list of polynomials with a balanced product tree,
+// keeping intermediate degrees (and traced circuit depth) balanced.
+func Product[E any](f ff.Field[E], ps [][]E) []E {
+	switch len(ps) {
+	case 0:
+		return Constant(f, f.One())
+	case 1:
+		return Trim(f, ps[0])
+	}
+	cur := make([][]E, len(ps))
+	copy(cur, ps)
+	for len(cur) > 1 {
+		next := make([][]E, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, Mul(f, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// FromRoots returns ∏ (λ − r) over the given roots, via a product tree.
+func FromRoots[E any](f ff.Field[E], roots []E) []E {
+	ps := make([][]E, len(roots))
+	for i, r := range roots {
+		ps[i] = []E{f.Neg(r), f.One()}
+	}
+	return Product(f, ps)
+}

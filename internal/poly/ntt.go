@@ -1,0 +1,125 @@
+package poly
+
+import "repro/internal/ff"
+
+// NTT-based multiplication — the reproduction's stand-in for the paper's
+// Cantor–Kaltofen fast polynomial product. When the coefficient field
+// advertises 2-power roots of unity (ff.RootsOfUnity), products above
+// nttThreshold switch to evaluation–interpolation at O(n log n) operations,
+// which is what makes the Theorem 3 circuit size come out at n²·polylog
+// instead of the Karatsuba exponent. The transform is pure field
+// arithmetic (butterflies and constant multiplications), so it traces
+// through the circuit builder like everything else.
+
+// nttThreshold is the result length above which NTT multiplication is
+// attempted. Below it Karatsuba/schoolbook wins on constants.
+const nttThreshold = 32
+
+// tryMulNTT multiplies via NTT if the field supports it at the needed
+// size; ok=false falls back to the classical path.
+func tryMulNTT[E any](f ff.Field[E], a, b []E) ([]E, bool) {
+	r, capable := any(f).(ff.RootsOfUnity[E])
+	if !capable {
+		return nil, false
+	}
+	resLen := len(a) + len(b) - 1
+	if resLen < nttThreshold || min(len(a), len(b)) < nttThreshold/4 {
+		// Lopsided products (scalar-by-vector and similar) are cheaper —
+		// in work and, crucially, in traced circuit depth — as direct
+		// convolutions: an NTT would pay 3 transforms for a product that
+		// schoolbook finishes at depth O(log min).
+		return nil, false
+	}
+	log2n := 0
+	n := 1
+	for n < resLen {
+		n <<= 1
+		log2n++
+	}
+	root, ok := r.RootOfUnity(log2n)
+	if !ok {
+		return nil, false
+	}
+	fa := padTo(f, a, n)
+	fb := padTo(f, b, n)
+	nttInPlace(f, fa, root, log2n)
+	nttInPlace(f, fb, root, log2n)
+	for i := range fa {
+		fa[i] = f.Mul(fa[i], fb[i])
+	}
+	if err := inverseNTTInPlace(f, fa, root, log2n); err != nil {
+		return nil, false
+	}
+	return fa[:resLen], true
+}
+
+func padTo[E any](f ff.Field[E], a []E, n int) []E {
+	out := make([]E, n)
+	copy(out, a)
+	for i := len(a); i < n; i++ {
+		out[i] = f.Zero()
+	}
+	return out
+}
+
+// nttInPlace is the iterative radix-2 Cooley–Tukey transform: bit-reversal
+// permutation followed by log2n butterfly rounds. root must be a primitive
+// 2^log2n-th root of unity.
+func nttInPlace[E any](f ff.Field[E], a []E, root E, log2n int) {
+	n := len(a)
+	bitReverse(a, log2n)
+	// Precompute the per-stage roots: stage s uses ω_s = root^(2^{log2n−s}),
+	// a primitive 2^s-th root.
+	stageRoot := make([]E, log2n+1)
+	stageRoot[log2n] = root
+	for s := log2n - 1; s >= 1; s-- {
+		stageRoot[s] = f.Mul(stageRoot[s+1], stageRoot[s+1])
+	}
+	for s := 1; s <= log2n; s++ {
+		m := 1 << s
+		wm := stageRoot[s]
+		for k := 0; k < n; k += m {
+			w := f.One()
+			for j := 0; j < m/2; j++ {
+				t := f.Mul(w, a[k+j+m/2])
+				u := a[k+j]
+				a[k+j] = f.Add(u, t)
+				a[k+j+m/2] = f.Sub(u, t)
+				w = f.Mul(w, wm)
+			}
+		}
+	}
+}
+
+// inverseNTTInPlace applies the inverse transform: NTT with root⁻¹ followed
+// by division by n.
+func inverseNTTInPlace[E any](f ff.Field[E], a []E, root E, log2n int) error {
+	rootInv, err := f.Inv(root)
+	if err != nil {
+		return err
+	}
+	nttInPlace(f, a, rootInv, log2n)
+	nInv, err := f.Inv(f.FromInt64(int64(len(a))))
+	if err != nil {
+		return err
+	}
+	for i := range a {
+		a[i] = f.Mul(a[i], nInv)
+	}
+	return nil
+}
+
+func bitReverse[E any](a []E, log2n int) {
+	n := len(a)
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+	}
+	_ = log2n
+}

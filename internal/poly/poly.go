@@ -1,0 +1,253 @@
+// Package poly implements dense univariate polynomial arithmetic over an
+// abstract field, the substrate for the Toeplitz machinery of Kaltofen–Pan
+// §3: Toeplitz-matrix-times-vector products are polynomial multiplications,
+// the Newton iteration divides by power series, and the minimum polynomials
+// of linearly generated sequences are polynomials over K.
+//
+// A polynomial is a coefficient slice c with c[i] the coefficient of λ^i,
+// normalized so that the last entry is non-zero; the zero polynomial is the
+// empty (or nil) slice. All functions treat their inputs as immutable.
+package poly
+
+import (
+	"strings"
+
+	"repro/internal/ff"
+)
+
+// Trim removes trailing zero coefficients, returning the normal form.
+func Trim[E any](f ff.Field[E], a []E) []E {
+	n := len(a)
+	for n > 0 && f.IsZero(a[n-1]) {
+		n--
+	}
+	return a[:n]
+}
+
+// Deg returns the degree of a, with Deg(0) = −1.
+func Deg[E any](f ff.Field[E], a []E) int {
+	return len(Trim(f, a)) - 1
+}
+
+// IsZero reports whether a is the zero polynomial.
+func IsZero[E any](f ff.Field[E], a []E) bool {
+	return len(Trim(f, a)) == 0
+}
+
+// Equal reports whether a and b denote the same polynomial.
+func Equal[E any](f ff.Field[E], a, b []E) bool {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !f.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Coef returns the coefficient of λ^i — zero beyond the stored length and
+// for negative i (callers index shifted convolutions freely).
+func Coef[E any](f ff.Field[E], a []E, i int) E {
+	if i >= 0 && i < len(a) {
+		return a[i]
+	}
+	return f.Zero()
+}
+
+// Lead returns the leading coefficient of a non-zero polynomial.
+func Lead[E any](f ff.Field[E], a []E) E {
+	a = Trim(f, a)
+	if len(a) == 0 {
+		panic("poly: leading coefficient of zero polynomial")
+	}
+	return a[len(a)-1]
+}
+
+// Constant returns the degree-0 polynomial c (or zero polynomial if c = 0).
+func Constant[E any](f ff.Field[E], c E) []E {
+	return Trim(f, []E{c})
+}
+
+// X returns the monomial λ.
+func X[E any](f ff.Field[E]) []E {
+	return []E{f.Zero(), f.One()}
+}
+
+// Monomial returns c·λ^k.
+func Monomial[E any](f ff.Field[E], c E, k int) []E {
+	if f.IsZero(c) {
+		return nil
+	}
+	m := make([]E, k+1)
+	for i := 0; i < k; i++ {
+		m[i] = f.Zero()
+	}
+	m[k] = c
+	return m
+}
+
+// FromInt64 builds a polynomial from integer coefficients, low degree first.
+func FromInt64[E any](f ff.Field[E], cs []int64) []E {
+	out := make([]E, len(cs))
+	for i, c := range cs {
+		out[i] = f.FromInt64(c)
+	}
+	return Trim(f, out)
+}
+
+// Add returns a + b.
+func Add[E any](f ff.Field[E], a, b []E) []E {
+	n := max(len(a), len(b))
+	c := make([]E, n)
+	for i := range c {
+		c[i] = f.Add(Coef(f, a, i), Coef(f, b, i))
+	}
+	return Trim(f, c)
+}
+
+// Sub returns a − b.
+func Sub[E any](f ff.Field[E], a, b []E) []E {
+	n := max(len(a), len(b))
+	c := make([]E, n)
+	for i := range c {
+		c[i] = f.Sub(Coef(f, a, i), Coef(f, b, i))
+	}
+	return Trim(f, c)
+}
+
+// Neg returns −a.
+func Neg[E any](f ff.Field[E], a []E) []E {
+	c := make([]E, len(a))
+	for i := range a {
+		c[i] = f.Neg(a[i])
+	}
+	return c
+}
+
+// Scale returns s·a.
+func Scale[E any](f ff.Field[E], s E, a []E) []E {
+	if f.IsZero(s) {
+		return nil
+	}
+	c := make([]E, len(a))
+	for i := range a {
+		c[i] = f.Mul(s, a[i])
+	}
+	return Trim(f, c)
+}
+
+// MulXk returns λ^k · a.
+func MulXk[E any](f ff.Field[E], a []E, k int) []E {
+	a = Trim(f, a)
+	if len(a) == 0 {
+		return nil
+	}
+	c := make([]E, k+len(a))
+	for i := 0; i < k; i++ {
+		c[i] = f.Zero()
+	}
+	copy(c[k:], a)
+	return c
+}
+
+// TruncDeg returns a mod λ^k (the low k coefficients).
+func TruncDeg[E any](f ff.Field[E], a []E, k int) []E {
+	if len(a) > k {
+		a = a[:k]
+	}
+	return Trim(f, a)
+}
+
+// ShiftRight returns a / λ^k discarding the remainder (coefficients k…).
+func ShiftRight[E any](f ff.Field[E], a []E, k int) []E {
+	if k >= len(a) {
+		return nil
+	}
+	return Trim(f, a[k:])
+}
+
+// Reverse returns the degree-n reversal λ^n·a(1/λ) where n ≥ Deg(a). The
+// result has the coefficients of a in reverse order, padded to length n+1.
+// Reversal converts between Toeplitz and Hankel convolution forms.
+func Reverse[E any](f ff.Field[E], a []E, n int) []E {
+	c := make([]E, n+1)
+	for i := range c {
+		c[i] = Coef(f, a, n-i)
+	}
+	return Trim(f, c)
+}
+
+// Monic divides a by its leading coefficient. a must be non-zero.
+func Monic[E any](f ff.Field[E], a []E) ([]E, error) {
+	a = Trim(f, a)
+	if len(a) == 0 {
+		panic("poly: Monic of zero polynomial")
+	}
+	inv, err := f.Inv(a[len(a)-1])
+	if err != nil {
+		return nil, err
+	}
+	return Scale(f, inv, a), nil
+}
+
+// Eval returns a(x) by Horner's rule.
+func Eval[E any](f ff.Field[E], a []E, x E) E {
+	r := f.Zero()
+	for i := len(a) - 1; i >= 0; i-- {
+		r = f.Add(f.Mul(r, x), a[i])
+	}
+	return r
+}
+
+// Derivative returns a′.
+func Derivative[E any](f ff.Field[E], a []E) []E {
+	if len(a) <= 1 {
+		return nil
+	}
+	c := make([]E, len(a)-1)
+	for i := 1; i < len(a); i++ {
+		c[i-1] = f.Mul(f.FromInt64(int64(i)), a[i])
+	}
+	return Trim(f, c)
+}
+
+// String formats a in λ for diagnostics.
+func String[E any](f ff.Field[E], a []E) string {
+	a = Trim(f, a)
+	if len(a) == 0 {
+		return "0"
+	}
+	var parts []string
+	for i := len(a) - 1; i >= 0; i-- {
+		if f.IsZero(a[i]) {
+			continue
+		}
+		c := f.String(a[i])
+		switch i {
+		case 0:
+			parts = append(parts, c)
+		case 1:
+			parts = append(parts, c+"·λ")
+		default:
+			parts = append(parts, c+"·λ^"+itoa(i))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}

@@ -1,0 +1,425 @@
+package poly
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+var f101 = ff.MustFp64(101)
+
+func randPoly(f ff.Fp64, src *ff.Source, deg int) []uint64 {
+	if deg < 0 {
+		return nil
+	}
+	p := make([]uint64, deg+1)
+	for i := range p {
+		p[i] = src.Uint64n(f.Modulus())
+	}
+	p[deg] = 1 + src.Uint64n(f.Modulus()-1) // ensure exact degree
+	return p
+}
+
+func TestTrimDegIsZero(t *testing.T) {
+	f := f101
+	if Deg[uint64](f, nil) != -1 {
+		t.Fatal("Deg(0) != -1")
+	}
+	if !IsZero[uint64](f, []uint64{0, 0, 0}) {
+		t.Fatal("all-zero slice not recognized as zero polynomial")
+	}
+	a := []uint64{5, 0, 3, 0, 0}
+	if got := Deg[uint64](f, a); got != 2 {
+		t.Fatalf("Deg = %d, want 2", got)
+	}
+	if got := len(Trim[uint64](f, a)); got != 3 {
+		t.Fatalf("Trim length = %d, want 3", got)
+	}
+}
+
+func TestAddSubNegScale(t *testing.T) {
+	f := f101
+	a := FromInt64[uint64](f, []int64{1, 2, 3})
+	b := FromInt64[uint64](f, []int64{4, 5})
+	if !Equal[uint64](f, Add[uint64](f, a, b), FromInt64[uint64](f, []int64{5, 7, 3})) {
+		t.Fatal("Add wrong")
+	}
+	if !Equal[uint64](f, Sub[uint64](f, a, b), FromInt64[uint64](f, []int64{-3, -3, 3})) {
+		t.Fatal("Sub wrong")
+	}
+	if !IsZero[uint64](f, Add[uint64](f, a, Neg[uint64](f, a))) {
+		t.Fatal("a + (−a) != 0")
+	}
+	if !Equal[uint64](f, Scale[uint64](f, f.FromInt64(2), a), FromInt64[uint64](f, []int64{2, 4, 6})) {
+		t.Fatal("Scale wrong")
+	}
+	// Cancellation must re-normalize: (λ²) + (−λ²) = 0.
+	l2 := Monomial[uint64](f, f.One(), 2)
+	if !IsZero[uint64](f, Add[uint64](f, l2, Neg[uint64](f, l2))) {
+		t.Fatal("cancellation did not trim")
+	}
+}
+
+func TestMulAgainstSchoolbook(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(1)
+	// Sweep sizes across the Karatsuba threshold.
+	for _, da := range []int{0, 1, 5, 31, 32, 33, 64, 100, 200} {
+		for _, db := range []int{0, 3, 31, 33, 97} {
+			a := randPoly(f, src, da)
+			b := randPoly(f, src, db)
+			want := Trim[uint64](f, mulSchoolbook[uint64](f, a, b))
+			got := Mul[uint64](f, a, b)
+			if !Equal[uint64](f, got, want) {
+				t.Fatalf("Mul mismatch at deg %d × %d", da, db)
+			}
+			if Deg[uint64](f, got) != da+db {
+				t.Fatalf("deg(ab) = %d, want %d", Deg[uint64](f, got), da+db)
+			}
+		}
+	}
+	if Mul[uint64](f, nil, randPoly(f, src, 5)) != nil {
+		t.Fatal("0·b != 0")
+	}
+}
+
+func TestMulRingAxioms(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(2)
+	for i := 0; i < 25; i++ {
+		a := randPoly(f, src, src.Intn(60))
+		b := randPoly(f, src, src.Intn(60))
+		c := randPoly(f, src, src.Intn(60))
+		if !Equal[uint64](f, Mul[uint64](f, a, b), Mul[uint64](f, b, a)) {
+			t.Fatal("ab != ba")
+		}
+		lhs := Mul[uint64](f, a, Add[uint64](f, b, c))
+		rhs := Add[uint64](f, Mul[uint64](f, a, b), Mul[uint64](f, a, c))
+		if !Equal[uint64](f, lhs, rhs) {
+			t.Fatal("a(b+c) != ab+ac")
+		}
+		lhs = Mul[uint64](f, Mul[uint64](f, a, b), c)
+		rhs = Mul[uint64](f, a, Mul[uint64](f, b, c))
+		if !Equal[uint64](f, lhs, rhs) {
+			t.Fatal("(ab)c != a(bc)")
+		}
+	}
+}
+
+func TestDivMod(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(3)
+	for i := 0; i < 50; i++ {
+		a := randPoly(f, src, src.Intn(80))
+		b := randPoly(f, src, src.Intn(40))
+		q, r, err := DivMod[uint64](f, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Deg[uint64](f, r) >= Deg[uint64](f, b) {
+			t.Fatalf("deg r = %d not < deg b = %d", Deg[uint64](f, r), Deg[uint64](f, b))
+		}
+		recon := Add[uint64](f, Mul[uint64](f, q, b), r)
+		if !Equal[uint64](f, recon, Trim[uint64](f, a)) {
+			t.Fatal("qb + r != a")
+		}
+	}
+	if _, _, err := DivMod[uint64](f, randPoly(f, src, 3), nil); err != ff.ErrDivisionByZero {
+		t.Fatalf("division by zero polynomial: err = %v", err)
+	}
+}
+
+func TestSeriesInv(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(4)
+	for _, k := range []int{1, 2, 3, 7, 8, 9, 33, 100} {
+		a := randPoly(f, src, src.Intn(20))
+		a[0] = 1 + src.Uint64n(f.Modulus()-1) // invertible constant term
+		inv, err := SeriesInv[uint64](f, a, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := MulTrunc[uint64](f, a, inv, k)
+		if !Equal[uint64](f, prod, Constant[uint64](f, f.One())) {
+			t.Fatalf("a·a⁻¹ != 1 mod λ^%d", k)
+		}
+	}
+	// Non-invertible constant term must fail.
+	if _, err := SeriesInv[uint64](f, []uint64{0, 1}, 4); err == nil {
+		t.Fatal("SeriesInv accepted a(0)=0")
+	}
+}
+
+func TestSeriesDiv(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(5)
+	a := randPoly(f, src, 12)
+	b := randPoly(f, src, 9)
+	b[0] = 7
+	const k = 30
+	q, err := SeriesDiv[uint64](f, a, b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal[uint64](f, MulTrunc[uint64](f, q, b, k), TruncDeg[uint64](f, a, k)) {
+		t.Fatal("(a/b)·b != a mod λ^k")
+	}
+}
+
+func TestGCD(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(6)
+	for i := 0; i < 30; i++ {
+		g := randPoly(f, src, 1+src.Intn(5))
+		a := Mul[uint64](f, g, randPoly(f, src, src.Intn(10)))
+		b := Mul[uint64](f, g, randPoly(f, src, src.Intn(10)))
+		got, err := GCD[uint64](f, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// gcd must divide both and be divisible by the planted factor.
+		for _, x := range [][]uint64{a, b} {
+			if _, r, _ := DivMod[uint64](f, x, got); !IsZero[uint64](f, r) {
+				t.Fatal("gcd does not divide operand")
+			}
+		}
+		if _, r, _ := DivMod[uint64](f, got, g); !IsZero[uint64](f, r) {
+			t.Fatalf("planted factor missing from gcd (deg g=%d, deg gcd=%d)",
+				Deg[uint64](f, g), Deg[uint64](f, got))
+		}
+		if !f.Equal(Lead[uint64](f, got), f.One()) {
+			t.Fatal("gcd not monic")
+		}
+	}
+}
+
+func TestGCDExtBezout(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(7)
+	for i := 0; i < 30; i++ {
+		a := randPoly(f, src, src.Intn(15))
+		b := randPoly(f, src, src.Intn(15))
+		g, s, tt, err := GCDExt[uint64](f, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		comb := Add[uint64](f, Mul[uint64](f, s, a), Mul[uint64](f, tt, b))
+		if !Equal[uint64](f, comb, g) {
+			t.Fatal("sa + tb != gcd")
+		}
+	}
+}
+
+func TestEuclideanScheme(t *testing.T) {
+	f := f101
+	a := FromInt64[uint64](f, []int64{-1, 0, 0, 0, 1}) // λ⁴ − 1
+	b := FromInt64[uint64](f, []int64{-1, 0, 1})       // λ² − 1, divides a
+	rems, quos, err := EuclideanScheme[uint64](f, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rems) != 2 || len(quos) != 1 {
+		t.Fatalf("rems=%d quos=%d, want 2 and 1", len(rems), len(quos))
+	}
+	// Degrees must strictly decrease.
+	src := ff.NewSource(8)
+	fp := ff.MustFp64(ff.P31)
+	ra := randPoly(fp, src, 20)
+	rb := randPoly(fp, src, 15)
+	rems, _, err = EuclideanScheme[uint64](fp, ra, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rems); i++ {
+		if Deg[uint64](fp, rems[i]) >= Deg[uint64](fp, rems[i-1]) {
+			t.Fatal("remainder degrees do not decrease")
+		}
+	}
+}
+
+func TestResultant(t *testing.T) {
+	f := f101
+	// Res(λ−a, λ−b) = b − a ... with sign convention Res = ∏(roots diff);
+	// for monic linear polynomials Res(λ−2, λ−5) = (2−5)·(−1)^{1·1}… the
+	// key checks: zero iff common root, and multiplicativity.
+	am := FromInt64[uint64](f, []int64{-2, 1})
+	bm := FromInt64[uint64](f, []int64{-5, 1})
+	r, err := Resultant[uint64](f, am, bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IsZero(r) {
+		t.Fatal("resultant of coprime polynomials is zero")
+	}
+	r2, err := Resultant[uint64](f, am, am)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsZero(r2) {
+		t.Fatal("resultant of equal polynomials must vanish")
+	}
+	// Shared factor ⇒ zero.
+	shared := Mul[uint64](f, am, bm)
+	r3, err := Resultant[uint64](f, shared, am)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsZero(r3) {
+		t.Fatal("resultant with common factor must vanish")
+	}
+}
+
+func TestEvalAndHorner(t *testing.T) {
+	f := f101
+	a := FromInt64[uint64](f, []int64{1, 2, 3}) // 1 + 2λ + 3λ²
+	if got := Eval[uint64](f, a, f.FromInt64(2)); got != 17 {
+		t.Fatalf("Eval = %d, want 17", got)
+	}
+	if got := Eval[uint64](f, nil, f.FromInt64(2)); got != 0 {
+		t.Fatalf("Eval(0) = %d", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	f := f101
+	a := FromInt64[uint64](f, []int64{7, 1, 2, 3}) // 7 + λ + 2λ² + 3λ³
+	want := FromInt64[uint64](f, []int64{1, 4, 9})
+	if !Equal[uint64](f, Derivative[uint64](f, a), want) {
+		t.Fatal("Derivative wrong")
+	}
+	if Derivative[uint64](f, FromInt64[uint64](f, []int64{5})) != nil {
+		t.Fatal("derivative of constant must be zero")
+	}
+}
+
+func TestReverseMonicPow(t *testing.T) {
+	f := f101
+	a := FromInt64[uint64](f, []int64{1, 2, 3})
+	rev := Reverse[uint64](f, a, 2)
+	if !Equal[uint64](f, rev, FromInt64[uint64](f, []int64{3, 2, 1})) {
+		t.Fatal("Reverse wrong")
+	}
+	rev4 := Reverse[uint64](f, a, 4)
+	if !Equal[uint64](f, rev4, FromInt64[uint64](f, []int64{0, 0, 3, 2, 1})) {
+		t.Fatal("padded Reverse wrong")
+	}
+	m, err := Monic[uint64](f, FromInt64[uint64](f, []int64{4, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal[uint64](f, m, FromInt64[uint64](f, []int64{2, 1})) {
+		t.Fatal("Monic wrong")
+	}
+	p := Pow[uint64](f, FromInt64[uint64](f, []int64{1, 1}), 3) // (1+λ)³
+	if !Equal[uint64](f, p, FromInt64[uint64](f, []int64{1, 3, 3, 1})) {
+		t.Fatal("Pow wrong")
+	}
+}
+
+func TestProductAndFromRoots(t *testing.T) {
+	f := f101
+	roots := ff.VecFromInt64[uint64](f, []int64{1, 2, 3})
+	p := FromRoots[uint64](f, roots)
+	// (λ−1)(λ−2)(λ−3) = λ³ − 6λ² + 11λ − 6
+	want := FromInt64[uint64](f, []int64{-6, 11, -6, 1})
+	if !Equal[uint64](f, p, want) {
+		t.Fatalf("FromRoots = %s", String[uint64](f, p))
+	}
+	for _, r := range roots {
+		if !f.IsZero(Eval[uint64](f, p, r)) {
+			t.Fatal("root not a root")
+		}
+	}
+	if !Equal[uint64](f, Product[uint64](f, nil), Constant[uint64](f, f.One())) {
+		t.Fatal("empty product != 1")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(9)
+	for _, n := range []int{1, 2, 3, 8, 20} {
+		// Distinct points 0..n−1, random target polynomial of degree < n.
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(i)
+		}
+		target := randPoly(f, src, n-1)
+		ys := EvalMany[uint64](f, target, xs)
+		got, err := Interpolate[uint64](f, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal[uint64](f, got, Trim[uint64](f, target)) {
+			t.Fatalf("n=%d: interpolation did not recover the polynomial", n)
+		}
+	}
+	// Repeated nodes must error.
+	if _, err := Interpolate[uint64](f, []uint64{1, 1}, []uint64{2, 3}); err == nil {
+		t.Fatal("Interpolate accepted repeated nodes")
+	}
+}
+
+func TestVandermonde(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(10)
+	n := 9
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = uint64(i + 1)
+	}
+	c := ff.SampleVec[uint64](f, src, n, ff.P31)
+	y := VandermondeApply[uint64](f, xs, c)
+	got, err := VandermondeSolve[uint64](f, xs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](f, got, c) {
+		t.Fatal("VandermondeSolve did not invert VandermondeApply")
+	}
+	// Transposed apply: check one coordinate by hand.
+	ct := ff.SampleVec[uint64](f, src, n, ff.P31)
+	vt := VandermondeTransposedApply[uint64](f, xs, ct)
+	want := f.Zero()
+	for i := range xs {
+		want = f.Add(want, f.Mul(ct[i], f.Mul(xs[i], xs[i])))
+	}
+	if vt[2] != want {
+		t.Fatal("VandermondeTransposedApply wrong at row 2")
+	}
+}
+
+func TestMulTruncShiftTrunc(t *testing.T) {
+	f := f101
+	a := FromInt64[uint64](f, []int64{1, 2, 3, 4, 5})
+	if got := TruncDeg[uint64](f, a, 2); !Equal[uint64](f, got, FromInt64[uint64](f, []int64{1, 2})) {
+		t.Fatal("TruncDeg wrong")
+	}
+	if got := ShiftRight[uint64](f, a, 2); !Equal[uint64](f, got, FromInt64[uint64](f, []int64{3, 4, 5})) {
+		t.Fatal("ShiftRight wrong")
+	}
+	if got := ShiftRight[uint64](f, a, 9); got != nil {
+		t.Fatal("ShiftRight beyond length must be zero")
+	}
+	if got := MulXk[uint64](f, FromInt64[uint64](f, []int64{1, 1}), 2); !Equal[uint64](f, got, FromInt64[uint64](f, []int64{0, 0, 1, 1})) {
+		t.Fatal("MulXk wrong")
+	}
+	b := FromInt64[uint64](f, []int64{9, 8, 7})
+	if got := MulTrunc[uint64](f, a, b, 3); !Equal[uint64](f, got, TruncDeg[uint64](f, Mul[uint64](f, a, b), 3)) {
+		t.Fatal("MulTrunc disagrees with truncated Mul")
+	}
+}
+
+func TestString(t *testing.T) {
+	f := f101
+	if got := String[uint64](f, nil); got != "0" {
+		t.Fatalf("String(0) = %q", got)
+	}
+	a := FromInt64[uint64](f, []int64{1, 0, 3})
+	if got := String[uint64](f, a); got != "3·λ^2 + 1" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+package poly
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ff"
+)
+
+// Property-based tests (testing/quick) on the polynomial ring. Raw uint64
+// fuzz inputs are mapped into the field and shaped into polynomials of
+// bounded degree.
+
+var qf = ff.MustFp64(ff.P31)
+
+func mkPoly(seed []uint64, maxLen int) []uint64 {
+	if maxLen <= 0 {
+		maxLen = 1
+	}
+	n := 1 + int(seedAt(seed, 0)%uint64(maxLen))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = qf.Elem(seedAt(seed, i+1))
+	}
+	return Trim[uint64](qf, out)
+}
+
+func seedAt(seed []uint64, i int) uint64 {
+	if len(seed) == 0 {
+		return uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	return seed[i%len(seed)] + uint64(i)*0x9e3779b97f4a7c15
+}
+
+func TestQuickMulCommutesAndEvalHom(t *testing.T) {
+	prop := func(sa, sb []uint64, x uint64) bool {
+		a := mkPoly(sa, 40)
+		b := mkPoly(sb, 40)
+		ab := Mul[uint64](qf, a, b)
+		if !Equal[uint64](qf, ab, Mul[uint64](qf, b, a)) {
+			return false
+		}
+		// Evaluation is a ring homomorphism: (ab)(x) = a(x)·b(x).
+		xv := qf.Elem(x)
+		return qf.Equal(Eval[uint64](qf, ab, xv),
+			qf.Mul(Eval[uint64](qf, a, xv), Eval[uint64](qf, b, xv)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDivModReconstructs(t *testing.T) {
+	prop := func(sa, sb []uint64) bool {
+		a := mkPoly(sa, 60)
+		b := mkPoly(sb, 25)
+		if IsZero[uint64](qf, b) {
+			return true
+		}
+		q, r, err := DivMod[uint64](qf, a, b)
+		if err != nil {
+			return false
+		}
+		if Deg[uint64](qf, r) >= Deg[uint64](qf, b) {
+			return false
+		}
+		return Equal[uint64](qf, Add[uint64](qf, Mul[uint64](qf, q, b), r), a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGCDDividesBoth(t *testing.T) {
+	prop := func(sa, sb []uint64) bool {
+		a := mkPoly(sa, 30)
+		b := mkPoly(sb, 30)
+		g, err := GCD[uint64](qf, a, b)
+		if err != nil {
+			return false
+		}
+		if IsZero[uint64](qf, g) {
+			return IsZero[uint64](qf, a) && IsZero[uint64](qf, b)
+		}
+		for _, p := range [][]uint64{a, b} {
+			if IsZero[uint64](qf, p) {
+				continue
+			}
+			_, r, err := DivMod[uint64](qf, p, g)
+			if err != nil || !IsZero[uint64](qf, r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSeriesInverseIdentity(t *testing.T) {
+	prop := func(sa []uint64, kRaw uint8) bool {
+		k := 1 + int(kRaw%40)
+		a := mkPoly(sa, 20)
+		a = append([]uint64{1 + seedAt(sa, 99)%(ff.P31-1)}, a...) // unit constant term
+		inv, err := SeriesInv[uint64](qf, a, k)
+		if err != nil {
+			return false
+		}
+		return Equal[uint64](qf, MulTrunc[uint64](qf, a, inv, k),
+			Constant[uint64](qf, qf.One()))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReverseInvolution(t *testing.T) {
+	prop := func(sa []uint64) bool {
+		a := mkPoly(sa, 30)
+		n := len(a)
+		if n == 0 {
+			return true
+		}
+		// Double reversal at the exact degree is the identity.
+		return Equal[uint64](qf, Reverse[uint64](qf, Reverse[uint64](qf, a, n-1), n-1), a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNTTMatchesKaratsuba(t *testing.T) {
+	fntt := ff.MustFp64(ff.PNTT62)
+	prop := func(sa, sb []uint64, la, lb uint8) bool {
+		a := make([]uint64, 16+int(la)%120)
+		b := make([]uint64, 16+int(lb)%120)
+		for i := range a {
+			a[i] = fntt.Elem(seedAt(sa, i))
+		}
+		for i := range b {
+			b[i] = fntt.Elem(seedAt(sb, i))
+		}
+		got := Mul[uint64](fntt, a, b)
+		want := Trim[uint64](fntt, mulKaratsuba[uint64](fntt, a, b))
+		return Equal[uint64](fntt, got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

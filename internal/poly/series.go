@@ -1,0 +1,121 @@
+package poly
+
+import (
+	"math/big"
+
+	"repro/internal/ff"
+)
+
+// Series is the truncated power-series ring K[[λ]]/λᴷ presented through the
+// ff.Field interface, so that every generic algorithm in this repository
+// can run with series coefficients unchanged. This is how the paper's §3
+// treats its Toeplitz matrices: "T(λ) can be viewed as a Toeplitz matrix
+// with entries in the field of extended power series K((λ))" — the
+// truncated local ring suffices because every series the algorithms invert
+// has an invertible constant term (units of K[[λ]]), and Inv reports
+// ff.ErrDivisionByZero otherwise exactly like a field does for zero.
+//
+// Elements are coefficient slices of length ≤ K with no trailing zeros
+// (as produced by Trim); the zero series is nil.
+type Series[E any] struct {
+	// F is the coefficient field.
+	F ff.Field[E]
+	// K is the truncation order: elements represent classes mod λᴷ.
+	K int
+}
+
+// NewSeries returns the ring K[[λ]]/λᵏ over f.
+func NewSeries[E any](f ff.Field[E], k int) Series[E] {
+	if k < 1 {
+		panic("poly: series truncation order must be ≥ 1")
+	}
+	return Series[E]{F: f, K: k}
+}
+
+// Zero returns the zero series.
+func (s Series[E]) Zero() []E { return nil }
+
+// One returns the unit series.
+func (s Series[E]) One() []E { return Constant(s.F, s.F.One()) }
+
+// Add returns a + b mod λᴷ.
+func (s Series[E]) Add(a, b []E) []E { return TruncDeg(s.F, Add(s.F, a, b), s.K) }
+
+// Sub returns a − b mod λᴷ.
+func (s Series[E]) Sub(a, b []E) []E { return TruncDeg(s.F, Sub(s.F, a, b), s.K) }
+
+// Neg returns −a.
+func (s Series[E]) Neg(a []E) []E { return Neg(s.F, a) }
+
+// Mul returns a·b mod λᴷ.
+func (s Series[E]) Mul(a, b []E) []E { return MulTrunc(s.F, a, b, s.K) }
+
+// IsZero reports whether a ≡ 0 mod λᴷ.
+func (s Series[E]) IsZero(a []E) bool { return IsZero(s.F, TruncDeg(s.F, a, s.K)) }
+
+// Equal reports whether a ≡ b mod λᴷ.
+func (s Series[E]) Equal(a, b []E) bool {
+	return Equal(s.F, TruncDeg(s.F, a, s.K), TruncDeg(s.F, b, s.K))
+}
+
+// FromInt64 embeds an integer as a constant series.
+func (s Series[E]) FromInt64(v int64) []E { return Constant(s.F, s.F.FromInt64(v)) }
+
+// String formats the series.
+func (s Series[E]) String(a []E) string { return String(s.F, a) }
+
+// Inv returns the series inverse (Newton iteration). It fails with
+// ff.ErrDivisionByZero exactly when the constant term is zero — i.e. when a
+// is a non-unit of the local ring.
+func (s Series[E]) Inv(a []E) ([]E, error) {
+	return SeriesInv(s.F, TruncDeg(s.F, a, s.K), s.K)
+}
+
+// Div returns a/b mod λᴷ for unit b.
+func (s Series[E]) Div(a, b []E) ([]E, error) {
+	return SeriesDiv(s.F, TruncDeg(s.F, a, s.K), TruncDeg(s.F, b, s.K), s.K)
+}
+
+// Characteristic returns the coefficient field's characteristic.
+func (s Series[E]) Characteristic() *big.Int { return s.F.Characteristic() }
+
+// Cardinality returns |K|ᴷ for finite coefficient fields, 0 otherwise.
+func (s Series[E]) Cardinality() *big.Int {
+	c := s.F.Cardinality()
+	if c.Sign() == 0 {
+		return new(big.Int)
+	}
+	return new(big.Int).Exp(c, big.NewInt(int64(s.K)), nil)
+}
+
+// Elem enumerates constant series through the coefficient field's
+// enumeration — sufficient for sampling, which only ever needs constants.
+func (s Series[E]) Elem(i uint64) []E { return Constant(s.F, s.F.Elem(i)) }
+
+// Lift embeds a coefficient-field element as a constant series.
+func (s Series[E]) Lift(e E) []E { return Constant(s.F, e) }
+
+// RootOfUnity lifts the coefficient field's roots of unity into the series
+// ring (a primitive root of K stays primitive as a constant series), so
+// bivariate products — polynomials whose coefficients are series — take
+// the NTT fast path in the outer variable too. This is what realizes the
+// paper's bivariate Cantor–Kaltofen bound inside the Newton iteration.
+func (s Series[E]) RootOfUnity(log2n int) ([]E, bool) {
+	r, ok := any(s.F).(ff.RootsOfUnity[E])
+	if !ok {
+		return nil, false
+	}
+	e, ok := r.RootOfUnity(log2n)
+	if !ok {
+		return nil, false
+	}
+	return Constant(s.F, e), true
+}
+
+// LambdaMinus returns the series c·λ + d (used to build I − λT entries:
+// LambdaMinus(−t, δ)).
+func (s Series[E]) LambdaMinus(d, c E) []E {
+	return TruncDeg(s.F, Trim(s.F, []E{d, c}), s.K)
+}
+
+var _ ff.Field[[]uint64] = Series[uint64]{}

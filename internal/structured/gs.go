@@ -1,0 +1,155 @@
+package structured
+
+import (
+	"repro/internal/ff"
+	"repro/internal/poly"
+)
+
+// Gohberg/Semencul representation (the paper's Figure 1 and display (5)):
+// a non-singular Toeplitz matrix T with (T⁻¹)₀₀ ≠ 0 has
+//
+//	u₀·T⁻¹ = L(u)·U(J·w) − L(Z·w)·U(J·Z·u)
+//
+// where u is the first column of T⁻¹, w its last column, L(a) the lower
+// triangular Toeplitz matrix with first column a, U(r) the upper triangular
+// Toeplitz matrix with first row r, J the reversal and Z the down-shift —
+// so "T⁻¹ is fully determined by the entries of its first and last"
+// columns. Applying T⁻¹ to a vector costs four triangular-Toeplitz products
+// (each one polynomial multiplication) and one division by u₀.
+//
+// All functions are generic over the field, so they serve both concrete
+// coefficients and truncated power series (the Newton iteration of
+// newton.go runs them over poly.Series).
+
+// GS holds the two defining columns of a Toeplitz inverse.
+type GS[E any] struct {
+	// U is the first column of T⁻¹; U[0] must be invertible.
+	U []E
+	// W is the last column of T⁻¹.
+	W []E
+}
+
+// lowerMulVec returns L(a)·x: (L·x)_i = Σ_{j≤i} a[i−j]·x[j], the low n
+// coefficients of a(z)·x(z).
+func lowerMulVec[E any](f ff.Field[E], a, x []E) []E {
+	prod := poly.Mul(f, a, x)
+	out := make([]E, len(x))
+	for i := range out {
+		out[i] = poly.Coef(f, prod, i)
+	}
+	return out
+}
+
+// upperMulVec returns U(r)·x for first row r (r[0] on the diagonal):
+// (U·x)_i = Σ_k r[k]·x[i+k], read off a product against the reversed x.
+func upperMulVec[E any](f ff.Field[E], r, x []E) []E {
+	n := len(x)
+	xr := make([]E, n)
+	for i := range xr {
+		xr[i] = x[n-1-i]
+	}
+	prod := poly.Mul(f, xr, r)
+	out := make([]E, n)
+	for i := range out {
+		out[i] = poly.Coef(f, prod, n-1-i)
+	}
+	return out
+}
+
+// Apply returns T⁻¹·x from the representation, without materializing T⁻¹.
+func (g GS[E]) Apply(f ff.Field[E], x []E) ([]E, error) {
+	u0inv, err := f.Inv(g.U[0])
+	if err != nil {
+		return nil, err
+	}
+	return g.ApplyWithInv(f, x, u0inv), nil
+}
+
+// ApplyWithInv is Apply with the inverse of U[0] supplied by the caller —
+// the form the Newton iteration uses, which maintains that power-series
+// inverse incrementally across iterations instead of recomputing it (the
+// paper's "2 Newton iteration steps" remark; recomputation would add a
+// log-factor to the circuit depth).
+func (g GS[E]) ApplyWithInv(f ff.Field[E], x []E, u0inv E) []E {
+	n := len(g.U)
+	if len(x) != n {
+		panic("structured: GS.Apply dimension mismatch")
+	}
+	// B·x with B = U(J·w): first row (w_{n−1}, …, w₀).
+	jw := make([]E, n)
+	for i := range jw {
+		jw[i] = g.W[n-1-i]
+	}
+	t1 := lowerMulVec(f, g.U, upperMulVec(f, jw, x))
+
+	// D·x with D = U(J·Z·u): first row (0, u_{n−1}, …, u₁).
+	jzu := make([]E, n)
+	jzu[0] = f.Zero()
+	for i := 1; i < n; i++ {
+		jzu[i] = g.U[n-i]
+	}
+	// C = L(Z·w): first column (0, w₀, …, w_{n−2}).
+	zw := make([]E, n)
+	zw[0] = f.Zero()
+	for i := 1; i < n; i++ {
+		zw[i] = g.W[i-1]
+	}
+	t2 := lowerMulVec(f, zw, upperMulVec(f, jzu, x))
+
+	out := make([]E, n)
+	for i := range out {
+		out[i] = f.Mul(f.Sub(t1[i], t2[i]), u0inv)
+	}
+	return out
+}
+
+// Trace returns Trace(T⁻¹) from the representation:
+//
+//	Trace(T⁻¹) = (1/u₀)·Σ_{d=0}^{n−1} (n − 2d)·u[d]·w[n−1−d]
+//
+// which is the paper's formula "Trace(T⁻¹) = (1/u₁)(n·u₁v₁ + (n−2)u₂v₂ +
+// … + (−n+2)uₙvₙ)" in 0-based indexing. The sum is balanced for circuit
+// depth.
+func (g GS[E]) Trace(f ff.Field[E]) (E, error) {
+	var z E
+	u0inv, err := f.Inv(g.U[0])
+	if err != nil {
+		return z, err
+	}
+	return g.TraceWithInv(f, u0inv), nil
+}
+
+// TraceWithInv is Trace with the inverse of U[0] supplied by the caller.
+func (g GS[E]) TraceWithInv(f ff.Field[E], u0inv E) E {
+	n := len(g.U)
+	terms := make([]E, n)
+	for d := 0; d < n; d++ {
+		coef := f.FromInt64(int64(n - 2*d))
+		terms[d] = f.Mul(coef, f.Mul(g.U[d], g.W[n-1-d]))
+	}
+	return f.Mul(ff.SumTree(f, terms), u0inv)
+}
+
+// Dense materializes T⁻¹ by applying the representation to the standard
+// basis (tests and diagnostics only; the algorithms never form it).
+func (g GS[E]) Dense(f ff.Field[E]) ([][]E, error) {
+	n := len(g.U)
+	cols := make([][]E, n)
+	for j := 0; j < n; j++ {
+		e := ff.VecZero(f, n)
+		e[j] = f.One()
+		c, err := g.Apply(f, e)
+		if err != nil {
+			return nil, err
+		}
+		cols[j] = c
+	}
+	rows := make([][]E, n)
+	for i := range rows {
+		rows[i] = make([]E, n)
+		for j := range rows[i] {
+			rows[i][j] = cols[j][i]
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,126 @@
+package structured
+
+import (
+	"repro/internal/ff"
+	"repro/internal/poly"
+)
+
+// Newton iteration of the paper's display (3) specialized to B = I − λT
+// over truncated power series (display (6)): maintain only the first and
+// last columns u, w of X_i ≈ B⁻¹, reconstructing the action of X_{i−1}
+// through the Gohberg/Semencul representation. Each doubling step costs a
+// constant number of "bivariate" multiplications — polynomial products
+// whose coefficients are themselves truncated series — exactly as the paper
+// bounds via Cantor–Kaltofen.
+//
+// Soundness of the truncated columns: the entries of the GS reconstruction
+// are rational in u, w with unit denominator u₀, so columns correct mod
+// λ^p reconstruct an operator X ≡ B⁻¹ (mod λ^p), and the Newton step
+// X(2I − BX) is then ≡ B⁻¹ (mod λ^{2p}).
+
+// SeriesVec is a vector whose entries are truncated power series.
+type SeriesVec[E any] = [][]E
+
+// InverseSeriesColumns returns u, w — the first and last columns of
+// (I − λT)⁻¹ mod λᵏ — by ⌈log₂ k⌉ Newton doubling steps, together with the
+// power-series inverse of u₀ at final precision. It never divides except
+// by series with constant term 1 (X₀ = I makes u₀(0) = 1), matching the
+// paper's remark that "(T(λ)⁻¹)₁,₁ mod λ^i ≠ 0 for any i ≥ 1".
+//
+// The inverse of u₀ is *maintained* across iterations with two extra
+// scalar Newton steps per round — the paper's "expansion for the inverse
+// of u₁^{(i)} ... can be obtained from the first 2^i terms of this
+// expansion and from u₁^{(i)} with 2 Newton iteration steps". Recomputing
+// it from scratch each round would stack the series-inversion log-loop on
+// top of the doubling loop and push the circuit depth to Θ((log n)³).
+func InverseSeriesColumns[E any](f ff.Field[E], t Toeplitz[E], k int) (u, w SeriesVec[E], u0inv []E, err error) {
+	n := t.N
+	// X₀ = I: u = e₀, w = e_{n−1} as constant series; 1/u₀ = 1.
+	u = make(SeriesVec[E], n)
+	w = make(SeriesVec[E], n)
+	s1 := poly.NewSeries(f, 1)
+	for i := 0; i < n; i++ {
+		u[i], w[i] = s1.Zero(), s1.Zero()
+	}
+	u[0], w[n-1] = s1.One(), s1.One()
+	u0inv = s1.One()
+
+	for prec := 1; prec < k; {
+		prec *= 2
+		if prec > k {
+			prec = k
+		}
+		s := poly.NewSeries(f, prec)
+		b := seriesToeplitz(s, t, prec)
+		g := GS[[]E]{U: u, W: w}
+		uNew := newtonColumn(s, b, g, u, u0inv)
+		wNew := newtonColumn(s, b, g, w, u0inv)
+		u, w = uNew, wNew
+		// Refresh 1/u₀ to the new precision: y ← y(2 − u₀y), twice.
+		two := s.FromInt64(2)
+		for step := 0; step < 2; step++ {
+			u0inv = s.Mul(u0inv, s.Sub(two, s.Mul(u[0], u0inv)))
+		}
+	}
+	return u, w, u0inv, nil
+}
+
+// seriesToeplitz lifts B = I − λT into the series ring: entry series
+// δ_{m,n−1} − λ·D[m].
+func seriesToeplitz[E any](s poly.Series[E], t Toeplitz[E], prec int) Toeplitz[[]E] {
+	d := make(SeriesVec[E], len(t.D))
+	for m := range d {
+		var c0 E
+		if m == t.N-1 {
+			c0 = s.F.One()
+		} else {
+			c0 = s.F.Zero()
+		}
+		d[m] = s.LambdaMinus(c0, s.F.Neg(t.D[m]))
+	}
+	return Toeplitz[[]E]{N: t.N, D: d}
+}
+
+// newtonColumn advances one column of the inverse by the residual form of
+// the Newton step, algebraically equal to X_{i−1}(2I − B·X_{i−1})e:
+//
+//	col_new = col + X_{i−1}·(e − B·col)
+//
+// where X_{i−1} is applied through the GS representation with the
+// maintained u₀-inverse. The residual form needs only X_{i−1} ≡ B⁻¹
+// (mod λ^p): the error of col_new is (X_{i−1}B − I)(B⁻¹e − col) ≡ 0
+// (mod λ^{2p}), a product of two λ^p-small factors. The unit vector e is
+// recovered as the constant term of col (X₀ = I).
+func newtonColumn[E any](s poly.Series[E], b Toeplitz[[]E], g GS[[]E], col SeriesVec[E], u0inv []E) SeriesVec[E] {
+	n := b.N
+	res := b.MulVec(s, col)
+	for i := 0; i < n; i++ {
+		e := constTerm(s, col[i]) // 0 or 1
+		res[i] = s.Sub(e, res[i])
+	}
+	corr := g.ApplyWithInv(s, res, u0inv)
+	out := make(SeriesVec[E], n)
+	for i := 0; i < n; i++ {
+		out[i] = s.Add(col[i], corr[i])
+	}
+	return out
+}
+
+func constTerm[E any](s poly.Series[E], a []E) []E {
+	if len(a) == 0 {
+		return s.Zero()
+	}
+	return poly.Constant(s.F, a[0])
+}
+
+// TraceSeries returns Trace((I − λT)⁻¹) mod λᵏ = Σ_{i≥0} Trace(Tⁱ)·λⁱ,
+// the generating function of the power sums the Leverrier step consumes.
+func TraceSeries[E any](f ff.Field[E], t Toeplitz[E], k int) ([]E, error) {
+	u, w, u0inv, err := InverseSeriesColumns(f, t, k)
+	if err != nil {
+		return nil, err
+	}
+	s := poly.NewSeries(f, k)
+	g := GS[[]E]{U: u, W: w}
+	return g.TraceWithInv(s, u0inv), nil
+}

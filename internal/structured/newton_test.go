@@ -1,0 +1,150 @@
+package structured
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+// Focused tests of the Newton/Gohberg–Semencul engine beyond the
+// column-correctness checks in structured_test.go.
+
+func TestInverseSeriesColumnsHighPrecision(t *testing.T) {
+	// Precision well beyond n+1 (the charpoly need): the truncated columns
+	// must match the Neumann series Σ λⁱTⁱ at every order.
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(401)
+	n := 5
+	tp := RandomToeplitz[uint64](f, src, n, ff.P31)
+	k := 23 // deliberately not a power of two
+	u, w, _, err := InverseSeriesColumns[uint64](f, tp, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := ff.VecZero[uint64](f, n)
+	e0[0] = f.One()
+	en := ff.VecZero[uint64](f, n)
+	en[n-1] = f.One()
+	for name, tc := range map[string]struct {
+		col SeriesVec[uint64]
+		e   []uint64
+	}{"first": {u, e0}, "last": {w, en}} {
+		v := tc.e
+		for i := 0; i < k; i++ {
+			for row := 0; row < n; row++ {
+				if poly.Coef[uint64](f, tc.col[row], i) != v[row] {
+					t.Fatalf("%s column, λ^%d, row %d wrong", name, i, row)
+				}
+			}
+			v = tp.MulVec(f, v)
+		}
+	}
+}
+
+func TestNewtonPersymmetryInvariant(t *testing.T) {
+	// The exact inverse of a Toeplitz matrix is persymmetric; in
+	// particular u₀ = w_{n−1} — and since the computed columns are exact
+	// truncations, the identity must hold coefficientwise.
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(403)
+	for _, n := range []int{2, 4, 9} {
+		tp := RandomToeplitz[uint64](f, src, n, ff.P31)
+		u, w, u0inv, err := InverseSeriesColumns[uint64](f, tp, n+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := poly.NewSeries[uint64](f, n+1)
+		if !s.Equal(u[0], w[n-1]) {
+			t.Fatalf("n=%d: u₀ != w_{n−1} (persymmetry broken)", n)
+		}
+		// u0inv really inverts u₀ at full precision.
+		if !s.Equal(s.Mul(u[0], u0inv), s.One()) {
+			t.Fatalf("n=%d: maintained inverse wrong", n)
+		}
+	}
+}
+
+func TestTraceSeriesUpperLeftEntry(t *testing.T) {
+	// n = 1 degenerate case: T = [c]; trace series = 1/(1−λc) = Σ cⁱλⁱ.
+	f := ff.MustFp64(ff.P31)
+	c := uint64(7)
+	tp := Toeplitz[uint64]{N: 1, D: []uint64{c}}
+	k := 6
+	tr, err := TraceSeries[uint64](f, tp, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pow := f.One()
+	for i := 0; i < k; i++ {
+		if poly.Coef[uint64](f, tr, i) != pow {
+			t.Fatalf("coefficient λ^%d = %d, want %d", i,
+				poly.Coef[uint64](f, tr, i), pow)
+		}
+		pow = f.Mul(pow, c)
+	}
+}
+
+func TestCharPolyZeroToeplitz(t *testing.T) {
+	// T = 0: charpoly = λⁿ.
+	f := ff.MustFp64(ff.P31)
+	n := 4
+	tp := Toeplitz[uint64]{N: n, D: make([]uint64, 2*n-1)}
+	cp, err := CharPoly[uint64](f, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := poly.Monomial[uint64](f, f.One(), n)
+	if !poly.Equal[uint64](f, cp, want) {
+		t.Fatalf("charpoly(0) = %s, want λ^%d", poly.String[uint64](f, cp), n)
+	}
+}
+
+func TestCharPolyScalarToeplitz(t *testing.T) {
+	// T = c·J-ish? Simplest: T with all entries equal c is rank ≤ 1 with
+	// trace nc: charpoly = λ^{n−1}(λ − nc).
+	f := ff.MustFp64(ff.P31)
+	n := 5
+	c := f.FromInt64(3)
+	d := make([]uint64, 2*n-1)
+	for i := range d {
+		d[i] = c
+	}
+	cp, err := CharPoly[uint64](f, Toeplitz[uint64]{N: n, D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := poly.Mul[uint64](f,
+		poly.Monomial[uint64](f, f.One(), n-1),
+		[]uint64{f.Neg(f.Mul(f.FromInt64(int64(n)), c)), f.One()})
+	if !poly.Equal[uint64](f, cp, want) {
+		t.Fatalf("rank-1 charpoly = %s", poly.String[uint64](f, cp))
+	}
+}
+
+func TestSolveParallelMatchesIterative(t *testing.T) {
+	f := ff.MustFp64(ff.P31)
+	src := ff.NewSource(405)
+	for _, n := range []int{2, 5, 9} {
+		var tp Toeplitz[uint64]
+		for {
+			tp = RandomToeplitz[uint64](f, src, n, ff.P31)
+			if d, err := matrix.Det[uint64](f, tp.Dense(f)); err == nil && !f.IsZero(d) {
+				break
+			}
+		}
+		b := ff.SampleVec[uint64](f, src, n, ff.P31)
+		x1, err := Solve[uint64](f, tp, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := SolveParallel[uint64](f, matrix.Classical[uint64]{}, tp, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ff.VecEqual[uint64](f, x1, x2) {
+			t.Fatalf("n=%d: parallel and iterative Toeplitz solves differ", n)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package structured
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/charpoly"
+	"repro/internal/ff"
+	"repro/internal/poly"
+)
+
+var qf = ff.MustFp64(ff.P31)
+
+func mkToeplitz(seed []uint64, n int) Toeplitz[uint64] {
+	d := make([]uint64, 2*n-1)
+	for i := range d {
+		d[i] = qf.Elem(at(seed, i))
+	}
+	return Toeplitz[uint64]{N: n, D: d}
+}
+
+func at(seed []uint64, i int) uint64 {
+	if len(seed) == 0 {
+		return uint64(i)*0x9e3779b97f4a7c15 + 13
+	}
+	return seed[i%len(seed)] + uint64(i)*0x9e3779b97f4a7c15
+}
+
+func TestQuickToeplitzLinear(t *testing.T) {
+	prop := func(sd, sx, sy []uint64, nRaw uint8, c uint64) bool {
+		n := 1 + int(nRaw%10)
+		tp := mkToeplitz(sd, n)
+		x := make([]uint64, n)
+		y := make([]uint64, n)
+		for i := range x {
+			x[i], y[i] = qf.Elem(at(sx, i)), qf.Elem(at(sy, i))
+		}
+		cv := qf.Elem(c)
+		// T(c·x + y) = c·T(x) + T(y)
+		lhs := tp.MulVec(qf, ff.VecAdd[uint64](qf, ff.VecScale[uint64](qf, cv, x), y))
+		rhs := ff.VecAdd[uint64](qf, ff.VecScale[uint64](qf, cv, tp.MulVec(qf, x)), tp.MulVec(qf, y))
+		return ff.VecEqual[uint64](qf, lhs, rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickToeplitzMatchesDense(t *testing.T) {
+	prop := func(sd, sx []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%12)
+		tp := mkToeplitz(sd, n)
+		x := make([]uint64, n)
+		for i := range x {
+			x[i] = qf.Elem(at(sx, i))
+		}
+		return ff.VecEqual[uint64](qf, tp.MulVec(qf, x), tp.Dense(qf).MulVec(qf, x))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTheorem3MatchesBerkowitz(t *testing.T) {
+	prop := func(sd []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%9)
+		tp := mkToeplitz(sd, n)
+		got, err := CharPoly[uint64](qf, tp)
+		if err != nil {
+			return false
+		}
+		want := charpoly.CharPolyBerkowitz[uint64](qf, tp.Dense(qf))
+		return poly.Equal[uint64](qf, got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHankelMirror(t *testing.T) {
+	prop := func(sd, sx []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%10)
+		d := make([]uint64, 2*n-1)
+		for i := range d {
+			d[i] = qf.Elem(at(sd, i))
+		}
+		h := Hankel[uint64]{N: n, D: d}
+		x := make([]uint64, n)
+		for i := range x {
+			x[i] = qf.Elem(at(sx, i))
+		}
+		// H·x equals J·(Mirror·x): the mirror relation as an operator.
+		tx := h.Mirror().MulVec(qf, x)
+		jx := make([]uint64, n)
+		for i := range jx {
+			jx[i] = tx[n-1-i]
+		}
+		return ff.VecEqual[uint64](qf, h.MulVec(qf, x), jx)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSolveRoundTrip(t *testing.T) {
+	prop := func(sd, sb []uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		tp := mkToeplitz(sd, n)
+		b := make([]uint64, n)
+		for i := range b {
+			b[i] = qf.Elem(at(sb, i))
+		}
+		x, err := Solve[uint64](qf, tp, b)
+		if err != nil {
+			return true // singular draw: correctly reported
+		}
+		return ff.VecEqual[uint64](qf, tp.MulVec(qf, x), b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

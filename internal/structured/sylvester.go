@@ -1,0 +1,76 @@
+package structured
+
+import (
+	"repro/internal/ff"
+	"repro/internal/poly"
+)
+
+// Sylvester is the Sylvester matrix of two polynomials a (degree m) and b
+// (degree n) presented as a structured operator: it acts on stacked
+// coefficient vectors (u, v) with deg u < n, deg v < m by
+//
+//	S·(u, v) = coefficients of u·a + v·b   (length m+n)
+//
+// so one matrix-vector product costs two polynomial multiplications —
+// O(M(n)) instead of n². This is the §5 remark made executable: "The
+// efficient parallel algorithms ... are extendible to structured
+// Toeplitz-like matrices such as Sylvester matrices", and it lets the
+// whole black-box toolbox (Wiedemann determinants = resultants, solves)
+// run on Sylvester systems at structured cost.
+type Sylvester[E any] struct {
+	A, B []E // trimmed, non-constant
+	m, n int // degrees of A and B
+}
+
+// NewSylvester builds the operator for non-zero polynomials a, b, at least
+// one of which must be non-constant.
+func NewSylvester[E any](f ff.Field[E], a, b []E) Sylvester[E] {
+	a, b = poly.Trim(f, a), poly.Trim(f, b)
+	if len(a) == 0 || len(b) == 0 {
+		panic("structured: Sylvester of zero polynomial")
+	}
+	m, n := len(a)-1, len(b)-1
+	if m+n == 0 {
+		panic("structured: Sylvester needs a non-constant polynomial")
+	}
+	return Sylvester[E]{A: a, B: b, m: m, n: n}
+}
+
+// Dims returns (m+n, m+n).
+func (s Sylvester[E]) Dims() (int, int) { return s.m + s.n, s.m + s.n }
+
+// Apply returns S·x for x = (u | v) with len(u) = n, len(v) = m.
+func (s Sylvester[E]) Apply(f ff.Field[E], x []E) []E {
+	if len(x) != s.m+s.n {
+		panic("structured: Sylvester Apply dimension mismatch")
+	}
+	u := x[:s.n]
+	v := x[s.n:]
+	ua := poly.Mul(f, u, s.A)
+	vb := poly.Mul(f, v, s.B)
+	out := make([]E, s.m+s.n)
+	for i := range out {
+		out[i] = f.Add(poly.Coef(f, ua, i), poly.Coef(f, vb, i))
+	}
+	return out
+}
+
+// Dense materializes the matrix (tests and cross-checks).
+func (s Sylvester[E]) Dense(f ff.Field[E]) [][]E {
+	dim := s.m + s.n
+	rows := make([][]E, dim)
+	for i := range rows {
+		rows[i] = ff.VecZero(f, dim)
+	}
+	for j := 0; j < s.n; j++ {
+		for i := 0; i <= s.m; i++ {
+			rows[i+j][j] = s.A[i]
+		}
+	}
+	for j := 0; j < s.m; j++ {
+		for i := 0; i <= s.n; i++ {
+			rows[i+j][s.n+j] = s.B[i]
+		}
+	}
+	return rows
+}

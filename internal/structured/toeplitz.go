@@ -1,0 +1,144 @@
+// Package structured implements the Toeplitz machinery of Kaltofen–Pan §3:
+// Toeplitz and Hankel matrices with matrix-vector products by polynomial
+// multiplication, the Gohberg/Semencul implicit-inverse representation
+// (the paper's Figure 1), the Newton iteration X_i = X_{i−1}(2I − BX_{i−1})
+// on B = I − λT that carries only the first and last columns of the
+// inverse, the resulting characteristic-polynomial algorithm (Theorem 3),
+// and non-singular Toeplitz/Hankel system solvers via Cayley–Hamilton.
+package structured
+
+import (
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+// Toeplitz is an n×n Toeplitz matrix, stored by its 2n−1 defining entries:
+//
+//	T[i][j] = D[n−1+i−j]
+//
+// so D[0] is the top-right corner and D[2n−2] the bottom-left, matching the
+// paper's display (4) with D = (a₀, a₁, …, a_{2n−2}).
+type Toeplitz[E any] struct {
+	N int
+	D []E
+}
+
+// NewToeplitz builds an n×n Toeplitz matrix from its 2n−1 entries.
+func NewToeplitz[E any](d []E) Toeplitz[E] {
+	if len(d)%2 == 0 {
+		panic("structured: Toeplitz needs 2n−1 entries")
+	}
+	return Toeplitz[E]{N: (len(d) + 1) / 2, D: d}
+}
+
+// RandomToeplitz draws the 2n−1 entries uniformly from the canonical subset.
+func RandomToeplitz[E any](f ff.Field[E], src *ff.Source, n int, subset uint64) Toeplitz[E] {
+	return Toeplitz[E]{N: n, D: ff.SampleVec(f, src, 2*n-1, subset)}
+}
+
+// At returns T[i][j].
+func (t Toeplitz[E]) At(i, j int) E { return t.D[t.N-1+i-j] }
+
+// Dense materializes the matrix.
+func (t Toeplitz[E]) Dense(f ff.Field[E]) *matrix.Dense[E] {
+	return matrix.ToeplitzDense(f, t.D)
+}
+
+// Leading returns the leading principal k×k submatrix, itself Toeplitz:
+// its defining entries are D[n−k : n+k−1].
+func (t Toeplitz[E]) Leading(k int) Toeplitz[E] {
+	if k < 1 || k > t.N {
+		panic("structured: Leading out of range")
+	}
+	return Toeplitz[E]{N: k, D: t.D[t.N-k : t.N+k-1]}
+}
+
+// MulVec returns T·x with one polynomial multiplication: the i-th output
+// coordinate is the coefficient of z^{n−1+i} in D(z)·x(z) (cost O(M(n))
+// instead of n², the reduction the paper spells out before display (5)).
+func (t Toeplitz[E]) MulVec(f ff.Field[E], x []E) []E {
+	if len(x) != t.N {
+		panic("structured: MulVec dimension mismatch")
+	}
+	prod := poly.Mul(f, t.D, x)
+	out := make([]E, t.N)
+	for i := range out {
+		out[i] = poly.Coef(f, prod, t.N-1+i)
+	}
+	return out
+}
+
+// Dims implements matrix.BlackBox.
+func (t Toeplitz[E]) Dims() (int, int) { return t.N, t.N }
+
+// Apply implements matrix.BlackBox.
+func (t Toeplitz[E]) Apply(f ff.Field[E], x []E) []E { return t.MulVec(f, x) }
+
+// Transpose returns Tᵀ, the Toeplitz matrix with reversed defining entries.
+func (t Toeplitz[E]) Transpose() Toeplitz[E] {
+	rev := make([]E, len(t.D))
+	for i := range rev {
+		rev[i] = t.D[len(t.D)-1-i]
+	}
+	return Toeplitz[E]{N: t.N, D: rev}
+}
+
+// Hankel is an n×n Hankel matrix stored by its 2n−1 anti-diagonal entries:
+// H[i][j] = D[i+j]. Its mirror image across a horizontal line is Toeplitz,
+// the observation the paper uses in §4 to compute det(H) with the Toeplitz
+// characteristic-polynomial circuit.
+type Hankel[E any] struct {
+	N int
+	D []E
+}
+
+// NewHankel builds an n×n Hankel matrix from its 2n−1 entries.
+func NewHankel[E any](d []E) Hankel[E] {
+	if len(d)%2 == 0 {
+		panic("structured: Hankel needs 2n−1 entries")
+	}
+	return Hankel[E]{N: (len(d) + 1) / 2, D: d}
+}
+
+// At returns H[i][j].
+func (h Hankel[E]) At(i, j int) E { return h.D[i+j] }
+
+// Dense materializes the matrix.
+func (h Hankel[E]) Dense(f ff.Field[E]) *matrix.Dense[E] {
+	return matrix.HankelDense(f, h.D)
+}
+
+// Mirror returns the Toeplitz matrix T with H = J·T, where J is the
+// exchange (row-reversal) matrix: T's defining entries are H's reversed.
+func (h Hankel[E]) Mirror() Toeplitz[E] {
+	rev := make([]E, len(h.D))
+	for i := range rev {
+		rev[i] = h.D[len(h.D)-1-i]
+	}
+	return Toeplitz[E]{N: h.N, D: rev}
+}
+
+// MulVec returns H·x: coordinate i is the coefficient of z^{n−1+i} in
+// D(z)·x̃(z) with x̃ the reversal of x.
+func (h Hankel[E]) MulVec(f ff.Field[E], x []E) []E {
+	if len(x) != h.N {
+		panic("structured: MulVec dimension mismatch")
+	}
+	xr := make([]E, h.N)
+	for i := range xr {
+		xr[i] = x[h.N-1-i]
+	}
+	prod := poly.Mul(f, h.D, xr)
+	out := make([]E, h.N)
+	for i := range out {
+		out[i] = poly.Coef(f, prod, h.N-1+i)
+	}
+	return out
+}
+
+// Dims implements matrix.BlackBox.
+func (h Hankel[E]) Dims() (int, int) { return h.N, h.N }
+
+// Apply implements matrix.BlackBox.
+func (h Hankel[E]) Apply(f ff.Field[E], x []E) []E { return h.MulVec(f, x) }

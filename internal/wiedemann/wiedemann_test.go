@@ -1,0 +1,272 @@
+package wiedemann
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/poly"
+)
+
+var fp = ff.MustFp64(ff.P31)
+
+func denseBox(a *matrix.Dense[uint64]) matrix.BlackBox[uint64] {
+	return matrix.DenseBox[uint64]{M: a}
+}
+
+func TestMinPolyDividesCharPoly(t *testing.T) {
+	f := fp
+	src := ff.NewSource(101)
+	for _, n := range []int{2, 4, 7, 10} {
+		a := matrix.Random[uint64](f, src, n, n, ff.P31)
+		mp, err := MinPoly[uint64](f, denseBox(a), src, ff.P31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// mp(A)·b projects to zero on the sequence; and since |S| is huge,
+		// mp = f^A whp, hence mp(A) = 0 as a matrix.
+		acc := matrix.NewDense[uint64](f, n, n)
+		pow := matrix.Identity[uint64](f, n)
+		for k := 0; k <= poly.Deg[uint64](f, mp); k++ {
+			acc = acc.Add(f, pow.Scale(f, poly.Coef[uint64](f, mp, k)))
+			pow = matrix.Mul[uint64](f, pow, a)
+		}
+		if !acc.IsZero(f) {
+			t.Fatalf("n=%d: minimum polynomial does not annihilate A", n)
+		}
+	}
+}
+
+func TestIsSingular(t *testing.T) {
+	f := fp
+	src := ff.NewSource(103)
+	// Singular: rank-1 matrix.
+	n := 6
+	col := ff.SampleVec[uint64](f, src, n, ff.P31)
+	row := ff.SampleVec[uint64](f, src, n, ff.P31)
+	sing := matrix.NewDense[uint64](f, n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sing.Set(i, j, f.Mul(col[i], row[j]))
+		}
+	}
+	got, err := IsSingular[uint64](f, denseBox(sing), src, ff.P31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("rank-1 matrix not detected as singular")
+	}
+	// Non-singular: identity plus random diagonal.
+	d := matrix.Identity[uint64](f, n)
+	got, err = IsSingular[uint64](f, denseBox(d), src, ff.P31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("identity detected as singular")
+	}
+}
+
+func TestDetAgainstLU(t *testing.T) {
+	f := fp
+	src := ff.NewSource(105)
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		a := matrix.Random[uint64](f, src, n, n, ff.P31)
+		want, err := matrix.Det[uint64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.IsZero(want) {
+			continue
+		}
+		got, err := Det[uint64](f, denseBox(a), src, ff.P31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("n=%d: Wiedemann det = %d, LU det = %d", n, got, want)
+		}
+	}
+}
+
+func TestDetSingularExhausts(t *testing.T) {
+	f := fp
+	src := ff.NewSource(107)
+	s := matrix.FromRows[uint64](f, [][]int64{{1, 2, 3}, {2, 4, 6}, {3, 6, 9}})
+	if _, err := Det[uint64](f, denseBox(s), src, ff.P31, 3); err != ErrRetriesExhausted {
+		t.Fatalf("singular det err = %v, want ErrRetriesExhausted", err)
+	}
+}
+
+func TestSolveDense(t *testing.T) {
+	f := fp
+	src := ff.NewSource(109)
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		a := matrix.Random[uint64](f, src, n, n, ff.P31)
+		if d, _ := matrix.Det[uint64](f, a); f.IsZero(d) {
+			continue
+		}
+		b := ff.SampleVec[uint64](f, src, n, ff.P31)
+		x, err := Solve[uint64](f, denseBox(a), b, src, ff.P31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
+			t.Fatalf("n=%d: Ax != b", n)
+		}
+	}
+}
+
+func TestSolveSparse(t *testing.T) {
+	f := fp
+	src := ff.NewSource(111)
+	n := 60
+	s := matrix.RandomSparse[uint64](f, src, n, 0.05, ff.P31)
+	b := ff.SampleVec[uint64](f, src, n, ff.P31)
+	x, err := Solve[uint64](f, matrix.SparseBox[uint64]{M: s}, b, src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](f, s.Apply(f, x), b) {
+		t.Fatal("sparse Wiedemann solve wrong")
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	f := fp
+	src := ff.NewSource(112)
+	a := matrix.Random[uint64](f, src, 4, 4, ff.P31)
+	x, err := Solve[uint64](f, denseBox(a), make([]uint64, 4), src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecIsZero[uint64](f, x) {
+		t.Fatal("zero rhs must give zero solution")
+	}
+}
+
+func TestPreconditionedBox(t *testing.T) {
+	f := fp
+	src := ff.NewSource(113)
+	n := 7
+	a := matrix.Random[uint64](f, src, n, n, ff.P31)
+	p := Precondition[uint64](f, denseBox(a), src, ff.P31)
+	// Ã·x computed by the composed box equals the explicit product.
+	hd := p.H.Dense(f)
+	dd := matrix.Diagonal[uint64](f, p.D)
+	atilde := matrix.Mul[uint64](f, matrix.Mul[uint64](f, a, hd), dd)
+	x := ff.SampleVec[uint64](f, src, n, ff.P31)
+	if !ff.VecEqual[uint64](f, p.Box.Apply(f, x), atilde.MulVec(f, x)) {
+		t.Fatal("preconditioned box disagrees with explicit Ã")
+	}
+	// det(D) helper.
+	dDet, err := matrix.Det[uint64](f, dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DetD(f) != dDet {
+		t.Fatal("DetD wrong")
+	}
+}
+
+// TestEquation2Probability spot-checks the paper's bound (2): with
+// |S| = 3n²/ε the failure rate of deg(f̃)=n ∧ f̃(0)≠0 stays below ε for
+// non-singular A. Uses a small field subset so failures are observable.
+func TestEquation2Probability(t *testing.T) {
+	f := ff.MustFp64(ff.P17)
+	src := ff.NewSource(115)
+	n := 4
+	const trials = 400
+	subset := uint64(3 * n * n * 4) // ε = 1/4
+	failures := 0
+	valid := 0
+	for trial := 0; trial < trials; trial++ {
+		a := matrix.Random[uint64](f, src, n, n, ff.P17)
+		if d, _ := matrix.Det[uint64](f, a); f.IsZero(d) {
+			continue
+		}
+		valid++
+		p := Precondition[uint64](f, denseBox(a), src, subset)
+		u := ff.SampleVec[uint64](f, src, n, subset)
+		b := ff.SampleVec[uint64](f, src, n, subset)
+		mp, err := MinPolySeq[uint64](f, p.Box, u, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if poly.Deg[uint64](f, mp) < n || f.IsZero(poly.Coef[uint64](f, mp, 0)) {
+			failures++
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no non-singular instances")
+	}
+	rate := float64(failures) / float64(valid)
+	if rate > 0.25 {
+		t.Fatalf("failure rate %.3f exceeds the ε=0.25 bound of equation (2)", rate)
+	}
+}
+
+func TestLemma2SequenceDegree(t *testing.T) {
+	// For random u, b over a large subset the projected minimum polynomial
+	// reaches the full minimum polynomial of A (here: a companion matrix
+	// with known minpoly = charpoly of degree n).
+	f := fp
+	src := ff.NewSource(117)
+	n := 6
+	// Companion matrix of λⁿ − 1 (minpoly degree n).
+	a := matrix.NewDense[uint64](f, n, n)
+	for i := 1; i < n; i++ {
+		a.Set(i, i-1, f.One())
+	}
+	a.Set(0, n-1, f.One())
+	mp, err := MinPoly[uint64](f, denseBox(a), src, ff.P31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Deg[uint64](f, mp) != n {
+		t.Fatalf("companion minpoly degree %d, want %d", poly.Deg[uint64](f, mp), n)
+	}
+	want := make([]uint64, n+1)
+	want[0] = f.Neg(f.One())
+	want[n] = f.One()
+	if !poly.Equal[uint64](f, mp, want) {
+		t.Fatalf("companion minpoly = %s", poly.String[uint64](f, mp))
+	}
+}
+
+func TestMinPolyCertified(t *testing.T) {
+	f := fp
+	src := ff.NewSource(119)
+	// Matrix with known small minimum polynomial: block diagonal of two
+	// identical companion blocks — minpoly degree n/2 < n = charpoly degree.
+	n := 8
+	blockPoly := []uint64{3, 1, 0, 2, 1} // λ⁴ + 2λ³ + λ + 3
+	a := matrix.NewDense[uint64](f, n, n)
+	for blk := 0; blk < 2; blk++ {
+		off := blk * 4
+		for i := 1; i < 4; i++ {
+			a.Set(off+i, off+i-1, f.One())
+		}
+		for i := 0; i < 4; i++ {
+			a.Set(off+i, off+3, f.Neg(blockPoly[i]))
+		}
+	}
+	mp, err := MinPolyCertified[uint64](f, denseBox(a), src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[uint64](f, mp, blockPoly) {
+		t.Fatalf("certified minpoly = %s, want the planted block polynomial",
+			poly.String[uint64](f, mp))
+	}
+	// Identity: minpoly λ − 1 regardless of n.
+	id := matrix.Identity[uint64](f, 6)
+	mp, err = MinPolyCertified[uint64](f, denseBox(id), src, ff.P31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Equal[uint64](f, mp, poly.FromInt64[uint64](f, []int64{-1, 1})) {
+		t.Fatalf("identity minpoly = %s", poly.String[uint64](f, mp))
+	}
+}
