@@ -56,6 +56,7 @@ func BenchmarkE3ToeplitzCharpolyCircuit(b *testing.B)   { runExperiment(b, "E3")
 func BenchmarkE3aLeverrierAblation(b *testing.B)        { runExperiment(b, "E3a") }
 func BenchmarkE4SolverCircuit(b *testing.B)             { runExperiment(b, "E4") }
 func BenchmarkE4aStrassenAblation(b *testing.B)         { runExperiment(b, "E4a") }
+func BenchmarkE4mMultiplierSubstrate(b *testing.B)      { runExperiment(b, "E4m") }
 func BenchmarkE5ProcessorCounts(b *testing.B)           { runExperiment(b, "E5") }
 func BenchmarkE6BaurStrassen(b *testing.B)              { runExperiment(b, "E6") }
 func BenchmarkE7InverseCircuit(b *testing.B)            { runExperiment(b, "E7") }
@@ -121,6 +122,51 @@ func BenchmarkMatMul(b *testing.B) {
 			m := matrix.Strassen[uint64]{Cutoff: 32}
 			for i := 0; i < b.N; i++ {
 				m.Mul(f, x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkMulParallel is the substrate acceptance benchmark: every
+// registered multiplier on the same random products, n up to 256. The
+// blocked and pooled kernels must beat serial Classical at n ≥ 256 (on
+// multicore hosts the pooled kernels additionally scale with cores).
+func BenchmarkMulParallel(b *testing.B) {
+	f := benchField
+	src := ff.NewSource(11)
+	for _, n := range []int{64, 128, 256} {
+		x := matrix.Random[uint64](f, src, n, n, f.Modulus())
+		y := matrix.Random[uint64](f, src, n, n, f.Modulus())
+		for _, name := range matrix.Names() {
+			mul, err := matrix.ByName[uint64](name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mul.Mul(f, x, y)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKrylovDoubling exercises the equation (9) doubling — the
+// solvers' hottest composite loop — under the serial and pooled substrates.
+func BenchmarkKrylovDoubling(b *testing.B) {
+	f := benchField
+	src := ff.NewSource(12)
+	const n = 128
+	a := matrix.Random[uint64](f, src, n, n, f.Modulus())
+	v := ff.SampleVec[uint64](f, src, n, f.Modulus())
+	for _, name := range []string{"classical", "parallel"} {
+		mul, err := matrix.ByName[uint64](name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.KrylovDoubling[uint64](f, mul, a, v, 2*n)
 			}
 		})
 	}

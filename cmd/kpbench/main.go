@@ -17,16 +17,25 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/matrix"
 )
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "comma-separated experiment ids (E1..E13, E3a, E10w) or 'all'")
+		run  = flag.String("run", "all", "comma-separated experiment ids (E1..E14, E3a, E4a, E4m, E10w) or 'all'")
 		full = flag.Bool("full", false, "full parameter sweeps (slower)")
 		seed = flag.Uint64("seed", 20260704, "random seed (runs are deterministic per seed)")
 		md   = flag.Bool("md", false, "emit Markdown tables")
+		mul  = flag.String("mul", "all", "multipliers for the E4m substrate ablation: 'all' or a comma-separated subset of "+strings.Join(matrix.Names(), ","))
 	)
 	flag.Parse()
+
+	if *mul != "all" {
+		if err := exp.SetMultipliers(strings.Split(*mul, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "kpbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var selected []exp.Experiment
 	if *run == "all" {

@@ -6,10 +6,15 @@
 //	kpsolve -n 32                     # random non-singular 32×32 system
 //	kpsolve -n 16 -op det             # determinant
 //	kpsolve -op solve -in system.txt  # read a system from a file
+//	kpsolve -n 256 -mul parallel      # pooled multicore multiplication
 //
 // The input file format is: first line "n p" (dimension and field modulus),
 // then n lines of n matrix entries, then one line of n right-hand-side
-// entries (all integers, reduced mod p).
+// entries (all integers, reduced mod p). The file's modulus is
+// authoritative: if -p is not given the file's field is adopted, and an
+// explicit -p that disagrees with the file is an error — silently reducing
+// a system mod the wrong prime would "verify" an answer to a different
+// system.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -27,31 +33,45 @@ import (
 func main() {
 	var (
 		n    = flag.Int("n", 16, "dimension for randomly generated instances")
-		p    = flag.Uint64("p", ff.P62, "prime field modulus")
+		p    = flag.Uint64("p", ff.P62, "prime field modulus (for -in files it must match the file)")
 		op   = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed")
 		in   = flag.String("in", "", "read the system from a file instead of generating it")
+		mul  = flag.String("mul", "classical", "matrix multiplier: "+strings.Join(matrix.Names(), "|"))
 		seed = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
 	)
 	flag.Parse()
-
-	f, err := ff.NewFp64(*p)
-	if err != nil {
+	if _, err := matrix.ByName[uint64](*mul); err != nil {
 		fatal(err)
 	}
-	s := core.NewSolver[uint64](f, core.Options{Seed: *seed})
-	src := ff.NewSource(*seed + 1)
+	pSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "p" {
+			pSet = true
+		}
+	})
 
+	var f ff.Fp64
 	var a *matrix.Dense[uint64]
 	var b []uint64
+	var err error
 	if *in != "" {
-		a, b, err = readSystem(f, *in)
+		f, a, b, err = readSystem(*in, *p, pSet)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
+		f, err = ff.NewFp64(*p)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	s := core.NewSolver[uint64](f, core.Options{Seed: *seed, Multiplier: *mul})
+	src := ff.NewSource(*seed + 1)
+
+	if *in == "" {
 		a = matrix.Random[uint64](f, src, *n, *n, f.Modulus())
 		b = ff.SampleVec[uint64](f, src, *n, f.Modulus())
-		fmt.Printf("generated a random %d×%d system over F_%d\n", *n, *n, *p)
+		fmt.Printf("generated a random %d×%d system over F_%d\n", *n, *n, f.Modulus())
 	}
 
 	start := time.Now()
@@ -96,10 +116,16 @@ func main() {
 	fmt.Printf("elapsed: %s\n", time.Since(start))
 }
 
-func readSystem(f ff.Fp64, path string) (*matrix.Dense[uint64], []uint64, error) {
+// readSystem parses "n p" followed by n×n matrix entries and n right-hand
+// side entries. The field is built from the file's own modulus; pFlag is
+// only consulted when the user set -p explicitly (pSet), in which case a
+// mismatch with the file is an error rather than a silent wrong-field
+// reduction.
+func readSystem(path string, pFlag uint64, pSet bool) (ff.Fp64, *matrix.Dense[uint64], []uint64, error) {
+	var f ff.Fp64
 	file, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return f, nil, nil, err
 	}
 	defer file.Close()
 	sc := bufio.NewScanner(file)
@@ -107,7 +133,7 @@ func readSystem(f ff.Fp64, path string) (*matrix.Dense[uint64], []uint64, error)
 	sc.Split(bufio.ScanWords)
 	next := func() (int64, error) {
 		if !sc.Scan() {
-			return 0, fmt.Errorf("kpsolve: unexpected end of input")
+			return 0, fmt.Errorf("unexpected end of input")
 		}
 		var v int64
 		_, err := fmt.Sscan(sc.Text(), &v)
@@ -115,10 +141,22 @@ func readSystem(f ff.Fp64, path string) (*matrix.Dense[uint64], []uint64, error)
 	}
 	n64, err := next()
 	if err != nil {
-		return nil, nil, err
+		return f, nil, nil, err
 	}
-	if _, err := next(); err != nil { // modulus (checked against -p by caller convention)
-		return nil, nil, err
+	mod, err := next()
+	if err != nil {
+		return f, nil, nil, err
+	}
+	if mod <= 1 {
+		return f, nil, nil, fmt.Errorf("%s: invalid modulus %d", path, mod)
+	}
+	if pSet && uint64(mod) != pFlag {
+		return f, nil, nil, fmt.Errorf("%s is a system over F_%d but -p selects F_%d; drop -p to adopt the file's field, or rerun with -p %d",
+			path, mod, pFlag, mod)
+	}
+	f, err = ff.NewFp64(uint64(mod))
+	if err != nil {
+		return f, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	n := int(n64)
 	a := matrix.NewDense[uint64](f, n, n)
@@ -126,7 +164,7 @@ func readSystem(f ff.Fp64, path string) (*matrix.Dense[uint64], []uint64, error)
 		for j := 0; j < n; j++ {
 			v, err := next()
 			if err != nil {
-				return nil, nil, err
+				return f, nil, nil, err
 			}
 			a.Set(i, j, f.FromInt64(v))
 		}
@@ -135,11 +173,11 @@ func readSystem(f ff.Fp64, path string) (*matrix.Dense[uint64], []uint64, error)
 	for i := range b {
 		v, err := next()
 		if err != nil {
-			return nil, nil, err
+			return f, nil, nil, err
 		}
 		b[i] = f.FromInt64(v)
 	}
-	return a, b, nil
+	return f, a, b, nil
 }
 
 func fatal(err error) {

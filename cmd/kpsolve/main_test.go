@@ -3,26 +3,33 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
-
-	"repro/internal/ff"
 )
 
-func TestReadSystem(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "sys.txt")
-	content := "3 101\n" +
-		"1 2 3\n" +
-		"4 5 6\n" +
-		"7 8 10\n" +
-		"-1 0 102\n"
+func writeSystem(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sys.txt")
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	f := ff.MustFp64(101)
-	a, b, err := readSystem(f, path)
+	return path
+}
+
+const sys101 = "3 101\n" +
+	"1 2 3\n" +
+	"4 5 6\n" +
+	"7 8 10\n" +
+	"-1 0 102\n"
+
+func TestReadSystem(t *testing.T) {
+	path := writeSystem(t, sys101)
+	f, a, b, err := readSystem(path, 101, true)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if f.Modulus() != 101 {
+		t.Fatalf("modulus %d", f.Modulus())
 	}
 	if a.Rows != 3 || a.Cols != 3 {
 		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
@@ -36,19 +43,49 @@ func TestReadSystem(t *testing.T) {
 	}
 }
 
-func TestReadSystemTruncated(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "bad.txt")
-	if err := os.WriteFile(path, []byte("2 101\n1 2\n"), 0o644); err != nil {
+func TestReadSystemAdoptsFileModulus(t *testing.T) {
+	// -p left at its default: the file's field wins.
+	path := writeSystem(t, sys101)
+	f, _, _, err := readSystem(path, 1<<61, false)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := readSystem(ff.MustFp64(101), path); err == nil {
+	if f.Modulus() != 101 {
+		t.Fatalf("adopted modulus %d, want 101", f.Modulus())
+	}
+}
+
+func TestReadSystemModulusMismatch(t *testing.T) {
+	// An explicit -p that disagrees with the file must error, not silently
+	// reduce the entries mod the wrong prime.
+	path := writeSystem(t, sys101)
+	_, _, _, err := readSystem(path, 103, true)
+	if err == nil {
+		t.Fatal("modulus mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "F_101") || !strings.Contains(err.Error(), "F_103") {
+		t.Fatalf("unhelpful mismatch error: %v", err)
+	}
+}
+
+func TestReadSystemBadModulus(t *testing.T) {
+	for _, hdr := range []string{"2 1\n", "2 0\n", "2 -7\n", "2 100\n"} {
+		path := writeSystem(t, hdr+"1 2\n3 4\n5 6\n")
+		if _, _, _, err := readSystem(path, 101, false); err == nil {
+			t.Fatalf("header %q accepted", hdr)
+		}
+	}
+}
+
+func TestReadSystemTruncated(t *testing.T) {
+	path := writeSystem(t, "2 101\n1 2\n")
+	if _, _, _, err := readSystem(path, 101, true); err == nil {
 		t.Fatal("truncated input accepted")
 	}
 }
 
 func TestReadSystemMissingFile(t *testing.T) {
-	if _, _, err := readSystem(ff.MustFp64(101), "/nonexistent/x"); err == nil {
+	if _, _, _, err := readSystem("/nonexistent/x", 101, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

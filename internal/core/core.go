@@ -41,7 +41,16 @@ type Options struct {
 	Retries int
 	// Strassen selects Strassen's Ω(n^2.81) multiplication instead of the
 	// classical cubic method as the matrix-multiplication black box.
+	// Superseded by Multiplier; kept for compatibility.
 	Strassen bool
+	// Multiplier names the matrix-multiplication black box: one of
+	// matrix.Names() — "classical" (default), "blocked", "parallel",
+	// "strassen", "parallel-strassen". The parallel kernels run on the
+	// matrix package's shared worker pool; circuit tracing automatically
+	// uses the matching serial balanced form (matrix.CircuitSafeName).
+	// Unknown names panic in NewSolver — validate user input with
+	// matrix.ByName first.
+	Multiplier string
 }
 
 // Solver bundles a field, a random stream and the algorithm configuration.
@@ -69,11 +78,17 @@ func NewSolver[E any](f ff.Field[E], opts Options) *Solver[E] {
 			subset = card.Uint64()
 		}
 	}
-	var mul matrix.Multiplier[E] = matrix.Classical[E]{}
-	var wmul matrix.Multiplier[circuit.Wire] = matrix.Classical[circuit.Wire]{}
-	if opts.Strassen {
-		mul = matrix.Strassen[E]{}
-		wmul = matrix.Strassen[circuit.Wire]{}
+	name := opts.Multiplier
+	if name == "" && opts.Strassen {
+		name = "strassen"
+	}
+	mul, err := matrix.ByName[E](name)
+	if err != nil {
+		panic(err)
+	}
+	wmul, err := matrix.ByName[circuit.Wire](matrix.CircuitSafeName(name))
+	if err != nil {
+		panic(err)
 	}
 	return &Solver[E]{
 		f:       f,

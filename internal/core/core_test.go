@@ -229,3 +229,38 @@ func TestStrassenOption(t *testing.T) {
 		t.Fatal("Strassen-backed Solve wrong")
 	}
 }
+
+func TestMultiplierOption(t *testing.T) {
+	src := ff.NewSource(311)
+	n := 8
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](fp, src, n, n, ff.P31)
+		if d, _ := matrix.Det[uint64](fp, a); !fp.IsZero(d) {
+			break
+		}
+	}
+	b := ff.SampleVec[uint64](fp, src, n, ff.P31)
+	// Every named multiplier solves, and circuits still trace (the solver
+	// maps parallel kernels to their serial circuit-safe forms).
+	for _, name := range matrix.Names() {
+		s := NewSolver[uint64](fp, Options{Seed: 5, Multiplier: name})
+		x, err := s.Solve(a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ff.VecEqual[uint64](fp, a.MulVec(fp, x), b) {
+			t.Fatalf("%s-backed Solve wrong", name)
+		}
+		if _, err := s.SolveCircuit(4); err != nil {
+			t.Fatalf("%s: circuit trace: %v", name, err)
+		}
+	}
+	// An unregistered name is a programmer error and panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown multiplier name accepted")
+		}
+	}()
+	NewSolver[uint64](fp, Options{Multiplier: "quantum"})
+}

@@ -19,6 +19,7 @@ func All() []Experiment {
 		{"E3a", "Ablation: sequential vs series Leverrier depth", E3Ablation},
 		{"E4", "Theorem 4 solver circuit", E4},
 		{"E4a", "Ablation: multiplication black box sets ω", E4a},
+		{"E4m", "Ablation: dense multiplier substrate wall clock", E4m},
 		{"E5", "Processor counts vs Csanky/Berkowitz/LU", E5},
 		{"E6", "Theorem 5 Baur–Strassen ratios", E6},
 		{"E7", "Theorem 6 inverse circuit", E7},

@@ -1,0 +1,37 @@
+package ff
+
+// ConcurrentSafe marks field implementations whose arithmetic methods may be
+// called from many goroutines at once. The plain value fields (Fp64, FpBig,
+// FpExt, Rat) are safe: their receivers are read-only after construction.
+// Stateful implementations — most importantly the circuit Builder, which
+// records every operation into one shared node list — are not, and the
+// parallel matrix kernels fall back to their serial forms over them.
+type ConcurrentSafe interface {
+	// ConcurrentSafe reports whether arithmetic on this field value may be
+	// invoked concurrently.
+	ConcurrentSafe() bool
+}
+
+// IsConcurrentSafe reports whether f's operations are safe to call from
+// multiple goroutines. Fields that do not implement ConcurrentSafe are
+// conservatively treated as unsafe.
+func IsConcurrentSafe[E any](f Field[E]) bool {
+	c, ok := any(f).(ConcurrentSafe)
+	return ok && c.ConcurrentSafe()
+}
+
+// ConcurrentSafe reports true: Fp64 is a read-only value.
+func (f Fp64) ConcurrentSafe() bool { return true }
+
+// ConcurrentSafe reports true: the modulus is never mutated after creation.
+func (f FpBig) ConcurrentSafe() bool { return true }
+
+// ConcurrentSafe reports true: the reduction polynomial is read-only.
+func (f FpExt) ConcurrentSafe() bool { return true }
+
+// ConcurrentSafe reports true: Rat is stateless.
+func (f Rat) ConcurrentSafe() bool { return true }
+
+// ConcurrentSafe reports whether the wrapped field is itself safe; the
+// counters are atomic, so Counting adds no hazard of its own.
+func (c *Counting[E]) ConcurrentSafe() bool { return IsConcurrentSafe(c.f) }

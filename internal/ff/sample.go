@@ -37,8 +37,12 @@ func (s *Source) Uint64n(n uint64) uint64 {
 	}
 }
 
-// Intn returns a uniform value in [0, n).
+// Intn returns a uniform value in [0, n). n must be positive: a negative n
+// would otherwise convert to a huge uint64 and return garbage.
 func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("ff: Intn with non-positive n")
+	}
 	return int(s.Uint64n(uint64(n)))
 }
 
@@ -56,16 +60,34 @@ func (s *Source) Split() *Source {
 // size subset (the set {Elem(0), …, Elem(subset−1)}). This is exactly the
 // paper's randomization primitive: "selected uniformly from a set containing
 // s field elements".
+//
+// A subset exceeding the field order is clamped to the order: S can never
+// contain more than the whole field, and letting indices wrap through Elem
+// would sample the low residues twice as often, silently breaking the
+// uniformity the paper's equation (2) failure bound is computed from.
 func Sample[E any](f Field[E], src *Source, subset uint64) E {
-	return f.Elem(src.Uint64n(subset))
+	return f.Elem(src.Uint64n(clampSubset(f, subset)))
+}
+
+// clampSubset caps subset at the field order for finite word-sized fields;
+// infinite and beyond-word fields pass through unchanged.
+func clampSubset[E any](f Field[E], subset uint64) uint64 {
+	card := f.Cardinality()
+	if card.Sign() > 0 && card.IsUint64() {
+		if c := card.Uint64(); subset > c {
+			return c
+		}
+	}
+	return subset
 }
 
 // SampleVec draws an n-vector with independent uniform entries from the
-// canonical subset of size subset.
+// canonical subset of size subset (clamped to the field order, as in Sample).
 func SampleVec[E any](f Field[E], src *Source, n int, subset uint64) []E {
+	subset = clampSubset(f, subset)
 	v := make([]E, n)
 	for i := range v {
-		v[i] = Sample(f, src, subset)
+		v[i] = f.Elem(src.Uint64n(subset))
 	}
 	return v
 }

@@ -93,6 +93,67 @@ func TestSampleSubset(t *testing.T) {
 	}
 }
 
+func TestIntnNonPositivePanics(t *testing.T) {
+	for _, n := range []int{0, -1, -1 << 40} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			NewSource(3).Intn(n)
+		}()
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewSource(13)
+	for i := 0; i < 500; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestSampleClampsSubsetToFieldOrder(t *testing.T) {
+	// Regression: subset > p used to wrap through f.Elem, sampling the low
+	// residues twice as often and skewing the equation (2) failure bound.
+	// With the clamp, an oversized subset must behave exactly like
+	// subset = p: same source state, same draws.
+	f := MustFp64(101)
+	a, b := NewSource(21), NewSource(21)
+	for i := 0; i < 2000; i++ {
+		over := Sample[uint64](f, a, 1<<40)
+		exact := Sample[uint64](f, b, 101)
+		if over != exact {
+			t.Fatalf("draw %d: oversized subset gave %d, clamped gave %d", i, over, exact)
+		}
+	}
+	// And the draws stay uniform over the whole field: under the old wrap
+	// with subset = 150, residues below 49 appeared about twice as often.
+	src := NewSource(23)
+	const draws = 101 * 400
+	var counts [101]int
+	for i := 0; i < draws; i++ {
+		counts[Sample[uint64](f, src, 150)]++
+	}
+	lo, hi := draws, 0
+	for _, c := range counts {
+		lo, hi = min(lo, c), max(hi, c)
+	}
+	if float64(hi) > 1.5*float64(lo) {
+		t.Fatalf("skewed sampling: bucket counts range %d..%d", lo, hi)
+	}
+	// Vectors go through the same clamp.
+	va := SampleVec[uint64](f, NewSource(29), 64, 1<<50)
+	vb := SampleVec[uint64](f, NewSource(29), 64, 101)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("SampleVec clamp mismatch at %d", i)
+		}
+	}
+}
+
 func TestSplitIndependence(t *testing.T) {
 	s := NewSource(11)
 	child := s.Split()

@@ -74,14 +74,9 @@ func DrawRandomness[E any](f ff.Field[E], src *ff.Source, n int, subset uint64) 
 // matrix-multiplication black box, so the A·H product inherits its ω).
 func precondition[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], rnd Randomness[E]) *matrix.Dense[E] {
 	ah := mul.Mul(f, a, matrix.HankelDense(f, rnd.H))
-	out := ah.Clone()
-	for j := 0; j < out.Cols; j++ {
-		dj := rnd.D[j]
-		for i := 0; i < out.Rows; i++ {
-			out.Set(i, j, f.Mul(ah.At(i, j), dj))
-		}
-	}
-	return out
+	// The D factor scales columns; over large concrete fields this runs in
+	// parallel on the matrix package's worker pool.
+	return matrix.ScaleColumnsDiag(f, ah, rnd.D)
 }
 
 // charPolyOfPreconditioned runs the Theorem 4 front end: Krylov doubling on

@@ -74,7 +74,10 @@ func KrylovIterative[E any](f ff.Field[E], a BlackBox[E], b []E, m int) [][]E {
 // is one matrix product plus one squaring, so the whole Krylov matrix costs
 // O(n^ω log m) operations at O((log n)²) circuit depth — this is what makes
 // the Kaltofen–Pan solver processor efficient, where the iterative method
-// would have depth Ω(n).
+// would have depth Ω(n). On real cores the same structure parallelizes: the
+// two products per round go through mul (plug in Parallel or
+// ParallelStrassen for the pooled kernels) and the column-batch
+// concatenation fans out over the shared worker pool.
 func KrylovDoubling[E any](f ff.Field[E], mul Multiplier[E], a *Dense[E], b []E, m int) *Dense[E] {
 	a.mustSquare()
 	n := a.Rows
@@ -98,14 +101,24 @@ func KrylovDoubling[E any](f ff.Field[E], mul Multiplier[E], a *Dense[E], b []E,
 	return k
 }
 
+// hcat concatenates the column batches [a | b] of a doubling round. The
+// copies carry no field operations, so large batches are interleaved in
+// parallel on the shared worker pool regardless of element type.
 func hcat[E any](f ff.Field[E], a, b *Dense[E]) *Dense[E] {
 	if a.Rows != b.Rows {
 		panic("matrix: hcat row mismatch")
 	}
 	out := &Dense[E]{Rows: a.Rows, Cols: a.Cols + b.Cols, Data: make([]E, a.Rows*(a.Cols+b.Cols))}
-	for i := 0; i < a.Rows; i++ {
-		copy(out.Data[i*out.Cols:i*out.Cols+a.Cols], a.Data[i*a.Cols:(i+1)*a.Cols])
-		copy(out.Data[i*out.Cols+a.Cols:(i+1)*out.Cols], b.Data[i*b.Cols:(i+1)*b.Cols])
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Data[i*out.Cols:i*out.Cols+a.Cols], a.Data[i*a.Cols:(i+1)*a.Cols])
+			copy(out.Data[i*out.Cols+a.Cols:(i+1)*out.Cols], b.Data[i*b.Cols:(i+1)*b.Cols])
+		}
+	}
+	if len(out.Data) >= parallelCopyMin {
+		parallelFor(a.Rows, 32, body)
+	} else {
+		body(0, a.Rows)
 	}
 	return out
 }

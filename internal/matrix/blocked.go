@@ -1,0 +1,74 @@
+package matrix
+
+import "repro/internal/ff"
+
+// Blocked is the cache-blocked classical multiplier: an i-k-j loop nest with
+// square tiles over the k and j dimensions, so a tile of b and the active
+// rows of out stay resident in L1/L2 across the whole accumulation. Unlike
+// Classical — whose balanced-tree inner products allocate two temporary
+// slices per output entry so traced circuits get O(log n) depth — the
+// blocked kernel is allocation-free in its inner loops, which is what makes
+// it the fast path for word-sized concrete fields.
+//
+// The accumulation is sequential per entry (depth Ω(n) if traced), so
+// circuit tracing must keep using Classical or Strassen; core maps the
+// multiplier choice accordingly.
+type Blocked[E any] struct {
+	// Tile is the square tile edge for the k and j loops; 0 selects
+	// defaultMulTile.
+	Tile int
+}
+
+// defaultMulTile is 64: a 64×64 tile of 8-byte words is 32 KiB, matching
+// typical L1 data caches.
+const defaultMulTile = 64
+
+// Name returns "blocked".
+func (Blocked[E]) Name() string { return "blocked" }
+
+// Omega returns 3.
+func (Blocked[E]) Omega() float64 { return 3 }
+
+// Mul returns a·b.
+func (blk Blocked[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
+	if a.Cols != b.Rows {
+		panic("matrix: Mul dimension mismatch")
+	}
+	out := NewDense(f, a.Rows, b.Cols)
+	blockedMulInto(f, a, b, out, 0, a.Rows, blk.tile())
+	return out
+}
+
+func (blk Blocked[E]) tile() int {
+	if blk.Tile > 0 {
+		return blk.Tile
+	}
+	return defaultMulTile
+}
+
+// blockedMulInto accumulates rows [r0, r1) of a·b into out, whose entries in
+// that row range must already be zero. The j loop is innermost and walks
+// contiguous rows of b and out, so the kernel streams at full cache-line
+// width; the jj/kk tiling bounds the working set to O(tile²) entries of b.
+// Row ranges of out are disjoint per call, which is what lets Parallel and
+// ParallelStrassen run bands of the same product concurrently.
+func blockedMulInto[E any](f ff.Field[E], a, b, out *Dense[E], r0, r1, tile int) {
+	n, m := a.Cols, b.Cols
+	for jj := 0; jj < m; jj += tile {
+		jmax := min(jj+tile, m)
+		for kk := 0; kk < n; kk += tile {
+			kmax := min(kk+tile, n)
+			for i := r0; i < r1; i++ {
+				arow := a.Data[i*n : (i+1)*n]
+				orow := out.Data[i*m : (i+1)*m]
+				for k := kk; k < kmax; k++ {
+					aik := arow[k]
+					brow := b.Data[k*m : (k+1)*m]
+					for j := jj; j < jmax; j++ {
+						orow[j] = f.Add(orow[j], f.Mul(aik, brow[j]))
+					}
+				}
+			}
+		}
+	}
+}

@@ -102,15 +102,87 @@ func (m *Dense[E]) Col(j int) []E {
 	return c
 }
 
-// Transpose returns mᵀ.
+// parallelCopyMin is the element count above which pure data-movement
+// helpers (Transpose, hcat) fan out over the shared worker pool. Copies
+// involve no field operations, so this path is safe for every element type,
+// including circuit wires.
+const parallelCopyMin = 1 << 14
+
+// Transpose returns mᵀ. Large matrices transpose in parallel row bands on
+// the shared worker pool.
 func (m *Dense[E]) Transpose() *Dense[E] {
 	t := &Dense[E]{Rows: m.Cols, Cols: m.Rows, Data: make([]E, len(m.Data))}
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			t.Data[j*t.Cols+i] = m.At(i, j)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, v := range row {
+				t.Data[j*t.Cols+i] = v
+			}
 		}
 	}
+	if len(m.Data) >= parallelCopyMin {
+		parallelFor(m.Rows, 32, body)
+	} else {
+		body(0, m.Rows)
+	}
 	return t
+}
+
+// parallelOpsMin is the element count above which elementwise field-op
+// helpers fan out, provided the field is safe for concurrent use.
+const parallelOpsMin = 1 << 13
+
+// ScaleColumnsDiag returns m·D for the diagonal matrix with entries d —
+// column j of the result is d[j]·(column j of m). Right-multiplying by a
+// diagonal never needs a full matrix product; the preconditioning pipelines
+// (Ã = A·H·D) use this as their D step. Large products over
+// concurrency-safe fields run in parallel row bands.
+func ScaleColumnsDiag[E any](f ff.Field[E], m *Dense[E], d []E) *Dense[E] {
+	if len(d) != m.Cols {
+		panic("matrix: ScaleColumnsDiag dimension mismatch")
+	}
+	out := &Dense[E]{Rows: m.Rows, Cols: m.Cols, Data: make([]E, len(m.Data))}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, v := range row {
+				orow[j] = f.Mul(v, d[j])
+			}
+		}
+	}
+	if len(m.Data) >= parallelOpsMin && ff.IsConcurrentSafe(f) {
+		parallelFor(m.Rows, 32, body)
+	} else {
+		body(0, m.Rows)
+	}
+	return out
+}
+
+// ScaleRowsDiag returns D·m for the diagonal matrix with entries d — row i
+// of the result is d[i]·(row i of m); the undo step of the preconditioned
+// inverses. Large products over concurrency-safe fields run in parallel.
+func ScaleRowsDiag[E any](f ff.Field[E], m *Dense[E], d []E) *Dense[E] {
+	if len(d) != m.Rows {
+		panic("matrix: ScaleRowsDiag dimension mismatch")
+	}
+	out := &Dense[E]{Rows: m.Rows, Cols: m.Cols, Data: make([]E, len(m.Data))}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := d[i]
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, v := range row {
+				orow[j] = f.Mul(di, v)
+			}
+		}
+	}
+	if len(m.Data) >= parallelOpsMin && ff.IsConcurrentSafe(f) {
+		parallelFor(m.Rows, 32, body)
+	} else {
+		body(0, m.Rows)
+	}
+	return out
 }
 
 // Leading returns the leading principal k×k submatrix (a copy).

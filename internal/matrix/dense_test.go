@@ -90,6 +90,9 @@ func TestMultipliersAgree(t *testing.T) {
 		Classical[uint64]{},
 		Parallel[uint64]{Workers: 3},
 		Strassen[uint64]{Cutoff: 4},
+		Blocked[uint64]{Tile: 7},
+		ParallelStrassen[uint64]{Cutoff: 8},
+		NewInstrumented[uint64](Parallel[uint64]{}),
 	}
 	for _, n := range []int{1, 2, 3, 7, 8, 16, 33} {
 		a := Random[uint64](f, src, n, n, ff.P31)

@@ -1,0 +1,80 @@
+package matrix
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ff"
+)
+
+// MulStats accumulates per-multiply instrumentation. Counters are atomic so
+// one stats block can be shared by concurrent callers (e.g. a multiplier
+// used from inside the worker pool).
+type MulStats struct {
+	calls atomic.Uint64
+	ops   atomic.Uint64
+	nanos atomic.Int64
+}
+
+// MulStatsSnapshot is a point-in-time copy of the counters.
+type MulStatsSnapshot struct {
+	// Calls is the number of Mul invocations.
+	Calls uint64
+	// FieldOps is the classical-equivalent field-operation count:
+	// rows·cols·(2k−1) per r×k by k×c product, the unit-cost measure the
+	// paper's size bounds are stated in. Sub-cubic multipliers therefore
+	// show a FieldOps larger than the work they actually performed.
+	FieldOps uint64
+	// Wall is total wall time inside Mul, summed over calls (concurrent
+	// callers overlap, so Wall can exceed elapsed time).
+	Wall time.Duration
+}
+
+// Snapshot returns the current counter values.
+func (s *MulStats) Snapshot() MulStatsSnapshot {
+	return MulStatsSnapshot{
+		Calls:    s.calls.Load(),
+		FieldOps: s.ops.Load(),
+		Wall:     time.Duration(s.nanos.Load()),
+	}
+}
+
+// Reset zeroes the counters.
+func (s *MulStats) Reset() {
+	s.calls.Store(0)
+	s.ops.Store(0)
+	s.nanos.Store(0)
+}
+
+// Instrumented wraps a Multiplier and records calls, classical-equivalent
+// field operations, and wall time per multiply into a shared MulStats —
+// the benchmark harness's view into how a solver exercises its
+// multiplication black box.
+type Instrumented[E any] struct {
+	Inner Multiplier[E]
+	Stats *MulStats
+}
+
+// NewInstrumented returns an instrumented wrapper around inner with a fresh
+// stats block.
+func NewInstrumented[E any](inner Multiplier[E]) Instrumented[E] {
+	return Instrumented[E]{Inner: inner, Stats: &MulStats{}}
+}
+
+// Name returns "instrumented(<inner>)".
+func (m Instrumented[E]) Name() string { return "instrumented(" + m.Inner.Name() + ")" }
+
+// Omega returns the wrapped multiplier's exponent.
+func (m Instrumented[E]) Omega() float64 { return m.Inner.Omega() }
+
+// Mul returns a·b through the wrapped multiplier, updating the counters.
+func (m Instrumented[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
+	start := time.Now()
+	out := m.Inner.Mul(f, a, b)
+	m.Stats.nanos.Add(int64(time.Since(start)))
+	m.Stats.calls.Add(1)
+	if a.Cols > 0 {
+		m.Stats.ops.Add(uint64(a.Rows) * uint64(b.Cols) * uint64(2*a.Cols-1))
+	}
+	return out
+}

@@ -1,9 +1,6 @@
 package matrix
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/ff"
 )
 
@@ -50,51 +47,54 @@ func mulClassical[E any](f ff.Field[E], a, b *Dense[E]) *Dense[E] {
 	return out
 }
 
-// Parallel wraps a multiplier-independent classical multiply that splits
-// rows across goroutines. It demonstrates real multicore speedup of the
-// substrate (the PRAM experiments use the circuit scheduler instead).
+// Parallel is the pooled multicore multiplier: disjoint row bands of the
+// product run concurrently on the package's shared worker pool (pool.go),
+// each band through the cache-blocked kernel. Calls reuse the pool's
+// long-lived workers instead of spawning goroutines per multiply, so the
+// solvers — which issue thousands of multiplies per run — pay the spawn
+// cost once per process.
 type Parallel[E any] struct {
-	// Workers is the number of goroutines; 0 means GOMAXPROCS.
+	// Workers caps the number of concurrent row bands; 0 means the pool
+	// width (GOMAXPROCS).
 	Workers int
+	// Tile is the blocked-kernel tile edge; 0 selects the default.
+	Tile int
 }
 
-// Name returns "parallel-classical".
-func (Parallel[E]) Name() string { return "parallel-classical" }
+// Name returns "parallel".
+func (Parallel[E]) Name() string { return "parallel" }
 
 // Omega returns 3.
 func (Parallel[E]) Omega() float64 { return 3 }
 
-// Mul returns a·b with rows distributed over a goroutine pool.
+// parallelMulMinOps is the work floor (≈ entries of a 32³ product) below
+// which the pooled path is not worth its scheduling overhead.
+const parallelMulMinOps = 32 * 32 * 32
+
+// Mul returns a·b with row bands distributed over the shared worker pool.
+// Over a field that is not ff.ConcurrentSafe (the circuit Builder), it
+// falls back to the serial balanced-tree classical kernel, preserving both
+// correctness and the O(log n) traced depth.
 func (p Parallel[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
 	if a.Cols != b.Rows {
 		panic("matrix: Mul dimension mismatch")
 	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if !ff.IsConcurrentSafe(f) {
+		return mulClassical(f, a, b)
 	}
-	out := &Dense[E]{Rows: a.Rows, Cols: b.Cols, Data: make([]E, a.Rows*b.Cols)}
-	bt := b.Transpose()
-	var wg sync.WaitGroup
-	rowsPer := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := min(lo+rowsPer, a.Rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-				for j := 0; j < b.Cols; j++ {
-					out.Data[i*out.Cols+j] = ff.Dot(f, arow, bt.Data[j*bt.Cols:(j+1)*bt.Cols])
-				}
-			}
-		}(lo, hi)
+	tile := p.Tile
+	if tile <= 0 {
+		tile = defaultMulTile
 	}
-	wg.Wait()
+	out := NewDense(f, a.Rows, b.Cols)
+	if a.Rows*b.Cols*a.Cols < parallelMulMinOps {
+		blockedMulInto(f, a, b, out, 0, a.Rows, tile)
+		return out
+	}
+	grain := max(1, tile/4)
+	parallelForMax(a.Rows, grain, p.Workers, func(lo, hi int) {
+		blockedMulInto(f, a, b, out, lo, hi, tile)
+	})
 	return out
 }
 

@@ -1,0 +1,46 @@
+package matrix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Multiplier registry: the CLI flags (-mul), core.Options.Multiplier and
+// the experiment ablations all select dense multipliers by these names.
+
+// Names returns the registered multiplier names in presentation order.
+func Names() []string {
+	return []string{"classical", "blocked", "parallel", "strassen", "parallel-strassen"}
+}
+
+// ByName returns the named dense multiplier. The empty string selects
+// classical, matching the package default.
+func ByName[E any](name string) (Multiplier[E], error) {
+	switch name {
+	case "", "classical":
+		return Classical[E]{}, nil
+	case "blocked":
+		return Blocked[E]{}, nil
+	case "parallel":
+		return Parallel[E]{}, nil
+	case "strassen":
+		return Strassen[E]{}, nil
+	case "parallel-strassen":
+		return ParallelStrassen[E]{}, nil
+	}
+	return nil, fmt.Errorf("matrix: unknown multiplier %q (want %s)", name, strings.Join(Names(), "|"))
+}
+
+// CircuitSafeName maps a multiplier name to the one circuit tracing must
+// use instead: the parallel kernels would race on the circuit Builder's
+// node list, and the blocked kernel's sequential accumulation would trace
+// to depth Ω(n) where the balanced-tree classical kernel gives O(log n).
+// Strassen variants keep Strassen's algebraic structure; everything else
+// traces through classical.
+func CircuitSafeName(name string) string {
+	switch name {
+	case "strassen", "parallel-strassen":
+		return "strassen"
+	}
+	return "classical"
+}

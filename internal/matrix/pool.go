@@ -1,0 +1,136 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Shared bounded worker pool for the dense substrate. Every parallel code
+// path in this package — Parallel, ParallelStrassen, and the data-movement
+// helpers inside Transpose / hcat / the diagonal scalings — schedules onto
+// this one pool instead of spawning per-call goroutines, so a solver that
+// performs thousands of multiplies reuses a fixed set of long-lived workers.
+//
+// The scheduling discipline is deadlock-free under arbitrary nesting
+// (ParallelStrassen recurses through parallelDo): a job's chunks are claimed
+// from an atomic counter, the submitting goroutine always executes the job
+// itself, and workers are only *offered* the job with non-blocking sends.
+// Completion therefore never depends on a pool worker being available.
+
+// poolJob is one parallel loop: the body is applied to grain-sized chunks of
+// [0, n), each chunk claimed exactly once via the atomic counter.
+type poolJob struct {
+	body   func(lo, hi int)
+	grain  int
+	n      int
+	chunks int64
+	next   atomic.Int64
+	done   sync.WaitGroup
+}
+
+// run claims and executes chunks until none remain. Both pool workers and
+// the submitting goroutine drive jobs through this single entry point.
+func (j *poolJob) run() {
+	for {
+		c := j.next.Add(1) - 1
+		if c >= j.chunks {
+			return
+		}
+		lo := int(c) * j.grain
+		hi := lo + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.body(lo, hi)
+		j.done.Done()
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolJobs chan *poolJob
+	poolSize int
+)
+
+func startPool() {
+	poolSize = runtime.GOMAXPROCS(0)
+	if poolSize < 2 {
+		// Keep at least one helper worker so the concurrent paths stay
+		// exercised (and race-checked) even on single-core hosts.
+		poolSize = 2
+	}
+	poolJobs = make(chan *poolJob, 8*poolSize)
+	for w := 0; w < poolSize; w++ {
+		go func() {
+			for j := range poolJobs {
+				j.run()
+			}
+		}()
+	}
+}
+
+// PoolWorkers returns the number of long-lived workers in the shared pool
+// (GOMAXPROCS at first use, minimum 2).
+func PoolWorkers() int {
+	poolOnce.Do(startPool)
+	return poolSize
+}
+
+// parallelFor applies body to grain-sized chunks of [0, n) on the shared
+// pool. The caller participates in the work, so the call is deadlock-free
+// even when every pool worker is busy (including with nested parallelFors).
+func parallelFor(n, grain int, body func(lo, hi int)) {
+	parallelForMax(n, grain, 0, body)
+}
+
+// parallelForMax is parallelFor with the chunk count additionally capped at
+// maxPar (0 means uncapped): at most maxPar goroutines ever work on the loop.
+func parallelForMax(n, grain, maxPar int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if maxPar > 0 && chunks > maxPar {
+		grain = (n + maxPar - 1) / maxPar
+		chunks = (n + grain - 1) / grain
+	}
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
+	poolOnce.Do(startPool)
+	j := &poolJob{body: body, grain: grain, n: n, chunks: int64(chunks)}
+	j.done.Add(chunks)
+	helpers := chunks - 1
+	if helpers > poolSize {
+		helpers = poolSize
+	}
+offer:
+	for h := 0; h < helpers; h++ {
+		select {
+		case poolJobs <- j:
+		default:
+			break offer // every worker busy: the caller picks up the slack
+		}
+	}
+	j.run()
+	j.done.Wait()
+}
+
+// parallelDo runs the given functions on the shared pool and waits for all
+// of them; ParallelStrassen uses it for the seven recursive products.
+func parallelDo(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	parallelFor(len(fns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
+}

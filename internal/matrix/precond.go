@@ -76,14 +76,7 @@ func NewPreconditioner[E any](f ff.Field[E], src *ff.Source, n int, subset uint6
 func (p *Preconditioner[E]) Apply(f ff.Field[E], mul Multiplier[E], a *Dense[E]) *Dense[E] {
 	ah := mul.Mul(f, a, p.H)
 	// Right-multiplying by a diagonal scales columns; no full product needed.
-	out := ah.Clone()
-	for j := 0; j < out.Cols; j++ {
-		dj := p.DEntries[j]
-		for i := 0; i < out.Rows; i++ {
-			out.Set(i, j, f.Mul(ah.At(i, j), dj))
-		}
-	}
-	return out
+	return ScaleColumnsDiag(f, ah, p.DEntries)
 }
 
 // DetD returns det(D) = ∏ dᵢ via a balanced product.

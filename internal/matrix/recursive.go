@@ -93,14 +93,7 @@ func InverseBH[E any](f ff.Field[E], mul Multiplier[E], a *Dense[E], src *ff.Sou
 			continue // a vanishing minor: unlucky randomness (or singular A)
 		}
 		// A⁻¹ = H·D·Â⁻¹: apply D (row scaling) then H.
-		scaled := invHat.Clone()
-		for i := 0; i < n; i++ {
-			di := p.DEntries[i]
-			for j := 0; j < n; j++ {
-				scaled.Set(i, j, f.Mul(di, invHat.At(i, j)))
-			}
-		}
-		inv := mul.Mul(f, p.H, scaled)
+		inv := mul.Mul(f, p.H, ScaleRowsDiag(f, invHat, p.DEntries))
 		if Mul(f, a, inv).Equal(f, id) {
 			return inv, nil
 		}
