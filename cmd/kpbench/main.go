@@ -1,6 +1,8 @@
 // Command kpbench regenerates the reproduction's experiment tables
-// (DESIGN.md §4, E1–E13). Each table states the paper claim it checks and
-// the measured values; EXPERIMENTS.md records a full run.
+// (DESIGN.md §4, E1–E13) and emits the machine-readable benchmark JSON
+// that seeds the BENCH_*.json perf trajectory. Each table states the paper
+// claim it checks and the measured values; EXPERIMENTS.md records a full
+// run.
 //
 // Usage:
 //
@@ -8,32 +10,82 @@
 //	kpbench -full           # full sweeps (minutes)
 //	kpbench -run E4,E10     # selected experiments
 //	kpbench -md             # emit Markdown (for EXPERIMENTS.md)
+//	kpbench -json -n 64,128 # per-phase op counts/timings as JSON
+//	kpbench -pprof :6060    # serve net/http/pprof + /debug/vars
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "comma-separated experiment ids (E1..E14, E3a, E4a, E4m, E10w) or 'all'")
-		full = flag.Bool("full", false, "full parameter sweeps (slower)")
-		seed = flag.Uint64("seed", 20260704, "random seed (runs are deterministic per seed)")
-		md   = flag.Bool("md", false, "emit Markdown tables")
-		mul  = flag.String("mul", "all", "multipliers for the E4m substrate ablation: 'all' or a comma-separated subset of "+strings.Join(matrix.Names(), ","))
+		run   = flag.String("run", "all", "comma-separated experiment ids (E1..E14, E3a, E4a, E4m, E10w) or 'all'")
+		full  = flag.Bool("full", false, "full parameter sweeps (slower)")
+		seed  = flag.Uint64("seed", 20260704, "random seed (runs are deterministic per seed)")
+		md    = flag.Bool("md", false, "emit Markdown tables")
+		mul   = flag.String("mul", "all", "multipliers: 'all' or a comma-separated subset of "+strings.Join(matrix.Names(), ","))
+		jsonF = flag.Bool("json", false, "run the per-phase solve benchmark and emit a BENCH JSON report instead of experiment tables")
+		nFlag = flag.String("n", "64,128,256", "comma-separated system dimensions for -json")
+		pprof = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
 	)
 	flag.Parse()
 
+	// Unknown -mul names are an error in every mode: silently defaulting
+	// would relabel a benchmark of the wrong kernel.
+	muls, err := matrix.ParseMulFlag(*mul)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *pprof != "" {
+		obs.PublishExpvar()
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("kpbench: pprof listener: %v", err)
+			}
+		}()
+	}
+
+	if *jsonF {
+		if *mul == "all" {
+			// The JSON trajectory tracks the serial baseline against the
+			// pooled kernels; blocked/strassen ride in via -mul.
+			muls = []string{"classical", "parallel", "parallel-strassen"}
+		}
+		ns, err := parseDims(*nFlag)
+		if err != nil {
+			fatal(err)
+		}
+		report, err := exp.BenchJSON(ns, muls, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Header: make benchmark output self-describing — which kernels, which
+	// field, how wide the pool is.
+	fmt.Printf("kpbench: field F_%d, multipliers %s, pool %d workers (GOMAXPROCS %d), seed %d\n\n",
+		exp.FieldModulus(), strings.Join(muls, ","), matrix.PoolWorkers(), runtime.GOMAXPROCS(0), *seed)
 	if *mul != "all" {
-		if err := exp.SetMultipliers(strings.Split(*mul, ",")); err != nil {
-			fmt.Fprintf(os.Stderr, "kpbench: %v\n", err)
-			os.Exit(2)
+		if err := exp.SetMultipliers(muls); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -44,8 +96,7 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			e := exp.ByID(strings.TrimSpace(id))
 			if e == nil {
-				fmt.Fprintf(os.Stderr, "kpbench: unknown experiment %q\n", id)
-				os.Exit(2)
+				fatal(fmt.Errorf("unknown experiment %q", id))
 			}
 			selected = append(selected, *e)
 		}
@@ -54,8 +105,7 @@ func main() {
 	for _, e := range selected {
 		tab, err := e.Run(*seed, !*full)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kpbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		if *md {
 			fmt.Println(tab.Markdown())
@@ -63,4 +113,22 @@ func main() {
 			fmt.Println(tab.String())
 		}
 	}
+}
+
+// parseDims parses the -json dimension list.
+func parseDims(spec string) ([]int, error) {
+	var ns []int
+	for _, raw := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(raw))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid dimension %q in -n", raw)
+		}
+		ns = append(ns, n)
+	}
+	return ns, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kpbench: %v\n", err)
+	os.Exit(2)
 }

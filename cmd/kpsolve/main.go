@@ -7,6 +7,8 @@
 //	kpsolve -n 16 -op det             # determinant
 //	kpsolve -op solve -in system.txt  # read a system from a file
 //	kpsolve -n 256 -mul parallel      # pooled multicore multiplication
+//	kpsolve -n 128 -trace out.json    # per-phase Chrome trace_event timeline
+//	kpsolve -n 512 -pprof :6060       # live pprof + /debug/vars metrics
 //
 // The input file format is: first line "n p" (dimension and field modulus),
 // then n lines of n matrix entries, then one line of n right-hand-side
@@ -21,6 +23,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -28,20 +33,42 @@ import (
 	"repro/internal/core"
 	"repro/internal/ff"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		n    = flag.Int("n", 16, "dimension for randomly generated instances")
-		p    = flag.Uint64("p", ff.P62, "prime field modulus (for -in files it must match the file)")
-		op   = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed")
-		in   = flag.String("in", "", "read the system from a file instead of generating it")
-		mul  = flag.String("mul", "classical", "matrix multiplier: "+strings.Join(matrix.Names(), "|"))
-		seed = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+		n     = flag.Int("n", 16, "dimension for randomly generated instances")
+		p     = flag.Uint64("p", ff.P62, "prime field modulus (for -in files it must match the file)")
+		op    = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed")
+		in    = flag.String("in", "", "read the system from a file instead of generating it")
+		mul   = flag.String("mul", "classical", "matrix multiplier: "+strings.Join(matrix.Names(), "|"))
+		seed  = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+		trace = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the solve phases to this file")
+		pprof = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
 	)
 	flag.Parse()
-	if _, err := matrix.ByName[uint64](*mul); err != nil {
+	// Shared -mul validation: unknown names are an error, never a silent
+	// fall-back to the classical default.
+	names, err := matrix.ParseMulFlag(*mul)
+	if err != nil {
 		fatal(err)
+	}
+	if len(names) != 1 {
+		fatal(fmt.Errorf("-mul wants exactly one of %s", strings.Join(matrix.Names(), "|")))
+	}
+
+	if *pprof != "" {
+		obs.PublishExpvar()
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("kpsolve: pprof listener: %v", err)
+			}
+		}()
+	}
+	var observer *obs.Observer
+	if *trace != "" {
+		observer = obs.New(0)
 	}
 	pSet := false
 	flag.Visit(func(fl *flag.Flag) {
@@ -53,7 +80,6 @@ func main() {
 	var f ff.Fp64
 	var a *matrix.Dense[uint64]
 	var b []uint64
-	var err error
 	if *in != "" {
 		f, a, b, err = readSystem(*in, *p, pSet)
 		if err != nil {
@@ -65,7 +91,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	s := core.NewSolver[uint64](f, core.Options{Seed: *seed, Multiplier: *mul})
+	s := core.NewSolver[uint64](f, core.Options{
+		Seed:       *seed,
+		Multiplier: names[0],
+		Observer:   observer,
+		Instrument: *trace != "",
+	})
 	src := ff.NewSource(*seed + 1)
 
 	if *in == "" {
@@ -114,6 +145,37 @@ func main() {
 		fatal(fmt.Errorf("unknown op %q", *op))
 	}
 	fmt.Printf("elapsed: %s\n", time.Since(start))
+
+	if observer != nil {
+		if err := writeTrace(observer, s.MulStats(), *trace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace exports the observer's timeline and prints the per-phase
+// summary, cross-checked against the Instrumented multiplier totals (the
+// two count the same operations through independent paths).
+func writeTrace(o *obs.Observer, stats *matrix.MulStats, path string) error {
+	if err := o.WriteTraceFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("\nphase summary (trace written to %s):\n", path)
+	totals := o.PhaseTotals()
+	for _, name := range o.PhaseNames() {
+		t := totals[name]
+		fmt.Printf("  %-13s %3d span(s)  wall %-14s field-ops %d\n", name, t.Count, t.Wall, t.FieldOps)
+	}
+	if dropped := o.Dropped(); dropped > 0 {
+		fmt.Printf("  (%d spans dropped: ring wrapped)\n", dropped)
+	}
+	snap := stats.Snapshot()
+	fmt.Printf("  multiplier: %d calls, %d classical-equivalent field-ops, wall %s, busy %s\n",
+		snap.Calls, snap.FieldOps, snap.Wall, snap.Busy)
+	if spanOps := o.TotalFieldOps(); spanOps != snap.FieldOps {
+		fmt.Printf("  WARNING: span field-ops %d != instrumented field-ops %d\n", spanOps, snap.FieldOps)
+	}
+	return nil
 }
 
 // readSystem parses "n p" followed by n×n matrix entries and n right-hand

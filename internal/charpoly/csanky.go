@@ -3,6 +3,7 @@ package charpoly
 import (
 	"repro/internal/ff"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Csanky's (1976) parallel linear-system solver via Leverrier's method —
@@ -21,6 +22,8 @@ func CharPolyCsanky[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.De
 		return []E{f.One()}, nil
 	}
 	s := PowerTraces(f, mul, a, n)
+	sp := obs.StartPhase(obs.PhaseMinPoly)
+	defer sp.End()
 	return PowerSumsToCharPoly(f, s)
 }
 
@@ -28,6 +31,10 @@ func CharPolyCsanky[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.De
 // powers by repeated multiplication (m−1 matrix products: the Θ(n^{ω+1})
 // work term that dominates Csanky's processor count).
 func PowerTraces[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], m int) []E {
+	// The power ladder is Csanky's Krylov analogue — the Θ(n^{ω+1}) work
+	// term the KP91 doubling avoids — so it reports under the same phase.
+	sp := obs.StartPhase(obs.PhaseKrylov)
+	defer sp.End()
 	s := make([]E, m)
 	pow := a
 	for i := 0; i < m; i++ {

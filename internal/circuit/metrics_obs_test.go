@@ -1,0 +1,122 @@
+// External test package: it pulls in internal/kp (which itself imports
+// circuit), so it must live outside package circuit to avoid the cycle.
+package circuit_test
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/ff"
+	"repro/internal/kp"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+// TestProductCircuitSizeMatchesInstrumented ties circuit.Metrics to the
+// matrix.Instrumented counter on the measure they share: for the classical
+// multiplier, one r×k by k×c product costs r·c·(2k−1) field operations,
+// which is both the node count the tracing creates and the
+// classical-equivalent count the instrumentation reports.
+func TestProductCircuitSizeMatchesInstrumented(t *testing.T) {
+	model := ff.MustFp64(ff.P31)
+	n := 8
+	inst := matrix.NewInstrumented(matrix.Classical[circuit.Wire]{})
+	b := circuit.NewBuilderFor[uint64](model)
+	aw := &matrix.Dense[circuit.Wire]{Rows: n, Cols: n, Data: b.Inputs(n * n)}
+	bw := &matrix.Dense[circuit.Wire]{Rows: n, Cols: n, Data: b.Inputs(n * n)}
+	out := inst.Mul(b, aw, bw)
+	b.Return(out.Data...)
+
+	want := uint64(n * n * (2*n - 1))
+	if got := inst.Stats.Snapshot().FieldOps; got != want {
+		t.Fatalf("instrumented field-ops = %d, want %d", got, want)
+	}
+	m := b.Metrics()
+	if got := uint64(m.Size); got != want {
+		t.Fatalf("circuit size = %d, want %d (must equal the instrumented count)", got, want)
+	}
+	if got := uint64(m.Muls); got != uint64(n*n*n) {
+		t.Fatalf("circuit muls = %d, want %d", got, n*n*n)
+	}
+}
+
+// TestSolveCircuitOpsAgreeWithInstrumented runs the fixed 8×8 Theorem 4
+// solve in all three op-counting modes and checks they agree:
+//
+//   - circuit mode: SolveOnce traced on the Builder, multiplications
+//     counted by an Instrumented wire multiplier and by circuit.Metrics;
+//   - concrete mode: the same branch-free SolveOnce over a counting field
+//     with an Instrumented uint64 multiplier;
+//   - obs mode: the concrete run's per-span field-op counters.
+//
+// The multiplication black box sees the same dimension sequence in both
+// modes (the algorithm is branch-free), so the Instrumented totals must be
+// identical; the obs spans must account for every one of those ops exactly
+// once; and the traced circuit must contain at least the multiplication
+// nodes.
+func TestSolveCircuitOpsAgreeWithInstrumented(t *testing.T) {
+	const n = 8
+	model := ff.MustFp64(ff.P31)
+
+	// Circuit mode.
+	wireInst := matrix.NewInstrumented(matrix.Classical[circuit.Wire]{})
+	b, err := kp.TraceSolve[uint64](model, wireInst, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuitMulOps := wireInst.Stats.Snapshot().FieldOps
+	if circuitMulOps == 0 {
+		t.Fatal("tracing exercised no multiplications")
+	}
+
+	// Concrete mode, under an observer.
+	f := ff.MustFp64(ff.P31)
+	cf := ff.NewCounting[uint64](f)
+	inst := matrix.NewInstrumented(matrix.Classical[uint64]{})
+	o := obs.New(0)
+	obs.SetActive(o)
+	defer obs.SetActive(nil)
+	src := ff.NewSource(5)
+	var x []uint64
+	var a *matrix.Dense[uint64]
+	var rhs []uint64
+	for {
+		a = matrix.Random[uint64](f, src, n, n, ff.P31)
+		rhs = ff.SampleVec[uint64](f, src, n, ff.P31)
+		rnd := kp.DrawRandomness[uint64](cf, src, n, ff.P31)
+		cf.Reset()
+		inst.Stats.Reset()
+		x, err = kp.SolveOnce[uint64](cf, inst, a, rhs, rnd)
+		if err == nil && ff.VecEqual[uint64](f, a.MulVec(f, x), rhs) {
+			break // lucky randomness: the branch-free attempt succeeded
+		}
+	}
+	concrete := inst.Stats.Snapshot()
+
+	// The multiplication black box costs the same in both modes.
+	if concrete.FieldOps != circuitMulOps {
+		t.Fatalf("concrete instrumented ops %d != circuit instrumented ops %d",
+			concrete.FieldOps, circuitMulOps)
+	}
+	// The obs spans attribute each of those ops to exactly one phase.
+	if got := o.TotalFieldOps(); got != concrete.FieldOps {
+		t.Fatalf("obs span ops %d != instrumented ops %d", got, concrete.FieldOps)
+	}
+	// The counting field sees every operation, multiplications included.
+	counted := cf.Counts().Total()
+	if counted < concrete.FieldOps {
+		t.Fatalf("counting field total %d < multiplication ops %d", counted, concrete.FieldOps)
+	}
+	// The traced circuit performs the same computation, so its size covers
+	// the multiplication nodes and dominates the concrete run's total: the
+	// concrete field trims zero polynomial coefficients as it goes (zero
+	// tests are free and data-dependent), while the branch-free circuit
+	// must process worst-case degrees everywhere.
+	m := b.Metrics()
+	if uint64(m.Size) < circuitMulOps {
+		t.Fatalf("circuit size %d < multiplication ops %d", m.Size, circuitMulOps)
+	}
+	if uint64(m.Size) < counted {
+		t.Fatalf("circuit size %d < counting-field total %d", m.Size, counted)
+	}
+}

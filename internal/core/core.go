@@ -23,6 +23,7 @@ import (
 	"repro/internal/ff"
 	"repro/internal/kp"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/structured"
 	"repro/internal/wiedemann"
@@ -49,8 +50,22 @@ type Options struct {
 	// matrix package's shared worker pool; circuit tracing automatically
 	// uses the matching serial balanced form (matrix.CircuitSafeName).
 	// Unknown names panic in NewSolver — validate user input with
-	// matrix.ByName first.
+	// matrix.ByName (or matrix.ParseMulFlag) first.
 	Multiplier string
+	// Observer, when non-nil, is installed as the process-global active
+	// obs.Observer: the solve phases (precondition, krylov, minpoly,
+	// backsolve) record spans into it, exportable as a Chrome trace_event
+	// timeline. The observer is global because the substrate packages are
+	// instrumented against obs.Active(); run one traced solve at a time
+	// for per-run attribution. Nil leaves observability in whatever state
+	// the process has (off by default, the nil-span fast path).
+	Observer *obs.Observer
+	// Instrument wraps the multiplication black box in matrix.Instrumented
+	// so calls, classical-equivalent field operations, and wall/busy time
+	// are counted; read them via Solver.MulStats. Combined with Observer,
+	// each multiply's op count is folded into the phase span that issued
+	// it.
+	Instrument bool
 }
 
 // Solver bundles a field, a random stream and the algorithm configuration.
@@ -61,6 +76,8 @@ type Solver[E any] struct {
 	retries int
 	mul     matrix.Multiplier[E]
 	wmul    matrix.Multiplier[circuit.Wire]
+	stats   *matrix.MulStats
+	obs     *obs.Observer
 }
 
 // NewSolver returns a Solver over the given field.
@@ -90,15 +107,33 @@ func NewSolver[E any](f ff.Field[E], opts Options) *Solver[E] {
 	if err != nil {
 		panic(err)
 	}
-	return &Solver[E]{
+	s := &Solver[E]{
 		f:       f,
 		src:     ff.NewSource(seed),
 		subset:  subset,
 		retries: opts.Retries,
 		mul:     mul,
 		wmul:    wmul,
+		obs:     opts.Observer,
 	}
+	if opts.Instrument {
+		im := matrix.NewInstrumented(mul)
+		s.mul = im
+		s.stats = im.Stats
+	}
+	if opts.Observer != nil {
+		obs.SetActive(opts.Observer)
+	}
+	return s
 }
+
+// MulStats returns the multiplication instrumentation block, or nil unless
+// Options.Instrument was set.
+func (s *Solver[E]) MulStats() *matrix.MulStats { return s.stats }
+
+// Observer returns the Options.Observer this solver was built with (nil if
+// none).
+func (s *Solver[E]) Observer() *obs.Observer { return s.obs }
 
 // Field returns the solver's field.
 func (s *Solver[E]) Field() ff.Field[E] { return s.f }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ff"
 	"repro/internal/kp"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/poly"
 )
 
@@ -263,4 +264,57 @@ func TestMultiplierOption(t *testing.T) {
 		}
 	}()
 	NewSolver[uint64](fp, Options{Multiplier: "quantum"})
+}
+
+// TestObserverAndInstrumentOptions runs a traced, instrumented solve and
+// checks the observability contract end to end: the timeline's top-level
+// spans are exactly the KP91 phases, and the op count attributed to spans
+// matches the Instrumented multiplier total (every multiplication charged
+// to exactly one phase).
+func TestObserverAndInstrumentOptions(t *testing.T) {
+	o := obs.New(0)
+	s := NewSolver[uint64](fp, Options{Seed: 3, Observer: o, Instrument: true})
+	defer obs.SetActive(nil)
+	if s.MulStats() == nil {
+		t.Fatal("Instrument: MulStats must be non-nil")
+	}
+	if s.Observer() != o {
+		t.Fatal("Observer not retained")
+	}
+	src := ff.NewSource(11)
+	n := 8
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](fp, src, n, n, ff.P31)
+		if d, _ := matrix.Det[uint64](fp, a); !fp.IsZero(d) {
+			break
+		}
+	}
+	b := ff.SampleVec[uint64](fp, src, n, ff.P31)
+	if _, err := s.Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+
+	top := map[string]bool{}
+	for _, r := range o.Records() {
+		if r.Parent == 0 {
+			top[r.Name] = true
+		}
+	}
+	want := []string{obs.PhasePrecondition, obs.PhaseKrylov, obs.PhaseMinPoly, obs.PhaseBacksolve}
+	for _, name := range want {
+		if !top[name] {
+			t.Fatalf("missing top-level phase %q in %v", name, top)
+		}
+	}
+	if len(top) != len(want) {
+		t.Fatalf("unexpected top-level spans: %v", top)
+	}
+	snap := s.MulStats().Snapshot()
+	if snap.FieldOps == 0 {
+		t.Fatal("instrumented multiplier saw no work")
+	}
+	if got := o.TotalFieldOps(); got != snap.FieldOps {
+		t.Fatalf("span field-ops %d != instrumented field-ops %d", got, snap.FieldOps)
+	}
 }

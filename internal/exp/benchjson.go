@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ff"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+// kpbench -json: the machine-readable benchmark that seeds the BENCH_*.json
+// perf trajectory. One run = one Theorem 4 solve of a random n×n system
+// under one multiplier, traced through an obs.Observer so the report splits
+// wall time and classical-equivalent field operations across the KP91
+// phases (precondition, krylov, minpoly, backsolve).
+
+// BenchSchema identifies the report layout for downstream tooling.
+const BenchSchema = "kpbench/v1"
+
+// FieldModulus returns the modulus of the word prime field the experiments
+// and benchmarks run over (for self-describing benchmark headers).
+func FieldModulus() uint64 { return fpCirc.Modulus() }
+
+// BenchPhase is the per-phase slice of one run.
+type BenchPhase struct {
+	WallNs   int64  `json:"wall_ns"`
+	FieldOps uint64 `json:"field_ops"`
+	MulCalls uint64 `json:"mul_calls"`
+	Spans    int    `json:"spans"`
+}
+
+// BenchRun is one (n, multiplier) measurement.
+type BenchRun struct {
+	Dim        int                   `json:"n"`
+	Multiplier string                `json:"multiplier"`
+	WallNs     int64                 `json:"wall_ns"`
+	Phases     map[string]BenchPhase `json:"phases"`
+	// FieldOpsTotal is the matrix.Instrumented total for the run; the sum
+	// of the per-phase field_ops must match it (each op is attributed to
+	// exactly one span).
+	FieldOpsTotal uint64 `json:"field_ops_total"`
+	MulCalls      uint64 `json:"mul_calls"`
+	// MulWallNs / MulBusyNs are the union / summed durations inside the
+	// multiplication black box; busy > wall means the pool overlapped
+	// multiplies' inner chunks.
+	MulWallNs int64 `json:"mul_wall_ns"`
+	MulBusyNs int64 `json:"mul_busy_ns"`
+	Verified  bool  `json:"verified"`
+}
+
+// BenchReport is the kpbench -json document.
+type BenchReport struct {
+	Schema       string           `json:"schema"`
+	GoVersion    string           `json:"go_version"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	PoolWorkers  int              `json:"pool_workers"`
+	FieldModulus uint64           `json:"field_modulus"`
+	Seed         uint64           `json:"seed"`
+	Runs         []BenchRun       `json:"runs"`
+	Metrics      map[string]int64 `json:"metrics"`
+}
+
+// BenchJSON runs one traced Theorem 4 solve per (n, multiplier) pair and
+// returns the per-phase report. Each run gets a fresh Observer (installed
+// as the active one for its duration), so phase totals are per-run; the
+// final metrics snapshot is cumulative over the process.
+func BenchJSON(ns []int, muls []string, seed uint64) (*BenchReport, error) {
+	f := fpCirc
+	report := &BenchReport{
+		Schema:       BenchSchema,
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		PoolWorkers:  matrix.PoolWorkers(),
+		FieldModulus: f.Modulus(),
+		Seed:         seed,
+	}
+	prev := obs.Active()
+	defer obs.SetActive(prev)
+	for _, n := range ns {
+		src := ff.NewSource(seed + uint64(n))
+		a := matrix.Random[uint64](f, src, n, n, f.Modulus())
+		b := ff.SampleVec[uint64](f, src, n, f.Modulus())
+		for _, name := range muls {
+			if _, err := matrix.ByName[uint64](name); err != nil {
+				return nil, err
+			}
+			o := obs.New(0)
+			s := core.NewSolver[uint64](f, core.Options{
+				Seed:       seed,
+				Multiplier: name,
+				Observer:   o,
+				Instrument: true,
+			})
+			start := time.Now()
+			x, err := s.Solve(a, b)
+			wall := time.Since(start)
+			obs.SetActive(prev)
+			if err != nil {
+				return nil, fmt.Errorf("bench n=%d mul=%s: %w", n, name, err)
+			}
+			snap := s.MulStats().Snapshot()
+			phases := make(map[string]BenchPhase)
+			for phase, t := range o.PhaseTotals() {
+				phases[phase] = BenchPhase{
+					WallNs:   t.Wall.Nanoseconds(),
+					FieldOps: t.FieldOps,
+					MulCalls: t.MulCalls,
+					Spans:    t.Count,
+				}
+			}
+			report.Runs = append(report.Runs, BenchRun{
+				Dim:           n,
+				Multiplier:    name,
+				WallNs:        wall.Nanoseconds(),
+				Phases:        phases,
+				FieldOpsTotal: snap.FieldOps,
+				MulCalls:      snap.Calls,
+				MulWallNs:     snap.Wall.Nanoseconds(),
+				MulBusyNs:     snap.Busy.Nanoseconds(),
+				Verified:      ff.VecEqual[uint64](f, a.MulVec(f, x), b),
+			})
+		}
+	}
+	report.Metrics = obs.MetricsSnapshot()
+	return report, nil
+}
+
+// WriteJSON writes the report, indented for diff-friendly BENCH_*.json
+// files.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/ff"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/structured"
 )
 
@@ -87,13 +88,17 @@ func precondition[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dens
 func charPolyOfPreconditioned[E any](f ff.Field[E], mul matrix.Multiplier[E], atilde *matrix.Dense[E], rnd Randomness[E]) ([]E, error) {
 	n := atilde.Rows
 	// Sequence a_i = u·Ãⁱ·v, i = 0..2n−1, via the doubling of (9).
+	sp := obs.StartPhase(obs.PhaseKrylov)
 	k := matrix.KrylovDoubling(f, mul, atilde, rnd.V, 2*n)
 	a := matrix.ProjectKrylov(f, rnd.U, k)
+	sp.End()
 	// Lemma 1 system: T_n·(c_{n−1},…,c₀)ᵀ = (a_n,…,a_{2n−1})ᵀ, solved with
 	// the Toeplitz solver of §3 (Theorem 3 + Cayley–Hamilton).
+	sp = obs.StartPhase(obs.PhaseMinPoly)
 	tm := structured.NewToeplitz(a[:2*n-1])
 	rhs := a[n : 2*n]
 	c, err := structured.SolveParallel(f, mul, tm, rhs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +121,9 @@ func SolveOnce[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E
 	if a.Cols != n || len(b) != n {
 		panic("kp: SolveOnce needs a square system")
 	}
+	sp := obs.StartPhase(obs.PhasePrecondition)
 	atilde := precondition(f, mul, a, rnd)
+	sp.End()
 	cp, err := charPolyOfPreconditioned(f, mul, atilde, rnd)
 	if err != nil {
 		return nil, err
@@ -124,6 +131,8 @@ func SolveOnce[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E
 	// Cayley–Hamilton: x̃ = −(1/pₙ)·Σ_{j=0}^{n−1} p_{n−1−j}·Ãʲ·b, with
 	// pₙ = cp[0] and p_{n−1−j} = cp[j+1]; the Krylov vectors Ãʲb come from
 	// one more doubling pass.
+	sp = obs.StartPhase(obs.PhaseBacksolve)
+	defer sp.End()
 	kb := matrix.KrylovDoubling(f, mul, atilde, b, n)
 	scaled := make([][]E, n)
 	for j := 0; j < n; j++ {

@@ -1,10 +1,12 @@
 package matrix
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ff"
+	"repro/internal/obs"
 )
 
 // MulStats accumulates per-multiply instrumentation. Counters are atomic so
@@ -13,7 +15,17 @@ import (
 type MulStats struct {
 	calls atomic.Uint64
 	ops   atomic.Uint64
-	nanos atomic.Int64
+	busy  atomic.Int64 // summed per-call durations
+
+	// Wall time is the union of the in-flight intervals, so it never
+	// exceeds elapsed time no matter how many calls overlap. Each call
+	// takes its own monotonic start/stop (time.Since); the mutex only
+	// guards the interval bookkeeping at call entry/exit, far off the
+	// per-element hot path.
+	mu        sync.Mutex
+	active    int
+	spanStart time.Time
+	wall      time.Duration
 }
 
 // MulStatsSnapshot is a point-in-time copy of the counters.
@@ -25,31 +37,79 @@ type MulStatsSnapshot struct {
 	// paper's size bounds are stated in. Sub-cubic multipliers therefore
 	// show a FieldOps larger than the work they actually performed.
 	FieldOps uint64
-	// Wall is total wall time inside Mul, summed over calls (concurrent
-	// callers overlap, so Wall can exceed elapsed time).
+	// Wall is the wall time during which at least one Mul was in flight
+	// (the union of the call intervals): concurrent callers do not
+	// double-count, so Wall never exceeds elapsed time.
 	Wall time.Duration
+	// Busy is total time inside Mul summed over calls; concurrent callers
+	// overlap, so Busy can exceed Wall — the ratio Busy/Wall is the mean
+	// multiply concurrency.
+	Busy time.Duration
 }
 
-// Snapshot returns the current counter values.
+// Snapshot returns the current counter values. An in-flight interval (one
+// or more Mul calls currently executing) contributes its elapsed portion
+// to Wall.
 func (s *MulStats) Snapshot() MulStatsSnapshot {
+	s.mu.Lock()
+	wall := s.wall
+	if s.active > 0 {
+		wall += time.Since(s.spanStart)
+	}
+	s.mu.Unlock()
 	return MulStatsSnapshot{
 		Calls:    s.calls.Load(),
 		FieldOps: s.ops.Load(),
-		Wall:     time.Duration(s.nanos.Load()),
+		Wall:     wall,
+		Busy:     time.Duration(s.busy.Load()),
 	}
 }
 
-// Reset zeroes the counters.
+// Reset zeroes the counters. Not safe to call concurrently with Mul.
 func (s *MulStats) Reset() {
 	s.calls.Store(0)
 	s.ops.Store(0)
-	s.nanos.Store(0)
+	s.busy.Store(0)
+	s.mu.Lock()
+	s.active = 0
+	s.wall = 0
+	s.mu.Unlock()
+}
+
+// enter opens one call interval: the first concurrent caller starts the
+// wall-clock span. The returned timestamp is taken under the lock so the
+// per-call intervals exactly tile the wall span (Busy ≥ Wall holds as an
+// invariant, not just approximately).
+func (s *MulStats) enter() time.Time {
+	s.mu.Lock()
+	now := time.Now()
+	if s.active == 0 {
+		s.spanStart = now
+	}
+	s.active++
+	s.mu.Unlock()
+	return now
+}
+
+// exit closes one call interval: the last concurrent caller commits the
+// span to the wall total.
+func (s *MulStats) exit(start time.Time) {
+	s.mu.Lock()
+	now := time.Now()
+	s.busy.Add(int64(now.Sub(start)))
+	s.active--
+	if s.active == 0 {
+		s.wall += now.Sub(s.spanStart)
+	}
+	s.mu.Unlock()
 }
 
 // Instrumented wraps a Multiplier and records calls, classical-equivalent
-// field operations, and wall time per multiply into a shared MulStats —
+// field operations, and wall/busy time per multiply into a shared MulStats —
 // the benchmark harness's view into how a solver exercises its
-// multiplication black box.
+// multiplication black box. Each call also folds its op count into the
+// innermost open obs span (a no-op unless an obs.Observer is active), so
+// traced solves attribute multiplication work to the phase that issued it.
 type Instrumented[E any] struct {
 	Inner Multiplier[E]
 	Stats *MulStats
@@ -69,12 +129,15 @@ func (m Instrumented[E]) Omega() float64 { return m.Inner.Omega() }
 
 // Mul returns a·b through the wrapped multiplier, updating the counters.
 func (m Instrumented[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
-	start := time.Now()
+	start := m.Stats.enter()
 	out := m.Inner.Mul(f, a, b)
-	m.Stats.nanos.Add(int64(time.Since(start)))
+	m.Stats.exit(start)
 	m.Stats.calls.Add(1)
+	var ops uint64
 	if a.Cols > 0 {
-		m.Stats.ops.Add(uint64(a.Rows) * uint64(b.Cols) * uint64(2*a.Cols-1))
+		ops = uint64(a.Rows) * uint64(b.Cols) * uint64(2*a.Cols-1)
+		m.Stats.ops.Add(ops)
 	}
+	obs.AddFieldOps(ops, 1)
 	return out
 }

@@ -31,6 +31,26 @@ func ByName[E any](name string) (Multiplier[E], error) {
 	return nil, fmt.Errorf("matrix: unknown multiplier %q (want %s)", name, strings.Join(Names(), "|"))
 }
 
+// ParseMulFlag parses a -mul flag value shared by the CLI binaries: "all"
+// (or "") selects every registered multiplier; otherwise the value is a
+// comma-separated list of registered names. Unknown names are an error
+// naming the valid set — the binaries must reject them rather than
+// silently fall back to the classical default.
+func ParseMulFlag(spec string) ([]string, error) {
+	if spec == "" || spec == "all" {
+		return Names(), nil
+	}
+	var names []string
+	for _, raw := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(raw)
+		if _, err := ByName[uint64](name); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
 // CircuitSafeName maps a multiplier name to the one circuit tracing must
 // use instead: the parallel kernels would race on the circuit Builder's
 // node list, and the blocked kernel's sequential accumulation would trace

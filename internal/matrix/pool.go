@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Shared bounded worker pool for the dense substrate. Every parallel code
@@ -18,6 +20,18 @@ import (
 // itself, and workers are only *offered* the job with non-blocking sends.
 // Completion therefore never depends on a pool worker being available.
 
+// Pool metrics (obs registry). Counter adds are amortized: each run()
+// invocation accumulates locally and commits once, so the per-chunk hot
+// loop stays free of shared writes.
+var (
+	poolJobsSubmitted = obs.NewCounter("pool.jobs.submitted")
+	poolChunksClaimed = obs.NewCounter("pool.chunks.claimed")
+	poolCallerChunks  = obs.NewCounter("pool.chunks.caller")
+	poolOffersDropped = obs.NewCounter("pool.offers.dropped")
+	poolQueueDepth    = obs.NewGauge("pool.queue.depth")
+	poolBusyWorkers   = obs.NewGauge("pool.workers.busy")
+)
+
 // poolJob is one parallel loop: the body is applied to grain-sized chunks of
 // [0, n), each chunk claimed exactly once via the atomic counter.
 type poolJob struct {
@@ -30,12 +44,16 @@ type poolJob struct {
 }
 
 // run claims and executes chunks until none remain. Both pool workers and
-// the submitting goroutine drive jobs through this single entry point.
-func (j *poolJob) run() {
+// the submitting goroutine drive jobs through this single entry point;
+// caller marks the submitting goroutine so its pitch-in share is visible
+// in the metrics (caller participation is what makes the pool
+// deadlock-free, so its magnitude is worth watching).
+func (j *poolJob) run(caller bool) {
+	claimed := int64(0)
 	for {
 		c := j.next.Add(1) - 1
 		if c >= j.chunks {
-			return
+			break
 		}
 		lo := int(c) * j.grain
 		hi := lo + j.grain
@@ -44,6 +62,13 @@ func (j *poolJob) run() {
 		}
 		j.body(lo, hi)
 		j.done.Done()
+		claimed++
+	}
+	if claimed > 0 {
+		poolChunksClaimed.Add(claimed)
+		if caller {
+			poolCallerChunks.Add(claimed)
+		}
 	}
 }
 
@@ -64,7 +89,9 @@ func startPool() {
 	for w := 0; w < poolSize; w++ {
 		go func() {
 			for j := range poolJobs {
-				j.run()
+				poolBusyWorkers.Add(1)
+				j.run(false)
+				poolBusyWorkers.Add(-1)
 			}
 		}()
 	}
@@ -105,19 +132,27 @@ func parallelForMax(n, grain, maxPar int, body func(lo, hi int)) {
 	poolOnce.Do(startPool)
 	j := &poolJob{body: body, grain: grain, n: n, chunks: int64(chunks)}
 	j.done.Add(chunks)
+	poolJobsSubmitted.Inc()
 	helpers := chunks - 1
 	if helpers > poolSize {
 		helpers = poolSize
 	}
+	dropped := int64(0)
 offer:
 	for h := 0; h < helpers; h++ {
 		select {
 		case poolJobs <- j:
 		default:
-			break offer // every worker busy: the caller picks up the slack
+			// Every worker busy: the caller picks up the slack.
+			dropped = int64(helpers - h)
+			break offer
 		}
 	}
-	j.run()
+	poolQueueDepth.Set(int64(len(poolJobs)))
+	if dropped > 0 {
+		poolOffersDropped.Add(dropped)
+	}
+	j.run(true)
 	j.done.Wait()
 }
 

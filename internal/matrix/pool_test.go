@@ -1,11 +1,14 @@
 package matrix
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/ff"
+	"repro/internal/obs"
 )
 
 func TestParallelForCoversRangeOnce(t *testing.T) {
@@ -255,5 +258,86 @@ func TestParallelFallsBackOverCircuitBuilder(t *testing.T) {
 	}
 	if sched.Steps != sched.Work {
 		t.Fatalf("p=1 must serialize exactly: steps %d, work %d", sched.Steps, sched.Work)
+	}
+}
+
+// TestInstrumentedConcurrentWall exercises the concurrent wall-time
+// accounting: many goroutines share one Instrumented multiplier (as pool
+// callers do), and the union-of-intervals Wall must stay below elapsed
+// time while Busy sums every call. Run under -race this also proves the
+// interval bookkeeping is data-race free.
+func TestInstrumentedConcurrentWall(t *testing.T) {
+	f := fp31
+	src := ff.NewSource(77)
+	inst := NewInstrumented(Classical[uint64]{})
+	a := Random[uint64](f, src, 24, 24, ff.P31)
+	b := Random[uint64](f, src, 24, 24, ff.P31)
+	const workers, reps = 8, 12
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				inst.Mul(f, a, b)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	snap := inst.Stats.Snapshot()
+	if snap.Calls != workers*reps {
+		t.Fatalf("calls = %d, want %d", snap.Calls, workers*reps)
+	}
+	if wantOps := uint64(workers * reps * 24 * 24 * (2*24 - 1)); snap.FieldOps != wantOps {
+		t.Fatalf("field-ops = %d, want %d", snap.FieldOps, wantOps)
+	}
+	if snap.Wall <= 0 || snap.Busy <= 0 {
+		t.Fatalf("times not recorded: %+v", snap)
+	}
+	// Union of intervals can never exceed the enclosing elapsed window...
+	if snap.Wall > elapsed {
+		t.Fatalf("Wall %v exceeds elapsed %v: overlapping calls double-counted", snap.Wall, elapsed)
+	}
+	// ...and the per-call sum can never undercut the union.
+	if snap.Busy < snap.Wall {
+		t.Fatalf("Busy %v < Wall %v", snap.Busy, snap.Wall)
+	}
+}
+
+// TestPoolMetrics checks the obs counters the pool maintains: chunks are
+// counted once each, the submitting goroutine's participation is visible,
+// and submissions are tallied.
+func TestPoolMetrics(t *testing.T) {
+	submitted := obs.NewCounter("pool.jobs.submitted").Value()
+	claimed := obs.NewCounter("pool.chunks.claimed").Value()
+	caller := obs.NewCounter("pool.chunks.caller").Value()
+
+	const n, grain, runs = 256, 4, 50
+	var touched atomic.Int64
+	for r := 0; r < runs; r++ {
+		parallelFor(n, grain, func(lo, hi int) {
+			touched.Add(int64(hi - lo))
+		})
+	}
+	if touched.Load() != n*runs {
+		t.Fatalf("touched %d of %d", touched.Load(), n*runs)
+	}
+	if got := obs.NewCounter("pool.jobs.submitted").Value() - submitted; got < runs {
+		t.Fatalf("jobs.submitted delta = %d, want ≥ %d", got, runs)
+	}
+	wantChunks := int64((n+grain-1)/grain) * runs
+	if got := obs.NewCounter("pool.chunks.claimed").Value() - claimed; got < wantChunks {
+		t.Fatalf("chunks.claimed delta = %d, want ≥ %d", got, wantChunks)
+	}
+	// The submitting goroutine drives every job itself after the
+	// non-blocking offers, so across many runs it claims chunks (any
+	// single run can in principle be fully served by workers).
+	if got := obs.NewCounter("pool.chunks.caller").Value() - caller; got < 1 {
+		t.Fatalf("chunks.caller delta = %d, want ≥ 1 over %d runs", got, runs)
+	}
+	if obs.NewGauge("pool.workers.busy").Max() < 0 {
+		t.Fatal("busy gauge must be non-negative")
 	}
 }

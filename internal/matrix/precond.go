@@ -1,6 +1,9 @@
 package matrix
 
-import "repro/internal/ff"
+import (
+	"repro/internal/ff"
+	"repro/internal/obs"
+)
 
 // Random preconditioners of Kaltofen–Pan §2. Theorem 2 (due to B. D.
 // Saunders): for a random Hankel matrix H with entries uniform in S, every
@@ -74,6 +77,8 @@ func NewPreconditioner[E any](f ff.Field[E], src *ff.Source, n int, subset uint6
 
 // Apply returns Ã = A·H·D.
 func (p *Preconditioner[E]) Apply(f ff.Field[E], mul Multiplier[E], a *Dense[E]) *Dense[E] {
+	sp := obs.StartPhase(obs.PhasePrecondition)
+	defer sp.End()
 	ah := mul.Mul(f, a, p.H)
 	// Right-multiplying by a diagonal scales columns; no full product needed.
 	return ScaleColumnsDiag(f, ah, p.DEntries)

@@ -1,0 +1,300 @@
+// Package obs is the solver-wide observability layer: hierarchical spans
+// over the Kaltofen–Pan solve phases, named counters/gauges for the shared
+// worker pool, and exporters (Chrome trace_event JSON, expvar) that make
+// the paper's per-phase work/depth accounting measurable instead of
+// asserted.
+//
+// The layer is off by default and built around a nil fast path: with no
+// active Observer, StartPhase returns a nil *Span whose methods are no-ops,
+// so an instrumented solve path costs one atomic pointer load per phase
+// boundary (see BenchmarkSpanDisabled). Installing an Observer — via
+// core.Options.Observer or obs.SetActive — turns the same call sites into
+// real measurements.
+//
+// Spans record wall time, goroutine id, and the field-operation count that
+// matrix.Instrumented folds into the innermost open span. Phase names
+// follow the paper's algorithm steps (the constants below), so a trace of
+// Theorem 4 reads as: precondition → krylov → minpoly → backsolve.
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span taxonomy: the KP91 (SPAA 1991) algorithm steps. Theorem 4 emits
+// exactly these four top-level phases per attempt; the black-box
+// (Wiedemann) route reuses the same names so phase totals aggregate across
+// solvers.
+const (
+	// PhasePrecondition is Ã = A·H·D (Theorem 2 + equation (1)).
+	PhasePrecondition = "precondition"
+	// PhaseKrylov is the Krylov sequence {Ãⁱv} and its projection — the
+	// doubling of display (9) in the dense route, iterative products in the
+	// black-box route.
+	PhaseKrylov = "krylov"
+	// PhaseMinPoly is the minimum/characteristic-polynomial recovery: the
+	// Lemma 1 Toeplitz system (§3) or Berlekamp–Massey.
+	PhaseMinPoly = "minpoly"
+	// PhaseBacksolve is the Cayley–Hamilton back-substitution and the
+	// undoing of the preconditioner.
+	PhaseBacksolve = "backsolve"
+)
+
+// SpanRecord is one completed span as stored in the Observer's ring.
+type SpanRecord struct {
+	ID       int64         // 1-based span id, unique per Observer
+	Parent   int64         // enclosing span's id, 0 for a top-level span
+	Name     string        // phase name
+	Start    time.Duration // offset from the Observer's epoch
+	Dur      time.Duration // wall time between StartPhase and End
+	GID      int64         // goroutine that started the span
+	FieldOps uint64        // field operations folded in via AddFieldOps
+	MulCalls uint64        // multiplier invocations folded in
+}
+
+// Observer collects completed spans into a fixed-capacity ring buffer and
+// anchors the trace timeline. One Observer watches one logical run; the
+// process-global active Observer (SetActive) is what the solve-path
+// call sites report to.
+type Observer struct {
+	epoch   time.Time
+	ids     atomic.Int64
+	current atomic.Pointer[Span]
+
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int64 // records ever completed; ring slot is next % len(ring)
+	dropped int64
+}
+
+// DefaultCapacity is the span-ring capacity New uses for capacity ≤ 0.
+// A Theorem 4 solve emits 4 spans per Las Vegas attempt, so the default
+// holds thousands of attempts before wrapping.
+const DefaultCapacity = 4096
+
+// New returns an Observer whose ring holds capacity completed spans
+// (DefaultCapacity if capacity ≤ 0). When the ring wraps, the oldest
+// records are overwritten and Dropped reports how many were lost.
+func New(capacity int) *Observer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Observer{epoch: time.Now(), ring: make([]SpanRecord, capacity)}
+}
+
+// active is the process-global Observer the package-level helpers report
+// to; nil means observability is disabled (the fast path).
+var active atomic.Pointer[Observer]
+
+// SetActive installs o as the process-global active Observer (nil disables
+// observability). The solve paths are instrumented against the active
+// Observer, so concurrent solvers share it; per-run isolation is obtained
+// by running one traced solve at a time, which is what the CLI tools do.
+func SetActive(o *Observer) {
+	if o == nil {
+		active.Store(nil)
+		return
+	}
+	active.Store(o)
+}
+
+// Active returns the process-global active Observer, or nil when
+// observability is disabled.
+func Active() *Observer { return active.Load() }
+
+// Span is one open phase. A nil *Span (the disabled fast path) accepts
+// every method as a no-op, so call sites never branch on enablement.
+type Span struct {
+	obs    *Observer
+	parent *Span
+	id     int64
+	pid    int64
+	name   string
+	start  time.Duration
+	gid    int64
+	ops    atomic.Uint64
+	calls  atomic.Uint64
+}
+
+// StartPhase opens a span on the active Observer (nil, at the cost of one
+// atomic load, when observability is disabled). The new span becomes the
+// innermost open span: AddFieldOps and nested StartPhase calls attach to
+// it until End.
+func StartPhase(name string) *Span { return active.Load().StartSpan(name) }
+
+// StartSpan opens a span on o; a nil Observer returns a nil (no-op) span.
+// Span nesting is tracked with a single current-span pointer, matching the
+// solve paths, which open and close phases from one orchestrating
+// goroutine (the data parallelism lives inside the phases, on the matrix
+// pool).
+func (o *Observer) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	s := &Span{
+		obs:   o,
+		name:  name,
+		start: time.Since(o.epoch),
+		gid:   goroutineID(),
+		id:    o.ids.Add(1),
+	}
+	if parent := o.current.Load(); parent != nil {
+		s.parent = parent
+		s.pid = parent.id
+	}
+	o.current.Store(s)
+	return s
+}
+
+// AddFieldOps attributes ops field operations (and calls multiplier
+// invocations) to the span.
+func (s *Span) AddFieldOps(ops, calls uint64) {
+	if s == nil {
+		return
+	}
+	s.ops.Add(ops)
+	s.calls.Add(calls)
+}
+
+// AddFieldOps attributes ops field operations to the innermost open span
+// of the active Observer. This is the hook matrix.Instrumented reports
+// through; with observability disabled it is two atomic loads.
+func AddFieldOps(ops, calls uint64) {
+	o := active.Load()
+	if o == nil {
+		return
+	}
+	o.current.Load().AddFieldOps(ops, calls)
+}
+
+// End closes the span and commits its record to the Observer's ring. The
+// enclosing span (if any) becomes the innermost open span again.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	o := s.obs
+	o.current.CompareAndSwap(s, s.parent)
+	rec := SpanRecord{
+		ID:       s.id,
+		Parent:   s.pid,
+		Name:     s.name,
+		Start:    s.start,
+		Dur:      time.Since(o.epoch) - s.start,
+		GID:      s.gid,
+		FieldOps: s.ops.Load(),
+		MulCalls: s.calls.Load(),
+	}
+	o.mu.Lock()
+	if int(o.next) >= len(o.ring) {
+		o.dropped++
+	}
+	o.ring[o.next%int64(len(o.ring))] = rec
+	o.next++
+	o.mu.Unlock()
+}
+
+// Records returns the completed spans in completion order (oldest
+// surviving record first when the ring has wrapped).
+func (o *Observer) Records() []SpanRecord {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := o.next
+	cap64 := int64(len(o.ring))
+	if n <= cap64 {
+		out := make([]SpanRecord, n)
+		copy(out, o.ring[:n])
+		return out
+	}
+	out := make([]SpanRecord, cap64)
+	head := n % cap64
+	copy(out, o.ring[head:])
+	copy(out[cap64-head:], o.ring[:head])
+	return out
+}
+
+// Dropped returns how many completed spans the ring overwrote.
+func (o *Observer) Dropped() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.dropped
+}
+
+// PhaseTotal aggregates the spans sharing one name.
+type PhaseTotal struct {
+	Count    int           // completed spans with this name
+	Wall     time.Duration // summed span durations
+	FieldOps uint64        // summed field operations
+	MulCalls uint64        // summed multiplier invocations
+}
+
+// PhaseTotals aggregates the recorded spans by name — the per-phase
+// work/time split the paper states its cost claims in.
+func (o *Observer) PhaseTotals() map[string]PhaseTotal {
+	totals := make(map[string]PhaseTotal)
+	for _, r := range o.Records() {
+		t := totals[r.Name]
+		t.Count++
+		t.Wall += r.Dur
+		t.FieldOps += r.FieldOps
+		t.MulCalls += r.MulCalls
+		totals[r.Name] = t
+	}
+	return totals
+}
+
+// PhaseNames returns the recorded phase names, KP91 phases first in
+// algorithm order, then any others alphabetically.
+func (o *Observer) PhaseNames() []string {
+	totals := o.PhaseTotals()
+	canonical := []string{PhasePrecondition, PhaseKrylov, PhaseMinPoly, PhaseBacksolve}
+	var names []string
+	for _, n := range canonical {
+		if _, ok := totals[n]; ok {
+			names = append(names, n)
+			delete(totals, n)
+		}
+	}
+	var rest []string
+	for n := range totals {
+		rest = append(rest, n)
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}
+
+// TotalFieldOps sums the field operations over every recorded span. Ops
+// are attributed to the innermost open span only, so the sum counts each
+// operation exactly once — it must match the matrix.Instrumented total
+// for the same run.
+func (o *Observer) TotalFieldOps() uint64 {
+	var total uint64
+	for _, r := range o.Records() {
+		total += r.FieldOps
+	}
+	return total
+}
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine N [...]"). Only called on the enabled path; the runtime has
+// no public accessor.
+func goroutineID() int64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseInt(string(s), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withObserver installs o as the active observer for the test's duration.
+// The active observer is process-global, so tests that install one must
+// not run in parallel.
+func withObserver(t *testing.T, o *Observer) {
+	t.Helper()
+	prev := Active()
+	SetActive(o)
+	t.Cleanup(func() { SetActive(prev) })
+}
+
+func TestDisabledFastPathIsNilSafe(t *testing.T) {
+	SetActive(nil)
+	sp := StartPhase(PhaseKrylov)
+	if sp != nil {
+		t.Fatal("disabled StartPhase must return nil")
+	}
+	sp.AddFieldOps(10, 1) // must not panic
+	sp.End()
+	AddFieldOps(10, 1)
+}
+
+func TestSpanHierarchyAndTotals(t *testing.T) {
+	o := New(16)
+	withObserver(t, o)
+
+	root := StartPhase("solve")
+	pre := StartPhase(PhasePrecondition)
+	AddFieldOps(100, 2)
+	pre.End()
+	kry := StartPhase(PhaseKrylov)
+	AddFieldOps(300, 3)
+	kry.End()
+	AddFieldOps(7, 1) // falls back to the reopened root span
+	root.End()
+
+	recs := o.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName[PhasePrecondition].Parent != byName["solve"].ID {
+		t.Fatal("precondition span must be a child of solve")
+	}
+	if byName[PhaseKrylov].Parent != byName["solve"].ID {
+		t.Fatal("krylov span must be a child of solve")
+	}
+	if byName["solve"].Parent != 0 {
+		t.Fatal("solve must be top-level")
+	}
+	if byName[PhasePrecondition].FieldOps != 100 || byName[PhaseKrylov].FieldOps != 300 {
+		t.Fatalf("ops misattributed: %+v", byName)
+	}
+	if byName["solve"].FieldOps != 7 {
+		t.Fatalf("root ops = %d, want 7 (ops after child End reattach to parent)", byName["solve"].FieldOps)
+	}
+	if got := o.TotalFieldOps(); got != 407 {
+		t.Fatalf("TotalFieldOps = %d, want 407", got)
+	}
+	totals := o.PhaseTotals()
+	if totals[PhaseKrylov].MulCalls != 3 || totals[PhaseKrylov].Count != 1 {
+		t.Fatalf("phase totals wrong: %+v", totals[PhaseKrylov])
+	}
+	if recs[0].GID <= 0 {
+		t.Fatalf("goroutine id not recorded: %d", recs[0].GID)
+	}
+}
+
+func TestRingWrapDropsOldest(t *testing.T) {
+	o := New(4)
+	withObserver(t, o)
+	for i := 0; i < 10; i++ {
+		StartPhase("p").End()
+	}
+	if got := o.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	recs := o.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	// Oldest surviving first: ids 7,8,9,10.
+	if recs[0].ID != 7 || recs[3].ID != 10 {
+		t.Fatalf("wrap order wrong: %v .. %v", recs[0].ID, recs[3].ID)
+	}
+}
+
+func TestPhaseNamesCanonicalOrder(t *testing.T) {
+	o := New(8)
+	withObserver(t, o)
+	for _, n := range []string{"zeta", PhaseBacksolve, PhaseKrylov, PhasePrecondition, PhaseMinPoly, "alpha"} {
+		StartPhase(n).End()
+	}
+	want := []string{PhasePrecondition, PhaseKrylov, PhaseMinPoly, PhaseBacksolve, "alpha", "zeta"}
+	got := o.PhaseNames()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConcurrentAddFieldOps(t *testing.T) {
+	o := New(8)
+	withObserver(t, o)
+	sp := StartPhase(PhaseKrylov)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				AddFieldOps(1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+	if got := o.TotalFieldOps(); got != 8000 {
+		t.Fatalf("TotalFieldOps = %d, want 8000", got)
+	}
+}
+
+func TestWriteTraceIsValidTraceEventJSON(t *testing.T) {
+	o := New(8)
+	withObserver(t, o)
+	sp := StartPhase(PhasePrecondition)
+	AddFieldOps(42, 1)
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				FieldOps uint64 `json:"field_ops"`
+				Parent   int64  `json:"parent"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 1 {
+		t.Fatalf("got %d events", len(parsed.TraceEvents))
+	}
+	ev := parsed.TraceEvents[0]
+	if ev.Name != PhasePrecondition || ev.Ph != "X" || ev.Args.FieldOps != 42 || ev.Args.Parent != 0 {
+		t.Fatalf("event wrong: %+v", ev)
+	}
+	if ev.Dur < 900 { // slept 1ms; dur is in microseconds
+		t.Fatalf("duration %f µs too small", ev.Dur)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	c := NewCounter("test.counter")
+	if again := NewCounter("test.counter"); again != c {
+		t.Fatal("NewCounter must dedupe by name")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := NewGauge("test.gauge")
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if g.Value() != 1 || g.Max() != 5 {
+		t.Fatalf("gauge = %d max %d", g.Value(), g.Max())
+	}
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 5 {
+		t.Fatalf("gauge after Set = %d max %d", g.Value(), g.Max())
+	}
+	snap := MetricsSnapshot()
+	if snap["test.counter"] != 5 || snap["test.gauge"] != 2 || snap["test.gauge.max"] != 5 {
+		t.Fatalf("snapshot wrong: %v", snap)
+	}
+	found := false
+	for _, n := range MetricNames() {
+		if n == "test.gauge.max" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("MetricNames missing test.gauge.max")
+	}
+	PublishExpvar()
+	PublishExpvar() // second call must be a no-op, not a duplicate-publish panic
+}
+
+// BenchmarkSpanDisabled measures the nil fast path: the full per-phase
+// call pattern (StartPhase + AddFieldOps + End) with no active observer.
+// This is the overhead an instrumented-but-disabled solve pays per phase
+// boundary; it must stay in the nanoseconds.
+func BenchmarkSpanDisabled(b *testing.B) {
+	SetActive(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartPhase(PhaseKrylov)
+		AddFieldOps(1000, 1)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the enabled-path cost for comparison.
+func BenchmarkSpanEnabled(b *testing.B) {
+	o := New(64)
+	SetActive(o)
+	defer SetActive(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartPhase(PhaseKrylov)
+		AddFieldOps(1000, 1)
+		sp.End()
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Chrome trace_event export: the recorded spans serialized as complete
+// ("ph":"X") events, loadable in chrome://tracing / Perfetto. Span
+// timestamps are microseconds from the Observer's epoch; the goroutine id
+// becomes the tid so concurrently open phases land on separate rows.
+
+// traceEvent is one entry of the trace_event format's traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the trace_event object form (metadata beside the events).
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTrace writes the recorded spans as Chrome trace_event JSON. The
+// metrics registry snapshot rides along under otherData so one file
+// carries both the timeline and the pool counters.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	records := o.Records()
+	events := make([]traceEvent, 0, len(records))
+	for _, r := range records {
+		events = append(events, traceEvent{
+			Name: r.Name,
+			Cat:  "phase",
+			Ph:   "X",
+			Ts:   float64(r.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  r.GID,
+			Args: map[string]any{
+				"span_id":   r.ID,
+				"parent":    r.Parent,
+				"field_ops": r.FieldOps,
+				"mul_calls": r.MulCalls,
+			},
+		})
+	}
+	other := map[string]any{
+		"metrics":         MetricsSnapshot(),
+		"spans_dropped":   o.Dropped(),
+		"field_ops_total": o.TotalFieldOps(),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       other,
+	})
+}
+
+// WriteTraceFile writes the trace to the named file.
+func (o *Observer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ff"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/seq"
 	"repro/internal/structured"
@@ -33,8 +34,12 @@ const DefaultRetries = 5
 // with probability ≥ 1 − 2·deg(f^A)/s (Lemma 2).
 func MinPolySeq[E any](f ff.Field[E], a matrix.BlackBox[E], u, b []E) ([]E, error) {
 	n, _ := a.Dims()
+	sp := obs.StartPhase(obs.PhaseKrylov)
 	vs := matrix.KrylovIterative(f, a, b, 2*n)
 	s := matrix.ProjectSequence(f, u, vs)
+	sp.End()
+	sp = obs.StartPhase(obs.PhaseMinPoly)
+	defer sp.End()
 	return seq.MinPoly(f, s)
 }
 
@@ -129,6 +134,8 @@ type Preconditioned[E any] struct {
 // (Theorem 2 + equation (1)) and returns Ã as a composed black box: one
 // Ã·x costs one A-product plus O(M(n)) for the structured factors.
 func Precondition[E any](f ff.Field[E], a matrix.BlackBox[E], src *ff.Source, subset uint64) *Preconditioned[E] {
+	sp := obs.StartPhase(obs.PhasePrecondition)
+	defer sp.End()
 	n, _ := a.Dims()
 	h := structured.Hankel[E]{N: n, D: ff.SampleVec(f, src, 2*n-1, subset)}
 	d := make([]E, n)
@@ -219,9 +226,13 @@ func Solve[E any](f ff.Field[E], a matrix.BlackBox[E], b []E, src *ff.Source, su
 	}
 	for attempt := 0; attempt < retries; attempt++ {
 		u := ff.SampleVec(f, src, n, subset)
+		sp := obs.StartPhase(obs.PhaseKrylov)
 		vs := matrix.KrylovIterative(f, a, b, 2*n)
 		s := matrix.ProjectSequence(f, u, vs)
+		sp.End()
+		sp = obs.StartPhase(obs.PhaseMinPoly)
 		mp, err := seq.MinPoly(f, s)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -231,15 +242,18 @@ func Solve[E any](f ff.Field[E], a matrix.BlackBox[E], b []E, src *ff.Source, su
 			continue
 		}
 		// x = −(1/c₀)·Σ_{j=1}^{d} mp_j·A^{j−1}b.
+		sp = obs.StartPhase(obs.PhaseBacksolve)
 		acc := ff.VecZero(f, n)
 		for j := 1; j <= d; j++ {
 			acc = ff.VecAdd(f, acc, ff.VecScale(f, poly.Coef(f, mp, j), vs[j-1]))
 		}
 		scale, err := f.Div(f.Neg(f.One()), c0)
 		if err != nil {
+			sp.End()
 			continue
 		}
 		x := ff.VecScale(f, scale, acc)
+		sp.End()
 		if ff.VecEqual(f, a.Apply(f, x), b) {
 			return x, nil
 		}
