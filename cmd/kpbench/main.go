@@ -37,11 +37,23 @@ func main() {
 		seed  = flag.Uint64("seed", 20260704, "random seed (runs are deterministic per seed)")
 		md    = flag.Bool("md", false, "emit Markdown tables")
 		mul   = flag.String("mul", "all", "multipliers: 'all' or a comma-separated subset of "+strings.Join(matrix.Names(), ","))
-		jsonF = flag.Bool("json", false, "run the per-phase solve benchmark and emit a BENCH JSON report instead of experiment tables")
-		nFlag = flag.String("n", "64,128,256", "comma-separated system dimensions for -json")
-		pprof = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
+		jsonF    = flag.Bool("json", false, "run the per-phase solve benchmark and emit a BENCH JSON report instead of experiment tables")
+		nFlag    = flag.String("n", "64,128,256", "comma-separated system dimensions for -json")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
+		workers  = flag.Int("workers", 0, "worker count for the shared matrix pool (0 = GOMAXPROCS)")
+		baseline = flag.String("baseline", "", "BENCH_*.json file to gate -json runs against: exit non-zero if any shared (n, multiplier) cell is >10% slower")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		if err := matrix.SetPoolWorkers(*workers); err != nil {
+			fatal(err)
+		}
+	}
+	if procs := runtime.GOMAXPROCS(0); procs < matrix.PoolWorkers() {
+		fmt.Fprintf(os.Stderr, "kpbench: warning: GOMAXPROCS (%d) < pool workers (%d); workers will contend for cores and parallel timings will under-report speedup\n",
+			procs, matrix.PoolWorkers())
+	}
 
 	// Unknown -mul names are an error in every mode: silently defaulting
 	// would relabel a benchmark of the wrong kernel.
@@ -75,6 +87,19 @@ func main() {
 		}
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
+		}
+		if *baseline != "" {
+			base, err := exp.ReadBenchReport(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			if regressions := exp.CompareBaseline(report, base, 0.10); len(regressions) > 0 {
+				for _, r := range regressions {
+					fmt.Fprintf(os.Stderr, "kpbench: regression vs %s: %s\n", *baseline, r)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "kpbench: no regressions vs %s\n", *baseline)
 		}
 		return
 	}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Regression gating for the BENCH_*.json trajectory: kpbench -json -baseline
+// compares the fresh report against a committed baseline file and fails the
+// run when any shared (n, multiplier) cell got slower than the tolerance.
+
+// ReadBenchReport loads a BENCH_*.json file.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, BenchSchema)
+	}
+	return &r, nil
+}
+
+// CompareBaseline checks cur against base cell by cell and returns one
+// message per regression: a (n, multiplier) run whose wall_ns exceeds the
+// baseline's by more than the fractional tolerance (0.10 = 10% slower).
+// Cells present in only one report are ignored — the gate guards shared
+// coverage, it does not force identical grids across PRs.
+func CompareBaseline(cur, base *BenchReport, tol float64) []string {
+	baseCells := make(map[string]int64, len(base.Runs))
+	for _, r := range base.Runs {
+		baseCells[fmt.Sprintf("%d/%s", r.Dim, r.Multiplier)] = r.WallNs
+	}
+	var regressions []string
+	for _, r := range cur.Runs {
+		key := fmt.Sprintf("%d/%s", r.Dim, r.Multiplier)
+		bw, ok := baseCells[key]
+		if !ok || bw <= 0 {
+			continue
+		}
+		limit := float64(bw) * (1 + tol)
+		if float64(r.WallNs) > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"n=%d %s: wall %.2fms vs baseline %.2fms (+%.0f%%, tolerance %.0f%%)",
+				r.Dim, r.Multiplier,
+				float64(r.WallNs)/1e6, float64(bw)/1e6,
+				100*(float64(r.WallNs)/float64(bw)-1), 100*tol))
+		}
+	}
+	return regressions
+}

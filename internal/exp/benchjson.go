@@ -57,6 +57,7 @@ type BenchRun struct {
 type BenchReport struct {
 	Schema       string           `json:"schema"`
 	GoVersion    string           `json:"go_version"`
+	NumCPU       int              `json:"num_cpu"`
 	GOMAXPROCS   int              `json:"gomaxprocs"`
 	PoolWorkers  int              `json:"pool_workers"`
 	FieldModulus uint64           `json:"field_modulus"`
@@ -74,6 +75,7 @@ func BenchJSON(ns []int, muls []string, seed uint64) (*BenchReport, error) {
 	report := &BenchReport{
 		Schema:       BenchSchema,
 		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		PoolWorkers:  matrix.PoolWorkers(),
 		FieldModulus: f.Modulus(),

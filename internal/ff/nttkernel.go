@@ -1,0 +1,87 @@
+package ff
+
+import "math/bits"
+
+// NTTKernel is the transform-sized sibling of Kernels: an in-place radix-2
+// number-theoretic transform fused into the field backend. Fp64 implements
+// it with every twiddle factor held in Montgomery form, so a butterfly costs
+// one wide multiply plus one REDC instead of two interface calls and a
+// double-REDC Mul. As with Kernels, only the raw concrete field provides
+// it — the Counting wrapper and the circuit Builder do not, so op counts
+// and traced circuit structure keep the generic butterfly loops.
+type NTTKernel[E any] interface {
+	// NTTInPlace runs the in-place decimation-in-time transform on a
+	// (length 2^log2n) using the primitive 2^log2n-th root of unity root.
+	// It reports false when the field cannot run the fused transform, in
+	// which case the caller must take its generic path.
+	NTTInPlace(a []E, root E, log2n int) bool
+}
+
+// NTTInPlace is the fused Cooley–Tukey transform. The data stays in the
+// canonical residue representation throughout: a twiddle w̃ = w·R mod p
+// multiplied into a canonical value v by mulRedc gives w·v·R·R⁻¹ = w·v,
+// again canonical, so only the (n/2)-entry twiddle table pays conversion.
+func (f Fp64) NTTInPlace(a []uint64, root uint64, log2n int) bool {
+	if f.pInv == 0 {
+		return false // REDC needs an odd modulus
+	}
+	n := len(a)
+	if n != 1<<log2n {
+		panic("ff: NTTInPlace length is not 2^log2n")
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+	}
+	if log2n == 0 {
+		return true
+	}
+	// Stage s uses ω_s = root^(2^{log2n−s}); Montgomery form is closed
+	// under mulRedc, so the squaring chain stays in form.
+	stageRoot := make([]uint64, log2n+1)
+	stageRoot[log2n] = f.toMont(root)
+	for s := log2n - 1; s >= 1; s-- {
+		stageRoot[s] = f.mulRedc(stageRoot[s+1], stageRoot[s+1])
+	}
+	p := f.p
+	tw := make([]uint64, n/2)
+	rModP := f.mulRedc(1%p, f.r2) // toMont(1) = R mod p
+	for s := 1; s <= log2n; s++ {
+		m := 1 << s
+		half := m / 2
+		wm := stageRoot[s]
+		w := rModP
+		for j := 0; j < half; j++ {
+			tw[j] = w
+			w = f.mulRedc(w, wm)
+		}
+		for k := 0; k < n; k += m {
+			lo, up := a[k:k+half], a[k+half:k+m]
+			for j := 0; j < half; j++ {
+				hi, l := bits.Mul64(tw[j], up[j])
+				t := f.redc(hi, l)
+				u := lo[j]
+				sum := u + t // p < 2⁶³: no overflow
+				if sum >= p {
+					sum -= p
+				}
+				diff := u - t
+				if u < t {
+					diff += p
+				}
+				lo[j] = sum
+				up[j] = diff
+			}
+		}
+	}
+	return true
+}
+
+var _ NTTKernel[uint64] = Fp64{}

@@ -134,16 +134,29 @@ func SolveOnce[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E
 	sp = obs.StartPhase(obs.PhaseBacksolve)
 	defer sp.End()
 	kb := matrix.KrylovDoubling(f, mul, atilde, b, n)
-	scaled := make([][]E, n)
-	for j := 0; j < n; j++ {
-		scaled[j] = ff.VecScale(f, cp[j+1], kb.Col(j))
+	var acc []E
+	if _, fused := ff.KernelsOf[E](f); fused {
+		// Row i of the Krylov matrix holds (Ãʲb)_i, j = 0..n−1: each output
+		// entry is one contiguous fused dot against the coefficients.
+		acc = make([]E, n)
+		for i := 0; i < n; i++ {
+			acc[i] = ff.DotFused(f, kb.Data[i*n:(i+1)*n], cp[1:n+1])
+		}
+	} else {
+		// Balanced vector tree — the O(log n)-depth accumulation the traced
+		// circuit (TraceSolve) must keep.
+		scaled := make([][]E, n)
+		for j := 0; j < n; j++ {
+			scaled[j] = ff.VecScale(f, cp[j+1], kb.Col(j))
+		}
+		acc = ff.SumVecs(f, scaled)
 	}
-	acc := ff.SumVecs(f, scaled)
 	scale, err := f.Div(f.Neg(f.One()), cp[0])
 	if err != nil {
 		return nil, err
 	}
-	xt := ff.VecScale(f, scale, acc)
+	ff.VecScaleInto(f, acc, scale, acc)
+	xt := acc
 	// x = H·(D·x̃): undo the preconditioning.
 	dx := make([]E, n)
 	for i := range dx {

@@ -133,11 +133,12 @@ func ProjectKrylov[E any](f ff.Field[E], u []E, k *Dense[E]) []E {
 	return k.VecMul(f, u)
 }
 
-// ProjectSequence returns u·v_i for a list of vectors.
+// ProjectSequence returns u·v_i for a list of vectors, with fused
+// allocation-free dots over kernel-bearing fields.
 func ProjectSequence[E any](f ff.Field[E], u []E, vs [][]E) []E {
 	out := make([]E, len(vs))
 	for i, v := range vs {
-		out[i] = ff.Dot(f, u, v)
+		out[i] = ff.DotFused(f, u, v)
 	}
 	return out
 }

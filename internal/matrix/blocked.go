@@ -52,8 +52,13 @@ func (blk Blocked[E]) tile() int {
 // width; the jj/kk tiling bounds the working set to O(tile²) entries of b.
 // Row ranges of out are disjoint per call, which is what lets Parallel and
 // ParallelStrassen run bands of the same product concurrently.
+//
+// Over a field with fused kernels (ff.Kernels) the inner row update runs as
+// one MulAddVec per (i, k) pair — division-free Montgomery arithmetic with
+// no per-element interface dispatch — instead of per-element f.Add(f.Mul).
 func blockedMulInto[E any](f ff.Field[E], a, b, out *Dense[E], r0, r1, tile int) {
 	n, m := a.Cols, b.Cols
+	ker, fused := ff.KernelsOf(f)
 	for jj := 0; jj < m; jj += tile {
 		jmax := min(jj+tile, m)
 		for kk := 0; kk < n; kk += tile {
@@ -61,6 +66,13 @@ func blockedMulInto[E any](f ff.Field[E], a, b, out *Dense[E], r0, r1, tile int)
 			for i := r0; i < r1; i++ {
 				arow := a.Data[i*n : (i+1)*n]
 				orow := out.Data[i*m : (i+1)*m]
+				if fused {
+					oseg := orow[jj:jmax]
+					for k := kk; k < kmax; k++ {
+						ker.MulAddVec(oseg, arow[k], b.Data[k*m+jj:k*m+jmax])
+					}
+					continue
+				}
 				for k := kk; k < kmax; k++ {
 					aik := arow[k]
 					brow := b.Data[k*m : (k+1)*m]
@@ -70,5 +82,16 @@ func blockedMulInto[E any](f ff.Field[E], a, b, out *Dense[E], r0, r1, tile int)
 				}
 			}
 		}
+	}
+}
+
+// zeroDenseRange sets rows [r0, r1) of out to zero — the accumulation
+// identity blockedMulInto needs. Pooled scratch matrices arrive with stale
+// contents, so every into-style product clears its target first.
+func zeroDenseRange[E any](f ff.Field[E], out *Dense[E], r0, r1 int) {
+	z := f.Zero()
+	row := out.Data[r0*out.Cols : r1*out.Cols]
+	for i := range row {
+		row[i] = z
 	}
 }

@@ -261,24 +261,37 @@ func (m *Dense[E]) Scale(f ff.Field[E], s E) *Dense[E] {
 	return out
 }
 
-// MulVec returns m·x for a column vector x, using balanced inner products.
+// MulVec returns m·x for a column vector x. Inner products dispatch through
+// ff.DotFused: fused lazy-reduction dots over kernel-bearing fields,
+// balanced trees (O(log n) traced depth) everywhere else.
 func (m *Dense[E]) MulVec(f ff.Field[E], x []E) []E {
 	if len(x) != m.Cols {
 		panic("matrix: MulVec dimension mismatch")
 	}
 	out := make([]E, m.Rows)
 	for i := 0; i < m.Rows; i++ {
-		out[i] = ff.Dot(f, m.Data[i*m.Cols:(i+1)*m.Cols], x)
+		out[i] = ff.DotFused(f, m.Data[i*m.Cols:(i+1)*m.Cols], x)
 	}
 	return out
 }
 
-// VecMul returns xᵀ·m for a row vector x.
+// VecMul returns xᵀ·m for a row vector x. Over a field with fused kernels
+// it streams row-major (out += x[i]·row_i, one MulAddVec per row, no
+// temporaries); the generic path keeps the per-column balanced sums.
 func (m *Dense[E]) VecMul(f ff.Field[E], x []E) []E {
 	if len(x) != m.Rows {
 		panic("matrix: VecMul dimension mismatch")
 	}
 	out := make([]E, m.Cols)
+	if ker, ok := ff.KernelsOf(f); ok {
+		for j := range out {
+			out[j] = f.Zero()
+		}
+		for i := 0; i < m.Rows; i++ {
+			ker.MulAddVec(out, x[i], m.Data[i*m.Cols:(i+1)*m.Cols])
+		}
+		return out
+	}
 	for j := 0; j < m.Cols; j++ {
 		terms := make([]E, m.Rows)
 		for i := 0; i < m.Rows; i++ {

@@ -37,14 +37,30 @@ func mulClassical[E any](f ff.Field[E], a, b *Dense[E]) *Dense[E] {
 		panic("matrix: Mul dimension mismatch")
 	}
 	out := &Dense[E]{Rows: a.Rows, Cols: b.Cols, Data: make([]E, a.Rows*b.Cols)}
-	bt := b.Transpose() // contiguous columns for cache friendliness
+	mulClassicalInto(f, a, b, out)
+	return out
+}
+
+// mulClassicalInto assigns a·b into out (fully overwritten; shape must
+// match). Inner products go through ff.DotFused: fields with fused kernels
+// get the allocation-free lazy-reduction dot, everything else — including
+// the circuit Builder — keeps the balanced tree and its O(log n) traced
+// depth. The transposed copy of b comes from the scratch pool.
+func mulClassicalInto[E any](f ff.Field[E], a, b, out *Dense[E]) {
+	bt := scratchDense[E](b.Cols, b.Rows)
+	for i := 0; i < b.Rows; i++ {
+		row := b.Data[i*b.Cols : (i+1)*b.Cols]
+		for j, v := range row {
+			bt.Data[j*b.Rows+i] = v
+		}
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		for j := 0; j < b.Cols; j++ {
-			out.Data[i*out.Cols+j] = ff.Dot(f, arow, bt.Data[j*bt.Cols:(j+1)*bt.Cols])
+			out.Data[i*out.Cols+j] = ff.DotFused(f, arow, bt.Data[j*bt.Cols:(j+1)*bt.Cols])
 		}
 	}
-	return out
+	scratchRelease(bt)
 }
 
 // Parallel is the pooled multicore multiplier: disjoint row bands of the

@@ -12,7 +12,10 @@ import (
 // dimension. The recursion tree supplies abundant parallelism near the
 // root (7-way per level) while the blocked leaves keep per-task work
 // cache-resident; the pool's caller-participates scheduling makes the
-// nesting deadlock-free however deep the recursion goes.
+// nesting deadlock-free however deep the recursion goes. All recursion
+// temporaries come from the package scratch pools (scratch.go), so a
+// Krylov doubling pass that issues thousands of products reuses one
+// working set instead of storming the allocator.
 type ParallelStrassen[E any] struct {
 	// Cutoff is the dimension at or below which a subproduct runs on the
 	// blocked classical kernel. Zero selects a default tuned higher than
@@ -44,44 +47,10 @@ func (s ParallelStrassen[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
 	if !ff.IsConcurrentSafe(f) {
 		return Strassen[E]{Cutoff: cutoff}.Mul(f, a, b)
 	}
-	return s.mul(f, a, b, cutoff)
-}
-
-func (s ParallelStrassen[E]) mul(f ff.Field[E], a, b *Dense[E], cutoff int) *Dense[E] {
 	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows <= cutoff {
 		return Parallel[E]{}.Mul(f, a, b)
 	}
-	n := a.Rows
-	if n%2 == 1 {
-		ap, bp := padTo(f, a, n+1), padTo(f, b, n+1)
-		cp := s.mul(f, ap, bp, cutoff)
-		return cp.Submatrix(0, n, 0, n)
-	}
-	h := n / 2
-	a11 := a.Submatrix(0, h, 0, h)
-	a12 := a.Submatrix(0, h, h, n)
-	a21 := a.Submatrix(h, n, 0, h)
-	a22 := a.Submatrix(h, n, h, n)
-	b11 := b.Submatrix(0, h, 0, h)
-	b12 := b.Submatrix(0, h, h, n)
-	b21 := b.Submatrix(h, n, 0, h)
-	b22 := b.Submatrix(h, n, h, n)
-
-	var m1, m2, m3, m4, m5, m6, m7 *Dense[E]
-	parallelDo(
-		func() { m1 = s.mul(f, a11.Add(f, a22), b11.Add(f, b22), cutoff) },
-		func() { m2 = s.mul(f, a21.Add(f, a22), b11, cutoff) },
-		func() { m3 = s.mul(f, a11, b12.Sub(f, b22), cutoff) },
-		func() { m4 = s.mul(f, a22, b21.Sub(f, b11), cutoff) },
-		func() { m5 = s.mul(f, a11.Add(f, a12), b22, cutoff) },
-		func() { m6 = s.mul(f, a21.Sub(f, a11), b11.Add(f, b12), cutoff) },
-		func() { m7 = s.mul(f, a12.Sub(f, a22), b21.Add(f, b22), cutoff) },
-	)
-
-	c11 := m1.Add(f, m4).Sub(f, m5).Add(f, m7)
-	c12 := m3.Add(f, m5)
-	c21 := m2.Add(f, m4)
-	c22 := m1.Sub(f, m2).Add(f, m3).Add(f, m6)
-
-	return assemble(f, c11, c12, c21, c22)
+	out := &Dense[E]{Rows: a.Rows, Cols: b.Cols, Data: make([]E, a.Rows*b.Cols)}
+	strassenInto(f, a, b, out, cutoff, true)
+	return out
 }

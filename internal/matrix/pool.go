@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -73,17 +74,39 @@ func (j *poolJob) run(caller bool) {
 }
 
 var (
-	poolOnce sync.Once
-	poolJobs chan *poolJob
-	poolSize int
+	poolOnce      sync.Once
+	poolJobs      chan *poolJob
+	poolSize      int
+	poolStarted   atomic.Bool
+	poolRequested atomic.Int64
 )
 
+// SetPoolWorkers fixes the width of the shared worker pool. It must be
+// called before the pool's first use (any parallel multiply or data-movement
+// helper); once the long-lived workers are running the width cannot change
+// and SetPoolWorkers reports an error. n < 1 is rejected.
+func SetPoolWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("matrix: pool width %d out of range", n)
+	}
+	if poolStarted.Load() {
+		return fmt.Errorf("matrix: worker pool already started with %d workers", poolSize)
+	}
+	poolRequested.Store(int64(n))
+	return nil
+}
+
 func startPool() {
-	poolSize = runtime.GOMAXPROCS(0)
-	if poolSize < 2 {
-		// Keep at least one helper worker so the concurrent paths stay
-		// exercised (and race-checked) even on single-core hosts.
-		poolSize = 2
+	poolStarted.Store(true)
+	if r := int(poolRequested.Load()); r >= 1 {
+		poolSize = r
+	} else {
+		poolSize = runtime.GOMAXPROCS(0)
+		if poolSize < 2 {
+			// Keep at least one helper worker so the concurrent paths stay
+			// exercised (and race-checked) even on single-core hosts.
+			poolSize = 2
+		}
 	}
 	poolJobs = make(chan *poolJob, 8*poolSize)
 	for w := 0; w < poolSize; w++ {

@@ -1,0 +1,76 @@
+package matrix
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-buffer pooling for the dense kernels. The Strassen recursions and
+// the blocked tiles previously allocated every temporary fresh — 25 h×h
+// buffers per recursion node, reallocated on every multiply of a Krylov
+// doubling pass — which made the garbage collector a hidden term in the
+// solver's wall time. Buffers now come from sync.Pools keyed by (element
+// type, power-of-two size class), so a solver performing thousands of
+// multiplies recycles a small working set instead of churning the heap.
+//
+// Contract: pooled buffers carry stale contents. Every consumer must fully
+// overwrite the logical range it uses (the Into-style kernels do), and must
+// never retain a buffer past its scratchPut. Matrices returned to callers
+// are always freshly allocated — pooled memory never escapes the package.
+
+// scratchKey identifies one pool: the element type (as a *E nil pointer,
+// comparable and unique per instantiation) and the ceil-log₂ size class.
+type scratchKey struct {
+	typ any
+	cls int
+}
+
+var scratchPools sync.Map // scratchKey → *sync.Pool of []E
+
+// scratchGet returns a length-n slice with unspecified contents, drawn from
+// the pool for E's size class (capacity is the next power of two).
+func scratchGet[E any](n int) []E {
+	if n <= 0 {
+		return nil
+	}
+	cls := bits.Len(uint(n - 1))
+	key := scratchKey{typ: (*E)(nil), cls: cls}
+	pi, ok := scratchPools.Load(key)
+	if !ok {
+		pi, _ = scratchPools.LoadOrStore(key, &sync.Pool{})
+	}
+	pool := pi.(*sync.Pool)
+	if s, ok := pool.Get().([]E); ok {
+		return s[:n]
+	}
+	return make([]E, n, 1<<cls)
+}
+
+// scratchPut recycles a slice obtained from scratchGet.
+func scratchPut[E any](s []E) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return // not one of ours; let the GC have it
+	}
+	key := scratchKey{typ: (*E)(nil), cls: bits.Len(uint(c - 1))}
+	if pi, ok := scratchPools.Load(key); ok {
+		pi.(*sync.Pool).Put(s[:c])
+	}
+}
+
+// scratchDense returns an r×c matrix backed by pooled storage with
+// unspecified contents. Pair with scratchRelease; never return it to a
+// caller outside the package.
+func scratchDense[E any](r, c int) *Dense[E] {
+	return &Dense[E]{Rows: r, Cols: c, Data: scratchGet[E](r * c)}
+}
+
+// scratchRelease returns the backing storage of pooled matrices.
+func scratchRelease[E any](ms ...*Dense[E]) {
+	for _, m := range ms {
+		if m != nil {
+			scratchPut(m.Data)
+			m.Data = nil
+		}
+	}
+}

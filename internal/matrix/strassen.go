@@ -37,56 +37,177 @@ func (s Strassen[E]) Mul(f ff.Field[E], a, b *Dense[E]) *Dense[E] {
 	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows <= cutoff {
 		return mulClassical(f, a, b)
 	}
+	out := &Dense[E]{Rows: a.Rows, Cols: b.Cols, Data: make([]E, a.Rows*b.Cols)}
+	strassenInto(f, a, b, out, cutoff, false)
+	return out
+}
+
+// strassenInto computes out = a·b (out fully overwritten, shape a.Rows ×
+// b.Cols) by Strassen's recursion with every temporary — submatrix copies,
+// operand sums, the seven sub-products, odd-dimension padding — drawn from
+// the package scratch pools, so the recursion allocates nothing per level
+// beyond pooled storage reused across multiplies. par selects the execution
+// discipline at each node: parallel runs the seven products concurrently on
+// the shared worker pool and bottoms out in the pooled blocked kernel;
+// serial recursion bottoms out in the balanced-tree classical kernel, which
+// is what circuit tracing requires (O(log n) accumulation depth and no
+// concurrent Builder access).
+func strassenInto[E any](f ff.Field[E], a, b, out *Dense[E], cutoff int, par bool) {
 	n := a.Rows
+	if a.Rows != a.Cols || b.Rows != b.Cols || n <= cutoff {
+		if par {
+			strassenLeafParallel(f, a, b, out)
+		} else {
+			mulClassicalInto(f, a, b, out)
+		}
+		return
+	}
 	// Pad odd dimensions to even by one bordering zero row/column.
 	if n%2 == 1 {
-		ap, bp := padTo(f, a, n+1), padTo(f, b, n+1)
-		cp := s.Mul(f, ap, bp)
-		return cp.Submatrix(0, n, 0, n)
+		m := n + 1
+		ap, bp, cp := scratchDense[E](m, m), scratchDense[E](m, m), scratchDense[E](m, m)
+		padInto(f, a, ap)
+		padInto(f, b, bp)
+		strassenInto(f, ap, bp, cp, cutoff, par)
+		for i := 0; i < n; i++ {
+			copy(out.Data[i*out.Cols:i*out.Cols+n], cp.Data[i*m:i*m+n])
+		}
+		scratchRelease(ap, bp, cp)
+		return
 	}
 	h := n / 2
-	a11 := a.Submatrix(0, h, 0, h)
-	a12 := a.Submatrix(0, h, h, n)
-	a21 := a.Submatrix(h, n, 0, h)
-	a22 := a.Submatrix(h, n, h, n)
-	b11 := b.Submatrix(0, h, 0, h)
-	b12 := b.Submatrix(0, h, h, n)
-	b21 := b.Submatrix(h, n, 0, h)
-	b22 := b.Submatrix(h, n, h, n)
+	blk := func() *Dense[E] { return scratchDense[E](h, h) }
+	a11, a12, a21, a22 := blk(), blk(), blk(), blk()
+	b11, b12, b21, b22 := blk(), blk(), blk(), blk()
+	copyQuadrant(a, a11, 0, 0)
+	copyQuadrant(a, a12, 0, h)
+	copyQuadrant(a, a21, h, 0)
+	copyQuadrant(a, a22, h, h)
+	copyQuadrant(b, b11, 0, 0)
+	copyQuadrant(b, b12, 0, h)
+	copyQuadrant(b, b21, h, 0)
+	copyQuadrant(b, b22, h, h)
 
-	m1 := s.Mul(f, a11.Add(f, a22), b11.Add(f, b22))
-	m2 := s.Mul(f, a21.Add(f, a22), b11)
-	m3 := s.Mul(f, a11, b12.Sub(f, b22))
-	m4 := s.Mul(f, a22, b21.Sub(f, b11))
-	m5 := s.Mul(f, a11.Add(f, a12), b22)
-	m6 := s.Mul(f, a21.Sub(f, a11), b11.Add(f, b12))
-	m7 := s.Mul(f, a12.Sub(f, a22), b21.Add(f, b22))
+	// Operand combinations of the seven products.
+	s1, s2, s3, s4, s5 := blk(), blk(), blk(), blk(), blk()
+	s6, s7, s8, s9, s10 := blk(), blk(), blk(), blk(), blk()
+	addDenseInto(f, s1, a11, a22)  // m1 left
+	addDenseInto(f, s2, b11, b22)  // m1 right
+	addDenseInto(f, s3, a21, a22)  // m2 left
+	subDenseInto(f, s4, b12, b22)  // m3 right
+	subDenseInto(f, s5, b21, b11)  // m4 right
+	addDenseInto(f, s6, a11, a12)  // m5 left
+	subDenseInto(f, s7, a21, a11)  // m6 left
+	addDenseInto(f, s8, b11, b12)  // m6 right
+	subDenseInto(f, s9, a12, a22)  // m7 left
+	addDenseInto(f, s10, b21, b22) // m7 right
 
-	c11 := m1.Add(f, m4).Sub(f, m5).Add(f, m7)
-	c12 := m3.Add(f, m5)
-	c21 := m2.Add(f, m4)
-	c22 := m1.Sub(f, m2).Add(f, m3).Add(f, m6)
-
-	return assemble(f, c11, c12, c21, c22)
-}
-
-func padTo[E any](f ff.Field[E], m *Dense[E], n int) *Dense[E] {
-	p := NewDense(f, n, n)
-	for i := 0; i < m.Rows; i++ {
-		copy(p.Data[i*n:i*n+m.Cols], m.Data[i*m.Cols:(i+1)*m.Cols])
+	m1, m2, m3, m4 := blk(), blk(), blk(), blk()
+	m5, m6, m7 := blk(), blk(), blk()
+	products := []func(){
+		func() { strassenInto(f, s1, s2, m1, cutoff, par) },
+		func() { strassenInto(f, s3, b11, m2, cutoff, par) },
+		func() { strassenInto(f, a11, s4, m3, cutoff, par) },
+		func() { strassenInto(f, a22, s5, m4, cutoff, par) },
+		func() { strassenInto(f, s6, b22, m5, cutoff, par) },
+		func() { strassenInto(f, s7, s8, m6, cutoff, par) },
+		func() { strassenInto(f, s9, s10, m7, cutoff, par) },
 	}
-	return p
-}
+	if par {
+		parallelDo(products...)
+	} else {
+		for _, p := range products {
+			p()
+		}
+	}
 
-func assemble[E any](f ff.Field[E], c11, c12, c21, c22 *Dense[E]) *Dense[E] {
-	h := c11.Rows
-	n := 2 * h
-	out := &Dense[E]{Rows: n, Cols: n, Data: make([]E, n*n)}
+	// Combine straight into the out quadrants:
+	// c11 = m1 + m4 − m5 + m7, c12 = m3 + m5,
+	// c21 = m2 + m4,           c22 = m1 − m2 + m3 + m6.
+	oc := out.Cols
 	for i := 0; i < h; i++ {
-		copy(out.Data[i*n:i*n+h], c11.Data[i*h:(i+1)*h])
-		copy(out.Data[i*n+h:(i+1)*n], c12.Data[i*h:(i+1)*h])
-		copy(out.Data[(i+h)*n:(i+h)*n+h], c21.Data[i*h:(i+1)*h])
-		copy(out.Data[(i+h)*n+h:(i+h+1)*n], c22.Data[i*h:(i+1)*h])
+		r1 := m1.Data[i*h : (i+1)*h]
+		r2 := m2.Data[i*h : (i+1)*h]
+		r3 := m3.Data[i*h : (i+1)*h]
+		r4 := m4.Data[i*h : (i+1)*h]
+		r5 := m5.Data[i*h : (i+1)*h]
+		r6 := m6.Data[i*h : (i+1)*h]
+		r7 := m7.Data[i*h : (i+1)*h]
+		o11 := out.Data[i*oc : i*oc+h]
+		o12 := out.Data[i*oc+h : (i+1)*oc]
+		o21 := out.Data[(i+h)*oc : (i+h)*oc+h]
+		o22 := out.Data[(i+h)*oc+h : (i+h+1)*oc]
+		for j := 0; j < h; j++ {
+			o11[j] = f.Add(f.Sub(f.Add(r1[j], r4[j]), r5[j]), r7[j])
+			o12[j] = f.Add(r3[j], r5[j])
+			o21[j] = f.Add(r2[j], r4[j])
+			o22[j] = f.Add(f.Add(f.Sub(r1[j], r2[j]), r3[j]), r6[j])
+		}
 	}
-	return out
+	scratchRelease(a11, a12, a21, a22, b11, b12, b21, b22)
+	scratchRelease(s1, s2, s3, s4, s5, s6, s7, s8, s9, s10)
+	scratchRelease(m1, m2, m3, m4, m5, m6, m7)
+}
+
+// strassenLeafParallel is the recursion leaf of the pooled-parallel
+// variant: the cache-blocked kernel, row-banded over the shared worker pool
+// when the product is large enough to amortize the scheduling.
+func strassenLeafParallel[E any](f ff.Field[E], a, b, out *Dense[E]) {
+	zeroDenseRange(f, out, 0, out.Rows)
+	if a.Rows*b.Cols*a.Cols < parallelMulMinOps {
+		blockedMulInto(f, a, b, out, 0, a.Rows, defaultMulTile)
+		return
+	}
+	parallelFor(a.Rows, max(1, defaultMulTile/4), func(lo, hi int) {
+		blockedMulInto(f, a, b, out, lo, hi, defaultMulTile)
+	})
+}
+
+// copyQuadrant copies the h×h block of src with top-left corner (r0, c0)
+// into dst (pure data movement, no field operations).
+func copyQuadrant[E any](src, dst *Dense[E], r0, c0 int) {
+	h := dst.Rows
+	for i := 0; i < h; i++ {
+		copy(dst.Data[i*h:(i+1)*h], src.Data[(r0+i)*src.Cols+c0:(r0+i)*src.Cols+c0+h])
+	}
+}
+
+// addDenseInto sets dst = x + y elementwise (equal shapes).
+func addDenseInto[E any](f ff.Field[E], dst, x, y *Dense[E]) {
+	if ker, ok := ff.KernelsOf(f); ok {
+		copy(dst.Data, x.Data)
+		ker.AddInto(dst.Data, y.Data)
+		return
+	}
+	for i := range dst.Data {
+		dst.Data[i] = f.Add(x.Data[i], y.Data[i])
+	}
+}
+
+// subDenseInto sets dst = x − y elementwise.
+func subDenseInto[E any](f ff.Field[E], dst, x, y *Dense[E]) {
+	if ker, ok := ff.KernelsOf(f); ok {
+		copy(dst.Data, x.Data)
+		ker.SubInto(dst.Data, y.Data)
+		return
+	}
+	for i := range dst.Data {
+		dst.Data[i] = f.Sub(x.Data[i], y.Data[i])
+	}
+}
+
+// padInto copies src into the top-left corner of dst and zeroes the border.
+func padInto[E any](f ff.Field[E], src, dst *Dense[E]) {
+	z := f.Zero()
+	n := dst.Cols
+	for i := 0; i < src.Rows; i++ {
+		row := dst.Data[i*n : (i+1)*n]
+		copy(row, src.Data[i*src.Cols:(i+1)*src.Cols])
+		for j := src.Cols; j < n; j++ {
+			row[j] = z
+		}
+	}
+	for i := src.Rows * n; i < len(dst.Data); i++ {
+		dst.Data[i] = z
+	}
 }

@@ -39,6 +39,22 @@ func mulRec[E any](f ff.Field[E], a, b []E) []E {
 // Theorems 3 and 4 would be unobservable.
 func mulSchoolbook[E any](f ff.Field[E], a, b []E) []E {
 	c := make([]E, len(a)+len(b)-1)
+	if ker, ok := ff.KernelsOf(f); ok {
+		// Kernel-bearing fields take the fused row sweep: one saxpy per
+		// coefficient of a, each at one REDC per product. The balanced
+		// accumulation below only matters for traced/counted fields.
+		z := f.Zero()
+		for k := range c {
+			c[k] = z
+		}
+		for i := range a {
+			if f.IsZero(a[i]) {
+				continue
+			}
+			ker.MulAddVec(c[i:i+len(b)], a[i], b)
+		}
+		return c
+	}
 	terms := make([]E, 0, min(len(a), len(b)))
 	for k := range c {
 		terms = terms[:0]

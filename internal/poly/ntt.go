@@ -66,6 +66,12 @@ func padTo[E any](f ff.Field[E], a []E, n int) []E {
 // permutation followed by log2n butterfly rounds. root must be a primitive
 // 2^log2n-th root of unity.
 func nttInPlace[E any](f ff.Field[E], a []E, root E, log2n int) {
+	// Fields with a fused transform (ff.NTTKernel: Fp64's Montgomery-domain
+	// butterflies) run it directly; wrappers and abstract fields keep the
+	// generic loop below, preserving op counts and traced circuit shape.
+	if ker, ok := any(f).(ff.NTTKernel[E]); ok && ker.NTTInPlace(a, root, log2n) {
+		return
+	}
 	n := len(a)
 	bitReverse(a, log2n)
 	// Precompute the per-stage roots: stage s uses ω_s = root^(2^{log2n−s}),
@@ -75,17 +81,27 @@ func nttInPlace[E any](f ff.Field[E], a []E, root E, log2n int) {
 	for s := log2n - 1; s >= 1; s-- {
 		stageRoot[s] = f.Mul(stageRoot[s+1], stageRoot[s+1])
 	}
+	// One twiddle buffer serves every stage: stage s needs the m/2 ≤ n/2
+	// powers 1, ω_s, ω_s², …, computed once per stage instead of once per
+	// block — for the early stages that removes a factor n/m of the
+	// twiddle multiplications, and the butterfly loop becomes pure
+	// table-indexed arithmetic.
+	tw := make([]E, n/2)
 	for s := 1; s <= log2n; s++ {
 		m := 1 << s
+		half := m / 2
 		wm := stageRoot[s]
+		w := f.One()
+		for j := 0; j < half; j++ {
+			tw[j] = w
+			w = f.Mul(w, wm)
+		}
 		for k := 0; k < n; k += m {
-			w := f.One()
-			for j := 0; j < m/2; j++ {
-				t := f.Mul(w, a[k+j+m/2])
+			for j := 0; j < half; j++ {
+				t := f.Mul(tw[j], a[k+j+half])
 				u := a[k+j]
 				a[k+j] = f.Add(u, t)
-				a[k+j+m/2] = f.Sub(u, t)
-				w = f.Mul(w, wm)
+				a[k+j+half] = f.Sub(u, t)
 			}
 		}
 	}
@@ -103,9 +119,7 @@ func inverseNTTInPlace[E any](f ff.Field[E], a []E, root E, log2n int) error {
 	if err != nil {
 		return err
 	}
-	for i := range a {
-		a[i] = f.Mul(a[i], nInv)
-	}
+	ff.VecScaleInto(f, a, nInv, a)
 	return nil
 }
 

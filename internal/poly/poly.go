@@ -100,6 +100,15 @@ func FromInt64[E any](f ff.Field[E], cs []int64) []E {
 
 // Add returns a + b.
 func Add[E any](f ff.Field[E], a, b []E) []E {
+	if ker, ok := ff.KernelsOf(f); ok {
+		if len(b) > len(a) {
+			a, b = b, a
+		}
+		c := make([]E, len(a))
+		copy(c, a)
+		ker.AddInto(c[:len(b)], b)
+		return Trim(f, c)
+	}
 	n := max(len(a), len(b))
 	c := make([]E, n)
 	for i := range c {
@@ -110,6 +119,16 @@ func Add[E any](f ff.Field[E], a, b []E) []E {
 
 // Sub returns a − b.
 func Sub[E any](f ff.Field[E], a, b []E) []E {
+	if ker, ok := ff.KernelsOf(f); ok {
+		c := make([]E, max(len(a), len(b)))
+		copy(c, a)
+		z := f.Zero()
+		for i := len(a); i < len(c); i++ {
+			c[i] = z
+		}
+		ker.SubInto(c[:len(b)], b)
+		return Trim(f, c)
+	}
 	n := max(len(a), len(b))
 	c := make([]E, n)
 	for i := range c {

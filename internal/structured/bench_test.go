@@ -1,0 +1,19 @@
+package structured
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func BenchmarkCharPoly(b *testing.B) {
+	f := ff.MustFp64(ff.PNTT62)
+	src := ff.NewSource(3)
+	t := RandomToeplitz[uint64](f, src, 256, ff.PNTT62)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CharPoly[uint64](f, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

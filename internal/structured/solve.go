@@ -35,14 +35,15 @@ func Solve[E any](f ff.Field[E], t Toeplitz[E], b []E) ([]E, error) {
 	// x = −(1/pₙ)·Σ_{j=0}^{n−1} p_{n−1−j}·Tʲb with p₀ = 1, p_k = cp[n−k].
 	acc := ff.VecZero(f, n)
 	for j := 0; j < n; j++ {
-		coef := cp[j+1] // p_{n−1−j} = cp[n−(n−1−j)] = cp[j+1]
-		acc = ff.VecAdd(f, acc, ff.VecScale(f, coef, krylov[j]))
+		// p_{n−1−j} = cp[n−(n−1−j)] = cp[j+1]
+		ff.VecMulAddInto(f, acc, cp[j+1], krylov[j])
 	}
 	scale, err := f.Div(f.Neg(f.One()), pn)
 	if err != nil {
 		return nil, err
 	}
-	return ff.VecScale(f, scale, acc), nil
+	ff.VecScaleInto(f, acc, scale, acc)
+	return acc, nil
 }
 
 // SolveParallel is Solve with the Krylov vectors computed by the doubling
@@ -66,16 +67,30 @@ func SolveParallel[E any](f ff.Field[E], mul matrix.Multiplier[E], t Toeplitz[E]
 		return nil, matrix.ErrSingular
 	}
 	k := matrix.KrylovDoubling(f, mul, t.Dense(f), b, n)
-	scaled := make([][]E, n)
-	for j := 0; j < n; j++ {
-		scaled[j] = ff.VecScale(f, cp[j+1], k.Col(j))
+	var acc []E
+	if _, fused := ff.KernelsOf[E](f); fused {
+		// Row i of the Krylov matrix holds (Tʲb)_i for j = 0..n−1, so each
+		// entry of the accumulation is one contiguous fused dot against the
+		// coefficient vector — no per-column copies, no intermediate slices.
+		acc = make([]E, n)
+		for i := 0; i < n; i++ {
+			acc[i] = ff.DotFused(f, k.Data[i*n:(i+1)*n], cp[1:n+1])
+		}
+	} else {
+		// Balanced vector tree: this is the O(log n)-depth accumulation the
+		// circuit trace of Theorem 4 must see.
+		scaled := make([][]E, n)
+		for j := 0; j < n; j++ {
+			scaled[j] = ff.VecScale(f, cp[j+1], k.Col(j))
+		}
+		acc = ff.SumVecs(f, scaled)
 	}
-	acc := ff.SumVecs(f, scaled)
 	scale, err := f.Div(f.Neg(f.One()), pn)
 	if err != nil {
 		return nil, err
 	}
-	return ff.VecScale(f, scale, acc), nil
+	ff.VecScaleInto(f, acc, scale, acc)
+	return acc, nil
 }
 
 // SolveHankel solves H·x = b for a non-singular Hankel matrix through the

@@ -86,13 +86,16 @@ func MinPolyCertified[E any](f ff.Field[E], a matrix.BlackBox[E], src *ff.Source
 	return nil, ErrRetriesExhausted
 }
 
-// applyPoly returns p(A)·v using deg(p) black-box products.
+// applyPoly returns p(A)·v using deg(p) black-box products. The Horner-style
+// accumulation runs through the in-place fused kernels: one accumulator
+// vector for the whole evaluation instead of two fresh slices per term.
 func applyPoly[E any](f ff.Field[E], a matrix.BlackBox[E], p []E, v []E) []E {
-	acc := ff.VecScale(f, poly.Coef(f, p, 0), v)
+	acc := make([]E, len(v))
+	ff.VecScaleInto(f, acc, poly.Coef(f, p, 0), v)
 	cur := v
 	for i := 1; i < len(p); i++ {
 		cur = a.Apply(f, cur)
-		acc = ff.VecAdd(f, acc, ff.VecScale(f, poly.Coef(f, p, i), cur))
+		ff.VecMulAddInto(f, acc, poly.Coef(f, p, i), cur)
 	}
 	return acc
 }
@@ -245,14 +248,15 @@ func Solve[E any](f ff.Field[E], a matrix.BlackBox[E], b []E, src *ff.Source, su
 		sp = obs.StartPhase(obs.PhaseBacksolve)
 		acc := ff.VecZero(f, n)
 		for j := 1; j <= d; j++ {
-			acc = ff.VecAdd(f, acc, ff.VecScale(f, poly.Coef(f, mp, j), vs[j-1]))
+			ff.VecMulAddInto(f, acc, poly.Coef(f, mp, j), vs[j-1])
 		}
 		scale, err := f.Div(f.Neg(f.One()), c0)
 		if err != nil {
 			sp.End()
 			continue
 		}
-		x := ff.VecScale(f, scale, acc)
+		ff.VecScaleInto(f, acc, scale, acc)
+		x := acc
 		sp.End()
 		if ff.VecEqual(f, a.Apply(f, x), b) {
 			return x, nil
