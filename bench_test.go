@@ -201,7 +201,7 @@ func BenchmarkSolvers(b *testing.B) {
 		rhs := ff.SampleVec[uint64](f, src, n, f.Modulus())
 		b.Run(fmt.Sprintf("kp/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := kp.Solve[uint64](f, matrix.Classical[uint64]{}, a, rhs, src, f.Modulus(), 0); err != nil {
+				if _, err := kp.Solve[uint64](f, matrix.Classical[uint64]{}, a, rhs, kp.Params{Src: src, Subset: f.Modulus()}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -296,7 +296,7 @@ func BenchmarkResultant(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("blackbox-wiedemann/deg=%d", deg), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := kp.ResultantWiedemann[uint64](f, pa, pb, src, f.Modulus(), 0); err != nil {
+				if _, err := kp.ResultantWiedemann[uint64](f, pa, pb, kp.Params{Src: src, Subset: f.Modulus()}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -335,7 +335,7 @@ func BenchmarkInverse(b *testing.B) {
 				b.Skip("circuit build dominates at this size")
 			}
 			for i := 0; i < b.N; i++ {
-				if _, err := kp.Inverse[uint64](f, matrix.Classical[uint64]{}, a, src, f.Modulus(), 0); err != nil {
+				if _, err := kp.Inverse[uint64](f, matrix.Classical[uint64]{}, a, kp.Params{Src: src, Subset: f.Modulus()}); err != nil {
 					b.Fatal(err)
 				}
 			}

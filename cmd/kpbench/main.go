@@ -11,6 +11,7 @@
 //	kpbench -run E4,E10     # selected experiments
 //	kpbench -md             # emit Markdown (for EXPERIMENTS.md)
 //	kpbench -json -n 64,128 # per-phase op counts/timings as JSON
+//	kpbench -rhs 8 -n 256   # batched multi-RHS rows (implies -json)
 //	kpbench -pprof :6060    # serve net/http/pprof + /debug/vars
 package main
 
@@ -32,13 +33,14 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment ids (E1..E14, E3a, E4a, E4m, E10w) or 'all'")
-		full  = flag.Bool("full", false, "full parameter sweeps (slower)")
-		seed  = flag.Uint64("seed", 20260704, "random seed (runs are deterministic per seed)")
-		md    = flag.Bool("md", false, "emit Markdown tables")
-		mul   = flag.String("mul", "all", "multipliers: 'all' or a comma-separated subset of "+strings.Join(matrix.Names(), ","))
+		run      = flag.String("run", "all", "comma-separated experiment ids (E1..E14, E3a, E4a, E4m, E10w) or 'all'")
+		full     = flag.Bool("full", false, "full parameter sweeps (slower)")
+		seed     = flag.Uint64("seed", 20260704, "random seed (runs are deterministic per seed)")
+		md       = flag.Bool("md", false, "emit Markdown tables")
+		mul      = flag.String("mul", "all", "multipliers: 'all' or a comma-separated subset of "+strings.Join(matrix.Names(), ","))
 		jsonF    = flag.Bool("json", false, "run the per-phase solve benchmark and emit a BENCH JSON report instead of experiment tables")
 		nFlag    = flag.String("n", "64,128,256", "comma-separated system dimensions for -json")
+		rhs      = flag.Int("rhs", 1, "right-hand sides per system: >1 adds batched SolveBatch rows (with their independent-solves baseline) to the -json report, and implies -json")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
 		workers  = flag.Int("workers", 0, "worker count for the shared matrix pool (0 = GOMAXPROCS)")
 		baseline = flag.String("baseline", "", "BENCH_*.json file to gate -json runs against: exit non-zero if any shared (n, multiplier) cell is >10% slower")
@@ -71,7 +73,10 @@ func main() {
 		}()
 	}
 
-	if *jsonF {
+	if *rhs < 1 {
+		fatal(fmt.Errorf("-rhs wants a positive count, got %d", *rhs))
+	}
+	if *jsonF || *rhs > 1 {
 		if *mul == "all" {
 			// The JSON trajectory tracks the serial baseline against the
 			// pooled kernels; blocked/strassen ride in via -mul.
@@ -81,7 +86,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report, err := exp.BenchJSON(ns, muls, *seed)
+		report, err := exp.BenchJSON(ns, muls, *seed, *rhs)
 		if err != nil {
 			fatal(err)
 		}

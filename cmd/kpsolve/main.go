@@ -6,21 +6,35 @@
 //	kpsolve -n 32                     # random non-singular 32×32 system
 //	kpsolve -n 16 -op det             # determinant
 //	kpsolve -op solve -in system.txt  # read a system from a file
+//	kpsolve -n 64 -rhs 8              # batched solve of 8 right-hand sides
 //	kpsolve -n 256 -mul parallel      # pooled multicore multiplication
 //	kpsolve -n 128 -trace out.json    # per-phase Chrome trace_event timeline
 //	kpsolve -n 512 -pprof :6060       # live pprof + /debug/vars metrics
 //
 // The input file format is: first line "n p" (dimension and field modulus),
-// then n lines of n matrix entries, then one line of n right-hand-side
-// entries (all integers, reduced mod p). The file's modulus is
-// authoritative: if -p is not given the file's field is adopted, and an
-// explicit -p that disagrees with the file is an error — silently reducing
-// a system mod the wrong prime would "verify" an answer to a different
-// system.
+// then n lines of n matrix entries, then one or more right-hand sides of n
+// entries each (all integers, reduced mod p; the total count after the
+// matrix must be a multiple of n). Multiple right-hand sides go through the
+// batched engine for op=solve. The file's modulus is authoritative: if -p
+// is not given the file's field is adopted, and an explicit -p that
+// disagrees with the file is an error — silently reducing a system mod the
+// wrong prime would "verify" an answer to a different system.
+//
+// Exit codes map the typed error taxonomy so scripts can branch without
+// parsing messages:
+//
+//	0  success
+//	1  generic failure (I/O, configuration, internal errors)
+//	2  usage errors (bad flags or file format)
+//	3  kp.ErrRetriesExhausted — all Las Vegas attempts failed
+//	4  kp.ErrSingular — a singular matrix where non-singular is required
+//	5  kp.ErrInconsistent — the system has no solution
+//	6  kp.ErrBadShape — dimension mismatch
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ff"
+	"repro/internal/kp"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 )
@@ -42,6 +57,7 @@ func main() {
 		p     = flag.Uint64("p", ff.P62, "prime field modulus (for -in files it must match the file)")
 		op    = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed")
 		in    = flag.String("in", "", "read the system from a file instead of generating it")
+		rhs   = flag.Int("rhs", 1, "right-hand sides for randomly generated op=solve instances; >1 solves them as one batch")
 		mul   = flag.String("mul", "classical", "matrix multiplier: "+strings.Join(matrix.Names(), "|"))
 		seed  = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
 		trace = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the solve phases to this file")
@@ -52,10 +68,13 @@ func main() {
 	// fall-back to the classical default.
 	names, err := matrix.ParseMulFlag(*mul)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	if len(names) != 1 {
-		fatal(fmt.Errorf("-mul wants exactly one of %s", strings.Join(matrix.Names(), "|")))
+		usage(fmt.Errorf("-mul wants exactly one of %s", strings.Join(matrix.Names(), "|")))
+	}
+	if *rhs < 1 {
+		usage(fmt.Errorf("-rhs wants a positive count, got %d", *rhs))
 	}
 
 	if *pprof != "" {
@@ -79,35 +98,54 @@ func main() {
 
 	var f ff.Fp64
 	var a *matrix.Dense[uint64]
-	var b []uint64
+	var bs *matrix.Dense[uint64] // right-hand sides as columns
 	if *in != "" {
-		f, a, b, err = readSystem(*in, *p, pSet)
+		f, a, bs, err = readSystem(*in, *p, pSet)
 		if err != nil {
-			fatal(err)
+			usage(err)
 		}
 	} else {
 		f, err = ff.NewFp64(*p)
 		if err != nil {
-			fatal(err)
+			usage(err)
 		}
 	}
-	s := core.NewSolver[uint64](f, core.Options{
+	s, err := core.NewSolver[uint64](f, core.Options{
 		Seed:       *seed,
 		Multiplier: names[0],
 		Observer:   observer,
 		Instrument: *trace != "",
 	})
+	if err != nil {
+		usage(err)
+	}
 	src := ff.NewSource(*seed + 1)
 
 	if *in == "" {
 		a = matrix.Random[uint64](f, src, *n, *n, f.Modulus())
-		b = ff.SampleVec[uint64](f, src, *n, f.Modulus())
-		fmt.Printf("generated a random %d×%d system over F_%d\n", *n, *n, f.Modulus())
+		bs = matrix.Random[uint64](f, src, *n, *rhs, f.Modulus())
+		fmt.Printf("generated a random %d×%d system with %d right-hand side(s) over F_%d\n", *n, *n, *rhs, f.Modulus())
 	}
+	if bs.Cols > 1 && *op != "solve" {
+		usage(fmt.Errorf("op %q takes a single right-hand side (got %d); only op=solve is batched", *op, bs.Cols))
+	}
+	b := bs.Col(0)
 
 	start := time.Now()
 	switch *op {
 	case "solve":
+		if bs.Cols > 1 {
+			x, err := s.SolveBatch(a, bs)
+			if err != nil {
+				fatal(err)
+			}
+			for j := 0; j < x.Cols; j++ {
+				fmt.Printf("x[%d] = %s\n", j, ff.VecString[uint64](f, x.Col(j)))
+			}
+			fmt.Printf("verified A·X = B for all %d columns: %v\n", x.Cols,
+				matrix.Mul[uint64](f, a, x).Equal(f, bs))
+			break
+		}
 		x, err := s.Solve(a, b)
 		if err != nil {
 			fatal(err)
@@ -142,7 +180,7 @@ func main() {
 		fmt.Printf("verified Aᵀ·x = b: %v\n",
 			ff.VecEqual[uint64](f, a.Transpose().MulVec(f, x), b))
 	default:
-		fatal(fmt.Errorf("unknown op %q", *op))
+		usage(fmt.Errorf("unknown op %q", *op))
 	}
 	fmt.Printf("elapsed: %s\n", time.Since(start))
 
@@ -178,12 +216,13 @@ func writeTrace(o *obs.Observer, stats *matrix.MulStats, path string) error {
 	return nil
 }
 
-// readSystem parses "n p" followed by n×n matrix entries and n right-hand
-// side entries. The field is built from the file's own modulus; pFlag is
-// only consulted when the user set -p explicitly (pSet), in which case a
-// mismatch with the file is an error rather than a silent wrong-field
-// reduction.
-func readSystem(path string, pFlag uint64, pSet bool) (ff.Fp64, *matrix.Dense[uint64], []uint64, error) {
+// readSystem parses "n p" followed by n×n matrix entries and one or more
+// right-hand sides of n entries each (the trailing count must be a multiple
+// of n; each group of n becomes one column of the returned B). The field is
+// built from the file's own modulus; pFlag is only consulted when the user
+// set -p explicitly (pSet), in which case a mismatch with the file is an
+// error rather than a silent wrong-field reduction.
+func readSystem(path string, pFlag uint64, pSet bool) (ff.Fp64, *matrix.Dense[uint64], *matrix.Dense[uint64], error) {
 	var f ff.Fp64
 	file, err := os.Open(path)
 	if err != nil {
@@ -231,18 +270,48 @@ func readSystem(path string, pFlag uint64, pSet bool) (ff.Fp64, *matrix.Dense[ui
 			a.Set(i, j, f.FromInt64(v))
 		}
 	}
-	b := make([]uint64, n)
-	for i := range b {
-		v, err := next()
-		if err != nil {
-			return f, nil, nil, err
+	// Everything after the matrix is right-hand-side data: k·n entries for
+	// k right-hand sides.
+	var tail []uint64
+	for sc.Scan() {
+		var v int64
+		if _, err := fmt.Sscan(sc.Text(), &v); err != nil {
+			return f, nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
-		b[i] = f.FromInt64(v)
+		tail = append(tail, f.FromInt64(v))
 	}
-	return f, a, b, nil
+	if len(tail) == 0 || len(tail)%n != 0 {
+		return f, nil, nil, fmt.Errorf("%s: %d right-hand-side entries after the matrix; want a positive multiple of n = %d",
+			path, len(tail), n)
+	}
+	k := len(tail) / n
+	bs := matrix.NewDense[uint64](f, n, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			bs.Set(i, j, tail[j*n+i])
+		}
+	}
+	return f, a, bs, nil
 }
 
+// usage reports a bad invocation or input file and exits 2.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "kpsolve:", err)
+	os.Exit(2)
+}
+
+// fatal maps the typed error taxonomy onto the documented exit codes.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "kpsolve:", err)
+	switch {
+	case errors.Is(err, kp.ErrRetriesExhausted):
+		os.Exit(3)
+	case errors.Is(err, kp.ErrSingular):
+		os.Exit(4)
+	case errors.Is(err, kp.ErrInconsistent):
+		os.Exit(5)
+	case errors.Is(err, kp.ErrBadShape):
+		os.Exit(6)
+	}
 	os.Exit(1)
 }

@@ -37,9 +37,35 @@ func TestReadSystem(t *testing.T) {
 	if a.At(2, 2) != 10 || a.At(0, 1) != 2 {
 		t.Fatal("matrix entries wrong")
 	}
+	if b.Rows != 3 || b.Cols != 1 {
+		t.Fatalf("rhs shape %dx%d", b.Rows, b.Cols)
+	}
 	// Negative and >p entries reduce mod p.
-	if b[0] != 100 || b[1] != 0 || b[2] != 1 {
-		t.Fatalf("rhs = %v", b)
+	if b.At(0, 0) != 100 || b.At(1, 0) != 0 || b.At(2, 0) != 1 {
+		t.Fatalf("rhs = %v", b.Col(0))
+	}
+}
+
+func TestReadSystemMultiRHS(t *testing.T) {
+	// Two trailing groups of n entries become two columns of B.
+	path := writeSystem(t, sys101+"1 2 3\n")
+	_, _, b, err := readSystem(path, 101, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != 3 || b.Cols != 2 {
+		t.Fatalf("rhs shape %dx%d, want 3x2", b.Rows, b.Cols)
+	}
+	if b.At(0, 1) != 1 || b.At(2, 1) != 3 {
+		t.Fatalf("second column = %v", b.Col(1))
+	}
+}
+
+func TestReadSystemRaggedRHS(t *testing.T) {
+	// A trailing count that is not a multiple of n is a format error.
+	path := writeSystem(t, sys101+"1 2\n")
+	if _, _, _, err := readSystem(path, 101, true); err == nil {
+		t.Fatal("ragged right-hand-side data accepted")
 	}
 }
 

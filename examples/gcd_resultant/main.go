@@ -17,7 +17,10 @@ import (
 
 func main() {
 	f := ff.MustFp64(ff.PNTT62)
-	s := core.NewSolver[uint64](f, core.Options{Seed: 9})
+	s, err := core.NewSolver[uint64](f, core.Options{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
 	src := ff.NewSource(10)
 
 	// Plant a gcd of degree 3.

@@ -53,7 +53,10 @@ func main() {
 	residues := make([]*big.Int, len(crtPrimes))
 	for k, p := range crtPrimes {
 		f := ff.MustFp64(p)
-		s := core.NewSolver[uint64](f, core.Options{Seed: uint64(k) + 1})
+		s, err := core.NewSolver[uint64](f, core.Options{Seed: uint64(k) + 1})
+		if err != nil {
+			log.Fatal(err)
+		}
 		a := matrix.NewDense[uint64](f, n, n)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {

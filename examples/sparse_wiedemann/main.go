@@ -52,7 +52,10 @@ func main() {
 		float64(luOps.Total())/float64(wOps.Total()))
 
 	// The same through the façade, plus the Las Vegas singularity test.
-	s := core.NewSolver[uint64](base, core.Options{Seed: 11})
+	s, err := core.NewSolver[uint64](base, core.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
 	sing, err := s.IsSingular(sp.Dense(base))
 	if err != nil {
 		log.Fatal(err)

@@ -7,8 +7,9 @@
 // Quick start:
 //
 //	f := ff.MustFp64(ff.P62)
-//	s := core.NewSolver[uint64](f, core.Options{Seed: 42})
-//	x, err := s.Solve(a, b) // a *matrix.Dense[uint64], b []uint64
+//	s, err := core.NewSolver[uint64](f, core.Options{Seed: 42})
+//	x, err := s.Solve(a, b)       // a *matrix.Dense[uint64], b []uint64
+//	xs, err := s.SolveBatch(a, B) // B *matrix.Dense[uint64]: k RHS at once
 //
 // All algorithms are Las Vegas: returned results are verified (or agreed
 // across independent randomizations) and therefore correct; unlucky random
@@ -17,9 +18,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/errs"
 	"repro/internal/ff"
 	"repro/internal/kp"
 	"repro/internal/matrix"
@@ -42,15 +45,17 @@ type Options struct {
 	Retries int
 	// Strassen selects Strassen's Ω(n^2.81) multiplication instead of the
 	// classical cubic method as the matrix-multiplication black box.
-	// Superseded by Multiplier; kept for compatibility.
+	//
+	// Deprecated: set Multiplier to "strassen". Strassen is folded into
+	// the Multiplier resolution; setting both to conflicting values is a
+	// NewSolver error.
 	Strassen bool
 	// Multiplier names the matrix-multiplication black box: one of
 	// matrix.Names() — "classical" (default), "blocked", "parallel",
 	// "strassen", "parallel-strassen". The parallel kernels run on the
 	// matrix package's shared worker pool; circuit tracing automatically
 	// uses the matching serial balanced form (matrix.CircuitSafeName).
-	// Unknown names panic in NewSolver — validate user input with
-	// matrix.ByName (or matrix.ParseMulFlag) first.
+	// Unknown names are a NewSolver error.
 	Multiplier string
 	// Observer, when non-nil, is installed as the process-global active
 	// obs.Observer: the solve phases (precondition, krylov, minpoly,
@@ -80,32 +85,35 @@ type Solver[E any] struct {
 	obs     *obs.Observer
 }
 
-// NewSolver returns a Solver over the given field.
-func NewSolver[E any](f ff.Field[E], opts Options) *Solver[E] {
+// NewSolver returns a Solver over the given field, or an error for an
+// unknown Multiplier name or a Strassen/Multiplier conflict.
+func NewSolver[E any](f ff.Field[E], opts Options) (*Solver[E], error) {
 	seed := opts.Seed
 	if seed == 0 {
-		seed = 0x9e3779b97f4a7c15
-	}
-	subset := opts.SubsetSize
-	if subset == 0 {
-		card := f.Cardinality()
-		if card.Sign() == 0 || !card.IsUint64() {
-			subset = 1 << 62
-		} else {
-			subset = card.Uint64()
-		}
+		seed = kp.DefaultSeed
 	}
 	name := opts.Multiplier
-	if name == "" && opts.Strassen {
-		name = "strassen"
+	if opts.Strassen {
+		switch name {
+		case "":
+			name = "strassen"
+		case "strassen", "parallel-strassen":
+			// Strassen flag is redundant but consistent.
+		default:
+			return nil, fmt.Errorf("core: Options.Strassen conflicts with Multiplier %q", name)
+		}
 	}
 	mul, err := matrix.ByName[E](name)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	wmul, err := matrix.ByName[circuit.Wire](matrix.CircuitSafeName(name))
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	subset := opts.SubsetSize
+	if subset == 0 {
+		subset = kp.DefaultSubset(f)
 	}
 	s := &Solver[E]{
 		f:       f,
@@ -124,7 +132,23 @@ func NewSolver[E any](f ff.Field[E], opts Options) *Solver[E] {
 	if opts.Observer != nil {
 		obs.SetActive(opts.Observer)
 	}
+	return s, nil
+}
+
+// MustNewSolver is NewSolver panicking on configuration errors — the
+// old constructor contract, for tests and static configurations.
+func MustNewSolver[E any](f ff.Field[E], opts Options) *Solver[E] {
+	s, err := NewSolver(f, opts)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// params returns the solver's configuration as a kp.Params carrying the
+// given context.
+func (s *Solver[E]) params(ctx context.Context) kp.Params {
+	return kp.Params{Src: s.src, Subset: s.subset, Retries: s.retries, Ctx: ctx}
 }
 
 // MulStats returns the multiplication instrumentation block, or nil unless
@@ -141,10 +165,55 @@ func (s *Solver[E]) Field() ff.Field[E] { return s.f }
 // Solve solves the non-singular system A·x = b (Theorem 4). Requires
 // characteristic 0 or > n.
 func (s *Solver[E]) Solve(a *matrix.Dense[E], b []E) ([]E, error) {
+	return s.SolveCtx(context.Background(), a, b)
+}
+
+// SolveCtx is Solve with cooperative cancellation: ctx is checked between
+// the phases of an attempt and between Las Vegas attempts, and its error
+// is returned once it is done.
+func (s *Solver[E]) SolveCtx(ctx context.Context, a *matrix.Dense[E], b []E) ([]E, error) {
 	if err := s.checkChar(a.Rows); err != nil {
 		return nil, err
 	}
-	return kp.Solve(s.f, s.mul, a, b, s.src, s.subset, s.retries)
+	return kp.Solve(s.f, s.mul, a, b, s.params(ctx))
+}
+
+// SolveBatch solves A·X = B for every column of B through the batched
+// engine: the preconditioning, Krylov doubling and characteristic
+// polynomial are computed once per attempt and shared by all k = B.Cols
+// right-hand sides, so the marginal cost of an extra RHS is roughly one
+// matrix product. Results are verified per column and bit-identical to k
+// independent Solve calls. Requires characteristic 0 or > n.
+func (s *Solver[E]) SolveBatch(a, b *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return s.SolveBatchCtx(context.Background(), a, b)
+}
+
+// SolveBatchCtx is SolveBatch with cooperative cancellation.
+func (s *Solver[E]) SolveBatchCtx(ctx context.Context, a, b *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	if err := s.checkChar(a.Rows); err != nil {
+		return nil, err
+	}
+	return kp.SolveBatch(s.f, s.mul, a, b, s.params(ctx))
+}
+
+// Factor runs the shared Theorem 4 front end once and returns a reusable
+// Factored handle: subsequent Solve/InverseApply/Det calls on the handle
+// skip the preconditioning, Krylov and minpoly phases entirely. Requires
+// characteristic 0 or > n.
+func (s *Solver[E]) Factor(a *matrix.Dense[E]) (*Factored[E], error) {
+	return s.FactorCtx(context.Background(), a)
+}
+
+// FactorCtx is Factor with cooperative cancellation.
+func (s *Solver[E]) FactorCtx(ctx context.Context, a *matrix.Dense[E]) (*Factored[E], error) {
+	if err := s.checkChar(a.Rows); err != nil {
+		return nil, err
+	}
+	fa, err := kp.Factor(s.f, s.mul, a, s.params(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return &Factored[E]{fa: fa}, nil
 }
 
 // Det returns det(A) for non-singular A (§2 + §3). Requires characteristic
@@ -155,7 +224,7 @@ func (s *Solver[E]) Det(a *matrix.Dense[E]) (E, error) {
 	if err := s.checkChar(a.Rows); err != nil {
 		return zero, err
 	}
-	return kp.Det(s.f, s.mul, a, s.src, s.subset, s.retries)
+	return kp.Det(s.f, s.mul, a, s.params(nil))
 }
 
 // Inverse returns A⁻¹ (Theorem 6: Baur–Strassen gradient of the
@@ -164,7 +233,7 @@ func (s *Solver[E]) Inverse(a *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	if err := s.checkChar(a.Rows); err != nil {
 		return nil, err
 	}
-	return kp.Inverse(s.f, s.mul, a, s.src, s.subset, s.retries)
+	return kp.Inverse(s.f, s.mul, a, s.params(nil))
 }
 
 // TransposedSolve solves Aᵀ·x = b via the transposition principle (end of
@@ -173,31 +242,31 @@ func (s *Solver[E]) TransposedSolve(a *matrix.Dense[E], b []E) ([]E, error) {
 	if err := s.checkChar(a.Rows); err != nil {
 		return nil, err
 	}
-	return kp.TransposedSolve(s.f, a, b, s.src, s.subset, s.retries)
+	return kp.TransposedSolve(s.f, a, b, s.params(nil))
 }
 
 // Rank returns rank(A) (§5, Monte Carlo with one-sided error shrinking
 // geometrically in the retry count).
 func (s *Solver[E]) Rank(a *matrix.Dense[E]) (int, error) {
-	return kp.Rank(s.f, a, s.src, s.subset, s.retries)
+	return kp.Rank(s.f, a, s.params(nil))
 }
 
 // Nullspace returns a verified basis of the right null space of a square
 // matrix as the columns of an n×(n−r) matrix (§5).
 func (s *Solver[E]) Nullspace(a *matrix.Dense[E]) (*matrix.Dense[E], error) {
-	return kp.Nullspace(s.f, a, s.src, s.subset, s.retries)
+	return kp.Nullspace(s.f, a, s.params(nil))
 }
 
 // SolveSingular returns one verified solution of a consistent (possibly
 // singular) square system, or kp.ErrInconsistent (§5).
 func (s *Solver[E]) SolveSingular(a *matrix.Dense[E], b []E) ([]E, error) {
-	return kp.SolveSingular(s.f, a, b, s.src, s.subset, s.retries)
+	return kp.SolveSingular(s.f, a, b, s.params(nil))
 }
 
 // LeastSquares returns a least-squares solution over a characteristic-zero
 // field (§5).
 func (s *Solver[E]) LeastSquares(a *matrix.Dense[E], b []E) ([]E, error) {
-	return kp.LeastSquares(s.f, s.mul, a, b, s.src, s.subset, s.retries)
+	return kp.LeastSquares(s.f, s.mul, a, b, s.params(nil))
 }
 
 // IsSingular runs Wiedemann's Las Vegas singularity test: a true answer is
@@ -261,7 +330,7 @@ func (s *Solver[E]) GCDKnownDegree(a, b []E, deg int) ([]E, error) {
 // Sylvester operator via Wiedemann's black-box method: every inner
 // matrix-vector product is two polynomial multiplications (§5).
 func (s *Solver[E]) Resultant(a, b []E) (E, error) {
-	return kp.ResultantWiedemann(s.f, a, b, s.src, s.subset, s.retries)
+	return kp.ResultantWiedemann(s.f, a, b, s.params(nil))
 }
 
 // TransposedVandermonde solves Vᵀ·x = b for the Vandermonde matrix of the
@@ -320,8 +389,8 @@ func (s *Solver[E]) DrawRandomness(n int) kp.Randomness[E] {
 
 func (s *Solver[E]) checkChar(n int) error {
 	if !ff.CharacteristicExceeds(s.f, n) {
-		return fmt.Errorf("core: field characteristic %v ≤ n = %d: Theorem 4's hypothesis fails (use the any-characteristic §5 routes)",
-			s.f.Characteristic(), n)
+		return fmt.Errorf("core: field characteristic %v ≤ n = %d: %w",
+			s.f.Characteristic(), n, errs.ErrCharacteristicTooSmall)
 	}
 	return nil
 }

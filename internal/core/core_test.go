@@ -15,7 +15,11 @@ var fp = ff.MustFp64(ff.P31)
 
 func newSolver(t *testing.T) *Solver[uint64] {
 	t.Helper()
-	return NewSolver[uint64](fp, Options{Seed: 1})
+	s, err := NewSolver[uint64](fp, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func TestSolverEndToEnd(t *testing.T) {
@@ -198,7 +202,7 @@ func TestSolverCircuits(t *testing.T) {
 
 func TestCharacteristicGuard(t *testing.T) {
 	f2 := ff.MustFp64(2)
-	s := NewSolver[uint64](f2, Options{Seed: 3})
+	s := MustNewSolver[uint64](f2, Options{Seed: 3})
 	a := matrix.Identity[uint64](f2, 4)
 	if _, err := s.Solve(a, []uint64{1, 0, 1, 0}); err == nil {
 		t.Fatal("characteristic 2 with n = 4 must be refused by Theorem 4")
@@ -211,7 +215,11 @@ func TestCharacteristicGuard(t *testing.T) {
 }
 
 func TestStrassenOption(t *testing.T) {
-	s := NewSolver[uint64](fp, Options{Seed: 5, Strassen: true})
+	// The deprecated boolean folds into Multiplier resolution.
+	s, err := NewSolver[uint64](fp, Options{Seed: 5, Strassen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	src := ff.NewSource(207)
 	n := 6
 	var a *matrix.Dense[uint64]
@@ -245,7 +253,10 @@ func TestMultiplierOption(t *testing.T) {
 	// Every named multiplier solves, and circuits still trace (the solver
 	// maps parallel kernels to their serial circuit-safe forms).
 	for _, name := range matrix.Names() {
-		s := NewSolver[uint64](fp, Options{Seed: 5, Multiplier: name})
+		s, err := NewSolver[uint64](fp, Options{Seed: 5, Multiplier: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		x, err := s.Solve(a, b)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -257,13 +268,25 @@ func TestMultiplierOption(t *testing.T) {
 			t.Fatalf("%s: circuit trace: %v", name, err)
 		}
 	}
-	// An unregistered name is a programmer error and panics.
+	// An unregistered name is a configuration error, reported, not panicked.
+	if _, err := NewSolver[uint64](fp, Options{Multiplier: "quantum"}); err == nil {
+		t.Fatal("unknown multiplier name accepted")
+	}
+	// The deprecated Strassen boolean may not contradict an explicit
+	// non-Strassen Multiplier.
+	if _, err := NewSolver[uint64](fp, Options{Strassen: true, Multiplier: "classical"}); err == nil {
+		t.Fatal("conflicting Strassen/Multiplier options accepted")
+	}
+	if _, err := NewSolver[uint64](fp, Options{Strassen: true, Multiplier: "parallel-strassen"}); err != nil {
+		t.Fatalf("compatible Strassen/Multiplier options refused: %v", err)
+	}
+	// MustNewSolver keeps the old panic behaviour for tooling that wants it.
 	defer func() {
 		if recover() == nil {
-			t.Fatal("unknown multiplier name accepted")
+			t.Fatal("MustNewSolver did not panic on unknown multiplier")
 		}
 	}()
-	NewSolver[uint64](fp, Options{Multiplier: "quantum"})
+	MustNewSolver[uint64](fp, Options{Multiplier: "quantum"})
 }
 
 // TestObserverAndInstrumentOptions runs a traced, instrumented solve and
@@ -273,7 +296,7 @@ func TestMultiplierOption(t *testing.T) {
 // to exactly one phase).
 func TestObserverAndInstrumentOptions(t *testing.T) {
 	o := obs.New(0)
-	s := NewSolver[uint64](fp, Options{Seed: 3, Observer: o, Instrument: true})
+	s := MustNewSolver[uint64](fp, Options{Seed: 3, Observer: o, Instrument: true})
 	defer obs.SetActive(nil)
 	if s.MulStats() == nil {
 		t.Fatal("Instrument: MulStats must be non-nil")

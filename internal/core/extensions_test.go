@@ -10,7 +10,7 @@ import (
 )
 
 func TestSolverResultantAndKnownDegreeGCD(t *testing.T) {
-	s := NewSolver[uint64](fp, Options{Seed: 21})
+	s := MustNewSolver[uint64](fp, Options{Seed: 21})
 	f := fp
 	// Planted gcd of degree 2.
 	g := poly.FromInt64[uint64](f, []int64{1, 5, 1})
@@ -51,7 +51,7 @@ func TestSolverResultantAndKnownDegreeGCD(t *testing.T) {
 }
 
 func TestSolverMinPolyOfSequence(t *testing.T) {
-	s := NewSolver[uint64](fp, Options{Seed: 23})
+	s := MustNewSolver[uint64](fp, Options{Seed: 23})
 	f := fp
 	g := poly.FromInt64[uint64](f, []int64{3, 1, 1}) // λ² + λ + 3
 	a := seq.Apply[uint64](f, g, []uint64{1, 2}, 16)

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/kp"
+	"repro/internal/matrix"
+)
+
+// Factored is a reusable handle on the shared Theorem 4 front end for one
+// non-singular matrix, produced by Solver.Factor. The preconditioner, the
+// randomness, the characteristic polynomial and the Ã^{2^i} power ladder
+// are cached, so every call below replays only the backsolve (and its
+// verification) — observable as batch/backsolve spans with no further
+// batch/krylov span. Not safe for concurrent use.
+type Factored[E any] struct {
+	fa *kp.Factorization[E]
+}
+
+// Dim returns the dimension of the factored matrix.
+func (h *Factored[E]) Dim() int { return h.fa.Dim() }
+
+// Solve returns the verified solution of A·x = b without re-running the
+// Krylov phase.
+func (h *Factored[E]) Solve(b []E) ([]E, error) { return h.fa.Solve(b) }
+
+// InverseApply returns the verified X = A⁻¹·B for all columns of B in one
+// fused backsolve.
+func (h *Factored[E]) InverseApply(b *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return h.fa.InverseApply(b)
+}
+
+// Det returns det(A) from the cached characteristic polynomial. Unlike
+// Solver.Det it does not vote across independent randomizations: the
+// answer is Monte Carlo with error probability ≤ 3n²/|S|.
+func (h *Factored[E]) Det() (E, error) { return h.fa.Det() }

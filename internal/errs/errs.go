@@ -1,0 +1,41 @@
+// Package errs holds the solver-wide error taxonomy: the sentinel values
+// that every layer of the reproduction (matrix substrate, Wiedemann
+// black-box route, the kp Theorem 4 pipelines, the core façade) reports
+// failure through. Each substrate package re-exports the sentinels it can
+// produce under its own name (kp.ErrSingular, wiedemann.ErrRetriesExhausted,
+// matrix.ErrSingular, …); because the re-exports are the *same values*,
+// errors.Is matches across package boundaries — a caller holding
+// kp.ErrRetriesExhausted recognizes an exhaustion bubbling out of the
+// Wiedemann resultant path without knowing which engine produced it.
+//
+// The package sits below every other internal package and imports nothing
+// but the standard library, so any layer may depend on it without cycles.
+package errs
+
+import "errors"
+
+var (
+	// ErrSingular reports a singular matrix where a non-singular one was
+	// required (zero pivot in elimination, vanishing charpoly constant
+	// term, degenerate leading block).
+	ErrSingular = errors.New("singular matrix")
+
+	// ErrRetriesExhausted reports that every randomized Las Vegas attempt
+	// failed. On non-singular inputs a single attempt fails with
+	// probability ≤ 3n²/|S| (the paper's equation (2)), so exhaustion
+	// virtually certifies a singular input.
+	ErrRetriesExhausted = errors.New("all randomized attempts failed (input likely singular)")
+
+	// ErrInconsistent reports a linear system with no solution.
+	ErrInconsistent = errors.New("inconsistent linear system (no solution)")
+
+	// ErrBadShape reports arguments whose dimensions do not form a valid
+	// problem (non-square matrix for a square-only routine, mismatched
+	// right-hand-side length, …).
+	ErrBadShape = errors.New("dimension mismatch")
+
+	// ErrCharacteristicTooSmall reports a field whose characteristic is
+	// ≤ n, violating Theorem 4's hypothesis (use the any-characteristic
+	// §5 routes instead).
+	ErrCharacteristicTooSmall = errors.New("field characteristic too small for Theorem 4 (use the any-characteristic §5 routes)")
+)

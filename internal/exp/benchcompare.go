@@ -27,27 +27,39 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 }
 
 // CompareBaseline checks cur against base cell by cell and returns one
-// message per regression: a (n, multiplier) run whose wall_ns exceeds the
-// baseline's by more than the fractional tolerance (0.10 = 10% slower).
-// Cells present in only one report are ignored — the gate guards shared
-// coverage, it does not force identical grids across PRs.
+// message per regression: a (n, multiplier, rhs) run whose wall_ns exceeds
+// the baseline's by more than the fractional tolerance (0.10 = 10% slower).
+// Rhs 0 (legacy reports) and 1 are the same cell, so old baselines keep
+// gating single-solve rows; batch rows only gate against baselines that
+// carry them. Cells present in only one report are ignored — the gate
+// guards shared coverage, it does not force identical grids across PRs.
 func CompareBaseline(cur, base *BenchReport, tol float64) []string {
+	key := func(r BenchRun) string {
+		rhs := r.Rhs
+		if rhs == 0 {
+			rhs = 1
+		}
+		return fmt.Sprintf("%d/%s/%d", r.Dim, r.Multiplier, rhs)
+	}
 	baseCells := make(map[string]int64, len(base.Runs))
 	for _, r := range base.Runs {
-		baseCells[fmt.Sprintf("%d/%s", r.Dim, r.Multiplier)] = r.WallNs
+		baseCells[key(r)] = r.WallNs
 	}
 	var regressions []string
 	for _, r := range cur.Runs {
-		key := fmt.Sprintf("%d/%s", r.Dim, r.Multiplier)
-		bw, ok := baseCells[key]
+		bw, ok := baseCells[key(r)]
 		if !ok || bw <= 0 {
 			continue
 		}
 		limit := float64(bw) * (1 + tol)
 		if float64(r.WallNs) > limit {
+			cell := fmt.Sprintf("n=%d %s", r.Dim, r.Multiplier)
+			if r.Rhs > 1 {
+				cell = fmt.Sprintf("%s rhs=%d", cell, r.Rhs)
+			}
 			regressions = append(regressions, fmt.Sprintf(
-				"n=%d %s: wall %.2fms vs baseline %.2fms (+%.0f%%, tolerance %.0f%%)",
-				r.Dim, r.Multiplier,
+				"%s: wall %.2fms vs baseline %.2fms (+%.0f%%, tolerance %.0f%%)",
+				cell,
 				float64(r.WallNs)/1e6, float64(bw)/1e6,
 				100*(float64(r.WallNs)/float64(bw)-1), 100*tol))
 		}

@@ -34,12 +34,15 @@ type BenchPhase struct {
 	Spans    int    `json:"spans"`
 }
 
-// BenchRun is one (n, multiplier) measurement.
+// BenchRun is one (n, multiplier, rhs) measurement.
 type BenchRun struct {
-	Dim        int                   `json:"n"`
-	Multiplier string                `json:"multiplier"`
-	WallNs     int64                 `json:"wall_ns"`
-	Phases     map[string]BenchPhase `json:"phases"`
+	Dim        int    `json:"n"`
+	Multiplier string `json:"multiplier"`
+	// Rhs is the number of right-hand sides; 0 (legacy reports) and 1 both
+	// mean a single traced Solve. Rows with Rhs > 1 measure SolveBatch.
+	Rhs    int                   `json:"rhs,omitempty"`
+	WallNs int64                 `json:"wall_ns"`
+	Phases map[string]BenchPhase `json:"phases"`
 	// FieldOpsTotal is the matrix.Instrumented total for the run; the sum
 	// of the per-phase field_ops must match it (each op is attributed to
 	// exactly one span).
@@ -51,6 +54,11 @@ type BenchRun struct {
 	MulWallNs int64 `json:"mul_wall_ns"`
 	MulBusyNs int64 `json:"mul_busy_ns"`
 	Verified  bool  `json:"verified"`
+	// IndepWallNs (Rhs > 1 rows only) is the wall time of solving the same
+	// Rhs right-hand sides as independent Solve calls, and BatchSpeedup is
+	// IndepWallNs / WallNs — the amortization factor of the batch engine.
+	IndepWallNs  int64   `json:"indep_wall_ns,omitempty"`
+	BatchSpeedup float64 `json:"batch_speedup,omitempty"`
 }
 
 // BenchReport is the kpbench -json document.
@@ -66,11 +74,13 @@ type BenchReport struct {
 	Metrics      map[string]int64 `json:"metrics"`
 }
 
-// BenchJSON runs one traced Theorem 4 solve per (n, multiplier) pair and
-// returns the per-phase report. Each run gets a fresh Observer (installed
-// as the active one for its duration), so phase totals are per-run; the
-// final metrics snapshot is cumulative over the process.
-func BenchJSON(ns []int, muls []string, seed uint64) (*BenchReport, error) {
+// BenchJSON runs one traced Theorem 4 solve per (n, multiplier) pair — plus,
+// for rhs > 1, one traced SolveBatch over rhs right-hand sides together with
+// its independent-solves baseline — and returns the per-phase report. Each
+// run gets a fresh Observer (installed as the active one for its duration),
+// so phase totals are per-run; the final metrics snapshot is cumulative over
+// the process.
+func BenchJSON(ns []int, muls []string, seed uint64, rhs int) (*BenchReport, error) {
 	f := fpCirc
 	report := &BenchReport{
 		Schema:       BenchSchema,
@@ -87,49 +97,106 @@ func BenchJSON(ns []int, muls []string, seed uint64) (*BenchReport, error) {
 		src := ff.NewSource(seed + uint64(n))
 		a := matrix.Random[uint64](f, src, n, n, f.Modulus())
 		b := ff.SampleVec[uint64](f, src, n, f.Modulus())
+		var bs *matrix.Dense[uint64]
+		if rhs > 1 {
+			bs = matrix.Random[uint64](f, src, n, rhs, f.Modulus())
+		}
 		for _, name := range muls {
 			if _, err := matrix.ByName[uint64](name); err != nil {
 				return nil, err
 			}
-			o := obs.New(0)
-			s := core.NewSolver[uint64](f, core.Options{
-				Seed:       seed,
-				Multiplier: name,
-				Observer:   o,
-				Instrument: true,
+			opts := core.Options{Seed: seed, Multiplier: name, Instrument: true}
+
+			run, err := benchOne(f, opts, a, n, name, prev, func(s *core.Solver[uint64]) (func() bool, error) {
+				x, err := s.Solve(a, b)
+				if err != nil {
+					return nil, err
+				}
+				return func() bool { return ff.VecEqual[uint64](f, a.MulVec(f, x), b) }, nil
 			})
-			start := time.Now()
-			x, err := s.Solve(a, b)
-			wall := time.Since(start)
-			obs.SetActive(prev)
 			if err != nil {
 				return nil, fmt.Errorf("bench n=%d mul=%s: %w", n, name, err)
 			}
-			snap := s.MulStats().Snapshot()
-			phases := make(map[string]BenchPhase)
-			for phase, t := range o.PhaseTotals() {
-				phases[phase] = BenchPhase{
-					WallNs:   t.Wall.Nanoseconds(),
-					FieldOps: t.FieldOps,
-					MulCalls: t.MulCalls,
-					Spans:    t.Count,
+			report.Runs = append(report.Runs, *run)
+
+			if rhs <= 1 {
+				continue
+			}
+			batch, err := benchOne(f, opts, a, n, name, prev, func(s *core.Solver[uint64]) (func() bool, error) {
+				x, err := s.SolveBatch(a, bs)
+				if err != nil {
+					return nil, err
+				}
+				return func() bool {
+					mul, _ := matrix.ByName[uint64](name)
+					return mul.Mul(f, a, x).Equal(f, bs)
+				}, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench n=%d mul=%s rhs=%d: %w", n, name, rhs, err)
+			}
+			batch.Rhs = rhs
+			// Amortization baseline: the same right-hand sides as rhs
+			// independent solves on an identically seeded solver (untraced —
+			// span overhead is noise at these sizes).
+			indep, err := core.NewSolver[uint64](f, core.Options{Seed: seed, Multiplier: name})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for j := 0; j < rhs; j++ {
+				if _, err := indep.Solve(a, bs.Col(j)); err != nil {
+					return nil, fmt.Errorf("bench n=%d mul=%s rhs=%d (independent solve %d): %w", n, name, rhs, j, err)
 				}
 			}
-			report.Runs = append(report.Runs, BenchRun{
-				Dim:           n,
-				Multiplier:    name,
-				WallNs:        wall.Nanoseconds(),
-				Phases:        phases,
-				FieldOpsTotal: snap.FieldOps,
-				MulCalls:      snap.Calls,
-				MulWallNs:     snap.Wall.Nanoseconds(),
-				MulBusyNs:     snap.Busy.Nanoseconds(),
-				Verified:      ff.VecEqual[uint64](f, a.MulVec(f, x), b),
-			})
+			batch.IndepWallNs = time.Since(start).Nanoseconds()
+			if batch.WallNs > 0 {
+				batch.BatchSpeedup = float64(batch.IndepWallNs) / float64(batch.WallNs)
+			}
+			report.Runs = append(report.Runs, *batch)
 		}
 	}
 	report.Metrics = obs.MetricsSnapshot()
 	return report, nil
+}
+
+// benchOne times one traced, instrumented solver call and folds the
+// observer's phase totals into a BenchRun.
+func benchOne(f ff.Fp64, opts core.Options, a *matrix.Dense[uint64], n int, name string, prev *obs.Observer, run func(*core.Solver[uint64]) (func() bool, error)) (*BenchRun, error) {
+	o := obs.New(0)
+	opts.Observer = o
+	s, err := core.NewSolver[uint64](f, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	verify, err := run(s)
+	wall := time.Since(start)
+	obs.SetActive(prev)
+	if err != nil {
+		return nil, err
+	}
+	snap := s.MulStats().Snapshot()
+	phases := make(map[string]BenchPhase)
+	for phase, t := range o.PhaseTotals() {
+		phases[phase] = BenchPhase{
+			WallNs:   t.Wall.Nanoseconds(),
+			FieldOps: t.FieldOps,
+			MulCalls: t.MulCalls,
+			Spans:    t.Count,
+		}
+	}
+	return &BenchRun{
+		Dim:           n,
+		Multiplier:    name,
+		WallNs:        wall.Nanoseconds(),
+		Phases:        phases,
+		FieldOpsTotal: snap.FieldOps,
+		MulCalls:      snap.Calls,
+		MulWallNs:     snap.Wall.Nanoseconds(),
+		MulBusyNs:     snap.Busy.Nanoseconds(),
+		Verified:      verify(),
+	}, nil
 }
 
 // WriteJSON writes the report, indented for diff-friendly BENCH_*.json

@@ -257,7 +257,7 @@ func E12(seed uint64, quick bool) (*Table, error) {
 		resMatch := base.IsZero(rs) == base.IsZero(re)
 
 		// Black-box resultant through the structured Sylvester operator.
-		rw, err := kp.ResultantWiedemann[uint64](base, a, b, src, ff.P31, 0)
+		rw, err := kp.ResultantWiedemann[uint64](base, a, b, kp.Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			return nil, err
 		}

@@ -55,7 +55,7 @@ func E4m(seed uint64, quick bool) (*Table, error) {
 	// stream, must produce the identical solution vector.
 	sa := matrix.Random[uint64](f, src, solveN, solveN, ff.P31)
 	sb := ff.SampleVec[uint64](f, src, solveN, ff.P31)
-	want, err := kp.Solve[uint64](f, matrix.Classical[uint64]{}, sa, sb, ff.NewSource(seed+1), f.Modulus(), 0)
+	want, err := kp.Solve[uint64](f, matrix.Classical[uint64]{}, sa, sb, kp.Params{Src: ff.NewSource(seed + 1), Subset: f.Modulus()})
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +65,7 @@ func E4m(seed uint64, quick bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		got, err := kp.Solve[uint64](f, mul, sa, sb, ff.NewSource(seed+1), f.Modulus(), 0)
+		got, err := kp.Solve[uint64](f, mul, sa, sb, kp.Params{Src: ff.NewSource(seed + 1), Subset: f.Modulus()})
 		identical[name] = err == nil && ff.VecEqual[uint64](f, got, want)
 	}
 

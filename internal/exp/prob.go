@@ -152,20 +152,20 @@ func E13(seed uint64, quick bool) (*Table, error) {
 		rankOK, nsOK, solveOK := 0, 0, 0
 		for trial := 0; trial < trials; trial++ {
 			a := plantedRank(f, src, tc.n, tc.r)
-			r, err := kp.Rank[uint64](f, a, src, ff.P17, 0)
+			r, err := kp.Rank[uint64](f, a, kp.Params{Src: src, Subset: ff.P17})
 			if err != nil {
 				return nil, err
 			}
 			if r == tc.r {
 				rankOK++
 			}
-			ns, err := kp.Nullspace[uint64](f, a, src, ff.P17, 0)
+			ns, err := kp.Nullspace[uint64](f, a, kp.Params{Src: src, Subset: ff.P17})
 			if err == nil && ns.Cols == tc.n-tc.r && matrix.Mul[uint64](f, a, ns).IsZero(f) {
 				nsOK++
 			}
 			y := ff.SampleVec[uint64](f, src, tc.n, ff.P17)
 			b := a.MulVec(f, y)
-			x, err := kp.SolveSingular[uint64](f, a, b, src, ff.P17, 0)
+			x, err := kp.SolveSingular[uint64](f, a, b, kp.Params{Src: src, Subset: ff.P17})
 			if err == nil && ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
 				solveOK++
 			} else if errors.Is(err, kp.ErrInconsistent) {

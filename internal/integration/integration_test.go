@@ -18,7 +18,10 @@ import (
 // runMatrixSuite exercises the Solver API over one field.
 func runMatrixSuite[E any](t *testing.T, f ff.Field[E], subset uint64, n int) {
 	t.Helper()
-	s := core.NewSolver[E](f, core.Options{Seed: 0xC0FFEE, SubsetSize: subset})
+	s, err := core.NewSolver[E](f, core.Options{Seed: 0xC0FFEE, SubsetSize: subset})
+	if err != nil {
+		t.Fatal(err)
+	}
 	src := ff.NewSource(31337)
 
 	var a *matrix.Dense[E]
@@ -142,7 +145,7 @@ func TestRationals(t *testing.T) {
 // any-characteristic §5 surface still works.
 func TestSmallCharacteristicSurface(t *testing.T) {
 	f2 := ff.MustFp64(2)
-	s := core.NewSolver[uint64](f2, core.Options{Seed: 5})
+	s := core.MustNewSolver[uint64](f2, core.Options{Seed: 5})
 	src := ff.NewSource(43)
 	n := 5
 	a := matrix.Random[uint64](f2, src, n, n, 2)

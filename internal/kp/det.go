@@ -2,6 +2,7 @@ package kp
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/circuit"
 	"repro/internal/ff"
@@ -67,15 +68,19 @@ func balancedProduct[E any](f ff.Field[E], xs []E) E {
 // singular matrix returns 0 via the f̃(0) = 0 path surfacing as a zero
 // division, so exhaustion is reported as a (correct) zero determinant only
 // when the cheaper Wiedemann singularity test concurs.
-func Det[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (E, error) {
+func Det[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], p Params) (E, error) {
 	var zero E
 	n := a.Rows
-	if retries <= 0 {
-		retries = DefaultRetries
+	if a.Cols != n {
+		return zero, fmt.Errorf("kp: Det needs a square matrix (got %d×%d): %w", a.Rows, a.Cols, ErrBadShape)
 	}
+	p = fill(f, p)
 	attempt := func() (E, error) {
-		for i := 0; i < retries; i++ {
-			rnd := DrawRandomness(f, src, n, subset)
+		for i := 0; i < p.Retries; i++ {
+			if err := ctxErr(p.Ctx); err != nil {
+				return zero, err
+			}
+			rnd := DrawRandomness(f, p.Src, n, p.Subset)
 			d, err := DetOnce(f, mul, a, rnd)
 			if err != nil {
 				if errors.Is(err, ff.ErrDivisionByZero) || errors.Is(err, matrix.ErrSingular) {
@@ -97,6 +102,9 @@ func Det[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], src
 	d2, err := attempt()
 	if err == nil && f.Equal(d1, d2) {
 		return d1, nil
+	}
+	if cerr := ctxErr(p.Ctx); cerr != nil {
+		return zero, cerr
 	}
 	// Disagreement (rare): fall back to a best-of-three vote.
 	d3, err3 := attempt()

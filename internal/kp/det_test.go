@@ -15,7 +15,7 @@ func TestDetKnownStructures(t *testing.T) {
 	// Identity: det = 1.
 	for _, n := range []int{1, 2, 5, 9} {
 		id := matrix.Identity[uint64](fp, n)
-		d, err := Det[uint64](fp, classical(), id, src, ff.P31, 0)
+		d, err := Det[uint64](fp, classical(), id, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -26,7 +26,7 @@ func TestDetKnownStructures(t *testing.T) {
 	// Diagonal: det = product of entries.
 	diag := ff.VecFromInt64[uint64](fp, []int64{2, 3, 5, 7})
 	dm := matrix.Diagonal[uint64](fp, diag)
-	d, err := Det[uint64](fp, classical(), dm, src, ff.P31, 0)
+	d, err := Det[uint64](fp, classical(), dm, Params{Src: src, Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestDetKnownStructures(t *testing.T) {
 	p := matrix.FromRows[uint64](fp, [][]int64{
 		{0, 1, 0}, {1, 0, 0}, {0, 0, 1},
 	})
-	d, err = Det[uint64](fp, classical(), p, src, ff.P31, 0)
+	d, err = Det[uint64](fp, classical(), p, Params{Src: src, Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,15 +51,15 @@ func TestDetMultiplicativity(t *testing.T) {
 	n := 5
 	a := randNonsingular(t, src, n)
 	b := randNonsingular(t, src, n)
-	da, err := Det[uint64](fp, classical(), a, src, ff.P31, 0)
+	da, err := Det[uint64](fp, classical(), a, Params{Src: src, Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, err := Det[uint64](fp, classical(), b, src, ff.P31, 0)
+	db, err := Det[uint64](fp, classical(), b, Params{Src: src, Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dab, err := Det[uint64](fp, classical(), matrix.Mul[uint64](fp, a, b), src, ff.P31, 0)
+	dab, err := Det[uint64](fp, classical(), matrix.Mul[uint64](fp, a, b), Params{Src: src, Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func ExtensionDegree(p uint64, n int, eps float64) int {
 func SolveViaExtension(base ff.Fp64, a *matrix.Dense[uint64], b []uint64, src *ff.Source, eps float64, retries int) ([]uint64, error) {
 	n := a.Rows
 	if !ff.CharacteristicExceeds[uint64](base, n) {
-		return nil, fmt.Errorf("kp: characteristic %d ≤ n = %d even in an extension", base.Modulus(), n)
+		return nil, fmt.Errorf("kp: characteristic %d ≤ n = %d even in an extension: %w", base.Modulus(), n, ErrCharacteristicTooSmall)
 	}
 	ext, subset, err := buildExtension(base, n, eps, src)
 	if err != nil {
@@ -60,7 +60,7 @@ func SolveViaExtension(base ff.Fp64, a *matrix.Dense[uint64], b []uint64, src *f
 		lv[0] = v
 		lb[i] = lv
 	}
-	lx, err := Solve[[]uint64](ext, matrix.Classical[[]uint64]{}, la, lb, src, subset, retries)
+	lx, err := Solve[[]uint64](ext, matrix.Classical[[]uint64]{}, la, lb, Params{Src: src, Subset: subset, Retries: retries})
 	if err != nil {
 		return nil, err
 	}
@@ -72,14 +72,14 @@ func SolveViaExtension(base ff.Fp64, a *matrix.Dense[uint64], b []uint64, src *f
 func DetViaExtension(base ff.Fp64, a *matrix.Dense[uint64], src *ff.Source, eps float64, retries int) (uint64, error) {
 	n := a.Rows
 	if !ff.CharacteristicExceeds[uint64](base, n) {
-		return 0, fmt.Errorf("kp: characteristic %d ≤ n = %d even in an extension", base.Modulus(), n)
+		return 0, fmt.Errorf("kp: characteristic %d ≤ n = %d even in an extension: %w", base.Modulus(), n, ErrCharacteristicTooSmall)
 	}
 	ext, subset, err := buildExtension(base, n, eps, src)
 	if err != nil {
 		return 0, err
 	}
 	la := liftMatrix(ext, a)
-	ld, err := Det[[]uint64](ext, matrix.Classical[[]uint64]{}, la, src, subset, retries)
+	ld, err := Det[[]uint64](ext, matrix.Classical[[]uint64]{}, la, Params{Src: src, Subset: subset, Retries: retries})
 	if err != nil {
 		return 0, err
 	}

@@ -36,7 +36,7 @@ func TestSolveOverExtensionField(t *testing.T) {
 		}
 	}
 	b := ff.SampleVec[[]uint64](f, src, n, subset)
-	x, err := Solve[[]uint64](f, matrix.Classical[[]uint64]{}, a, b, src, subset, 0)
+	x, err := Solve[[]uint64](f, matrix.Classical[[]uint64]{}, a, b, Params{Src: src, Subset: subset})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestSolveOverExtensionField(t *testing.T) {
 		t.Fatal("F_{p²}: Ax != b")
 	}
 	// Determinant agrees with LU over the same field.
-	d, err := Det[[]uint64](f, matrix.Classical[[]uint64]{}, a, src, subset, 0)
+	d, err := Det[[]uint64](f, matrix.Classical[[]uint64]{}, a, Params{Src: src, Subset: subset})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestSolveOverBigPrime(t *testing.T) {
 	subset := uint64(1) << 40
 	a := matrix.Random[*big.Int](f, src, n, n, subset)
 	b := ff.SampleVec[*big.Int](f, src, n, subset)
-	x, err := Solve[*big.Int](f, matrix.Classical[*big.Int]{}, a, b, src, subset, 0)
+	x, err := Solve[*big.Int](f, matrix.Classical[*big.Int]{}, a, b, Params{Src: src, Subset: subset})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestSolveOverNTTField(t *testing.T) {
 			}
 		}
 		b := ff.SampleVec[uint64](f, src, n, f.Modulus())
-		x, err := Solve[uint64](f, matrix.Classical[uint64]{}, a, b, src, f.Modulus(), 0)
+		x, err := Solve[uint64](f, matrix.Classical[uint64]{}, a, b, Params{Src: src, Subset: f.Modulus()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func TestAdversarialRandomness(t *testing.T) {
 	}
 
 	// And the Las Vegas driver still succeeds with fresh randomness.
-	x, err := Solve[uint64](f, matrix.Classical[uint64]{}, a, b, src, ff.P31, 0)
+	x, err := Solve[uint64](f, matrix.Classical[uint64]{}, a, b, Params{Src: src, Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}

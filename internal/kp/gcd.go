@@ -161,7 +161,7 @@ func minimalDegreeSpanElement[E any](f ff.Field[E], rows [][]E) []E {
 // determinant computation is two polynomial multiplications, so the whole
 // resultant costs Õ(n)·M(n) with no dense matrix ever formed. Requires
 // characteristic 0 or > m+n (the det pipeline's Toeplitz step).
-func ResultantWiedemann[E any](f ff.Field[E], a, b []E, src *ff.Source, subset uint64, retries int) (E, error) {
+func ResultantWiedemann[E any](f ff.Field[E], a, b []E, p Params) (E, error) {
 	var zero E
 	a, b = poly.Trim(f, a), poly.Trim(f, b)
 	if len(a) == 0 || len(b) == 0 {
@@ -170,8 +170,9 @@ func ResultantWiedemann[E any](f ff.Field[E], a, b []E, src *ff.Source, subset u
 	if len(a) == 1 && len(b) == 1 {
 		return f.One(), nil // two non-zero constants
 	}
+	p = fill(f, p)
 	s := structured.NewSylvester(f, a, b)
-	d, err := wiedemann.Det[E](f, s, src, subset, retries)
+	d, err := wiedemann.Det[E](f, s, p.Src, p.Subset, p.Retries)
 	if err != nil {
 		if errors.Is(err, wiedemann.ErrRetriesExhausted) {
 			// Singular Sylvester matrix ⇔ non-trivial gcd ⇔ resultant 0.

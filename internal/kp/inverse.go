@@ -2,6 +2,7 @@ package kp
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/circuit"
 	"repro/internal/ff"
@@ -62,21 +63,22 @@ func InverseFromCircuit[E any](b *circuit.Builder, f ff.Field[E], a *matrix.Dens
 // Inverse is the Las Vegas Theorem 6 driver: build the inverse circuit
 // once, then evaluate it with fresh randomness until A·A⁻¹ = I verifies.
 // Requires characteristic 0 or > n.
-func Inverse[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (*matrix.Dense[E], error) {
+func Inverse[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], p Params) (*matrix.Dense[E], error) {
 	n := a.Rows
 	if a.Cols != n {
-		panic("kp: Inverse needs a square matrix")
+		return nil, fmt.Errorf("kp: Inverse needs a square matrix (got %d×%d): %w", a.Rows, a.Cols, ErrBadShape)
 	}
-	if retries <= 0 {
-		retries = DefaultRetries
-	}
+	p = fill(f, p)
 	circ, err := TraceInverse(f, matrix.Classical[circuit.Wire]{}, n)
 	if err != nil {
 		return nil, err
 	}
 	id := matrix.Identity(f, n)
-	for attempt := 0; attempt < retries; attempt++ {
-		rnd := DrawRandomness(f, src, n, subset)
+	for attempt := 0; attempt < p.Retries; attempt++ {
+		if err := ctxErr(p.Ctx); err != nil {
+			return nil, err
+		}
+		rnd := DrawRandomness(f, p.Src, n, p.Subset)
 		inv, err := InverseFromCircuit(circ, f, a, rnd)
 		if err != nil {
 			if errors.Is(err, ff.ErrDivisionByZero) {

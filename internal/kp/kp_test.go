@@ -30,7 +30,7 @@ func TestSolveMatchesLU(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 5, 8, 13} {
 		a := randNonsingular(t, src, n)
 		b := ff.SampleVec[uint64](fp, src, n, ff.P31)
-		x, err := Solve[uint64](fp, classical(), a, b, src, ff.P31, 0)
+		x, err := Solve[uint64](fp, classical(), a, b, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -47,7 +47,7 @@ func TestSolveMatchesLU(t *testing.T) {
 func TestSolveSingularExhausts(t *testing.T) {
 	src := ff.NewSource(123)
 	s := matrix.FromRows[uint64](fp, [][]int64{{1, 2}, {2, 4}})
-	if _, err := Solve[uint64](fp, classical(), s, []uint64{1, 1}, src, ff.P31, 3); !errors.Is(err, ErrRetriesExhausted) {
+	if _, err := Solve[uint64](fp, classical(), s, []uint64{1, 1}, Params{Src: src, Subset: ff.P31, Retries: 3}); !errors.Is(err, ErrRetriesExhausted) {
 		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
 	}
 }
@@ -57,7 +57,7 @@ func TestSolveOverRationals(t *testing.T) {
 	src := ff.NewSource(124)
 	a := matrix.FromRows[*big.Rat](f, [][]int64{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}})
 	b := ff.VecFromInt64[*big.Rat](f, []int64{1, 2, 3})
-	x, err := Solve[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, src, 1<<20, 0)
+	x, err := Solve[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, Params{Src: src, Subset: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestDetMatchesLU(t *testing.T) {
 	src := ff.NewSource(125)
 	for _, n := range []int{1, 2, 3, 5, 9} {
 		a := randNonsingular(t, src, n)
-		got, err := Det[uint64](fp, classical(), a, src, ff.P31, 0)
+		got, err := Det[uint64](fp, classical(), a, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +160,7 @@ func TestInverseTheorem6(t *testing.T) {
 	src := ff.NewSource(131)
 	for _, n := range []int{1, 2, 3, 5, 8} {
 		a := randNonsingular(t, src, n)
-		inv, err := Inverse[uint64](fp, classical(), a, src, ff.P31, 0)
+		inv, err := Inverse[uint64](fp, classical(), a, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +204,7 @@ func TestTransposedSolve(t *testing.T) {
 	for _, n := range []int{1, 2, 4, 6} {
 		a := randNonsingular(t, src, n)
 		b := ff.SampleVec[uint64](fp, src, n, ff.P31)
-		x, err := TransposedSolve[uint64](fp, a, b, src, ff.P31, 0)
+		x, err := TransposedSolve[uint64](fp, a, b, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +218,7 @@ func TestRankPlanted(t *testing.T) {
 	src := ff.NewSource(135)
 	for _, tc := range []struct{ n, r int }{{4, 2}, {6, 3}, {7, 7}, {5, 0}, {8, 1}} {
 		a := plantedRank(src, tc.n, tc.r)
-		got, err := Rank[uint64](fp, a, src, ff.P31, 0)
+		got, err := Rank[uint64](fp, a, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +230,7 @@ func TestRankPlanted(t *testing.T) {
 	l := matrix.Random[uint64](fp, src, 6, 2, ff.P31)
 	r := matrix.Random[uint64](fp, src, 2, 9, ff.P31)
 	a := matrix.Mul[uint64](fp, l, r)
-	got, err := Rank[uint64](fp, a, src, ff.P31, 0)
+	got, err := Rank[uint64](fp, a, Params{Src: src, Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestNullspace(t *testing.T) {
 	src := ff.NewSource(137)
 	for _, tc := range []struct{ n, r int }{{4, 2}, {6, 3}, {5, 5}, {5, 0}, {7, 1}} {
 		a := plantedRank(src, tc.n, tc.r)
-		ns, err := Nullspace[uint64](fp, a, src, ff.P31, 0)
+		ns, err := Nullspace[uint64](fp, a, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -287,7 +287,7 @@ func TestSolveSingularConsistent(t *testing.T) {
 		// Consistent rhs: b = A·y for random y.
 		y := ff.SampleVec[uint64](fp, src, tc.n, ff.P31)
 		b := a.MulVec(fp, y)
-		x, err := SolveSingular[uint64](fp, a, b, src, ff.P31, 0)
+		x, err := SolveSingular[uint64](fp, a, b, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatalf("n=%d r=%d: %v", tc.n, tc.r, err)
 		}
@@ -320,7 +320,7 @@ func TestSolveSingularInconsistent(t *testing.T) {
 			}
 		}
 	}
-	if _, err := SolveSingular[uint64](fp, a, b, src, ff.P31, 0); !errors.Is(err, ErrInconsistent) {
+	if _, err := SolveSingular[uint64](fp, a, b, Params{Src: src, Subset: ff.P31}); !errors.Is(err, ErrInconsistent) {
 		t.Fatalf("err = %v, want ErrInconsistent", err)
 	}
 }
@@ -331,7 +331,7 @@ func TestLeastSquares(t *testing.T) {
 	// Overdetermined full-column-rank system.
 	a := matrix.FromRows[*big.Rat](f, [][]int64{{1, 0}, {0, 1}, {1, 1}})
 	b := ff.VecFromInt64[*big.Rat](f, []int64{1, 2, 0})
-	x, err := LeastSquares[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, src, 1<<20, 0)
+	x, err := LeastSquares[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, Params{Src: src, Subset: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestLeastSquares(t *testing.T) {
 		t.Fatalf("least squares = (%s, %s), want (0, 1)", x[0], x[1])
 	}
 	// Positive characteristic must be refused.
-	if _, err := LeastSquares[uint64](fp, classical(), matrix.Identity[uint64](fp, 2), []uint64{1, 2}, src, ff.P31, 0); !errors.Is(err, ErrCharacteristicZero) {
+	if _, err := LeastSquares[uint64](fp, classical(), matrix.Identity[uint64](fp, 2), []uint64{1, 2}, Params{Src: src, Subset: ff.P31}); !errors.Is(err, ErrCharacteristicZero) {
 		t.Fatalf("char > 0: err = %v", err)
 	}
 }
@@ -354,7 +354,7 @@ func TestLeastSquaresRankDeficient(t *testing.T) {
 	// Column 2 = 2·column 1: rank-deficient normal equations.
 	a := matrix.FromRows[*big.Rat](f, [][]int64{{1, 2}, {2, 4}, {3, 6}})
 	b := ff.VecFromInt64[*big.Rat](f, []int64{1, 1, 1})
-	x, err := LeastSquares[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, src, 1<<20, 0)
+	x, err := LeastSquares[*big.Rat](f, matrix.Classical[*big.Rat]{}, a, b, Params{Src: src, Subset: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}

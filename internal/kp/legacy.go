@@ -1,0 +1,78 @@
+package kp
+
+import (
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// Legacy entry points: the pre-Params signatures, kept as thin wrappers so
+// existing callers keep compiling. Each forwards to the canonical driver
+// with Params{Src, Subset, Retries}; new code should call the canonical
+// name with a Params literal (the zero value is a valid default).
+
+// SolveLegacy solves A·x = b with the old positional knobs.
+//
+// Deprecated: use Solve with Params.
+func SolveLegacy[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+	return Solve(f, mul, a, b, Params{Src: src, Subset: subset, Retries: retries})
+}
+
+// DetLegacy computes det(A) with the old positional knobs.
+//
+// Deprecated: use Det with Params.
+func DetLegacy[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (E, error) {
+	return Det(f, mul, a, Params{Src: src, Subset: subset, Retries: retries})
+}
+
+// RankLegacy computes rank(A) with the old positional knobs.
+//
+// Deprecated: use Rank with Params.
+func RankLegacy[E any](f ff.Field[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (int, error) {
+	return Rank(f, a, Params{Src: src, Subset: subset, Retries: retries})
+}
+
+// NullspaceLegacy computes a right-nullspace basis with the old positional
+// knobs.
+//
+// Deprecated: use Nullspace with Params.
+func NullspaceLegacy[E any](f ff.Field[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (*matrix.Dense[E], error) {
+	return Nullspace(f, a, Params{Src: src, Subset: subset, Retries: retries})
+}
+
+// SolveSingularLegacy solves a possibly-singular system with the old
+// positional knobs.
+//
+// Deprecated: use SolveSingular with Params.
+func SolveSingularLegacy[E any](f ff.Field[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+	return SolveSingular(f, a, b, Params{Src: src, Subset: subset, Retries: retries})
+}
+
+// LeastSquaresLegacy computes a least-squares solution with the old
+// positional knobs.
+//
+// Deprecated: use LeastSquares with Params.
+func LeastSquaresLegacy[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+	return LeastSquares(f, mul, a, b, Params{Src: src, Subset: subset, Retries: retries})
+}
+
+// TransposedSolveLegacy solves Aᵀ·x = b with the old positional knobs.
+//
+// Deprecated: use TransposedSolve with Params.
+func TransposedSolveLegacy[E any](f ff.Field[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+	return TransposedSolve(f, a, b, Params{Src: src, Subset: subset, Retries: retries})
+}
+
+// InverseLegacy computes A⁻¹ with the old positional knobs.
+//
+// Deprecated: use Inverse with Params.
+func InverseLegacy[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (*matrix.Dense[E], error) {
+	return Inverse(f, mul, a, Params{Src: src, Subset: subset, Retries: retries})
+}
+
+// ResultantWiedemannLegacy computes Res(a, b) with the old positional
+// knobs.
+//
+// Deprecated: use ResultantWiedemann with Params.
+func ResultantWiedemannLegacy[E any](f ff.Field[E], a, b []E, src *ff.Source, subset uint64, retries int) (E, error) {
+	return ResultantWiedemann(f, a, b, Params{Src: src, Subset: subset, Retries: retries})
+}

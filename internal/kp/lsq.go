@@ -2,6 +2,7 @@ package kp
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/ff"
 	"repro/internal/matrix"
@@ -26,17 +27,18 @@ var ErrCharacteristicZero = errors.New("kp: least squares requires characteristi
 // unique and solved through the Theorem 4 solver on the normal equations;
 // otherwise one solution of the (always consistent) normal equations is
 // returned via SolveSingular.
-func LeastSquares[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+func LeastSquares[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, p Params) ([]E, error) {
 	if f.Characteristic().Sign() != 0 {
 		return nil, ErrCharacteristicZero
 	}
 	if len(b) != a.Rows {
-		panic("kp: LeastSquares dimension mismatch")
+		return nil, fmt.Errorf("kp: LeastSquares needs a right-hand side matching the row count (A is %d×%d, b has %d entries): %w",
+			a.Rows, a.Cols, len(b), ErrBadShape)
 	}
 	at := a.Transpose()
 	g := matrix.Mul(f, at, a) // n×n Gram matrix
 	rhs := at.MulVec(f, b)
-	x, err := Solve(f, mul, g, rhs, src, subset, retries)
+	x, err := Solve(f, mul, g, rhs, p)
 	if err == nil {
 		return x, nil
 	}
@@ -44,7 +46,7 @@ func LeastSquares[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dens
 		return nil, err
 	}
 	// Rank-deficient A: the normal equations are still consistent.
-	return SolveSingular(f, g, rhs, src, subset, retries)
+	return SolveSingular(f, g, rhs, p)
 }
 
 // ResidualIsOrthogonal reports whether the residual b − A·x is orthogonal

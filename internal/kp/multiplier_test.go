@@ -20,11 +20,11 @@ func TestSolversIdenticalUnderAllMultipliers(t *testing.T) {
 		b := ff.SampleVec[uint64](f, gen, n, f.Modulus())
 		seed := uint64(1000 + trial)
 
-		wantX, err := Solve[uint64](f, matrix.Classical[uint64]{}, a, b, ff.NewSource(seed), f.Modulus(), 0)
+		wantX, err := Solve[uint64](f, matrix.Classical[uint64]{}, a, b, Params{Src: ff.NewSource(seed), Subset: f.Modulus()})
 		if err != nil {
 			t.Fatalf("n=%d: classical solve: %v", n, err)
 		}
-		wantDet, err := Det[uint64](f, matrix.Classical[uint64]{}, a, ff.NewSource(seed), f.Modulus(), 0)
+		wantDet, err := Det[uint64](f, matrix.Classical[uint64]{}, a, Params{Src: ff.NewSource(seed), Subset: f.Modulus()})
 		if err != nil {
 			t.Fatalf("n=%d: classical det: %v", n, err)
 		}
@@ -38,14 +38,14 @@ func TestSolversIdenticalUnderAllMultipliers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			x, err := Solve[uint64](f, mul, a, b, ff.NewSource(seed), f.Modulus(), 0)
+			x, err := Solve[uint64](f, mul, a, b, Params{Src: ff.NewSource(seed), Subset: f.Modulus()})
 			if err != nil {
 				t.Fatalf("n=%d %s: solve: %v", n, name, err)
 			}
 			if !ff.VecEqual[uint64](f, x, wantX) {
 				t.Fatalf("n=%d: %s solve differs from classical", n, name)
 			}
-			d, err := Det[uint64](f, mul, a, ff.NewSource(seed), f.Modulus(), 0)
+			d, err := Det[uint64](f, mul, a, Params{Src: ff.NewSource(seed), Subset: f.Modulus()})
 			if err != nil {
 				t.Fatalf("n=%d %s: det: %v", n, name, err)
 			}

@@ -1,7 +1,7 @@
 package kp
 
 import (
-	"errors"
+	"fmt"
 
 	"repro/internal/ff"
 	"repro/internal/matrix"
@@ -18,34 +18,31 @@ import (
 //
 // because the Schur complement D − C·Â_r⁻¹·B vanishes at rank r.
 
-// ErrInconsistent is returned by SolveSingular when the system has no
-// solution.
-var ErrInconsistent = errors.New("kp: system is inconsistent")
-
 // Nullspace returns a basis (as columns of an n×(n−r) matrix) of the right
 // null space of a square matrix, verified so the result is always correct
 // (Las Vegas). A non-singular matrix yields a basis with zero columns.
-func Nullspace[E any](f ff.Field[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (*matrix.Dense[E], error) {
+func Nullspace[E any](f ff.Field[E], a *matrix.Dense[E], p Params) (*matrix.Dense[E], error) {
 	n := a.Rows
 	if a.Cols != n {
-		panic("kp: Nullspace needs a square matrix")
+		return nil, fmt.Errorf("kp: Nullspace needs a square matrix (got %d×%d): %w", a.Rows, a.Cols, ErrBadShape)
 	}
-	if retries <= 0 {
-		retries = DefaultRetries
-	}
-	r, err := Rank(f, a, src, subset, retries)
+	p = fill(f, p)
+	r, err := Rank(f, a, p)
 	if err != nil {
 		return nil, err
 	}
 	if r == n {
 		return matrix.NewDense(f, n, 0), nil
 	}
-	for attempt := 0; attempt < retries; attempt++ {
-		u, err := randomNonsingular(f, src, n, subset)
+	for attempt := 0; attempt < p.Retries; attempt++ {
+		if err := ctxErr(p.Ctx); err != nil {
+			return nil, err
+		}
+		u, err := randomNonsingular(f, p.Src, n, p.Subset)
 		if err != nil {
 			return nil, err
 		}
-		v, err := randomNonsingular(f, src, n, subset)
+		v, err := randomNonsingular(f, p.Src, n, p.Subset)
 		if err != nil {
 			return nil, err
 		}
@@ -106,15 +103,14 @@ func nullspaceFromHat[E any](f ff.Field[E], ahat, v *matrix.Dense[E], r int) (*m
 // candidate y = (Â_r⁻¹·c_{1..r}, 0, …, 0) solves Â·y = c exactly when the
 // system is consistent; x = V·y. The result is verified, so it is always
 // correct when returned (Las Vegas).
-func SolveSingular[E any](f ff.Field[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+func SolveSingular[E any](f ff.Field[E], a *matrix.Dense[E], b []E, p Params) ([]E, error) {
 	n := a.Rows
 	if a.Cols != n || len(b) != n {
-		panic("kp: SolveSingular needs a square system")
+		return nil, fmt.Errorf("kp: SolveSingular needs a square system with a matching right-hand side (A is %d×%d, b has %d entries): %w",
+			a.Rows, a.Cols, len(b), ErrBadShape)
 	}
-	if retries <= 0 {
-		retries = DefaultRetries
-	}
-	r, err := Rank(f, a, src, subset, retries)
+	p = fill(f, p)
+	r, err := Rank(f, a, p)
 	if err != nil {
 		return nil, err
 	}
@@ -125,12 +121,15 @@ func SolveSingular[E any](f ff.Field[E], a *matrix.Dense[E], b []E, src *ff.Sour
 		return nil, ErrInconsistent
 	}
 	sawCandidate := false
-	for attempt := 0; attempt < retries; attempt++ {
-		u, err := randomNonsingular(f, src, n, subset)
+	for attempt := 0; attempt < p.Retries; attempt++ {
+		if err := ctxErr(p.Ctx); err != nil {
+			return nil, err
+		}
+		u, err := randomNonsingular(f, p.Src, n, p.Subset)
 		if err != nil {
 			return nil, err
 		}
-		v, err := randomNonsingular(f, src, n, subset)
+		v, err := randomNonsingular(f, p.Src, n, p.Subset)
 		if err != nil {
 			return nil, err
 		}

@@ -19,22 +19,23 @@ import (
 // to binary search with O(log n) determinant evaluations. Unlucky
 // randomness can only under-estimate, so the maximum over attempts is
 // reported.
-func Rank[E any](f ff.Field[E], a *matrix.Dense[E], src *ff.Source, subset uint64, retries int) (int, error) {
-	if retries <= 0 {
-		retries = DefaultRetries
-	}
+func Rank[E any](f ff.Field[E], a *matrix.Dense[E], p Params) (int, error) {
+	p = fill(f, p)
 	m, n := a.Rows, a.Cols
 	limit := min(m, n)
 	if limit == 0 {
 		return 0, nil
 	}
 	best := 0
-	for attempt := 0; attempt < retries; attempt++ {
-		u, err := randomNonsingular(f, src, m, subset)
+	for attempt := 0; attempt < p.Retries; attempt++ {
+		if err := ctxErr(p.Ctx); err != nil {
+			return 0, err
+		}
+		u, err := randomNonsingular(f, p.Src, m, p.Subset)
 		if err != nil {
 			return 0, err
 		}
-		v, err := randomNonsingular(f, src, n, subset)
+		v, err := randomNonsingular(f, p.Src, n, p.Subset)
 		if err != nil {
 			return 0, err
 		}

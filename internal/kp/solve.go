@@ -13,7 +13,9 @@
 package kp
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/circuit"
 	"repro/internal/ff"
@@ -21,14 +23,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/structured"
 )
-
-// ErrRetriesExhausted is returned by the Las Vegas drivers when all random
-// attempts failed; on non-singular inputs each attempt fails with
-// probability ≤ 3n²/|S|, so exhaustion virtually certifies singularity.
-var ErrRetriesExhausted = errors.New("kp: all randomized attempts failed (matrix likely singular)")
-
-// DefaultRetries is the Las Vegas retry budget.
-const DefaultRetries = 5
 
 // Randomness is the O(n) random field elements of Theorems 4 and 6: the
 // 2n−1 Hankel entries, the n diagonal entries, and the projection vectors
@@ -86,15 +80,30 @@ func precondition[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dens
 // probability) characteristic polynomial λⁿ − c_{n−1}λ^{n−1} − … − c₀ of
 // Ã, low degree first.
 func charPolyOfPreconditioned[E any](f ff.Field[E], mul matrix.Multiplier[E], atilde *matrix.Dense[E], rnd Randomness[E]) ([]E, error) {
+	return charPolyCtx(nil, f, mul, atilde, rnd, obs.PhaseKrylov, obs.PhaseMinPoly, nil)
+}
+
+// charPolyCtx is the context-aware core of charPolyOfPreconditioned, shared
+// with the batch engine: span names are injected so the batch route records
+// batch/krylov + batch/minpoly, and a non-nil pows cache captures the
+// Ã^{2^i} ladder of the doubling for reuse by the backsolves.
+func charPolyCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier[E], atilde *matrix.Dense[E], rnd Randomness[E], krylovPhase, minpolyPhase string, pows *[]*matrix.Dense[E]) ([]E, error) {
 	n := atilde.Rows
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	// Sequence a_i = u·Ãⁱ·v, i = 0..2n−1, via the doubling of (9).
-	sp := obs.StartPhase(obs.PhaseKrylov)
-	k := matrix.KrylovDoubling(f, mul, atilde, rnd.V, 2*n)
+	sp := obs.StartPhase(krylovPhase)
+	v := &matrix.Dense[E]{Rows: n, Cols: 1, Data: append([]E(nil), rnd.V...)}
+	k := matrix.KrylovBlockDoubling(f, mul, atilde, v, 2*n, pows)
 	a := matrix.ProjectKrylov(f, rnd.U, k)
 	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	// Lemma 1 system: T_n·(c_{n−1},…,c₀)ᵀ = (a_n,…,a_{2n−1})ᵀ, solved with
 	// the Toeplitz solver of §3 (Theorem 3 + Cayley–Hamilton).
-	sp = obs.StartPhase(obs.PhaseMinPoly)
+	sp = obs.StartPhase(minpolyPhase)
 	tm := structured.NewToeplitz(a[:2*n-1])
 	rhs := a[n : 2*n]
 	c, err := structured.SolveParallel(f, mul, tm, rhs)
@@ -117,6 +126,12 @@ func charPolyOfPreconditioned[E any](f ff.Field[E], mul matrix.Multiplier[E], at
 // circuit builder: a division node that fails at evaluation) or returns a
 // wrong vector, which the Las Vegas driver detects by checking A·x = b.
 func SolveOnce[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, rnd Randomness[E]) ([]E, error) {
+	return solveOnceCtx(nil, f, mul, a, b, rnd)
+}
+
+// solveOnceCtx is SolveOnce with cooperative cancellation checked between
+// the precondition/krylov/minpoly/backsolve phases.
+func solveOnceCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, rnd Randomness[E]) ([]E, error) {
 	n := a.Rows
 	if a.Cols != n || len(b) != n {
 		panic("kp: SolveOnce needs a square system")
@@ -124,8 +139,11 @@ func SolveOnce[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E
 	sp := obs.StartPhase(obs.PhasePrecondition)
 	atilde := precondition(f, mul, a, rnd)
 	sp.End()
-	cp, err := charPolyOfPreconditioned(f, mul, atilde, rnd)
+	cp, err := charPolyCtx(ctx, f, mul, atilde, rnd, obs.PhaseKrylov, obs.PhaseMinPoly, nil)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	// Cayley–Hamilton: x̃ = −(1/pₙ)·Σ_{j=0}^{n−1} p_{n−1−j}·Ãʲ·b, with
@@ -168,17 +186,23 @@ func SolveOnce[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E
 
 // Solve is the Las Vegas Theorem 4 driver: it draws fresh randomness,
 // attempts SolveOnce, verifies A·x = b, and retries on failure. A returned
-// solution is always correct; ErrRetriesExhausted after `retries` attempts
-// indicates a singular matrix except with negligible probability.
-// Requires characteristic 0 or > n (Theorem 4's hypothesis).
-func Solve[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+// solution is always correct; ErrRetriesExhausted after Params.Retries
+// attempts indicates a singular matrix except with negligible probability.
+// Requires characteristic 0 or > n (Theorem 4's hypothesis). The zero
+// Params is a valid default configuration.
+func Solve[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b []E, p Params) ([]E, error) {
 	n := a.Rows
-	if retries <= 0 {
-		retries = DefaultRetries
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("kp: Solve needs a square system with a matching right-hand side (A is %d×%d, b has %d entries): %w",
+			a.Rows, a.Cols, len(b), ErrBadShape)
 	}
-	for attempt := 0; attempt < retries; attempt++ {
-		rnd := DrawRandomness(f, src, n, subset)
-		x, err := SolveOnce(f, mul, a, b, rnd)
+	p = fill(f, p)
+	for attempt := 0; attempt < p.Retries; attempt++ {
+		if err := ctxErr(p.Ctx); err != nil {
+			return nil, err
+		}
+		rnd := DrawRandomness(f, p.Src, n, p.Subset)
+		x, err := solveOnceCtx(p.Ctx, f, mul, a, b, rnd)
 		if err != nil {
 			if errors.Is(err, ff.ErrDivisionByZero) || errors.Is(err, matrix.ErrSingular) {
 				continue // unlucky randomness (or singular input)

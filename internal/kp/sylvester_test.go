@@ -40,7 +40,7 @@ func TestResultantWiedemann(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		a := randomPoly(src, 1+src.Intn(6))
 		b := randomPoly(src, 1+src.Intn(6))
-		got, err := ResultantWiedemann[uint64](f, a, b, src, ff.P31, 0)
+		got, err := ResultantWiedemann[uint64](f, a, b, Params{Src: src, Subset: ff.P31})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func TestResultantWiedemann(t *testing.T) {
 	g := poly.FromInt64[uint64](f, []int64{-7, 1})
 	a := poly.Mul[uint64](f, g, randomPoly(src, 3))
 	b := poly.Mul[uint64](f, g, randomPoly(src, 4))
-	got, err := ResultantWiedemann[uint64](f, a, b, src, ff.P31, 3)
+	got, err := ResultantWiedemann[uint64](f, a, b, Params{Src: src, Subset: ff.P31, Retries: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

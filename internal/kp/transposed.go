@@ -2,6 +2,7 @@ package kp
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/circuit"
 	"repro/internal/ff"
@@ -64,20 +65,22 @@ func TransposedSolveFromCircuit[E any](bld *circuit.Builder, f ff.Field[E], a *m
 
 // TransposedSolve solves Aᵀ·x = b through the transposition principle,
 // verifying the result (Las Vegas). It never forms Aᵀ.
-func TransposedSolve[E any](f ff.Field[E], a *matrix.Dense[E], b []E, src *ff.Source, subset uint64, retries int) ([]E, error) {
+func TransposedSolve[E any](f ff.Field[E], a *matrix.Dense[E], b []E, p Params) ([]E, error) {
 	n := a.Rows
 	if a.Cols != n || len(b) != n {
-		panic("kp: TransposedSolve needs a square system")
+		return nil, fmt.Errorf("kp: TransposedSolve needs a square system with a matching right-hand side (A is %d×%d, b has %d entries): %w",
+			a.Rows, a.Cols, len(b), ErrBadShape)
 	}
-	if retries <= 0 {
-		retries = DefaultRetries
-	}
+	p = fill(f, p)
 	circ, err := TraceTransposedSolve(f, matrix.Classical[circuit.Wire]{}, n)
 	if err != nil {
 		return nil, err
 	}
-	for attempt := 0; attempt < retries; attempt++ {
-		rnd := DrawRandomness(f, src, n, subset)
+	for attempt := 0; attempt < p.Retries; attempt++ {
+		if err := ctxErr(p.Ctx); err != nil {
+			return nil, err
+		}
+		rnd := DrawRandomness(f, p.Src, n, p.Subset)
 		x, err := TransposedSolveFromCircuit(circ, f, a, b, rnd)
 		if err != nil {
 			if errors.Is(err, ff.ErrDivisionByZero) {

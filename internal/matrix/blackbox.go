@@ -84,21 +84,10 @@ func KrylovDoubling[E any](f ff.Field[E], mul Multiplier[E], a *Dense[E], b []E,
 	if len(b) != n {
 		panic("matrix: KrylovDoubling dimension mismatch")
 	}
-	// K starts as the single column b.
-	k := &Dense[E]{Rows: n, Cols: 1, Data: append([]E(nil), b...)}
-	pow := a // A^{2^i}
-	for k.Cols < m {
-		// Append A^{2^i}·K, doubling the column count.
-		next := mul.Mul(f, pow, k)
-		k = hcat(f, k, next)
-		if k.Cols < m {
-			pow = mul.Mul(f, pow, pow)
-		}
-	}
-	if k.Cols > m {
-		k = k.Submatrix(0, n, 0, m)
-	}
-	return k
+	// The single-vector case of the block doubling: K starts as the one
+	// column b and each round appends A^{2^i}·K.
+	col := &Dense[E]{Rows: n, Cols: 1, Data: append([]E(nil), b...)}
+	return KrylovBlockDoubling(f, mul, a, col, m, nil)
 }
 
 // hcat concatenates the column batches [a | b] of a doubling round. The

@@ -1,14 +1,15 @@
 package matrix
 
 import (
-	"errors"
-
+	"repro/internal/errs"
 	"repro/internal/ff"
 )
 
 // ErrSingular is returned by the elimination routines when the matrix is
 // singular (and by the randomized algorithms after exhausting retries).
-var ErrSingular = errors.New("matrix: singular matrix")
+// It is the shared errs.ErrSingular sentinel, so errors.Is matches it
+// against kp.ErrSingular and the structured-solver failures alike.
+var ErrSingular = errs.ErrSingular
 
 // Gaussian elimination is the paper's sequential yardstick ("Gaussian
 // elimination is a sequential method for all these computational problems

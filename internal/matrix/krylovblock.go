@@ -1,0 +1,108 @@
+package matrix
+
+import "repro/internal/ff"
+
+// Block-Krylov machinery for the batched multi-RHS solve engine: the
+// doubling of the paper's equation (9) generalized from one starting vector
+// to a block B of k columns, with the squarings A^{2^i} captured in a
+// caller-owned cache so repeated doublings against the same operator (the
+// k right-hand-side backsolves of a batch, or every Factored.Solve after
+// the first) pay for the power ladder exactly once.
+
+// KrylovBlockDoubling returns [B | A·B | … | A^{m−1}·B] as one n × m·k
+// dense matrix (k = B.Cols), with column group j holding Aʲ·B. Each of the
+// ⌈log₂ m⌉ rounds is one matrix product against the whole accumulated
+// block, so the k right-hand sides share every squaring and ride the
+// multiplier's fast paths as fused matrix–matrix work instead of k
+// separate doubling passes.
+//
+// pows, when non-nil, caches the power ladder: (*pows)[i] = A^{2^i}. An
+// empty cache is filled as rounds demand (starting with (*pows)[0] = A); a
+// pre-filled cache — from a previous doubling against the same A — is
+// reused, skipping the squarings entirely. Passing a cache built from a
+// different matrix is a caller error.
+func KrylovBlockDoubling[E any](f ff.Field[E], mul Multiplier[E], a, b *Dense[E], m int, pows *[]*Dense[E]) *Dense[E] {
+	a.mustSquare()
+	n := a.Rows
+	if b.Rows != n {
+		panic("matrix: KrylovBlockDoubling dimension mismatch")
+	}
+	w := b.Cols
+	if m <= 0 || w == 0 {
+		return &Dense[E]{Rows: n, Cols: 0}
+	}
+	if pows == nil {
+		local := make([]*Dense[E], 0, 8)
+		pows = &local
+	}
+	k := b.Clone()
+	for i := 0; k.Cols < m*w; {
+		next := mul.Mul(f, powerAt(f, mul, a, pows, i), k)
+		k = hcat(f, k, next)
+		i++
+		if k.Cols < m*w {
+			// Extend the ladder eagerly only when another round is coming,
+			// mirroring the single-vector doubling's operation sequence
+			// (no trailing unused squaring).
+			powerAt(f, mul, a, pows, i)
+		}
+	}
+	if k.Cols > m*w {
+		k = k.Submatrix(0, n, 0, m*w)
+	}
+	return k
+}
+
+// powerAt returns A^{2^i} from the cache, extending it by squaring as
+// needed ((*pows)[0] is A itself, so only genuinely new rounds multiply).
+func powerAt[E any](f ff.Field[E], mul Multiplier[E], a *Dense[E], pows *[]*Dense[E], i int) *Dense[E] {
+	for len(*pows) <= i {
+		if len(*pows) == 0 {
+			*pows = append(*pows, a)
+			continue
+		}
+		prev := (*pows)[len(*pows)-1]
+		*pows = append(*pows, mul.Mul(f, prev, prev))
+	}
+	return (*pows)[i]
+}
+
+// CombineKrylovBlocks returns Σ_j coeffs[j]·Wⱼ for the column groups
+// Wⱼ = W[:, j·w:(j+1)·w] of a block Krylov matrix — the Cayley–Hamilton
+// accumulation of the batched backsolve, evaluated for all k right-hand
+// sides at once. Rows are independent, so large combines run as fused
+// mul-add sweeps on the shared worker pool; the generic (kernel-less) path
+// keeps a plain sequential accumulation, which is fine because the batch
+// engine is never traced as a circuit.
+func CombineKrylovBlocks[E any](f ff.Field[E], wm *Dense[E], w int, coeffs []E) *Dense[E] {
+	m := len(coeffs)
+	if w <= 0 || wm.Cols < m*w {
+		panic("matrix: CombineKrylovBlocks shape mismatch")
+	}
+	out := NewDense(f, wm.Rows, w)
+	ker, fused := ff.KernelsOf(f)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*w : (i+1)*w]
+			wrow := wm.Data[i*wm.Cols : i*wm.Cols+m*w]
+			if fused {
+				for j := 0; j < m; j++ {
+					ker.MulAddVec(orow, coeffs[j], wrow[j*w:(j+1)*w])
+				}
+				continue
+			}
+			for j := 0; j < m; j++ {
+				c := coeffs[j]
+				for t, v := range wrow[j*w : (j+1)*w] {
+					orow[t] = f.Add(orow[t], f.Mul(c, v))
+				}
+			}
+		}
+	}
+	if wm.Rows*m*w >= parallelOpsMin && ff.IsConcurrentSafe(f) {
+		parallelFor(wm.Rows, 8, body)
+	} else {
+		body(0, wm.Rows)
+	}
+	return out
+}

@@ -46,6 +46,28 @@ const (
 	PhaseBacksolve = "backsolve"
 )
 
+// Batch-engine phases: the multi-RHS solve engine (kp.SolveBatch /
+// kp.Factor) shares one preconditioning, Krylov sequence and minimum
+// polynomial across k right-hand sides, so its spans carry a "batch/"
+// prefix to keep the amortized work distinguishable from the per-solve
+// phases above. A Factored handle replays only batch/backsolve (and
+// batch/verify) — the absence of further batch/krylov spans is the
+// measurable statement that the Krylov phase was skipped.
+const (
+	// PhaseBatchPrecondition is the shared Ã = A·H·D of a batch attempt.
+	PhaseBatchPrecondition = "batch/precondition"
+	// PhaseBatchKrylov is the shared Krylov doubling and projection
+	// (computed once per attempt, reused by every right-hand side).
+	PhaseBatchKrylov = "batch/krylov"
+	// PhaseBatchMinPoly is the shared characteristic-polynomial recovery.
+	PhaseBatchMinPoly = "batch/minpoly"
+	// PhaseBatchBacksolve is the fused multi-RHS Cayley–Hamilton
+	// back-substitution and preconditioner undo.
+	PhaseBatchBacksolve = "batch/backsolve"
+	// PhaseBatchVerify is the blocked A·X = B verification.
+	PhaseBatchVerify = "batch/verify"
+)
+
 // SpanRecord is one completed span as stored in the Observer's ring.
 type SpanRecord struct {
 	ID       int64         // 1-based span id, unique per Observer
@@ -253,7 +275,11 @@ func (o *Observer) PhaseTotals() map[string]PhaseTotal {
 // algorithm order, then any others alphabetically.
 func (o *Observer) PhaseNames() []string {
 	totals := o.PhaseTotals()
-	canonical := []string{PhasePrecondition, PhaseKrylov, PhaseMinPoly, PhaseBacksolve}
+	canonical := []string{
+		PhasePrecondition, PhaseKrylov, PhaseMinPoly, PhaseBacksolve,
+		PhaseBatchPrecondition, PhaseBatchKrylov, PhaseBatchMinPoly,
+		PhaseBatchBacksolve, PhaseBatchVerify,
+	}
 	var names []string
 	for _, n := range canonical {
 		if _, ok := totals[n]; ok {

@@ -8,9 +8,9 @@
 package wiedemann
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/ff"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -21,8 +21,10 @@ import (
 
 // ErrRetriesExhausted is returned by the Las Vegas drivers when every
 // randomized attempt failed — overwhelmingly because the input is singular,
-// since per-trial failure on non-singular input is ≤ 3n²/|S|.
-var ErrRetriesExhausted = errors.New("wiedemann: all randomized attempts failed (matrix likely singular)")
+// since per-trial failure on non-singular input is ≤ 3n²/|S|. It is the
+// shared errs.ErrRetriesExhausted sentinel, so errors.Is matches it against
+// kp.ErrRetriesExhausted.
+var ErrRetriesExhausted = errs.ErrRetriesExhausted
 
 // DefaultRetries is the number of independent random attempts the Las
 // Vegas drivers make before giving up.
