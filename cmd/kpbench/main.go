@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -42,6 +43,7 @@ func main() {
 		nFlag    = flag.String("n", "64,128,256", "comma-separated system dimensions for -json")
 		rhs      = flag.Int("rhs", 1, "right-hand sides per system: >1 adds batched SolveBatch rows (with their independent-solves baseline) to the -json report, and implies -json")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
+		serve    = flag.String("serve", "", "serve telemetry (/metrics Prometheus text, /snapshot JSON, /healthz) on this address for live scraping while the benchmarks run, e.g. :9090")
 		workers  = flag.Int("workers", 0, "worker count for the shared matrix pool (0 = GOMAXPROCS)")
 		baseline = flag.String("baseline", "", "BENCH_*.json file to gate -json runs against: exit non-zero if any shared (n, multiplier) cell is >10% slower")
 	)
@@ -69,6 +71,21 @@ func main() {
 		go func() {
 			if err := http.ListenAndServe(*pprof, nil); err != nil {
 				log.Printf("kpbench: pprof listener: %v", err)
+			}
+		}()
+	}
+	// Telemetry stays live for the whole run: benchmark sweeps take long
+	// enough that a collector can scrape phase histograms and attempt
+	// counters while they accumulate.
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fatal(fmt.Errorf("-serve %s: %w", *serve, err))
+		}
+		fmt.Fprintf(os.Stderr, "kpbench: telemetry on http://%s (/metrics /snapshot /healthz)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.Handler()); err != nil {
+				log.Printf("kpbench: telemetry listener: %v", err)
 			}
 		}()
 	}

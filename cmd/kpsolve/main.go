@@ -10,6 +10,8 @@
 //	kpsolve -n 256 -mul parallel      # pooled multicore multiplication
 //	kpsolve -n 128 -trace out.json    # per-phase Chrome trace_event timeline
 //	kpsolve -n 512 -pprof :6060       # live pprof + /debug/vars metrics
+//	kpsolve -n 256 -serve :9090       # Prometheus /metrics + JSON /snapshot
+//	kpsolve -n 64 -log json           # structured per-attempt slog records
 //
 // The input file format is: first line "n p" (dimension and field modulus),
 // then n lines of n matrix entries, then one or more right-hand sides of n
@@ -38,10 +40,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -53,15 +59,17 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 16, "dimension for randomly generated instances")
-		p     = flag.Uint64("p", ff.P62, "prime field modulus (for -in files it must match the file)")
-		op    = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed")
-		in    = flag.String("in", "", "read the system from a file instead of generating it")
-		rhs   = flag.Int("rhs", 1, "right-hand sides for randomly generated op=solve instances; >1 solves them as one batch")
-		mul   = flag.String("mul", "classical", "matrix multiplier: "+strings.Join(matrix.Names(), "|"))
-		seed  = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
-		trace = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the solve phases to this file")
-		pprof = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
+		n      = flag.Int("n", 16, "dimension for randomly generated instances")
+		p      = flag.Uint64("p", ff.P62, "prime field modulus (for -in files it must match the file)")
+		op     = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed")
+		in     = flag.String("in", "", "read the system from a file instead of generating it")
+		rhs    = flag.Int("rhs", 1, "right-hand sides for randomly generated op=solve instances; >1 solves them as one batch")
+		mul    = flag.String("mul", "classical", "matrix multiplier: "+strings.Join(matrix.Names(), "|"))
+		seed   = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+		trace  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the solve phases to this file")
+		pprof  = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
+		serve  = flag.String("serve", "", "serve telemetry (/metrics Prometheus text, /snapshot JSON, /healthz) on this address and keep the process alive after the operation until SIGINT/SIGTERM, e.g. :9090")
+		logFmt = flag.String("log", "off", "structured per-attempt logging to stderr: off | text | json")
 	)
 	flag.Parse()
 	// Shared -mul validation: unknown names are an error, never a silent
@@ -77,6 +85,17 @@ func main() {
 		usage(fmt.Errorf("-rhs wants a positive count, got %d", *rhs))
 	}
 
+	var logger *slog.Logger
+	switch *logFmt {
+	case "off":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		usage(fmt.Errorf("-log wants off|text|json, got %q", *logFmt))
+	}
+
 	if *pprof != "" {
 		obs.PublishExpvar()
 		go func() {
@@ -85,8 +104,26 @@ func main() {
 			}
 		}()
 	}
+	// The telemetry listener starts before the operation so live runs can be
+	// scraped mid-solve; main blocks on SIGINT/SIGTERM after the output when
+	// -serve is set, keeping /metrics up for collectors.
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			usage(fmt.Errorf("-serve %s: %w", *serve, err))
+		}
+		fmt.Fprintf(os.Stderr, "kpsolve: telemetry on http://%s (/metrics /snapshot /healthz)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.Handler()); err != nil {
+				log.Printf("kpsolve: telemetry listener: %v", err)
+			}
+		}()
+	}
+	// -trace needs an Observer for the timeline; -serve installs one too so
+	// the phase-latency histograms and /snapshot phase totals are live, not
+	// just the always-on attempt statistics.
 	var observer *obs.Observer
-	if *trace != "" {
+	if *trace != "" || *serve != "" {
 		observer = obs.New(0)
 	}
 	pSet := false
@@ -114,7 +151,8 @@ func main() {
 		Seed:       *seed,
 		Multiplier: names[0],
 		Observer:   observer,
-		Instrument: *trace != "",
+		Instrument: observer != nil,
+		Logger:     logger,
 	})
 	if err != nil {
 		usage(err)
@@ -184,10 +222,17 @@ func main() {
 	}
 	fmt.Printf("elapsed: %s\n", time.Since(start))
 
-	if observer != nil {
+	if *trace != "" {
 		if err := writeTrace(observer, s.MulStats(), *trace); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *serve != "" {
+		fmt.Fprintf(os.Stderr, "kpsolve: holding telemetry endpoints open; SIGINT/SIGTERM to exit\n")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }
 
@@ -297,12 +342,14 @@ func readSystem(path string, pFlag uint64, pSet bool) (ff.Fp64, *matrix.Dense[ui
 // usage reports a bad invocation or input file and exits 2.
 func usage(err error) {
 	fmt.Fprintln(os.Stderr, "kpsolve:", err)
+	dumpFlight()
 	os.Exit(2)
 }
 
 // fatal maps the typed error taxonomy onto the documented exit codes.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "kpsolve:", err)
+	dumpFlight()
 	switch {
 	case errors.Is(err, kp.ErrRetriesExhausted):
 		os.Exit(3)
@@ -314,4 +361,12 @@ func fatal(err error) {
 		os.Exit(6)
 	}
 	os.Exit(1)
+}
+
+// dumpFlight writes the crash flight recorder — the ring of recent solve
+// summaries every driver feeds unconditionally — to stderr on any non-zero
+// exit, so a failed run carries its own post-mortem. Writes nothing when no
+// solves ran.
+func dumpFlight() {
+	obs.WriteFlightRecord(os.Stderr)
 }

@@ -20,6 +20,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 
 	"repro/internal/circuit"
 	"repro/internal/errs"
@@ -71,6 +72,13 @@ type Options struct {
 	// each multiply's op count is folded into the phase span that issued
 	// it.
 	Instrument bool
+	// Logger, when non-nil, receives structured slog records from the Las
+	// Vegas drivers: one per randomized attempt (solver, attempt number, n,
+	// |S|, outcome, failure phase, wall time) and one per finished driver
+	// call. Logging is orthogonal to the always-on attempt statistics
+	// (obs.BoundsReport) and the flight recorder, which need no
+	// configuration.
+	Logger *slog.Logger
 }
 
 // Solver bundles a field, a random stream and the algorithm configuration.
@@ -83,6 +91,7 @@ type Solver[E any] struct {
 	wmul    matrix.Multiplier[circuit.Wire]
 	stats   *matrix.MulStats
 	obs     *obs.Observer
+	logger  *slog.Logger
 }
 
 // NewSolver returns a Solver over the given field, or an error for an
@@ -123,6 +132,7 @@ func NewSolver[E any](f ff.Field[E], opts Options) (*Solver[E], error) {
 		mul:     mul,
 		wmul:    wmul,
 		obs:     opts.Observer,
+		logger:  opts.Logger,
 	}
 	if opts.Instrument {
 		im := matrix.NewInstrumented(mul)
@@ -148,7 +158,7 @@ func MustNewSolver[E any](f ff.Field[E], opts Options) *Solver[E] {
 // params returns the solver's configuration as a kp.Params carrying the
 // given context.
 func (s *Solver[E]) params(ctx context.Context) kp.Params {
-	return kp.Params{Src: s.src, Subset: s.subset, Retries: s.retries, Ctx: ctx}
+	return kp.Params{Src: s.src, Subset: s.subset, Retries: s.retries, Ctx: ctx, Logger: s.logger}
 }
 
 // MulStats returns the multiplication instrumentation block, or nil unless

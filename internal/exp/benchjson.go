@@ -54,6 +54,16 @@ type BenchRun struct {
 	MulWallNs int64 `json:"mul_wall_ns"`
 	MulBusyNs int64 `json:"mul_busy_ns"`
 	Verified  bool  `json:"verified"`
+	// DroppedSpans counts spans the run's Observer ring evicted before
+	// export; non-zero means the per-phase tables under-report span counts
+	// (never durations of the spans that survived).
+	DroppedSpans int64 `json:"dropped_spans"`
+	// ObsOverheadNs is the telemetry cost of this run: the traced,
+	// instrumented wall time minus the wall time of the identical workload
+	// on an identically seeded solver with the Observer and instrumentation
+	// off. Signed — at small n it sits inside scheduler noise and can go
+	// negative.
+	ObsOverheadNs int64 `json:"obs_overhead_ns"`
 	// IndepWallNs (Rhs > 1 rows only) is the wall time of solving the same
 	// Rhs right-hand sides as independent Solve calls, and BatchSpeedup is
 	// IndepWallNs / WallNs — the amortization factor of the batch engine.
@@ -176,6 +186,22 @@ func benchOne(f ff.Fp64, opts core.Options, a *matrix.Dense[uint64], n int, name
 	if err != nil {
 		return nil, err
 	}
+	// Enabled-vs-disabled delta: replay the identical workload on an
+	// identically seeded solver with no Observer and no instrumentation
+	// (the nil-span fast path), so obs_overhead_ns prices the telemetry
+	// layer itself rather than run-to-run variance of different inputs.
+	plainOpts := opts
+	plainOpts.Observer = nil
+	plainOpts.Instrument = false
+	plain, err := core.NewSolver[uint64](f, plainOpts)
+	if err != nil {
+		return nil, err
+	}
+	plainStart := time.Now()
+	if _, err := run(plain); err != nil {
+		return nil, err
+	}
+	plainWall := time.Since(plainStart)
 	snap := s.MulStats().Snapshot()
 	phases := make(map[string]BenchPhase)
 	for phase, t := range o.PhaseTotals() {
@@ -196,6 +222,8 @@ func benchOne(f ff.Fp64, opts core.Options, a *matrix.Dense[uint64], n int, name
 		MulWallNs:     snap.Wall.Nanoseconds(),
 		MulBusyNs:     snap.Busy.Nanoseconds(),
 		Verified:      verify(),
+		DroppedSpans:  o.Dropped(),
+		ObsOverheadNs: wall.Nanoseconds() - plainWall.Nanoseconds(),
 	}, nil
 }
 

@@ -1,0 +1,76 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/kp"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+// TestObservedFailureRateWithinEq2Bound is the acceptance check for the Las
+// Vegas statistics module: drive well over 1000 real attempts through
+// kp.Solve at a deliberately small sampling subset (|S| = 512 at n = 4, so
+// equation (2)'s bound 3n²/|S| = 0.09375 is far from trivial) and assert
+// the observed per-attempt failure rate BoundsReport computes stays within
+// the paper's bound. On a correct sampler and preconditioner the true rate
+// is far below the bound, so this does not flake; a rate above it is
+// exactly the regression the module exists to catch.
+func TestObservedFailureRateWithinEq2Bound(t *testing.T) {
+	obs.ResetAttempts()
+	t.Cleanup(obs.ResetAttempts)
+
+	const (
+		n      = 4
+		subset = 512
+		calls  = 1200
+	)
+	f := ff.MustFp64(ff.P62)
+	src := ff.NewSource(20260805)
+	var a *matrix.Dense[uint64]
+	for {
+		a = matrix.Random[uint64](f, src, n, n, f.Modulus())
+		if d, err := matrix.Det[uint64](f, a); err == nil && !f.IsZero(d) {
+			break
+		}
+	}
+	p := kp.Params{Src: ff.NewSource(41), Subset: subset, Retries: 25}
+	for i := 0; i < calls; i++ {
+		b := ff.SampleVec[uint64](f, src, n, f.Modulus())
+		x, err := kp.Solve[uint64](f, matrix.Classical[uint64]{}, a, b, p)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
+			t.Fatalf("call %d: wrong solution", i)
+		}
+	}
+
+	var line *obs.BoundsLine
+	for _, l := range obs.BoundsReport() {
+		if l.Solver == "kp.solve" && l.N == n && l.Subset == subset {
+			line = &l
+			break
+		}
+	}
+	if line == nil {
+		t.Fatal("no (kp.solve, 4, 512) attempt group recorded")
+	}
+	if line.Attempts < 1000 {
+		t.Fatalf("only %d attempts recorded, want ≥ 1000", line.Attempts)
+	}
+	wantBound := 3.0 * n * n / subset
+	if line.BoundEq2 != wantBound {
+		t.Fatalf("eq2 bound = %v, want %v", line.BoundEq2, wantBound)
+	}
+	if line.ObservedRate > line.BoundEq2 {
+		t.Fatalf("observed failure rate %v exceeds the equation (2) bound %v over %d attempts (%d failures, by outcome %v)",
+			line.ObservedRate, line.BoundEq2, line.Attempts, line.Failures, line.ByOutcome)
+	}
+	if !line.WithinEq2 {
+		t.Fatalf("WithinEq2 = false with rate %v ≤ bound %v", line.ObservedRate, line.BoundEq2)
+	}
+	t.Logf("observed rate %v over %d attempts vs eq2 bound %v (failures %v)",
+		line.ObservedRate, line.Attempts, line.BoundEq2, line.ByOutcome)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/ff"
 	"repro/internal/matrix"
@@ -53,6 +54,7 @@ type Factorization[E any] struct {
 func factorOnce[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], rnd Randomness[E]) (*Factorization[E], error) {
 	n := a.Rows
 	sp := obs.StartPhase(obs.PhaseBatchPrecondition)
+	defer sp.End()
 	hd := matrix.HankelDense(f, rnd.H)
 	atilde := matrix.ScaleColumnsDiag(f, mul.Mul(f, a, hd), rnd.D)
 	sp.End()
@@ -63,7 +65,7 @@ func factorOnce[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier
 	}
 	scale, err := f.Div(f.Neg(f.One()), cp[0])
 	if err != nil {
-		return nil, err
+		return nil, inPhase(obs.PhaseBatchMinPoly, err)
 	}
 	return &Factorization[E]{
 		f: f, mul: mul, a: a, rnd: rnd, atilde: atilde, hd: hd,
@@ -169,16 +171,25 @@ func Factor[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], 
 		return nil, fmt.Errorf("kp: Factor needs a square matrix (got %d×%d): %w", a.Rows, a.Cols, ErrBadShape)
 	}
 	p = fill(f, p)
+	rec := newAttemptRecorder(solverFactor, n, 1, p)
 	for attempt := 0; attempt < p.Retries; attempt++ {
 		if err := ctxErr(p.Ctx); err != nil {
+			rec.finish(err)
 			return nil, err
 		}
 		rnd := DrawRandomness(f, p.Src, n, p.Subset)
+		start := time.Now()
 		fa, err := factorOnce(p.Ctx, f, mul, a, rnd)
 		if err != nil {
-			if errors.Is(err, ff.ErrDivisionByZero) || errors.Is(err, matrix.ErrSingular) {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				rec.finish(err)
+				return nil, err
+			}
+			rec.attemptErr(err, time.Since(start))
+			if isDivisionError(err) {
 				continue // unlucky randomness (or singular input)
 			}
+			rec.finish(err)
 			return nil, err
 		}
 		probe := ff.SampleVec(f, p.Src, n, p.Subset)
@@ -187,9 +198,13 @@ func Factor[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], 
 		ok := ff.VecEqual(f, a.MulVec(f, x.Col(0)), probe)
 		sp.End()
 		if ok {
+			rec.attempt(obs.OutcomeSuccess, "", time.Since(start))
+			rec.finish(nil)
 			return fa, nil
 		}
+		rec.attempt(obs.OutcomeVerifyFailed, obs.PhaseBatchVerify, time.Since(start))
 	}
+	rec.finish(ErrRetriesExhausted)
 	return nil, ErrRetriesExhausted
 }
 
@@ -212,20 +227,30 @@ func SolveBatch[E any](f ff.Field[E], mul matrix.Multiplier[E], a, bm *matrix.De
 		return out, nil
 	}
 	p = fill(f, p)
+	batchSizeHist.Observe(int64(k))
+	rec := newAttemptRecorder(solverBatch, n, k, p)
 	pending := make([]int, k)
 	for i := range pending {
 		pending[i] = i
 	}
 	for attempt := 0; attempt < p.Retries && len(pending) > 0; attempt++ {
 		if err := ctxErr(p.Ctx); err != nil {
+			rec.finish(err)
 			return nil, err
 		}
 		rnd := DrawRandomness(f, p.Src, n, p.Subset)
+		start := time.Now()
 		fa, err := factorOnce(p.Ctx, f, mul, a, rnd)
 		if err != nil {
-			if errors.Is(err, ff.ErrDivisionByZero) || errors.Is(err, matrix.ErrSingular) {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				rec.finish(err)
+				return nil, err
+			}
+			rec.attemptErr(err, time.Since(start))
+			if isDivisionError(err) {
 				continue // unlucky randomness (or singular input)
 			}
+			rec.finish(err)
 			return nil, err
 		}
 		sub := pickColumns(f, bm, pending)
@@ -250,11 +275,21 @@ func SolveBatch[E any](f ff.Field[E], mul matrix.Multiplier[E], a, bm *matrix.De
 			}
 		}
 		sp.End()
+		if len(still) == 0 {
+			rec.attempt(obs.OutcomeSuccess, "", time.Since(start))
+		} else {
+			// At least one column failed its A·x = b check under this
+			// randomness: the attempt counts as a verify failure even though
+			// the verified columns were committed.
+			rec.attempt(obs.OutcomeVerifyFailed, obs.PhaseBatchVerify, time.Since(start))
+		}
 		pending = still
 	}
 	if len(pending) > 0 {
+		rec.finish(ErrRetriesExhausted)
 		return nil, ErrRetriesExhausted
 	}
+	rec.finish(nil)
 	return out, nil
 }
 

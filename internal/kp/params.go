@@ -2,6 +2,7 @@ package kp
 
 import (
 	"context"
+	"log/slog"
 
 	"repro/internal/errs"
 	"repro/internal/ff"
@@ -57,6 +58,12 @@ type Params struct {
 	// between the Krylov/minpoly/backsolve phases of an attempt and
 	// between Las Vegas attempts, returning ctx.Err() once it is done.
 	Ctx context.Context
+	// Logger, when non-nil, receives one structured slog record per Las
+	// Vegas attempt (solver, attempt number, n, |S|, outcome, failure
+	// phase, wall time) and one per finished driver call. Nil disables
+	// logging; the always-on attempt statistics (obs.BoundsReport) and
+	// flight recorder are unaffected by this knob.
+	Logger *slog.Logger
 }
 
 // DefaultSubset returns the subset size Params.Subset 0 resolves to for

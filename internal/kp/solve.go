@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/ff"
@@ -92,8 +93,12 @@ func charPolyCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplie
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	// Sequence a_i = u·Ãⁱ·v, i = 0..2n−1, via the doubling of (9).
+	// Sequence a_i = u·Ãⁱ·v, i = 0..2n−1, via the doubling of (9). Spans
+	// close eagerly for tight timing and again via defer: the defer is the
+	// leak guard that keeps no span (and no stale Observer current pointer)
+	// open when an error, a cancellation or a panic exits early.
 	sp := obs.StartPhase(krylovPhase)
+	defer sp.End()
 	v := &matrix.Dense[E]{Rows: n, Cols: 1, Data: append([]E(nil), rnd.V...)}
 	k := matrix.KrylovBlockDoubling(f, mul, atilde, v, 2*n, pows)
 	a := matrix.ProjectKrylov(f, rnd.U, k)
@@ -104,12 +109,13 @@ func charPolyCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplie
 	// Lemma 1 system: T_n·(c_{n−1},…,c₀)ᵀ = (a_n,…,a_{2n−1})ᵀ, solved with
 	// the Toeplitz solver of §3 (Theorem 3 + Cayley–Hamilton).
 	sp = obs.StartPhase(minpolyPhase)
+	defer sp.End()
 	tm := structured.NewToeplitz(a[:2*n-1])
 	rhs := a[n : 2*n]
 	c, err := structured.SolveParallel(f, mul, tm, rhs)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, inPhase(minpolyPhase, err)
 	}
 	// Assemble λⁿ − c_{n−1}λ^{n−1} − … − c₀ (c is ordered high to low).
 	cp := make([]E, n+1)
@@ -137,6 +143,7 @@ func solveOnceCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multipli
 		panic("kp: SolveOnce needs a square system")
 	}
 	sp := obs.StartPhase(obs.PhasePrecondition)
+	defer sp.End()
 	atilde := precondition(f, mul, a, rnd)
 	sp.End()
 	cp, err := charPolyCtx(ctx, f, mul, atilde, rnd, obs.PhaseKrylov, obs.PhaseMinPoly, nil)
@@ -171,7 +178,7 @@ func solveOnceCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multipli
 	}
 	scale, err := f.Div(f.Neg(f.One()), cp[0])
 	if err != nil {
-		return nil, err
+		return nil, inPhase(obs.PhaseBacksolve, err)
 	}
 	ff.VecScaleInto(f, acc, scale, acc)
 	xt := acc
@@ -197,22 +204,35 @@ func Solve[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b
 			a.Rows, a.Cols, len(b), ErrBadShape)
 	}
 	p = fill(f, p)
+	rec := newAttemptRecorder(solverSolve, n, 1, p)
 	for attempt := 0; attempt < p.Retries; attempt++ {
 		if err := ctxErr(p.Ctx); err != nil {
+			rec.finish(err)
 			return nil, err
 		}
 		rnd := DrawRandomness(f, p.Src, n, p.Subset)
+		start := time.Now()
 		x, err := solveOnceCtx(p.Ctx, f, mul, a, b, rnd)
 		if err != nil {
-			if errors.Is(err, ff.ErrDivisionByZero) || errors.Is(err, matrix.ErrSingular) {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				rec.finish(err)
+				return nil, err
+			}
+			rec.attemptErr(err, time.Since(start))
+			if isDivisionError(err) {
 				continue // unlucky randomness (or singular input)
 			}
+			rec.finish(err)
 			return nil, err
 		}
 		if ff.VecEqual(f, a.MulVec(f, x), b) {
+			rec.attempt(obs.OutcomeSuccess, "", time.Since(start))
+			rec.finish(nil)
 			return x, nil
 		}
+		rec.attempt(obs.OutcomeVerifyFailed, "verify", time.Since(start))
 	}
+	rec.finish(ErrRetriesExhausted)
 	return nil, ErrRetriesExhausted
 }
 

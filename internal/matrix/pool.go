@@ -31,6 +31,13 @@ var (
 	poolOffersDropped = obs.NewCounter("pool.offers.dropped")
 	poolQueueDepth    = obs.NewGauge("pool.queue.depth")
 	poolBusyWorkers   = obs.NewGauge("pool.workers.busy")
+
+	// Submit-time distribution samples: the queue depth and busy-worker
+	// count observed at every job submission. One lock-free histogram add
+	// each, amortized over a whole parallel loop, turns the point-in-time
+	// gauges above into scrape-able utilization distributions.
+	poolQueueDepthHist = obs.NewHistogram("pool.queue.depth.sampled")
+	poolBusyHist       = obs.NewHistogram("pool.workers.busy.sampled")
 )
 
 // poolJob is one parallel loop: the body is applied to grain-sized chunks of
@@ -171,7 +178,10 @@ offer:
 			break offer
 		}
 	}
-	poolQueueDepth.Set(int64(len(poolJobs)))
+	depth := int64(len(poolJobs))
+	poolQueueDepth.Set(depth)
+	poolQueueDepthHist.Observe(depth)
+	poolBusyHist.Observe(poolBusyWorkers.Value())
 	if dropped > 0 {
 		poolOffersDropped.Add(dropped)
 	}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Las Vegas attempt statistics: every randomized attempt of the kp and
+// wiedemann drivers reports its outcome here, keyed by (solver, n, |S|), so
+// the paper's probabilistic claims become monitored invariants instead of
+// one-time proofs. BoundsReport places the observed per-attempt failure
+// rate next to the three bounds the analysis is built from:
+//
+//   - equation (2): an attempt fails with probability ≤ 3n²/|S|;
+//   - Lemma 2: the projected minimum polynomial f_u^{A,b} differs from f^A
+//     with probability ≤ 2·deg(f^A)/|S| ≤ 2n/|S|;
+//   - Theorem 2: the preconditioner A·H fails to have generic rank profile
+//     with probability ≤ n(n−1)/(2|S|).
+//
+// An observed rate above the equation (2) bound (beyond statistical noise)
+// means a broken sampler, a broken preconditioner, or a field whose
+// characteristic violates the hypotheses — exactly the regressions this
+// module exists to surface.
+
+// Attempt outcomes. Success is OutcomeSuccess; everything else counts as a
+// failure in the observed rate.
+const (
+	OutcomeSuccess = "success"
+	// OutcomeDivZero is a division by zero during the attempt — over a
+	// concrete field this is how unlucky randomness (singular Ã, vanishing
+	// leading principal minor) surfaces mid-pipeline.
+	OutcomeDivZero = "division_by_zero"
+	// OutcomeVerifyFailed is a completed attempt whose candidate solution
+	// failed the A·x = b (or A·X = B) check.
+	OutcomeVerifyFailed = "verify_failed"
+	// OutcomeDegenerate is a structurally unusable candidate: a minimum
+	// polynomial of too-low degree or with zero constant term.
+	OutcomeDegenerate = "degenerate"
+	// OutcomeError is any other attempt-terminating error.
+	OutcomeError = "error"
+)
+
+// Attempt is one randomized attempt of a Las Vegas driver.
+type Attempt struct {
+	Solver  string        // driver: "kp.solve", "kp.batch", "kp.factor", "wiedemann.solve", ...
+	N       int           // system dimension
+	Subset  uint64        // |S|, the sampling-subset size of the attempt
+	Outcome string        // one of the Outcome* constants
+	Phase   string        // phase the failure surfaced in ("" for success)
+	Wall    time.Duration // attempt wall time
+}
+
+// attemptKey groups attempts whose bound parameters coincide.
+type attemptKey struct {
+	solver string
+	n      int
+	subset uint64
+}
+
+type attemptGroup struct {
+	attempts  int64
+	failures  int64
+	wall      time.Duration
+	byOutcome map[string]int64
+	byPhase   map[string]int64
+}
+
+var attemptStats struct {
+	mu     sync.Mutex
+	groups map[attemptKey]*attemptGroup
+}
+
+var attemptsRecorded = NewCounter("attempts.recorded")
+
+// RecordAttempt folds one attempt into the per-(solver, n, |S|) statistics.
+// It is always on: the cost (one short mutex hold) is paid once per Las
+// Vegas attempt, i.e. once per Ω(n^ω) field operations.
+func RecordAttempt(a Attempt) {
+	attemptsRecorded.Inc()
+	attemptStats.mu.Lock()
+	defer attemptStats.mu.Unlock()
+	if attemptStats.groups == nil {
+		attemptStats.groups = make(map[attemptKey]*attemptGroup)
+	}
+	k := attemptKey{solver: a.Solver, n: a.N, subset: a.Subset}
+	g := attemptStats.groups[k]
+	if g == nil {
+		g = &attemptGroup{byOutcome: make(map[string]int64), byPhase: make(map[string]int64)}
+		attemptStats.groups[k] = g
+	}
+	g.attempts++
+	g.wall += a.Wall
+	g.byOutcome[a.Outcome]++
+	if a.Outcome != OutcomeSuccess {
+		g.failures++
+		if a.Phase != "" {
+			g.byPhase[a.Phase]++
+		}
+	}
+}
+
+// BoundsLine is the observed-vs-paper comparison for one (solver, n, |S|)
+// group of attempts.
+type BoundsLine struct {
+	Solver   string `json:"solver"`
+	N        int    `json:"n"`
+	Subset   uint64 `json:"subset"`
+	Attempts int64  `json:"attempts"`
+	Failures int64  `json:"failures"`
+	// ObservedRate is Failures/Attempts.
+	ObservedRate float64 `json:"observed_failure_rate"`
+	// BoundEq2 is equation (2)'s per-attempt failure bound 3n²/|S| (capped
+	// at 1; a cap of 1 means the subset is too small for the bound to say
+	// anything).
+	BoundEq2 float64 `json:"bound_eq2"`
+	// BoundLemma2 is Lemma 2's minimum-polynomial bound 2n/|S| (deg f^A ≤ n).
+	BoundLemma2 float64 `json:"bound_lemma2"`
+	// BoundThm2 is Theorem 2's generic-rank-profile bound n(n−1)/(2|S|).
+	BoundThm2 float64 `json:"bound_theorem2"`
+	// WithinEq2 reports ObservedRate ≤ BoundEq2 — the monitored invariant.
+	WithinEq2 bool             `json:"within_eq2"`
+	ByOutcome map[string]int64 `json:"by_outcome"`
+	ByPhase   map[string]int64 `json:"by_phase,omitempty"`
+	WallNs    int64            `json:"wall_ns"`
+}
+
+// capProb caps a probability bound at 1.
+func capProb(p float64) float64 {
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Eq2Bound returns equation (2)'s per-attempt failure bound 3n²/|S|,
+// capped at 1.
+func Eq2Bound(n int, subset uint64) float64 {
+	if subset == 0 {
+		return 1
+	}
+	return capProb(3 * float64(n) * float64(n) / float64(subset))
+}
+
+// Lemma2Bound returns Lemma 2's bound 2·deg(f^A)/|S| with deg(f^A) ≤ n,
+// capped at 1.
+func Lemma2Bound(n int, subset uint64) float64 {
+	if subset == 0 {
+		return 1
+	}
+	return capProb(2 * float64(n) / float64(subset))
+}
+
+// Theorem2Bound returns Theorem 2's bound n(n−1)/(2|S|), capped at 1.
+func Theorem2Bound(n int, subset uint64) float64 {
+	if subset == 0 {
+		return 1
+	}
+	return capProb(float64(n) * float64(n-1) / (2 * float64(subset)))
+}
+
+// BoundsReport returns one line per (solver, n, |S|) group, sorted by
+// solver, then n, then |S| — the observed failure rate beside the paper's
+// bounds.
+func BoundsReport() []BoundsLine {
+	attemptStats.mu.Lock()
+	lines := make([]BoundsLine, 0, len(attemptStats.groups))
+	for k, g := range attemptStats.groups {
+		l := BoundsLine{
+			Solver:      k.solver,
+			N:           k.n,
+			Subset:      k.subset,
+			Attempts:    g.attempts,
+			Failures:    g.failures,
+			BoundEq2:    Eq2Bound(k.n, k.subset),
+			BoundLemma2: Lemma2Bound(k.n, k.subset),
+			BoundThm2:   Theorem2Bound(k.n, k.subset),
+			ByOutcome:   make(map[string]int64, len(g.byOutcome)),
+			ByPhase:     make(map[string]int64, len(g.byPhase)),
+			WallNs:      g.wall.Nanoseconds(),
+		}
+		if g.attempts > 0 {
+			l.ObservedRate = float64(g.failures) / float64(g.attempts)
+		}
+		l.WithinEq2 = l.ObservedRate <= l.BoundEq2
+		for o, c := range g.byOutcome {
+			l.ByOutcome[o] = c
+		}
+		for p, c := range g.byPhase {
+			l.ByPhase[p] = c
+		}
+		lines = append(lines, l)
+	}
+	attemptStats.mu.Unlock()
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].Solver != lines[j].Solver {
+			return lines[i].Solver < lines[j].Solver
+		}
+		if lines[i].N != lines[j].N {
+			return lines[i].N < lines[j].N
+		}
+		return lines[i].Subset < lines[j].Subset
+	})
+	return lines
+}
+
+// AttemptsTotal returns the number of attempts recorded process-wide.
+func AttemptsTotal() int64 {
+	attemptStats.mu.Lock()
+	defer attemptStats.mu.Unlock()
+	var total int64
+	for _, g := range attemptStats.groups {
+		total += g.attempts
+	}
+	return total
+}
+
+// ResetAttempts clears the attempt statistics (tests; the process-lifetime
+// counters in the metrics registry are unaffected).
+func ResetAttempts() {
+	attemptStats.mu.Lock()
+	attemptStats.groups = nil
+	attemptStats.mu.Unlock()
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBoundsReportGroupsAndBounds(t *testing.T) {
+	ResetAttempts()
+	t.Cleanup(ResetAttempts)
+
+	// 9 successes and 1 division-by-zero failure in one (solver, n, |S|)
+	// group; a separate solver keys its own group.
+	for i := 0; i < 9; i++ {
+		RecordAttempt(Attempt{Solver: "kp.solve", N: 8, Subset: 4096, Outcome: OutcomeSuccess, Wall: time.Microsecond})
+	}
+	RecordAttempt(Attempt{Solver: "kp.solve", N: 8, Subset: 4096, Outcome: OutcomeDivZero, Phase: PhaseMinPoly, Wall: time.Microsecond})
+	RecordAttempt(Attempt{Solver: "wiedemann.solve", N: 8, Subset: 4096, Outcome: OutcomeSuccess})
+
+	lines := BoundsReport()
+	if len(lines) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(lines), lines)
+	}
+	// Sorted by solver name: kp.solve before wiedemann.solve.
+	l := lines[0]
+	if l.Solver != "kp.solve" || l.N != 8 || l.Subset != 4096 {
+		t.Fatalf("group key wrong: %+v", l)
+	}
+	if l.Attempts != 10 || l.Failures != 1 {
+		t.Fatalf("attempts/failures = %d/%d, want 10/1", l.Attempts, l.Failures)
+	}
+	if l.ObservedRate != 0.1 {
+		t.Fatalf("observed rate = %v, want 0.1", l.ObservedRate)
+	}
+	// Equation (2): 3·8²/4096 = 192/4096 = 0.046875.
+	if l.BoundEq2 != 3.0*64/4096 {
+		t.Fatalf("eq2 bound = %v", l.BoundEq2)
+	}
+	// Lemma 2: 2·8/4096; Theorem 2: 8·7/(2·4096).
+	if l.BoundLemma2 != 16.0/4096 || l.BoundThm2 != 56.0/8192 {
+		t.Fatalf("lemma2/thm2 = %v/%v", l.BoundLemma2, l.BoundThm2)
+	}
+	// The observed 0.1 rate exceeds the 0.047 bound — the invariant flag
+	// must say so. (10 attempts is noise, which is why the acceptance test
+	// uses ≥1000; here we only check the comparison wiring.)
+	if l.WithinEq2 {
+		t.Fatal("0.1 observed > 0.0469 bound must report WithinEq2=false")
+	}
+	if l.ByOutcome[OutcomeSuccess] != 9 || l.ByOutcome[OutcomeDivZero] != 1 {
+		t.Fatalf("by-outcome wrong: %v", l.ByOutcome)
+	}
+	if l.ByPhase[PhaseMinPoly] != 1 {
+		t.Fatalf("by-phase wrong: %v", l.ByPhase)
+	}
+	if l.WallNs != 10*time.Microsecond.Nanoseconds() {
+		t.Fatalf("wall = %d", l.WallNs)
+	}
+
+	if got := AttemptsTotal(); got != 11 {
+		t.Fatalf("AttemptsTotal = %d, want 11", got)
+	}
+	ResetAttempts()
+	if got := AttemptsTotal(); got != 0 {
+		t.Fatalf("AttemptsTotal after reset = %d", got)
+	}
+}
+
+func TestBoundsCapAtOne(t *testing.T) {
+	// A tiny subset pushes every bound past 1; they must cap there rather
+	// than report a "probability" above 1.
+	if got := Eq2Bound(100, 2); got != 1 {
+		t.Fatalf("eq2 = %v", got)
+	}
+	if got := Lemma2Bound(100, 2); got != 1 {
+		t.Fatalf("lemma2 = %v", got)
+	}
+	if got := Theorem2Bound(100, 2); got != 1 {
+		t.Fatalf("thm2 = %v", got)
+	}
+	// Subset 0 (unknown) degrades to the trivial bound.
+	if Eq2Bound(4, 0) != 1 || Lemma2Bound(4, 0) != 1 || Theorem2Bound(4, 0) != 1 {
+		t.Fatal("subset 0 must yield the trivial bound 1")
+	}
+	// Sanity: a generous subset leaves the bounds strictly inside (0, 1).
+	if b := Eq2Bound(4, 1<<20); b <= 0 || b >= 1 {
+		t.Fatalf("eq2 with large subset = %v", b)
+	}
+}
+
+func TestBoundsReportSortOrder(t *testing.T) {
+	ResetAttempts()
+	t.Cleanup(ResetAttempts)
+	RecordAttempt(Attempt{Solver: "b", N: 4, Subset: 10, Outcome: OutcomeSuccess})
+	RecordAttempt(Attempt{Solver: "a", N: 8, Subset: 10, Outcome: OutcomeSuccess})
+	RecordAttempt(Attempt{Solver: "a", N: 4, Subset: 20, Outcome: OutcomeSuccess})
+	RecordAttempt(Attempt{Solver: "a", N: 4, Subset: 10, Outcome: OutcomeSuccess})
+	lines := BoundsReport()
+	type key struct {
+		s string
+		n int
+		u uint64
+	}
+	var got []key
+	for _, l := range lines {
+		got = append(got, key{l.Solver, l.N, l.Subset})
+	}
+	want := []key{{"a", 4, 10}, {"a", 4, 20}, {"a", 8, 10}, {"b", 4, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Flight recorder: an always-on ring of the most recent driver-level solve
+// summaries (one entry per Solve/SolveBatch/Factor/Det call, success or
+// failure). Unlike spans it needs no Observer and is never disabled — the
+// cost is one short mutex hold per driver call, amortized over an entire
+// Las Vegas solve — so post-mortem context is available even in processes
+// that never turned tracing on. kpsolve dumps it to stderr on any non-zero
+// exit.
+
+// FlightEntry is one recorded driver call.
+type FlightEntry struct {
+	Seq      int64         `json:"seq"`  // 1-based, process-wide
+	When     time.Time     `json:"when"` // completion time
+	Op       string        `json:"op"`   // driver: "kp.solve", "kp.batch", ...
+	N        int           `json:"n"`
+	Rhs      int           `json:"rhs,omitempty"` // right-hand sides (batch ops)
+	Subset   uint64        `json:"subset"`
+	Attempts int           `json:"attempts"` // Las Vegas attempts consumed
+	Outcome  string        `json:"outcome"`  // "ok" or the error text
+	Wall     time.Duration `json:"wall_ns"`
+}
+
+// flightCapacity is the ring size: enough recent history for a post-mortem
+// without unbounded growth.
+const flightCapacity = 128
+
+var flight struct {
+	mu   sync.Mutex
+	ring [flightCapacity]FlightEntry
+	next int64 // entries ever recorded; slot is next % flightCapacity
+}
+
+// RecordFlight appends a driver-call summary to the flight ring. A zero
+// When is stamped with the current time.
+func RecordFlight(e FlightEntry) {
+	if e.When.IsZero() {
+		e.When = time.Now()
+	}
+	flight.mu.Lock()
+	e.Seq = flight.next + 1
+	flight.ring[flight.next%flightCapacity] = e
+	flight.next++
+	flight.mu.Unlock()
+}
+
+// FlightEntries returns the recorded entries, oldest surviving first.
+func FlightEntries() []FlightEntry {
+	flight.mu.Lock()
+	defer flight.mu.Unlock()
+	n := flight.next
+	if n > flightCapacity {
+		out := make([]FlightEntry, 0, flightCapacity)
+		head := n % flightCapacity
+		out = append(out, flight.ring[head:]...)
+		out = append(out, flight.ring[:head]...)
+		return out
+	}
+	out := make([]FlightEntry, n)
+	copy(out, flight.ring[:n])
+	return out
+}
+
+// WriteFlightRecord dumps the ring as a human-readable table (newest last).
+// With no recorded entries it writes nothing, so callers can dump
+// unconditionally on failure paths.
+func WriteFlightRecord(w io.Writer) {
+	entries := FlightEntries()
+	if len(entries) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "flight recorder (%d most recent solve(s)):\n", len(entries))
+	for _, e := range entries {
+		rhs := ""
+		if e.Rhs > 1 {
+			rhs = fmt.Sprintf(" rhs=%d", e.Rhs)
+		}
+		fmt.Fprintf(w, "  #%-4d %s  %-12s n=%-5d%s |S|=%d attempts=%d wall=%s  %s\n",
+			e.Seq, e.When.Format("15:04:05.000"), e.Op, e.N, rhs, e.Subset, e.Attempts, e.Wall, e.Outcome)
+	}
+}
+
+// ResetFlight clears the flight ring (tests).
+func ResetFlight() {
+	flight.mu.Lock()
+	flight.ring = [flightCapacity]FlightEntry{}
+	flight.next = 0
+	flight.mu.Unlock()
+}

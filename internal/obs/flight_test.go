@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderWrap(t *testing.T) {
+	ResetFlight()
+	t.Cleanup(ResetFlight)
+	total := flightCapacity + 17
+	for i := 0; i < total; i++ {
+		RecordFlight(FlightEntry{Op: "kp.solve", N: i, Subset: 64, Attempts: 1, Outcome: "ok"})
+	}
+	entries := FlightEntries()
+	if len(entries) != flightCapacity {
+		t.Fatalf("got %d entries, want %d", len(entries), flightCapacity)
+	}
+	for i, e := range entries {
+		if want := int64(total - flightCapacity + 1 + i); e.Seq != want {
+			t.Fatalf("entry %d seq=%d, want %d (oldest surviving first)", i, e.Seq, want)
+		}
+	}
+	if entries[0].N != total-flightCapacity {
+		t.Fatalf("oldest surviving N = %d", entries[0].N)
+	}
+}
+
+func TestFlightRecorderStampsWhen(t *testing.T) {
+	ResetFlight()
+	t.Cleanup(ResetFlight)
+	before := time.Now()
+	RecordFlight(FlightEntry{Op: "kp.solve", N: 4, Outcome: "ok"})
+	entries := FlightEntries()
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	if entries[0].When.Before(before) {
+		t.Fatalf("zero When not stamped: %v", entries[0].When)
+	}
+	// An explicit timestamp is preserved.
+	when := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	RecordFlight(FlightEntry{Op: "kp.solve", N: 4, Outcome: "ok", When: when})
+	entries = FlightEntries()
+	if !entries[1].When.Equal(when) {
+		t.Fatalf("explicit When overwritten: %v", entries[1].When)
+	}
+}
+
+func TestWriteFlightRecord(t *testing.T) {
+	ResetFlight()
+	t.Cleanup(ResetFlight)
+	var buf bytes.Buffer
+	WriteFlightRecord(&buf)
+	if buf.Len() != 0 {
+		t.Fatalf("empty ring must write nothing, got %q", buf.String())
+	}
+	RecordFlight(FlightEntry{Op: "kp.batch", N: 32, Rhs: 8, Subset: 4096, Attempts: 2, Outcome: "retries exhausted", Wall: 3 * time.Millisecond})
+	WriteFlightRecord(&buf)
+	out := buf.String()
+	for _, want := range []string{"flight recorder", "kp.batch", "n=32", "rhs=8", "attempts=2", "retries exhausted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Embeddable HTTP exposition of the telemetry pipeline. Handler returns a
+// mux any server can mount:
+//
+//	/metrics   Prometheus text format (counters, gauges, histograms,
+//	           attempt statistics with the paper's failure bounds)
+//	/snapshot  one JSON document with everything /metrics has, plus the
+//	           flight-recorder ring and the active Observer's phase totals
+//	/healthz   liveness: 200 "ok"
+//
+// kpsolve -serve and kpbench -serve mount it on a dedicated listener; a
+// production embedder mounts it on its own mux next to pprof.
+
+// SnapshotDoc is the /snapshot JSON document.
+type SnapshotDoc struct {
+	// Metrics is the counter/gauge registry (gauges contribute
+	// "<name>.max" beside their current value).
+	Metrics map[string]int64 `json:"metrics"`
+	// Histograms are the log-bucketed distributions (phase latencies,
+	// retry counts, batch sizes, pool samples).
+	Histograms []HistSnapshot `json:"histograms"`
+	// Attempts is the Las Vegas bounds report: observed failure rates
+	// beside the equation (2) / Lemma 2 / Theorem 2 bounds.
+	Attempts []BoundsLine `json:"attempts"`
+	// Flight is the flight-recorder ring, oldest first.
+	Flight []FlightEntry `json:"flight"`
+	// PhaseTotals and DroppedSpans reflect the active Observer, when one
+	// is installed.
+	PhaseTotals  map[string]PhaseTotal `json:"phase_totals,omitempty"`
+	DroppedSpans int64                 `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot assembles the full telemetry state as one document.
+func Snapshot() SnapshotDoc {
+	doc := SnapshotDoc{
+		Metrics:    MetricsSnapshot(),
+		Histograms: Histograms(),
+		Attempts:   BoundsReport(),
+		Flight:     FlightEntries(),
+	}
+	if o := Active(); o != nil {
+		doc.PhaseTotals = o.PhaseTotals()
+		doc.DroppedSpans = o.Dropped()
+	}
+	return doc
+}
+
+// Handler returns the telemetry mux serving /metrics, /snapshot and
+// /healthz.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

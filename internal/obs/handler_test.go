@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seedTelemetry populates every subsystem the exposition covers so the lint
+// exercises counters, gauges, plain and labeled histograms, and attempt
+// statistics in one document.
+func seedTelemetry(t *testing.T) {
+	t.Helper()
+	NewCounter("test.prom.counter").Add(3)
+	g := NewGauge("test.prom.gauge")
+	g.Set(7)
+	NewHistogram("test.prom.hist").Observe(100)
+	o := New(16)
+	withObserver(t, o)
+	sp := StartPhase(PhaseKrylov) // labeled phase.latency.ns series
+	time.Sleep(time.Microsecond)
+	sp.End()
+	RecordAttempt(Attempt{Solver: "kp.solve", N: 8, Subset: 4096, Outcome: OutcomeSuccess, Wall: time.Microsecond})
+	RecordAttempt(Attempt{Solver: "kp.solve", N: 8, Subset: 4096, Outcome: OutcomeDivZero, Phase: PhaseMinPoly, Wall: time.Microsecond})
+	RecordFlight(FlightEntry{Op: "kp.solve", N: 8, Subset: 4096, Attempts: 2, Outcome: "ok"})
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	seedTelemetry(t)
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	health, _ := get("/healthz")
+	if health != "ok\n" {
+		t.Fatalf("healthz = %q", health)
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("metrics content-type = %q", ctype)
+	}
+	for _, want := range []string{
+		"kp_test_prom_counter_total 3",
+		"kp_test_prom_gauge 7",
+		"kp_phase_latency_ns_bucket{phase=\"krylov\",",
+		"kp_attempts_total{solver=\"kp.solve\",",
+		"kp_attempt_failure_bound_eq2{",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	snapshot, ctype := get("/snapshot")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("snapshot content-type = %q", ctype)
+	}
+	var doc SnapshotDoc
+	if err := json.Unmarshal([]byte(snapshot), &doc); err != nil {
+		t.Fatalf("/snapshot is not valid JSON: %v", err)
+	}
+	if doc.Metrics["test.prom.counter"] != 3 {
+		t.Fatalf("snapshot metrics wrong: %v", doc.Metrics["test.prom.counter"])
+	}
+	if len(doc.Flight) == 0 {
+		t.Fatal("snapshot missing flight entries")
+	}
+	if len(doc.Attempts) == 0 {
+		t.Fatal("snapshot missing attempt statistics")
+	}
+}
+
+// TestPrometheusExpositionLint parses the full /metrics output and enforces
+// the exposition-format rules a real scraper relies on: valid metric names,
+// HELP/TYPE headers preceding every sample of their family, counters named
+// *_total with non-negative finite values, histogram buckets cumulative and
+// capped by a +Inf bucket equal to _count.
+func TestPrometheusExpositionLint(t *testing.T) {
+	seedTelemetry(t)
+	var sb strings.Builder
+	WriteMetrics(&sb)
+	lintPromText(t, sb.String())
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+func lintPromText(t *testing.T, text string) {
+	t.Helper()
+	typeOf := map[string]string{} // family -> counter|gauge|histogram
+	helpSeen := map[string]bool{}
+	var samples []promSample
+
+	for i, line := range strings.Split(text, "\n") {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln, line)
+			}
+			helpSeen[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln, line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown TYPE %q", ln, typ)
+			}
+			if !helpSeen[name] {
+				t.Fatalf("line %d: TYPE %s before its HELP", ln, name)
+			}
+			if _, dup := typeOf[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			typeOf[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			t.Fatalf("line %d: %v (%q)", ln, err, line)
+		}
+		s.line = ln
+		samples = append(samples, s)
+	}
+
+	if len(samples) == 0 {
+		t.Fatal("no samples in exposition")
+	}
+
+	// Per-series bucket tracking for the histogram rules.
+	type seriesKey struct{ family, labels string }
+	lastCum := map[seriesKey]float64{}
+	infCount := map[seriesKey]float64{}
+	countVal := map[seriesKey]float64{}
+
+	for _, s := range samples {
+		if !promNameRe.MatchString(s.name) {
+			t.Fatalf("line %d: invalid metric name %q", s.line, s.name)
+		}
+		for k := range s.labels {
+			if !promLabelRe.MatchString(k) {
+				t.Fatalf("line %d: invalid label name %q", s.line, k)
+			}
+		}
+		family, sub := s.name, ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(s.name, suffix)
+			if trimmed != s.name && typeOf[trimmed] == "histogram" {
+				family, sub = trimmed, suffix
+				break
+			}
+		}
+		typ, ok := typeOf[family]
+		if !ok {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", s.line, s.name)
+		}
+		switch typ {
+		case "counter":
+			if !strings.HasSuffix(family, "_total") {
+				t.Fatalf("line %d: counter %s must end in _total", s.line, family)
+			}
+			if s.value < 0 {
+				t.Fatalf("line %d: counter %s has negative value %v", s.line, s.name, s.value)
+			}
+		case "histogram":
+			// Key the series by its labels minus le.
+			rest := make([]string, 0, len(s.labels))
+			for k, v := range s.labels {
+				if k != "le" {
+					rest = append(rest, k+"="+v)
+				}
+			}
+			key := seriesKey{family, strings.Join(sortStrings(rest), ",")}
+			switch sub {
+			case "_bucket":
+				le, hasLe := s.labels["le"]
+				if !hasLe {
+					t.Fatalf("line %d: histogram bucket without le label", s.line)
+				}
+				if s.value < lastCum[key] {
+					t.Fatalf("line %d: bucket counts not cumulative for %s (%v < %v)", s.line, s.name, s.value, lastCum[key])
+				}
+				lastCum[key] = s.value
+				if le == "+Inf" {
+					infCount[key] = s.value
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					t.Fatalf("line %d: unparseable le=%q", s.line, le)
+				}
+			case "_count":
+				countVal[key] = s.value
+			}
+		}
+	}
+	for key, inf := range infCount {
+		if c, ok := countVal[key]; !ok || c != inf {
+			t.Fatalf("histogram %s{%s}: +Inf bucket %v != _count %v", key.family, key.labels, inf, countVal[key])
+		}
+	}
+	for key := range countVal {
+		if _, ok := infCount[key]; !ok {
+			t.Fatalf("histogram %s{%s}: no +Inf bucket", key.family, key.labels)
+		}
+	}
+}
+
+func parsePromSample(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator")
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		for _, pair := range splitLabels(rest[1:end]) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("malformed label %q", pair)
+			}
+			val, err := strconv.Unquote(pair[eq+1:])
+			if err != nil {
+				return s, fmt.Errorf("unquoted label value in %q: %v", pair, err)
+			}
+			s.labels[pair[:eq]] = val
+		}
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("unparseable value %q", rest)
+	}
+	s.value = v
+	return s, nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(body string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+func sortStrings(s []string) []string {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}

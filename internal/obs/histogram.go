@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Lock-free log-bucketed histograms. Values (latencies in nanoseconds,
+// queue depths, attempt counts) land in the bucket indexed by their bit
+// length, so bucket i holds values in [2^{i-1}, 2^i) — bucket 0 holds the
+// value 0 — and the upper bound of bucket i is 2^i − 1. Observe is two
+// uncontended atomic adds and never allocates, which is what lets the pool
+// submit path and Span.End sample continuously; readers reconstruct counts,
+// sums and quantile estimates from a consistent-enough snapshot (each
+// bucket is read atomically; cross-bucket skew is bounded by in-flight
+// observations, fine for monitoring).
+
+// histBuckets is the number of finite log2 buckets: bit lengths 0..63
+// (bucket 64, values ≥ 2⁶³, exists only as the +Inf overflow).
+const histBuckets = 65
+
+// Histogram is a fixed-shape log2-bucketed distribution. The zero value is
+// not useful; obtain instances from NewHistogram / NewLabeledHistogram so
+// they are registered for exposition.
+type Histogram struct {
+	name     string
+	labelKey string
+	labelVal string
+	sum      atomic.Uint64
+	buckets  [histBuckets]atomic.Uint64
+}
+
+// Observe records one value (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	u := uint64(0)
+	if v > 0 {
+		u = uint64(v)
+	}
+	h.buckets[bits.Len64(u)].Add(1)
+	h.sum.Add(u)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Name returns the registered family name.
+func (h *Histogram) Name() string { return h.name }
+
+// Label returns the constant label pair ("", "" when unlabeled).
+func (h *Histogram) Label() (key, value string) { return h.labelKey, h.labelVal }
+
+// bucketUpper returns the inclusive upper bound of finite bucket i
+// (2^i − 1); bucket histBuckets−1 is the +Inf overflow.
+func bucketUpper(i int) uint64 {
+	return 1<<uint(i) - 1
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]): the upper
+// bound of the bucket where the cumulative count crosses q·Count. The
+// estimate is exact to within the bucket's factor-of-two resolution;
+// 0 observations yield 0.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return ^uint64(0)
+}
+
+// HistBucket is one non-empty bucket of a snapshot, with its inclusive
+// upper bound and its raw (non-cumulative) count. Le == ^uint64(0) marks
+// the overflow (+Inf) bucket.
+type HistBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of one histogram.
+type HistSnapshot struct {
+	Name       string       `json:"name"`
+	LabelKey   string       `json:"label_key,omitempty"`
+	LabelValue string       `json:"label_value,omitempty"`
+	Count      uint64       `json:"count"`
+	Sum        uint64       `json:"sum"`
+	P50        uint64       `json:"p50"`
+	P99        uint64       `json:"p99"`
+	Buckets    []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state, keeping only non-empty
+// buckets.
+func (h *Histogram) Snapshot() HistSnapshot {
+	snap := HistSnapshot{
+		Name:       h.name,
+		LabelKey:   h.labelKey,
+		LabelValue: h.labelVal,
+		Sum:        h.Sum(),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := bucketUpper(i)
+		if i == histBuckets-1 {
+			le = ^uint64(0)
+		}
+		snap.Buckets = append(snap.Buckets, HistBucket{Le: le, Count: c})
+		snap.Count += c
+	}
+	snap.P50 = h.Quantile(0.50)
+	snap.P99 = h.Quantile(0.99)
+	return snap
+}
+
+var histRegistry struct {
+	mu   sync.Mutex
+	hist map[string]*Histogram
+}
+
+func histKey(name, labelKey, labelVal string) string {
+	return fmt.Sprintf("%s\x00%s\x00%s", name, labelKey, labelVal)
+}
+
+// NewHistogram registers (or, for an already registered name, returns) the
+// named unlabeled histogram.
+func NewHistogram(name string) *Histogram {
+	return NewLabeledHistogram(name, "", "")
+}
+
+// NewLabeledHistogram registers (or returns) the histogram identified by a
+// family name plus one constant label pair. Histograms sharing a family
+// name form one exposition family — the per-phase latency histograms are
+// NewLabeledHistogram("phase.latency.ns", "phase", name) for each phase.
+func NewLabeledHistogram(name, labelKey, labelVal string) *Histogram {
+	histRegistry.mu.Lock()
+	defer histRegistry.mu.Unlock()
+	if histRegistry.hist == nil {
+		histRegistry.hist = make(map[string]*Histogram)
+	}
+	k := histKey(name, labelKey, labelVal)
+	if h, ok := histRegistry.hist[k]; ok {
+		return h
+	}
+	h := &Histogram{name: name, labelKey: labelKey, labelVal: labelVal}
+	histRegistry.hist[k] = h
+	return h
+}
+
+// Histograms snapshots every registered histogram, sorted by family name
+// then label value (a stable order for /snapshot and the Prometheus
+// exposition).
+func Histograms() []HistSnapshot {
+	histRegistry.mu.Lock()
+	hists := make([]*Histogram, 0, len(histRegistry.hist))
+	for _, h := range histRegistry.hist {
+		hists = append(hists, h)
+	}
+	histRegistry.mu.Unlock()
+	out := make([]HistSnapshot, 0, len(hists))
+	for _, h := range hists {
+		out = append(out, h.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].LabelValue < out[j].LabelValue
+	})
+	return out
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram("test.hist.placement")
+	// Value v lands in bucket bits.Len64(v): 0 → bucket 0, 1 → 1, 2..3 → 2,
+	// 4..7 → 3, …; bucket i's inclusive upper bound is 2^i − 1.
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 9 {
+		t.Fatalf("count = %d, want 9", got)
+	}
+	// -5 clamps to 0, so the sum excludes it.
+	if got := h.Sum(); got != 0+1+2+3+4+7+8+1023 {
+		t.Fatalf("sum = %d", got)
+	}
+	snap := h.Snapshot()
+	counts := map[uint64]uint64{}
+	for _, b := range snap.Buckets {
+		counts[b.Le] = b.Count
+	}
+	// Bucket upper bounds hit: 0 (values 0, -5), 1 (value 1), 3 (2 and 3),
+	// 7 (4 and 7), 15 (8), 1023 (1023).
+	want := map[uint64]uint64{0: 2, 1: 1, 3: 2, 7: 2, 15: 1, 1023: 1}
+	for le, c := range want {
+		if counts[le] != c {
+			t.Fatalf("bucket le=%d count=%d, want %d (buckets %+v)", le, counts[le], c, snap.Buckets)
+		}
+	}
+	if len(counts) != len(want) {
+		t.Fatalf("unexpected extra buckets: %+v", snap.Buckets)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("test.hist.quantile")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 90 small values and 10 large ones: p50 sits in the small bucket, p99
+	// in the large one. Log2 bucketing means quantiles are bucket upper
+	// bounds, exact to a factor of two.
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket upper bound 127
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000) // bucket upper bound 131071
+	}
+	if got := h.Quantile(0.50); got != 127 {
+		t.Fatalf("p50 = %d, want 127", got)
+	}
+	if got := h.Quantile(0.99); got != 131071 {
+		t.Fatalf("p99 = %d, want 131071", got)
+	}
+	snap := h.Snapshot()
+	if snap.P50 != 127 || snap.P99 != 131071 {
+		t.Fatalf("snapshot quantiles = %d/%d", snap.P50, snap.P99)
+	}
+}
+
+func TestHistogramRegistryDedupes(t *testing.T) {
+	a := NewHistogram("test.hist.dedupe")
+	b := NewHistogram("test.hist.dedupe")
+	if a != b {
+		t.Fatal("NewHistogram must return the registered instance for a seen name")
+	}
+	l1 := NewLabeledHistogram("test.hist.family", "phase", "krylov")
+	l2 := NewLabeledHistogram("test.hist.family", "phase", "minpoly")
+	if l1 == l2 {
+		t.Fatal("distinct label values must be distinct series")
+	}
+	if again := NewLabeledHistogram("test.hist.family", "phase", "krylov"); again != l1 {
+		t.Fatal("same (name, label) must dedupe")
+	}
+	l1.Observe(1)
+	l2.Observe(2)
+	var series []HistSnapshot
+	for _, s := range Histograms() {
+		if s.Name == "test.hist.family" {
+			series = append(series, s)
+		}
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series in family, want 2", len(series))
+	}
+	// Sorted by label value within the family.
+	if series[0].LabelValue != "krylov" || series[1].LabelValue != "minpoly" {
+		t.Fatalf("family order wrong: %q, %q", series[0].LabelValue, series[1].LabelValue)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("test.hist.concurrent")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+	if got := h.Sum(); got != 8*999*1000/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestHistogramNilObserve(t *testing.T) {
+	var h *Histogram
+	h.Observe(5) // must not panic
+}

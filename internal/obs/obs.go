@@ -1,8 +1,12 @@
-// Package obs is the solver-wide observability layer: hierarchical spans
-// over the Kaltofen–Pan solve phases, named counters/gauges for the shared
-// worker pool, and exporters (Chrome trace_event JSON, expvar) that make
-// the paper's per-phase work/depth accounting measurable instead of
-// asserted.
+// Package obs is the solver-wide telemetry pipeline: hierarchical spans
+// over the Kaltofen–Pan solve phases, named counters/gauges and lock-free
+// log-bucketed histograms (phase latencies, retry counts, batch sizes,
+// pool samples), Las Vegas attempt statistics compared against the paper's
+// failure bounds (BoundsReport), an always-on flight recorder of recent
+// solve summaries, and exporters — Chrome trace_event JSON, expvar, and an
+// embeddable HTTP Handler serving Prometheus text at /metrics plus a JSON
+// /snapshot and /healthz — that make the paper's per-phase work/depth
+// accounting and probabilistic claims measurable instead of asserted.
 //
 // The layer is off by default and built around a nil fast path: with no
 // active Observer, StartPhase returns a nil *Span whose methods are no-ops,
@@ -26,6 +30,19 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// phaseLatencyHists caches the per-phase latency histogram ("phase.latency.ns"
+// family, one labeled series per phase name) so Span.End pays one sync.Map
+// load instead of a registry lock per close.
+var phaseLatencyHists sync.Map // phase name -> *Histogram
+
+func phaseLatencyHist(name string) *Histogram {
+	if h, ok := phaseLatencyHists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := phaseLatencyHists.LoadOrStore(name, NewLabeledHistogram("phase.latency.ns", "phase", name))
+	return h.(*Histogram)
+}
 
 // Span taxonomy: the KP91 (SPAA 1991) algorithm steps. Theorem 4 emits
 // exactly these four top-level phases per attempt; the black-box
@@ -142,6 +159,7 @@ type Span struct {
 	gid    int64
 	ops    atomic.Uint64
 	calls  atomic.Uint64
+	ended  atomic.Bool
 }
 
 // StartPhase opens a span on the active Observer (nil, at the cost of one
@@ -196,9 +214,12 @@ func AddFieldOps(ops, calls uint64) {
 }
 
 // End closes the span and commits its record to the Observer's ring. The
-// enclosing span (if any) becomes the innermost open span again.
+// enclosing span (if any) becomes the innermost open span again. End is
+// idempotent: the second and later calls are no-ops, so call sites close
+// spans eagerly for tight timing AND via defer as a leak guard on error,
+// cancellation and panic paths.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.ended.Swap(true) {
 		return
 	}
 	o := s.obs
@@ -220,6 +241,20 @@ func (s *Span) End() {
 	o.ring[o.next%int64(len(o.ring))] = rec
 	o.next++
 	o.mu.Unlock()
+	phaseLatencyHist(s.name).Observe(rec.Dur.Nanoseconds())
+}
+
+// OpenSpanName returns the name of the innermost open span, or "" when no
+// span is open — the invariant tests assert after cancellation: a returned
+// driver must leave no span open (and no stale current pointer) behind.
+func (o *Observer) OpenSpanName() string {
+	if o == nil {
+		return ""
+	}
+	if s := o.current.Load(); s != nil {
+		return s.name
+	}
+	return ""
 }
 
 // Records returns the completed spans in completion order (oldest
@@ -309,18 +344,36 @@ func (o *Observer) TotalFieldOps() uint64 {
 
 // goroutineID parses the current goroutine's id from its stack header
 // ("goroutine N [...]"). Only called on the enabled path; the runtime has
-// no public accessor.
+// no public accessor. Ids wider than the fast 40-byte buffer (the header
+// would be truncated mid-digits, which must not parse as a wrong id) fall
+// back to a larger buffer; a still-unparseable header yields -1.
 func goroutineID() int64 {
 	var buf [40]byte
 	n := runtime.Stack(buf[:], false)
-	s := buf[:n]
+	if id, ok := parseGoroutineID(buf[:n]); ok {
+		return id
+	}
+	big := make([]byte, 128)
+	n = runtime.Stack(big, false)
+	if id, ok := parseGoroutineID(big[:n]); ok {
+		return id
+	}
+	return -1
+}
+
+// parseGoroutineID extracts N from a "goroutine N [...]" stack header. It
+// requires the separator after the id to be present — a header truncated
+// inside the digits (possible when the capture buffer is smaller than the
+// header) is rejected rather than parsed as a shorter, wrong id.
+func parseGoroutineID(s []byte) (int64, bool) {
 	s = bytes.TrimPrefix(s, []byte("goroutine "))
-	if i := bytes.IndexByte(s, ' '); i > 0 {
-		s = s[:i]
+	i := bytes.IndexByte(s, ' ')
+	if i <= 0 {
+		return 0, false
 	}
-	id, err := strconv.ParseInt(string(s), 10, 64)
-	if err != nil {
-		return -1
+	id, err := strconv.ParseInt(string(s[:i]), 10, 64)
+	if err != nil || id < 0 {
+		return 0, false
 	}
-	return id
+	return id, true
 }

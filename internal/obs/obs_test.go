@@ -239,3 +239,123 @@ func BenchmarkSpanEnabled(b *testing.B) {
 		sp.End()
 	}
 }
+
+func TestEndIsIdempotent(t *testing.T) {
+	o := New(8)
+	withObserver(t, o)
+	sp := StartPhase(PhaseKrylov)
+	sp.End()
+	sp.End() // defer-guard second close: must not commit a second record
+	sp.End()
+	if recs := o.Records(); len(recs) != 1 {
+		t.Fatalf("got %d records after repeated End, want 1", len(recs))
+	}
+	if got := o.OpenSpanName(); got != "" {
+		t.Fatalf("open span %q after End, want none", got)
+	}
+}
+
+func TestOpenSpanName(t *testing.T) {
+	var nilObs *Observer
+	if got := nilObs.OpenSpanName(); got != "" {
+		t.Fatalf("nil observer open span = %q", got)
+	}
+	o := New(8)
+	withObserver(t, o)
+	if got := o.OpenSpanName(); got != "" {
+		t.Fatalf("fresh observer open span = %q", got)
+	}
+	root := StartPhase("solve")
+	inner := StartPhase(PhaseKrylov)
+	if got := o.OpenSpanName(); got != PhaseKrylov {
+		t.Fatalf("open span = %q, want %q", got, PhaseKrylov)
+	}
+	inner.End()
+	if got := o.OpenSpanName(); got != "solve" {
+		t.Fatalf("open span after inner End = %q, want solve", got)
+	}
+	root.End()
+	if got := o.OpenSpanName(); got != "" {
+		t.Fatalf("open span after root End = %q, want none", got)
+	}
+}
+
+func TestRingWrapMultipleTimes(t *testing.T) {
+	o := New(4)
+	withObserver(t, o)
+	const total = 103 // 25 full wraps plus a partial one
+	for i := 0; i < total; i++ {
+		StartPhase("p").End()
+	}
+	if got := o.Dropped(); got != total-4 {
+		t.Fatalf("dropped = %d, want %d", got, total-4)
+	}
+	recs := o.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if want := int64(total - 3 + i); r.ID != want {
+			t.Fatalf("record %d has id %d, want %d (oldest surviving first)", i, r.ID, want)
+		}
+	}
+}
+
+func TestPhaseTotalsSurviveWrap(t *testing.T) {
+	o := New(4)
+	withObserver(t, o)
+	// 3 "a" spans then 5 "b" spans through a 4-slot ring: every "a" is
+	// evicted, the last 4 "b"s survive. PhaseTotals must aggregate exactly
+	// the surviving records — no double count from revisited ring slots, no
+	// ghosts of evicted spans.
+	for i := 0; i < 3; i++ {
+		sp := o.StartSpan("a")
+		sp.AddFieldOps(10, 1)
+		sp.End()
+	}
+	for i := 0; i < 5; i++ {
+		sp := o.StartSpan("b")
+		sp.AddFieldOps(100, 1)
+		sp.End()
+	}
+	totals := o.PhaseTotals()
+	if _, ok := totals["a"]; ok {
+		t.Fatalf("evicted phase still in totals: %+v", totals)
+	}
+	bt := totals["b"]
+	if bt.Count != 4 || bt.FieldOps != 400 || bt.MulCalls != 4 {
+		t.Fatalf("post-wrap totals for b = %+v, want Count 4 FieldOps 400 MulCalls 4", bt)
+	}
+	if got := o.Dropped(); got != 4 {
+		t.Fatalf("dropped = %d, want 4", got)
+	}
+}
+
+func TestParseGoroutineID(t *testing.T) {
+	cases := []struct {
+		in   string
+		id   int64
+		ok   bool
+		note string
+	}{
+		{"goroutine 1 [running]:\nmain.main()", 1, true, "canonical header"},
+		{"goroutine 6120 [running]:", 6120, true, "multi-digit id"},
+		{"goroutine 123456789012345678901234567890", 0, false, "id truncated before the separator must not parse"},
+		{"goroutine ", 0, false, "empty id"},
+		{"goroutine  [running]:", 0, false, "missing id"},
+		{"goroutine x [running]:", 0, false, "non-numeric id"},
+		{"", 0, false, "empty input"},
+	}
+	for _, c := range cases {
+		id, ok := parseGoroutineID([]byte(c.in))
+		if ok != c.ok || (ok && id != c.id) {
+			t.Errorf("%s: parseGoroutineID(%q) = (%d, %v), want (%d, %v)", c.note, c.in, id, ok, c.id, c.ok)
+		}
+	}
+}
+
+func TestGoroutineIDCurrent(t *testing.T) {
+	if id := goroutineID(); id <= 0 {
+		t.Fatalf("goroutineID() = %d for a live goroutine, want > 0", id)
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of the whole telemetry state:
+// the counter/gauge registry, the log-bucketed histograms, and the Las
+// Vegas attempt statistics with the paper's failure bounds beside the
+// observed rates. The internal dotted metric names ("pool.jobs.submitted")
+// are mangled into the prometheus_naming_convention with a "kp_" namespace
+// prefix; counters gain the "_total" suffix the convention requires.
+
+// promName mangles an internal metric name into a valid Prometheus metric
+// name: "kp_" namespace prefix, every non-[a-zA-Z0-9_] byte replaced by
+// '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("kp_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format (backslash,
+// double quote, newline).
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func promHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// WriteMetrics writes the full telemetry state in Prometheus text format:
+// registry counters (as "<kp_name>_total" counters), gauges (plus their
+// "_max" high-water marks), histogram families (cumulative "le" buckets,
+// "_sum", "_count"), and the attempt statistics
+// (kp_attempts_total{solver,n,subset,outcome} counters beside
+// kp_attempt_failure_rate / kp_attempt_failure_bound_* gauges).
+func WriteMetrics(w io.Writer) {
+	snap := MetricsSnapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		if strings.HasSuffix(n, ".max") {
+			continue // emitted beside its gauge
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	counters := make(map[string]bool)
+	registry.mu.Lock()
+	for n := range registry.counters {
+		counters[n] = true
+	}
+	registry.mu.Unlock()
+
+	for _, n := range names {
+		pn := promName(n)
+		if counters[n] {
+			if !strings.HasSuffix(pn, "_total") {
+				pn += "_total"
+			}
+			promHeader(w, pn, "counter", fmt.Sprintf("Monotonic counter %q.", n))
+			fmt.Fprintf(w, "%s %d\n", pn, snap[n])
+			continue
+		}
+		promHeader(w, pn, "gauge", fmt.Sprintf("Gauge %q.", n))
+		fmt.Fprintf(w, "%s %d\n", pn, snap[n])
+		if max, ok := snap[n+".max"]; ok {
+			promHeader(w, pn+"_max", "gauge", fmt.Sprintf("High-water mark of gauge %q.", n))
+			fmt.Fprintf(w, "%s_max %d\n", pn, max)
+		}
+	}
+
+	writeHistogramFamilies(w, Histograms())
+	writeAttemptMetrics(w, BoundsReport())
+}
+
+// writeHistogramFamilies groups the snapshots by family name and emits one
+// HELP/TYPE header per family followed by each labeled series' cumulative
+// buckets.
+func writeHistogramFamilies(w io.Writer, snaps []HistSnapshot) {
+	for i := 0; i < len(snaps); {
+		j := i
+		for j < len(snaps) && snaps[j].Name == snaps[i].Name {
+			j++
+		}
+		family := promName(snaps[i].Name)
+		promHeader(w, family, "histogram", fmt.Sprintf("Log2-bucketed histogram %q.", snaps[i].Name))
+		for _, s := range snaps[i:j] {
+			labelPrefix := ""
+			if s.LabelKey != "" {
+				labelPrefix = fmt.Sprintf("%s=%q,", promName(s.LabelKey)[3:], promLabel(s.LabelValue))
+			}
+			var cum uint64
+			for _, b := range s.Buckets {
+				if b.Le == ^uint64(0) {
+					continue // folded into +Inf below
+				}
+				cum += b.Count
+				fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", family, labelPrefix, b.Le, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labelPrefix, s.Count)
+			if s.LabelKey != "" {
+				fmt.Fprintf(w, "%s_sum{%s=%q} %d\n", family, promName(s.LabelKey)[3:], promLabel(s.LabelValue), s.Sum)
+				fmt.Fprintf(w, "%s_count{%s=%q} %d\n", family, promName(s.LabelKey)[3:], promLabel(s.LabelValue), s.Count)
+			} else {
+				fmt.Fprintf(w, "%s_sum %d\n", family, s.Sum)
+				fmt.Fprintf(w, "%s_count %d\n", family, s.Count)
+			}
+		}
+		i = j
+	}
+}
+
+// writeAttemptMetrics emits the Las Vegas attempt statistics: per-outcome
+// attempt counters and, per (solver, n, |S|) group, the observed failure
+// rate beside the equation (2), Lemma 2 and Theorem 2 bounds.
+func writeAttemptMetrics(w io.Writer, lines []BoundsLine) {
+	if len(lines) == 0 {
+		return
+	}
+	groupLabels := func(l BoundsLine) string {
+		return fmt.Sprintf("solver=%q,n=\"%d\",subset=\"%s\"",
+			promLabel(l.Solver), l.N, strconv.FormatUint(l.Subset, 10))
+	}
+
+	promHeader(w, "kp_attempts_total", "counter", "Las Vegas attempts by driver, dimension, subset size and outcome.")
+	for _, l := range lines {
+		outcomes := make([]string, 0, len(l.ByOutcome))
+		for o := range l.ByOutcome {
+			outcomes = append(outcomes, o)
+		}
+		sort.Strings(outcomes)
+		for _, o := range outcomes {
+			fmt.Fprintf(w, "kp_attempts_total{%s,outcome=%q} %d\n", groupLabels(l), promLabel(o), l.ByOutcome[o])
+		}
+	}
+
+	promHeader(w, "kp_attempt_failures_total", "counter", "Failed Las Vegas attempts by driver, dimension and subset size.")
+	for _, l := range lines {
+		fmt.Fprintf(w, "kp_attempt_failures_total{%s} %d\n", groupLabels(l), l.Failures)
+	}
+
+	promHeader(w, "kp_attempt_failure_rate", "gauge", "Observed per-attempt failure rate (failures/attempts).")
+	for _, l := range lines {
+		fmt.Fprintf(w, "kp_attempt_failure_rate{%s} %s\n", groupLabels(l), formatFloat(l.ObservedRate))
+	}
+	promHeader(w, "kp_attempt_failure_bound_eq2", "gauge", "Paper equation (2) per-attempt failure bound 3n^2/|S|.")
+	for _, l := range lines {
+		fmt.Fprintf(w, "kp_attempt_failure_bound_eq2{%s} %s\n", groupLabels(l), formatFloat(l.BoundEq2))
+	}
+	promHeader(w, "kp_attempt_failure_bound_lemma2", "gauge", "Lemma 2 minimum-polynomial failure bound 2n/|S|.")
+	for _, l := range lines {
+		fmt.Fprintf(w, "kp_attempt_failure_bound_lemma2{%s} %s\n", groupLabels(l), formatFloat(l.BoundLemma2))
+	}
+	promHeader(w, "kp_attempt_failure_bound_theorem2", "gauge", "Theorem 2 preconditioner failure bound n(n-1)/(2|S|).")
+	for _, l := range lines {
+		fmt.Fprintf(w, "kp_attempt_failure_bound_theorem2{%s} %s\n", groupLabels(l), formatFloat(l.BoundThm2))
+	}
+}
+
+// formatFloat renders a float sample without exponent surprises for small
+// magnitudes ('g' keeps full precision and stays parseable).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

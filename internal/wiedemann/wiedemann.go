@@ -9,6 +9,7 @@ package wiedemann
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/errs"
 	"repro/internal/ff"
@@ -18,6 +19,33 @@ import (
 	"repro/internal/seq"
 	"repro/internal/structured"
 )
+
+// solveAttemptsHist is the shared attempts-per-driver-call distribution
+// (one "solve.attempts" family across the kp and wiedemann routes).
+var solveAttemptsHist = obs.NewHistogram("solve.attempts")
+
+// recordAttempt reports one black-box Las Vegas attempt to the telemetry
+// pipeline (the statistics behind obs.BoundsReport).
+func recordAttempt(solver string, n int, subset uint64, outcome, phase string, wall time.Duration) {
+	obs.RecordAttempt(obs.Attempt{
+		Solver: solver, N: n, Subset: subset,
+		Outcome: outcome, Phase: phase, Wall: wall,
+	})
+}
+
+// recordDone closes one driver call: the retry-count sample and the
+// flight-recorder entry.
+func recordDone(solver string, n int, subset uint64, attempts int, start time.Time, err error) {
+	solveAttemptsHist.Observe(int64(attempts))
+	outcome := "ok"
+	if err != nil {
+		outcome = err.Error()
+	}
+	obs.RecordFlight(obs.FlightEntry{
+		Op: solver, N: n, Subset: subset,
+		Attempts: attempts, Outcome: outcome, Wall: time.Since(start),
+	})
+}
 
 // ErrRetriesExhausted is returned by the Las Vegas drivers when every
 // randomized attempt failed — overwhelmingly because the input is singular,
@@ -180,14 +208,21 @@ func Det[E any](f ff.Field[E], a matrix.BlackBox[E], src *ff.Source, subset uint
 	if retries <= 0 {
 		retries = DefaultRetries
 	}
+	started := time.Now()
 	for attempt := 0; attempt < retries; attempt++ {
+		astart := time.Now()
 		p := Precondition(f, a, src, subset)
 		mp, err := MinPoly(f, p.Box, src, subset)
 		if err != nil {
+			recordAttempt("wiedemann.det", n, subset, obs.OutcomeError, obs.PhaseMinPoly, time.Since(astart))
+			recordDone("wiedemann.det", n, subset, attempt+1, started, err)
 			return zero, err
 		}
 		if poly.Deg(f, mp) < n || f.IsZero(poly.Coef(f, mp, 0)) {
-			continue // unlucky randomness, or singular input
+			// Unlucky randomness, or singular input: the projected minimum
+			// polynomial misses degree n or has zero constant term.
+			recordAttempt("wiedemann.det", n, subset, obs.OutcomeDegenerate, obs.PhaseMinPoly, time.Since(astart))
+			continue
 		}
 		// det(Ã) = (−1)ⁿ·charpoly(0) = (−1)ⁿ·mp(0).
 		detTilde := poly.Coef(f, mp, 0)
@@ -196,6 +231,8 @@ func Det[E any](f ff.Field[E], a matrix.BlackBox[E], src *ff.Source, subset uint
 		}
 		detH, err := structured.DetHankel(f, p.H)
 		if err != nil {
+			recordAttempt("wiedemann.det", n, subset, obs.OutcomeError, obs.PhaseBacksolve, time.Since(astart))
+			recordDone("wiedemann.det", n, subset, attempt+1, started, err)
 			return zero, err
 		}
 		den := f.Mul(detH, p.DetD(f))
@@ -203,10 +240,16 @@ func Det[E any](f ff.Field[E], a matrix.BlackBox[E], src *ff.Source, subset uint
 		// "the division is possible".
 		d, err := f.Div(detTilde, den)
 		if err != nil {
-			return zero, fmt.Errorf("wiedemann: inconsistent preconditioner determinant: %w", err)
+			err = fmt.Errorf("wiedemann: inconsistent preconditioner determinant: %w", err)
+			recordAttempt("wiedemann.det", n, subset, obs.OutcomeDivZero, obs.PhaseBacksolve, time.Since(astart))
+			recordDone("wiedemann.det", n, subset, attempt+1, started, err)
+			return zero, err
 		}
+		recordAttempt("wiedemann.det", n, subset, obs.OutcomeSuccess, "", time.Since(astart))
+		recordDone("wiedemann.det", n, subset, attempt+1, started, nil)
 		return d, nil
 	}
+	recordDone("wiedemann.det", n, subset, retries, started, ErrRetriesExhausted)
 	return zero, ErrRetriesExhausted
 }
 
@@ -229,40 +272,65 @@ func Solve[E any](f ff.Field[E], a matrix.BlackBox[E], b []E, src *ff.Source, su
 	if ff.VecIsZero(f, b) {
 		return ff.VecZero(f, n), nil
 	}
+	started := time.Now()
 	for attempt := 0; attempt < retries; attempt++ {
-		u := ff.SampleVec(f, src, n, subset)
-		sp := obs.StartPhase(obs.PhaseKrylov)
-		vs := matrix.KrylovIterative(f, a, b, 2*n)
-		s := matrix.ProjectSequence(f, u, vs)
-		sp.End()
-		sp = obs.StartPhase(obs.PhaseMinPoly)
-		mp, err := seq.MinPoly(f, s)
-		sp.End()
+		astart := time.Now()
+		x, outcome, phase, err := solveAttempt(f, a, b, src, subset, n)
+		recordAttempt("wiedemann.solve", n, subset, outcome, phase, time.Since(astart))
 		if err != nil {
+			recordDone("wiedemann.solve", n, subset, attempt+1, started, err)
 			return nil, err
 		}
-		d := poly.Deg(f, mp)
-		c0 := poly.Coef(f, mp, 0)
-		if d < 1 || f.IsZero(c0) {
-			continue
-		}
-		// x = −(1/c₀)·Σ_{j=1}^{d} mp_j·A^{j−1}b.
-		sp = obs.StartPhase(obs.PhaseBacksolve)
-		acc := ff.VecZero(f, n)
-		for j := 1; j <= d; j++ {
-			ff.VecMulAddInto(f, acc, poly.Coef(f, mp, j), vs[j-1])
-		}
-		scale, err := f.Div(f.Neg(f.One()), c0)
-		if err != nil {
-			sp.End()
-			continue
-		}
-		ff.VecScaleInto(f, acc, scale, acc)
-		x := acc
-		sp.End()
-		if ff.VecEqual(f, a.Apply(f, x), b) {
+		if outcome == obs.OutcomeSuccess {
+			recordDone("wiedemann.solve", n, subset, attempt+1, started, nil)
 			return x, nil
 		}
 	}
+	recordDone("wiedemann.solve", n, subset, retries, started, ErrRetriesExhausted)
 	return nil, ErrRetriesExhausted
+}
+
+// solveAttempt is one randomized Wiedemann attempt: fresh projection,
+// minimum polynomial, backsolve, verification. It returns the telemetry
+// classification alongside the candidate; a non-nil error aborts the Las
+// Vegas loop (retryable bad luck comes back as a non-success outcome with
+// a nil error). Spans close eagerly and via defer, so early returns leave
+// no span open.
+func solveAttempt[E any](f ff.Field[E], a matrix.BlackBox[E], b []E, src *ff.Source, subset uint64, n int) (x []E, outcome, phase string, err error) {
+	u := ff.SampleVec(f, src, n, subset)
+	sp := obs.StartPhase(obs.PhaseKrylov)
+	defer sp.End()
+	vs := matrix.KrylovIterative(f, a, b, 2*n)
+	s := matrix.ProjectSequence(f, u, vs)
+	sp.End()
+	sp = obs.StartPhase(obs.PhaseMinPoly)
+	defer sp.End()
+	mp, err := seq.MinPoly(f, s)
+	sp.End()
+	if err != nil {
+		return nil, obs.OutcomeError, obs.PhaseMinPoly, err
+	}
+	d := poly.Deg(f, mp)
+	c0 := poly.Coef(f, mp, 0)
+	if d < 1 || f.IsZero(c0) {
+		return nil, obs.OutcomeDegenerate, obs.PhaseMinPoly, nil
+	}
+	// x = −(1/c₀)·Σ_{j=1}^{d} mp_j·A^{j−1}b.
+	sp = obs.StartPhase(obs.PhaseBacksolve)
+	defer sp.End()
+	acc := ff.VecZero(f, n)
+	for j := 1; j <= d; j++ {
+		ff.VecMulAddInto(f, acc, poly.Coef(f, mp, j), vs[j-1])
+	}
+	scale, err := f.Div(f.Neg(f.One()), c0)
+	if err != nil {
+		return nil, obs.OutcomeDivZero, obs.PhaseBacksolve, nil
+	}
+	ff.VecScaleInto(f, acc, scale, acc)
+	x = acc
+	sp.End()
+	if !ff.VecEqual(f, a.Apply(f, x), b) {
+		return nil, obs.OutcomeVerifyFailed, "verify", nil
+	}
+	return x, obs.OutcomeSuccess, "", nil
 }
