@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,10 +27,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/server"
 )
 
 func main() {
@@ -76,15 +79,23 @@ func main() {
 	}
 	// Telemetry stays live for the whole run: benchmark sweeps take long
 	// enough that a collector can scrape phase histograms and attempt
-	// counters while they accumulate.
+	// counters while they accumulate. SIGINT/SIGTERM or normal completion
+	// drains in-flight scrapes via http.Server.Shutdown instead of cutting
+	// a /metrics body short; a second signal force-kills a wedged drain.
 	if *serve != "" {
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {
 			fatal(fmt.Errorf("-serve %s: %w", *serve, err))
 		}
 		fmt.Fprintf(os.Stderr, "kpbench: telemetry on http://%s (/metrics /snapshot /healthz)\n", ln.Addr())
+		ctx, stop := server.SignalContext(context.Background())
+		done := make(chan error, 1)
 		go func() {
-			if err := http.Serve(ln, obs.Handler()); err != nil {
+			done <- server.ServeUntil(ctx, ln, obs.Handler(), 2*time.Second)
+		}()
+		defer func() {
+			stop() // cancels ctx; ServeUntil shuts the listener down cleanly
+			if err := <-done; err != nil {
 				log.Printf("kpbench: telemetry listener: %v", err)
 			}
 		}()

@@ -1,0 +1,94 @@
+// Command kpd is the long-running Kaltofen–Pan solve daemon: an HTTP+JSON
+// service over core.Solver with a digest-keyed factorization cache, bounded
+// admission control, per-request deadlines, and the full obs telemetry
+// surface on the same listener.
+//
+// Usage:
+//
+//	kpd -addr :8080                      # defaults: parallel multiplier, 64-entry cache
+//	kpd -addr :8080 -cache 256 -queue 64 # bigger cache, deeper waiting room
+//	kpd -addr :8080 -log json            # structured request + attempt records
+//
+// Endpoints: POST /v1/solve, /v1/solve_batch, /v1/factor (JSON bodies, see
+// internal/server); GET /metrics (Prometheus), /snapshot (JSON), /healthz.
+// Repeat matrices hit the factorization cache and skip the Krylov phase —
+// watch kp_server_cache_hits_total and the absence of new batch/krylov
+// spans. SIGINT/SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		mul      = flag.String("mul", "parallel", "matrix multiplier: "+strings.Join(matrix.Names(), "|"))
+		seed     = flag.Uint64("seed", 0, "root randomness seed (0 = deterministic default; each request runs on a Split child)")
+		cache    = flag.Int("cache", 64, "factorization cache capacity (matrices)")
+		conc     = flag.Int("concurrency", 0, "max solves executing at once (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "max queued requests before 429 (0 = 4×concurrency)")
+		deadline = flag.Duration("deadline", 30*time.Second, "cap on per-request deadlines")
+		maxDim   = flag.Int("max-n", 2048, "largest accepted system dimension")
+		grace    = flag.Duration("grace", 10*time.Second, "drain budget on SIGINT/SIGTERM")
+		logFmt   = flag.String("log", "off", "structured request/attempt logging to stderr: off | text | json")
+	)
+	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFmt {
+	case "off":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatal(fmt.Errorf("-log wants off|text|json, got %q", *logFmt))
+	}
+
+	srv, err := server.New(server.Config{
+		Multiplier:    *mul,
+		Seed:          *seed,
+		CacheSize:     *cache,
+		MaxConcurrent: *conc,
+		MaxQueue:      *queue,
+		MaxDeadline:   *deadline,
+		MaxDim:        *maxDim,
+		Logger:        logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// An active Observer keeps the phase-latency histograms and /snapshot
+	// phase totals live for every solve the daemon runs.
+	obs.SetActive(obs.New(0))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kpd: serving on http://%s (/v1/solve /v1/solve_batch /v1/factor /metrics /snapshot /healthz)\n", ln.Addr())
+
+	ctx, stop := server.SignalContext(context.Background())
+	defer stop()
+	if err := server.ServeUntil(ctx, ln, srv.Handler(), *grace); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "kpd: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kpd:", err)
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,9 +46,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -55,6 +54,7 @@ import (
 	"repro/internal/kp"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/server"
 )
 
 func main() {
@@ -106,17 +106,25 @@ func main() {
 	}
 	// The telemetry listener starts before the operation so live runs can be
 	// scraped mid-solve; main blocks on SIGINT/SIGTERM after the output when
-	// -serve is set, keeping /metrics up for collectors.
+	// -serve is set, keeping /metrics up for collectors. Shutdown drains
+	// in-flight scrapes via http.Server.Shutdown instead of killing them
+	// mid-body (the signal handler is installed only once the operation is
+	// done, so Ctrl-C mid-solve still aborts the process).
+	var (
+		serveDone chan error
+		serveStop context.CancelFunc
+	)
 	if *serve != "" {
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {
 			usage(fmt.Errorf("-serve %s: %w", *serve, err))
 		}
 		fmt.Fprintf(os.Stderr, "kpsolve: telemetry on http://%s (/metrics /snapshot /healthz)\n", ln.Addr())
+		var serveCtx context.Context
+		serveCtx, serveStop = context.WithCancel(context.Background())
+		serveDone = make(chan error, 1)
 		go func() {
-			if err := http.Serve(ln, obs.Handler()); err != nil {
-				log.Printf("kpsolve: telemetry listener: %v", err)
-			}
+			serveDone <- server.ServeUntil(serveCtx, ln, obs.Handler(), 5*time.Second)
 		}()
 	}
 	// -trace needs an Observer for the timeline; -serve installs one too so
@@ -230,9 +238,20 @@ func main() {
 
 	if *serve != "" {
 		fmt.Fprintf(os.Stderr, "kpsolve: holding telemetry endpoints open; SIGINT/SIGTERM to exit\n")
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		sigCtx, stop := server.SignalContext(context.Background())
+		var serveErr error
+		select {
+		case <-sigCtx.Done():
+			serveStop() // graceful drain: in-flight scrapes finish
+			serveErr = <-serveDone
+		case serveErr = <-serveDone:
+			// The listener failed on its own; nothing left to hold open.
+		}
+		stop()
+		if serveErr != nil {
+			fatal(serveErr)
+		}
+		fmt.Fprintln(os.Stderr, "kpsolve: telemetry drained, bye")
 	}
 }
 

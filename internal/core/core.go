@@ -161,6 +161,20 @@ func (s *Solver[E]) params(ctx context.Context) kp.Params {
 	return kp.Params{Src: s.src, Subset: s.subset, Retries: s.retries, Ctx: ctx, Logger: s.logger}
 }
 
+// WithSource returns a copy of the solver drawing all randomness from src
+// instead of the solver's own stream. A Solver's embedded source is a
+// mutable ff.Source with no internal synchronization, so a Solver must not
+// be shared by concurrent callers directly; a server handling concurrent
+// requests keeps one root source under a lock, Splits one child per
+// request, and runs the request on WithSource(child). The copy shares the
+// field, multiplier and instrumentation with its parent — only the
+// randomness differs.
+func (s *Solver[E]) WithSource(src *ff.Source) *Solver[E] {
+	c := *s
+	c.src = src
+	return &c
+}
+
 // MulStats returns the multiplication instrumentation block, or nil unless
 // Options.Instrument was set.
 func (s *Solver[E]) MulStats() *matrix.MulStats { return s.stats }

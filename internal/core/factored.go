@@ -10,7 +10,8 @@ import (
 // randomness, the characteristic polynomial and the Ã^{2^i} power ladder
 // are cached, so every call below replays only the backsolve (and its
 // verification) — observable as batch/backsolve spans with no further
-// batch/krylov span. Not safe for concurrent use.
+// batch/krylov span. Safe for concurrent use: the kpd factorization cache
+// shares one handle across requests (see kp.Factorization).
 type Factored[E any] struct {
 	fa *kp.Factorization[E]
 }

@@ -4,6 +4,15 @@ package ff
 // all randomized choices in the reproduction. A fixed seed makes every
 // experiment replayable; distinct streams are obtained by seeding with
 // distinct values.
+//
+// A Source is NOT safe for concurrent use: every draw mutates the state
+// word, so two goroutines sharing one Source race on it, and — worse than
+// the data race itself — each sees a stream that is neither independent of
+// nor identical to the other's, silently invalidating the Las Vegas
+// failure-probability accounting that assumes independent uniform draws.
+// Concurrent components must hold a Source per goroutine: keep one root
+// source under external synchronization and hand each worker/request its
+// own Split() child (the kpd server does exactly this per request).
 type Source struct {
 	state uint64
 }

@@ -2,6 +2,7 @@ package ff
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -166,5 +167,49 @@ func TestSplitIndependence(t *testing.T) {
 	}
 	if same > 1 {
 		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+// TestSourceSplitPerGoroutine is the documented concurrent-use pattern
+// under the race detector: one root source, one Split child per goroutine.
+// Replacing the children with the shared root (the pre-kpd server sharing
+// pattern) makes this test fail under -race — the state word is mutated
+// unsynchronized — which is exactly why Source's contract forbids it.
+func TestSourceSplitPerGoroutine(t *testing.T) {
+	root := NewSource(42)
+	const goroutines = 8
+	children := make([]*Source, goroutines)
+	for i := range children {
+		children[i] = root.Split() // root touched only here, single-threaded
+	}
+	var wg sync.WaitGroup
+	sums := make([]uint64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sums[g] += children[g].Uint64()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		for j := i + 1; j < goroutines; j++ {
+			if sums[i] == sums[j] {
+				t.Fatalf("split streams %d and %d produced identical draws; children must be independent", i, j)
+			}
+		}
+	}
+}
+
+// TestSourceSplitDeterministic: splitting is part of the replayable
+// deterministic stream — same seed, same children.
+func TestSourceSplitDeterministic(t *testing.T) {
+	a, b := NewSource(7).Split(), NewSource(7).Split()
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic in the parent seed")
+		}
 	}
 }

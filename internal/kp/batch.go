@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/ff"
@@ -32,8 +33,14 @@ import (
 // for one non-singular matrix: the preconditioner, the drawn randomness,
 // the characteristic polynomial of Ã, and the cached power ladder Ã^{2^i}.
 // It is obtained from Factor and amortizes every subsequent solve against
-// the same matrix down to one block backsolve. A Factorization is not safe
-// for concurrent use (the power-ladder cache mutates on demand).
+// the same matrix down to one block backsolve.
+//
+// Solve, InverseApply and Det are safe for concurrent use: everything but
+// the on-demand power-ladder cache is immutable after Factor, and the
+// ladder is read and extended through a mutex-guarded snapshot/merge (each
+// call works on a private copy of the slice header, so a concurrent
+// extension is recomputed rather than raced on — see backsolve). The kpd
+// factorization cache relies on this to hand one handle to many requests.
 type Factorization[E any] struct {
 	f      ff.Field[E]
 	mul    matrix.Multiplier[E]
@@ -43,8 +50,34 @@ type Factorization[E any] struct {
 	hd     *matrix.Dense[E] // dense Hankel preconditioner H
 	cp     []E              // char poly of Ã, low degree first, cp[n] = 1
 	scale  E                // −1/cp[0]
-	pows   []*matrix.Dense[E]
 	n      int
+
+	// mu guards pows, the Ã^{2^i} ladder shared by concurrent backsolves.
+	// The individual matrices are immutable once appended; only the slice
+	// itself mutates.
+	mu   sync.Mutex
+	pows []*matrix.Dense[E]
+}
+
+// ladderSnapshot returns a private copy of the power-ladder slice header.
+// The caller may append to it freely: the copy has its own backing array,
+// and the shared matrices inside are never written after creation.
+func (fa *Factorization[E]) ladderSnapshot() []*matrix.Dense[E] {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return append(make([]*matrix.Dense[E], 0, len(fa.pows)+2), fa.pows...)
+}
+
+// ladderMerge publishes a ladder extended by a backsolve, keeping the
+// longest one seen. Concurrent extenders compute identical matrices (the
+// ladder is the deterministic squaring sequence of Ã), so whichever copy
+// wins, subsequent snapshots see a correct prefix of the same sequence.
+func (fa *Factorization[E]) ladderMerge(ladder []*matrix.Dense[E]) {
+	fa.mu.Lock()
+	if len(ladder) > len(fa.pows) {
+		fa.pows = ladder
+	}
+	fa.mu.Unlock()
 }
 
 // factorOnce runs the shared front end of one attempt with the supplied
@@ -82,7 +115,9 @@ func (fa *Factorization[E]) backsolve(bm *matrix.Dense[E]) *matrix.Dense[E] {
 	sp := obs.StartPhase(obs.PhaseBatchBacksolve)
 	defer sp.End()
 	f, n, k := fa.f, fa.n, bm.Cols
-	wb := matrix.KrylovBlockDoubling(f, fa.mul, fa.atilde, bm, n, &fa.pows)
+	ladder := fa.ladderSnapshot()
+	wb := matrix.KrylovBlockDoubling(f, fa.mul, fa.atilde, bm, n, &ladder)
+	fa.ladderMerge(ladder)
 	xt := matrix.CombineKrylovBlocks(f, wb, k, fa.cp[1:n+1])
 	// Fold the −1/c₀ scale and the diagonal D into one row sweep:
 	// row i of D·(scale·X̃) is (scale·dᵢ)·X̃ᵢ.

@@ -1,0 +1,145 @@
+package kp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// TestFactorizationConcurrentSolve hammers one cached Factorization from
+// many goroutines — the kpd cache-hit pattern — and verifies every result.
+// Run under -race this is the regression test for the shared power-ladder
+// mutation: before the snapshot/merge fix, concurrent backsolves appended
+// to fa.pows through the same slice header.
+func TestFactorizationConcurrentSolve(t *testing.T) {
+	f := ff.MustFp64(ff.P62)
+	src := ff.NewSource(11)
+	mul := matrix.Classical[uint64]{}
+	n := 24
+	a := matrix.Random[uint64](f, src, n, n, f.Modulus())
+	fa, err := Factor(f, mul, a, Params{Src: src.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// One independent random stream per goroutine: ff.Source is not
+			// safe to share across goroutines.
+			local := ff.NewSource(uint64(1000 + g))
+			for i := 0; i < perG; i++ {
+				b := ff.SampleVec[uint64](f, local, n, f.Modulus())
+				x, err := fa.Solve(b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
+					t.Errorf("goroutine %d: concurrent Factorization.Solve returned a wrong answer", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestFactorizationConcurrentColdLadder resets the power ladder before the
+// concurrent hammer, so every goroutine races to rebuild it — the worst
+// case for the ladder cache. The merge keeps one winner; all answers must
+// still verify.
+func TestFactorizationConcurrentColdLadder(t *testing.T) {
+	f := ff.MustFp64(ff.P62)
+	src := ff.NewSource(13)
+	mul := matrix.Classical[uint64]{}
+	n := 17 // not a power of two: exercises the ladder's ragged final round
+	a := matrix.Random[uint64](f, src, n, n, f.Modulus())
+	fa, err := Factor(f, mul, a, Params{Src: src.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forget the ladder built during certification (white-box: same pkg).
+	fa.mu.Lock()
+	fa.pows = nil
+	fa.mu.Unlock()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := ff.NewSource(uint64(2000 + g))
+			b := ff.SampleVec[uint64](f, local, n, f.Modulus())
+			x, err := fa.Solve(b)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			if !ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
+				t.Errorf("goroutine %d: wrong answer from cold-ladder concurrent solve", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The merged ladder must be a usable cache: one more solve reuses it.
+	fa.mu.Lock()
+	got := len(fa.pows)
+	fa.mu.Unlock()
+	if got == 0 {
+		t.Fatal("no goroutine published its rebuilt ladder")
+	}
+	b := ff.SampleVec[uint64](f, ff.NewSource(3000), n, f.Modulus())
+	x, err := fa.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.VecEqual[uint64](f, a.MulVec(f, x), b) {
+		t.Fatal("solve after merge returned a wrong answer")
+	}
+}
+
+// TestFactorizationConcurrentInverseApply exercises the block path (the
+// /v1/solve_batch cache hit) concurrently.
+func TestFactorizationConcurrentInverseApply(t *testing.T) {
+	f := ff.MustFp64(ff.P62)
+	src := ff.NewSource(17)
+	mul := matrix.Classical[uint64]{}
+	n := 16
+	a := matrix.Random[uint64](f, src, n, n, f.Modulus())
+	fa, err := Factor(f, mul, a, Params{Src: src.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := ff.NewSource(uint64(4000 + g))
+			bm := matrix.Random[uint64](f, local, n, 3, f.Modulus())
+			x, err := fa.InverseApply(bm)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			if !mul.Mul(f, a, x).Equal(f, bm) {
+				t.Errorf("goroutine %d: wrong block answer", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+package matrix
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+
+	"repro/internal/ff"
+)
+
+// Canonical matrix digests for content-addressed factorization caching.
+// A digest identifies the mathematical object — the field and the entries —
+// not any implementation detail: two matrices digest equal exactly when a
+// solve against one is a solve against the other. The kpd server keys its
+// kp.Factorization cache on these, so the canonicalization rules below are
+// load-bearing:
+//
+//   - The field enters through its characteristic and cardinality, so F_p as
+//     ff.Fp64 and the same F_p as ff.FpBig collide (they are the same field)
+//     while F_p and F_q never do.
+//   - Entries enter through Field.String, which every backend defines as the
+//     canonical residue representation (Fp64 converts out of Montgomery form
+//     before printing), so internal representation changes cannot split the
+//     cache.
+//   - Dimensions are framed explicitly and every token is length-prefixed,
+//     so a 2×3 and a 3×2 matrix with the same flat data differ, and no
+//     concatenation of entry strings is ambiguous.
+//
+// The multiplier, the random source, and every other solve knob are
+// deliberately absent: a factorization produced under any of them answers
+// queries about the same matrix.
+
+// DigestSize is the size of a matrix digest in bytes.
+const DigestSize = sha256.Size
+
+// Digest returns the canonical SHA-256 digest of m over f.
+func Digest[E any](f ff.Field[E], m *Dense[E]) [DigestSize]byte {
+	h := sha256.New()
+	writeToken(h, []byte("kp/matrix/v1"))
+	writeToken(h, []byte(f.Characteristic().String()))
+	writeToken(h, []byte(f.Cardinality().String()))
+	var dims [16]byte
+	binary.BigEndian.PutUint64(dims[0:8], uint64(m.Rows))
+	binary.BigEndian.PutUint64(dims[8:16], uint64(m.Cols))
+	h.Write(dims[:])
+	for _, e := range m.Data {
+		writeToken(h, []byte(f.String(e)))
+	}
+	var out [DigestSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// DigestString returns the hex form of Digest — the cache key and the wire
+// representation the kpd API reports.
+func DigestString[E any](f ff.Field[E], m *Dense[E]) string {
+	d := Digest(f, m)
+	return hex.EncodeToString(d[:])
+}
+
+// writeToken writes a length-prefixed token, making the digest input stream
+// an unambiguous framing of its tokens.
+func writeToken(w io.Writer, b []byte) {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+	w.Write(n[:])
+	w.Write(b)
+}

@@ -1,0 +1,81 @@
+package matrix
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// TestDigestCrossBackend checks the canonicalization contract: the same
+// mathematical matrix digests equal whether its field is the Montgomery-form
+// word backend or the big-integer backend, because the digest sees canonical
+// residue strings, never internal representations.
+func TestDigestCrossBackend(t *testing.T) {
+	p := ff.P62
+	f64 := ff.MustFp64(p)
+	fbig, err := ff.NewFpBig(new(big.Int).SetUint64(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	a64 := FromRows[uint64](f64, rows)
+	abig := FromRows[*big.Int](fbig, rows)
+	d64 := DigestString[uint64](f64, a64)
+	dbig := DigestString[*big.Int](fbig, abig)
+	if d64 != dbig {
+		t.Fatalf("digest differs across backends over the same field:\n  Fp64  %s\n  FpBig %s", d64, dbig)
+	}
+}
+
+func TestDigestDistinguishesFields(t *testing.T) {
+	rows := [][]int64{{1, 2}, {3, 4}}
+	f1 := ff.MustFp64(ff.P62)
+	f2 := ff.MustFp64(ff.P31)
+	if DigestString[uint64](f1, FromRows[uint64](f1, rows)) == DigestString[uint64](f2, FromRows[uint64](f2, rows)) {
+		t.Fatal("same entries over different fields must digest differently")
+	}
+}
+
+// TestDigestEntrySensitivity flips every entry of a random matrix in turn
+// and checks each change flips the digest.
+func TestDigestEntrySensitivity(t *testing.T) {
+	f := ff.MustFp64(ff.P62)
+	src := ff.NewSource(7)
+	a := Random[uint64](f, src, 5, 5, f.Modulus())
+	base := DigestString[uint64](f, a)
+	for i := range a.Data {
+		old := a.Data[i]
+		a.Data[i] = f.Add(old, f.One())
+		if DigestString[uint64](f, a) == base {
+			t.Fatalf("changing entry %d did not change the digest", i)
+		}
+		a.Data[i] = old
+	}
+	if DigestString[uint64](f, a) != base {
+		t.Fatal("digest is not a pure function of the entries")
+	}
+}
+
+// TestDigestShapeFraming: a 2×3 and a 3×2 matrix sharing the same flat data
+// must digest differently (dimensions are framed, not inferred).
+func TestDigestShapeFraming(t *testing.T) {
+	f := ff.MustFp64(ff.P62)
+	flat := []uint64{1, 2, 3, 4, 5, 6}
+	a := &Dense[uint64]{Rows: 2, Cols: 3, Data: flat}
+	b := &Dense[uint64]{Rows: 3, Cols: 2, Data: flat}
+	if DigestString[uint64](f, a) == DigestString[uint64](f, b) {
+		t.Fatal("2×3 and 3×2 with the same flat data digest equal")
+	}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	f := ff.MustFp64(ff.P62)
+	a := Random[uint64](f, ff.NewSource(1), 8, 8, f.Modulus())
+	if Digest[uint64](f, a) != Digest[uint64](f, a) {
+		t.Fatal("digest not deterministic")
+	}
+	if DigestString[uint64](f, a) != DigestString[uint64](f, a.Clone()) {
+		t.Fatal("clone digests differently")
+	}
+}

@@ -5,6 +5,13 @@ import (
 	"net/http"
 )
 
+// marshalSnapshot renders the /snapshot document. It is a variable so the
+// handler test can force a marshal failure; production code never replaces
+// it.
+var marshalSnapshot = func(doc SnapshotDoc) ([]byte, error) {
+	return json.MarshalIndent(doc, "", "  ")
+}
+
 // Embeddable HTTP exposition of the telemetry pipeline. Handler returns a
 // mux any server can mount:
 //
@@ -60,12 +67,19 @@ func Handler() http.Handler {
 		WriteMetrics(w)
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(Snapshot()); err != nil {
+		// Marshal into memory before touching the ResponseWriter: encoding
+		// straight into w means a mid-document failure has already committed
+		// the 200 status and a partial body, so the http.Error afterwards is
+		// a superfluous WriteHeader and the client sees corrupt JSON. With
+		// the buffer, an error path writes exactly one clean 500 and the
+		// success path writes exactly one complete document.
+		body, err := marshalSnapshot(Snapshot())
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(body, '\n'))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

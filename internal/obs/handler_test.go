@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
@@ -310,4 +311,111 @@ func sortStrings(s []string) []string {
 		}
 	}
 	return s
+}
+
+// failRecorder is a ResponseWriter whose body writes fail after the first
+// failAfter bytes, counting WriteHeader calls — the shape of a client that
+// hangs up mid-response.
+type failRecorder struct {
+	header       int
+	status       int
+	written      int
+	failAfter    int
+	headerValues http.Header
+}
+
+func (r *failRecorder) Header() http.Header {
+	if r.headerValues == nil {
+		r.headerValues = make(http.Header)
+	}
+	return r.headerValues
+}
+
+func (r *failRecorder) WriteHeader(status int) {
+	r.header++
+	r.status = status
+}
+
+func (r *failRecorder) Write(b []byte) (int, error) {
+	if r.written >= r.failAfter {
+		return 0, fmt.Errorf("forced write failure")
+	}
+	r.written += len(b)
+	return len(b), nil
+}
+
+// TestSnapshotEncodeFailure forces the snapshot marshal to fail and checks
+// the handler's error path is clean: exactly one WriteHeader with status
+// 500 and the error text — never a 200 followed by a partial JSON body.
+func TestSnapshotEncodeFailure(t *testing.T) {
+	seedTelemetry(t)
+	old := marshalSnapshot
+	marshalSnapshot = func(SnapshotDoc) ([]byte, error) {
+		return nil, fmt.Errorf("forced encode failure")
+	}
+	t.Cleanup(func() { marshalSnapshot = old })
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "forced encode failure") {
+		t.Fatalf("body %q does not carry the encode error", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); strings.Contains(ct, "application/json") {
+		t.Fatalf("error response still claims JSON Content-Type %q beside a non-JSON body", ct)
+	}
+}
+
+// TestSnapshotWriteFailure drives the handler against a connection that
+// dies mid-body: the handler must not call WriteHeader a second time
+// (the pre-fix code reached http.Error after a partial streamed encode).
+func TestSnapshotWriteFailure(t *testing.T) {
+	seedTelemetry(t)
+	req := httptest.NewRequest("GET", "/snapshot", nil)
+	rec := &failRecorder{failAfter: 16}
+	Handler().ServeHTTP(rec, req)
+	if rec.header > 1 {
+		t.Fatalf("WriteHeader called %d times on a failed write; want at most once", rec.header)
+	}
+	if rec.status != 0 && rec.status != 200 {
+		t.Fatalf("failed body write flipped the status to %d", rec.status)
+	}
+}
+
+// TestSnapshotSingleDocument checks the success path emits one complete
+// JSON document (the buffered rewrite must not change the wire format).
+func TestSnapshotSingleDocument(t *testing.T) {
+	seedTelemetry(t)
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var doc SnapshotDoc
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if dec.More() {
+		t.Fatal("snapshot body carries trailing data after the document")
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("snapshot lost its metrics")
+	}
 }

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ff"
+	"repro/internal/matrix"
+)
+
+// factorFor builds a real Factored handle for cache tests.
+func factorFor(t *testing.T, seed uint64, n int) *core.Factored[uint64] {
+	t.Helper()
+	f := ff.MustFp64(ff.P62)
+	src := ff.NewSource(seed)
+	a := matrix.Random[uint64](f, src, n, n, f.Modulus())
+	s, err := core.NewSolver[uint64](f, core.Options{Seed: seed + 1, Multiplier: "classical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := s.Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fa
+}
+
+// TestCacheLRUCapacity: the cache never exceeds its capacity and evicts in
+// least-recently-used order.
+func TestCacheLRUCapacity(t *testing.T) {
+	evict0 := cacheEvictions.Value()
+	c := NewCache[uint64](2)
+	fa := factorFor(t, 1, 4)
+	c.Put("a", fa)
+	c.Put("b", fa)
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", fa)
+	if c.Len() != 2 {
+		t.Fatalf("capacity 2 cache holds %d entries", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction although it was least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted although it was recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing right after insert")
+	}
+	if d := cacheEvictions.Value() - evict0; d != 1 {
+		t.Fatalf("server.cache.evictions grew by %d, want 1", d)
+	}
+}
+
+// TestCacheGetOrFactorCoalesces: concurrent misses on one key run the
+// factor function exactly once and share the result.
+func TestCacheGetOrFactorCoalesces(t *testing.T) {
+	c := NewCache[uint64](4)
+	fa := factorFor(t, 2, 4)
+	var calls int32
+	var mu sync.Mutex
+	started := make(chan struct{})
+	release := make(chan struct{})
+	factor := func() (*core.Factored[uint64], error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		close(started)
+		<-release
+		return fa, nil
+	}
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make([]bool, waiters)
+	go func() {
+		// Leader.
+		if _, hit, err := c.GetOrFactor(context.Background(), "k", factor); err != nil || hit {
+			t.Errorf("leader: hit=%v err=%v", hit, err)
+		}
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, hit, err := c.GetOrFactor(context.Background(), "k", func() (*core.Factored[uint64], error) {
+				t.Error("follower ran factor despite an in-flight leader")
+				return fa, nil
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			results[i] = hit && got == fa
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	for i, ok := range results {
+		if !ok {
+			t.Fatalf("follower %d did not share the leader's factorization", i)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("factor ran %d times, want 1", calls)
+	}
+}
+
+// TestCacheFailedFactorNotCached: an error result must not poison the key.
+func TestCacheFailedFactorNotCached(t *testing.T) {
+	c := NewCache[uint64](4)
+	fa := factorFor(t, 3, 4)
+	if _, _, err := c.GetOrFactor(context.Background(), "k", func() (*core.Factored[uint64], error) {
+		return nil, fmt.Errorf("unlucky randomness")
+	}); err == nil {
+		t.Fatal("expected the leader's error")
+	}
+	got, hit, err := c.GetOrFactor(context.Background(), "k", func() (*core.Factored[uint64], error) {
+		return fa, nil
+	})
+	if err != nil || hit || got != fa {
+		t.Fatalf("retry after failure: got=%v hit=%v err=%v", got, hit, err)
+	}
+}
+
+// TestEvictionRefactorsEndToEnd drives eviction through the HTTP surface:
+// with a capacity-1 cache, solving A, then B (evicting A), then A again
+// must re-factor A — visible as a cache miss AND a fresh batch/krylov
+// span.
+func TestEvictionRefactorsEndToEnd(t *testing.T) {
+	o := withObserver(t)
+	s := newTestServer(t, func(c *Config) { c.CacheSize = 1 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+
+	_, _, reqA := testSystem(t, 10, 10)
+	_, _, reqB := testSystem(t, 11, 10)
+	ctx := context.Background()
+
+	if resp, err := client.Solve(ctx, reqA); err != nil || resp.Cache != "miss" {
+		t.Fatalf("solve A: %v cache=%v", err, resp)
+	}
+	spans1 := krylovSpans(o)
+	if resp, err := client.Solve(ctx, reqB); err != nil || resp.Cache != "miss" {
+		t.Fatalf("solve B: %v cache=%v", err, resp)
+	}
+	if s.cache.Len() != 1 {
+		t.Fatalf("capacity-1 cache holds %d entries", s.cache.Len())
+	}
+	// A was evicted by B: solving A again is a miss and re-runs Krylov.
+	resp, err := client.Solve(ctx, reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "hit" {
+		spans3 := krylovSpans(o)
+		if spans3 <= spans1 {
+			t.Fatalf("re-solve of evicted A did not re-emit a batch/krylov span (%d → %d)", spans1, spans3)
+		}
+	} else {
+		t.Fatal("evicted matrix reported a cache hit")
+	}
+}

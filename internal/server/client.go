@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a minimal typed client for the kpd /v1 endpoints, shared by
+// cmd/kpdclient and the cmd/kpdload load driver.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client; nil selects a default with a generous
+	// overall timeout (per-request deadlines ride the request body).
+	HTTP *http.Client
+}
+
+// APIError is a non-2xx response from the server, carrying the HTTP status
+// (429 = backpressure, 422 = singular input, 504 = deadline, …) and the
+// server's error text.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string { return fmt.Sprintf("kpd: %d: %s", e.Status, e.Msg) }
+
+// Solve posts req to /v1/solve.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+	return c.post(ctx, "/v1/solve", req)
+}
+
+// SolveBatch posts req to /v1/solve_batch.
+func (c *Client) SolveBatch(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+	return c.post(ctx, "/v1/solve_batch", req)
+}
+
+// Factor posts req to /v1/factor, warming the server's factorization cache.
+func (c *Client) Factor(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+	return c.post(ctx, "/v1/factor", req)
+}
+
+func (c *Client) post(ctx context.Context, path string, req SolveRequest) (*SolveResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Minute}
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<30))
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		var apiErr errorResponse
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return nil, &APIError{Status: hresp.StatusCode, Msg: apiErr.Error}
+		}
+		return nil, &APIError{Status: hresp.StatusCode, Msg: string(raw)}
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("decode response: %w", err)
+	}
+	return &resp, nil
+}

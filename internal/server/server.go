@@ -1,0 +1,473 @@
+// Package server is the kpd networked solve service: an HTTP+JSON front
+// end over core.Solver with a digest-keyed LRU cache of factorizations,
+// bounded-queue admission control with backpressure, per-request deadlines
+// riding kp.Params.Ctx cancellation, and request-level telemetry in the
+// obs registry (scrapeable at /metrics beside the solve endpoints).
+//
+// Endpoints:
+//
+//	POST /v1/solve        {"p":…,"a":[[…]],"b":[…]}        → {"x":[…],…}
+//	POST /v1/solve_batch  {"p":…,"a":[[…]],"bs":[[…],…]}   → {"xs":[[…],…],…}
+//	POST /v1/factor       {"p":…,"a":[[…]]}                → {"digest":…,…}
+//	GET  /metrics /snapshot /healthz                        (obs.Handler)
+//
+// Every response carries the canonical matrix digest and whether the
+// factorization came from the cache ("hit") or was computed ("miss");
+// repeat matrices skip the Krylov phase entirely.
+//
+// Concurrency contract: one Server handles any number of concurrent
+// requests. Each request draws its randomness from a private
+// ff.Source.Split child (the root source is touched only under srcMu),
+// and cached kp.Factorization handles are shared across requests, which
+// is safe by kp's concurrency guarantee.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ff"
+	"repro/internal/kp"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+// Request-level telemetry, exposed on /metrics with the rest of the obs
+// registry ("server." is mangled to kp_server_…).
+var (
+	reqTotal    = obs.NewCounter("server.requests")
+	reqRejected = obs.NewCounter("server.rejected")
+	reqErrors   = obs.NewCounter("server.errors")
+	inflight    = obs.NewGauge("server.inflight")
+	queueDepth  = obs.NewGauge("server.queue.depth")
+
+	queueWaitHist = obs.NewHistogram("server.queue.wait.ns")
+	latSolve      = obs.NewLabeledHistogram("server.request.ns", "route", "solve")
+	latBatch      = obs.NewLabeledHistogram("server.request.ns", "route", "solve_batch")
+	latFactor     = obs.NewLabeledHistogram("server.request.ns", "route", "factor")
+)
+
+// Config configures a Server. The zero value of every field selects a
+// sensible default (see New).
+type Config struct {
+	// Multiplier names the matrix-multiplication black box (matrix.Names);
+	// "" selects "parallel" — a server exists to use the cores.
+	Multiplier string
+	// Seed seeds the root randomness source (0 = kp.DefaultSeed). Every
+	// request runs on its own Split child, so concurrent load stays both
+	// race-free and replayable in single-request order.
+	Seed uint64
+	// Retries bounds the Las Vegas attempts per factorization.
+	Retries int
+	// CacheSize bounds the factorization LRU (default 64 matrices).
+	CacheSize int
+	// MaxConcurrent bounds solves executing simultaneously (default
+	// GOMAXPROCS). Beyond it, requests wait in the queue.
+	MaxConcurrent int
+	// MaxQueue bounds the waiting room; a request arriving with MaxQueue
+	// requests already waiting is rejected with 429 (default
+	// 4×MaxConcurrent).
+	MaxQueue int
+	// MaxDeadline caps the per-request deadline; a request asking for more
+	// (or not asking) gets this much (default 30s).
+	MaxDeadline time.Duration
+	// MaxDim rejects systems larger than MaxDim×MaxDim with 400 before any
+	// work happens (default 2048).
+	MaxDim int
+	// Logger, when non-nil, receives one record per request (route, n,
+	// cache, status, wall) and is forwarded to the solvers' per-attempt
+	// logging.
+	Logger *slog.Logger
+}
+
+// Server is the kpd solve service. Create with New, mount Handler.
+type Server struct {
+	cfg   Config
+	cache *Cache[uint64]
+
+	srcMu sync.Mutex
+	src   *ff.Source
+
+	solverMu sync.Mutex
+	solvers  map[uint64]*core.Solver[uint64] // one per field modulus
+
+	sem    chan struct{} // execution slots (MaxConcurrent)
+	queued atomic.Int64
+
+	// testHookInSlot, when non-nil, runs while a request holds an
+	// execution slot — tests use it to wedge the server and probe the
+	// admission control deterministically.
+	testHookInSlot func()
+}
+
+// New returns a Server for the config, resolving zero values to defaults.
+func New(cfg Config) (*Server, error) {
+	if cfg.Multiplier == "" {
+		cfg.Multiplier = "parallel"
+	}
+	if _, err := matrix.ByName[uint64](cfg.Multiplier); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = kp.DefaultSeed
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 30 * time.Second
+	}
+	if cfg.MaxDim <= 0 {
+		cfg.MaxDim = 2048
+	}
+	return &Server{
+		cfg:     cfg,
+		cache:   NewCache[uint64](cfg.CacheSize),
+		src:     ff.NewSource(cfg.Seed),
+		solvers: make(map[uint64]*core.Solver[uint64]),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+	}, nil
+}
+
+// Handler returns the service mux: the /v1 solve endpoints plus the obs
+// telemetry endpoints (/metrics, /snapshot, /healthz).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		s.handle(w, r, "solve", latSolve)
+	})
+	mux.HandleFunc("POST /v1/solve_batch", func(w http.ResponseWriter, r *http.Request) {
+		s.handle(w, r, "solve_batch", latBatch)
+	})
+	mux.HandleFunc("POST /v1/factor", func(w http.ResponseWriter, r *http.Request) {
+		s.handle(w, r, "factor", latFactor)
+	})
+	mux.Handle("/", obs.Handler())
+	return mux
+}
+
+// SolveRequest is the JSON request body of every /v1 endpoint. Entries are
+// integers reduced modulo P.
+type SolveRequest struct {
+	// P is the prime field modulus.
+	P uint64 `json:"p"`
+	// A is the n×n system matrix, row by row.
+	A [][]uint64 `json:"a"`
+	// B is the right-hand side for /v1/solve (length n).
+	B []uint64 `json:"b,omitempty"`
+	// Bs are the k right-hand sides for /v1/solve_batch (each length n).
+	Bs [][]uint64 `json:"bs,omitempty"`
+	// DeadlineMS bounds this request's wall time; 0 or anything above the
+	// server's MaxDeadline is clamped to MaxDeadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// SolveResponse is the JSON response of every /v1 endpoint.
+type SolveResponse struct {
+	// X is the solution vector (/v1/solve).
+	X []uint64 `json:"x,omitempty"`
+	// Xs are the per-RHS solutions (/v1/solve_batch), Xs[i] solving
+	// A·x = Bs[i].
+	Xs [][]uint64 `json:"xs,omitempty"`
+	// N is the system dimension.
+	N int `json:"n"`
+	// Digest is the canonical matrix digest — the factorization cache key.
+	Digest string `json:"digest"`
+	// Cache is "hit" when the factorization came from the cache, "miss"
+	// when this request computed it.
+	Cache string `json:"cache"`
+	// ElapsedMS is the server-side wall time of the request.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// handle runs the common request pipeline: decode, validate, admission,
+// deadline, digest/cache, route-specific math, respond.
+func (s *Server) handle(w http.ResponseWriter, r *http.Request, route string, lat *obs.Histogram) {
+	start := time.Now()
+	reqTotal.Inc()
+	status, resp, err := s.serve(r, route)
+	lat.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			reqRejected.Inc()
+		} else {
+			reqErrors.Inc()
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		s.logRequest(route, resp, status, start, err)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+	s.logRequest(route, resp, http.StatusOK, start, nil)
+}
+
+// serve decodes and executes one request, returning the HTTP status and
+// either a response or an error.
+func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, error) {
+	var req SolveRequest
+	// Bound the body by what a MaxDim system can legitimately need
+	// (~20 bytes per decimal entry) so a hostile body cannot balloon memory
+	// before validation sees the dimensions.
+	limit := int64(s.cfg.MaxDim)*int64(s.cfg.MaxDim)*24 + 1<<20
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
+	if err := dec.Decode(&req); err != nil {
+		return http.StatusBadRequest, nil, fmt.Errorf("decode request: %w", err)
+	}
+	f, a, err := s.buildSystem(&req)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	n := a.Rows
+
+	// Per-request deadline, clamped to the server cap, cancels the Las
+	// Vegas drivers cooperatively via kp.Params.Ctx (the request context
+	// also dies when the client disconnects or the server drains).
+	deadline := s.cfg.MaxDeadline
+	if req.DeadlineMS > 0 && time.Duration(req.DeadlineMS)*time.Millisecond < deadline {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// Admission: a free execution slot, or a bounded wait in the queue, or
+	// 429. Backpressure bounds memory and keeps latency honest — beyond
+	// MaxQueue waiting solves, a fast failure beats a doomed wait.
+	release, status, err := s.acquire(ctx)
+	if err != nil {
+		return status, nil, err
+	}
+	defer release()
+	if s.testHookInSlot != nil {
+		s.testHookInSlot()
+	}
+
+	// Factorization via the digest-keyed cache: repeat matrices skip the
+	// Krylov phase and go straight to the backsolve.
+	digest := matrix.DigestString[uint64](f, a)
+	fa, hit, err := s.cache.GetOrFactor(ctx, digest, func() (*core.Factored[uint64], error) {
+		solver, err := s.solverFor(f)
+		if err != nil {
+			return nil, err
+		}
+		return solver.WithSource(s.splitSource()).FactorCtx(ctx, a)
+	})
+	if err != nil {
+		return errStatus(err), nil, err
+	}
+	resp := &SolveResponse{N: n, Digest: digest, Cache: cacheLabel(hit)}
+
+	switch route {
+	case "factor":
+		return http.StatusOK, resp, nil
+	case "solve":
+		x, err := fa.Solve(req.B)
+		if err != nil {
+			return errStatus(err), nil, err
+		}
+		resp.X = x
+		return http.StatusOK, resp, nil
+	case "solve_batch":
+		bm := matrix.NewDense[uint64](f, n, len(req.Bs))
+		for j, col := range req.Bs {
+			for i, v := range col {
+				bm.Set(i, j, v%f.Modulus())
+			}
+		}
+		x, err := fa.InverseApply(bm)
+		if err != nil {
+			return errStatus(err), nil, err
+		}
+		xs := make([][]uint64, x.Cols)
+		for j := range xs {
+			xs[j] = x.Col(j)
+		}
+		resp.Xs = xs
+		return http.StatusOK, resp, nil
+	default:
+		return http.StatusNotFound, nil, fmt.Errorf("unknown route %q", route)
+	}
+}
+
+// buildSystem validates the request shape and materializes the field and
+// matrix. Entries are reduced modulo p, so clients may send any residue
+// representative.
+func (s *Server) buildSystem(req *SolveRequest) (ff.Fp64, *matrix.Dense[uint64], error) {
+	var f ff.Fp64
+	n := len(req.A)
+	if n == 0 {
+		return f, nil, fmt.Errorf("empty system: %w", kp.ErrBadShape)
+	}
+	if n > s.cfg.MaxDim {
+		return f, nil, fmt.Errorf("dimension %d exceeds the server limit %d: %w", n, s.cfg.MaxDim, kp.ErrBadShape)
+	}
+	f, err := ff.NewFp64(req.P)
+	if err != nil {
+		return f, nil, err
+	}
+	a := matrix.NewDense[uint64](f, n, n)
+	for i, row := range req.A {
+		if len(row) != n {
+			return f, nil, fmt.Errorf("row %d has %d entries, want %d: %w", i, len(row), n, kp.ErrBadShape)
+		}
+		for j, v := range row {
+			a.Set(i, j, v%f.Modulus())
+		}
+	}
+	if req.B != nil && len(req.B) != n {
+		return f, nil, fmt.Errorf("right-hand side has %d entries, want %d: %w", len(req.B), n, kp.ErrBadShape)
+	}
+	for i := range req.B {
+		req.B[i] %= f.Modulus()
+	}
+	for j, col := range req.Bs {
+		if len(col) != n {
+			return f, nil, fmt.Errorf("right-hand side %d has %d entries, want %d: %w", j, len(col), n, kp.ErrBadShape)
+		}
+	}
+	return f, a, nil
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns the release function, or a non-zero HTTP
+// status with the rejection error.
+func (s *Server) acquire(ctx context.Context) (func(), int, error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// All slots busy: join the queue unless it is full.
+		if n := s.queued.Add(1); n > int64(s.cfg.MaxQueue) {
+			s.queued.Add(-1)
+			return nil, http.StatusTooManyRequests,
+				fmt.Errorf("server at capacity (%d executing, %d queued); retry later", s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+		}
+		queueDepth.Set(s.queued.Load())
+		wait := time.Now()
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+			queueDepth.Set(s.queued.Load())
+			queueWaitHist.Observe(time.Since(wait).Nanoseconds())
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			queueDepth.Set(s.queued.Load())
+			return nil, http.StatusServiceUnavailable, fmt.Errorf("canceled while queued: %w", ctx.Err())
+		}
+	}
+	inflight.Add(1)
+	return func() {
+		inflight.Add(-1)
+		<-s.sem
+	}, 0, nil
+}
+
+// solverFor returns (creating on first use) the solver for f's modulus.
+func (s *Server) solverFor(f ff.Fp64) (*core.Solver[uint64], error) {
+	s.solverMu.Lock()
+	defer s.solverMu.Unlock()
+	if sv, ok := s.solvers[f.Modulus()]; ok {
+		return sv, nil
+	}
+	sv, err := core.NewSolver[uint64](f, core.Options{
+		Seed:       s.cfg.Seed,
+		Multiplier: s.cfg.Multiplier,
+		Retries:    s.cfg.Retries,
+		Logger:     s.cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.solvers[f.Modulus()] = sv
+	return sv, nil
+}
+
+// splitSource derives one private random stream for a request. The root
+// source is a mutable splitmix64 stream — the only place it is ever
+// touched is here, under srcMu, so concurrent requests can never corrupt
+// it (or each other's Las Vegas probability accounting).
+func (s *Server) splitSource() *ff.Source {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	return s.src.Split()
+}
+
+// errStatus maps the kp error taxonomy onto HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, kp.ErrBadShape), errors.Is(err, kp.ErrCharacteristicTooSmall):
+		return http.StatusBadRequest
+	case errors.Is(err, kp.ErrSingular), errors.Is(err, kp.ErrInconsistent), errors.Is(err, kp.ErrRetriesExhausted):
+		// Exhausted retries on a non-singular input have probability
+		// ≈ (3n²/|S|)^retries ≈ 0, so this is virtually always "the matrix
+		// is singular" — a property of the request, not the server.
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// writeJSON marshals into memory first (same discipline as the obs
+// /snapshot fix: never stream-encode into the ResponseWriter, so a late
+// encode error cannot corrupt a committed 200).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// logRequest emits the per-request slog record when logging is configured.
+func (s *Server) logRequest(route string, resp *SolveResponse, status int, start time.Time, err error) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	attrs := []any{
+		slog.String("route", route),
+		slog.Int("status", status),
+		slog.Duration("wall", time.Since(start)),
+	}
+	if resp != nil {
+		attrs = append(attrs, slog.Int("n", resp.N), slog.String("cache", resp.Cache))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+		s.cfg.Logger.Error("kpd.request", attrs...)
+		return
+	}
+	s.cfg.Logger.Info("kpd.request", attrs...)
+}
