@@ -10,10 +10,13 @@
 //	kpd -addr :8080 -log json            # structured request + attempt records
 //
 // Endpoints: POST /v1/solve, /v1/solve_batch, /v1/factor (JSON bodies, see
-// internal/server); GET /metrics (Prometheus), /snapshot (JSON), /healthz.
-// Repeat matrices hit the factorization cache and skip the Krylov phase —
-// watch kp_server_cache_hits_total and the absence of new batch/krylov
-// spans. SIGINT/SIGTERM drains in-flight requests before exiting.
+// internal/server); GET /metrics (Prometheus), /snapshot (JSON),
+// /debug/traces (tail-sampled request traces), /healthz. Repeat matrices
+// hit the factorization cache and skip the Krylov phase — watch
+// kp_server_cache_hits_total and the absence of new batch/krylov spans.
+// Every request gets a W3C trace context (honoring an incoming traceparent
+// header); slow, errored and unlucky requests are always retained in the
+// trace store. SIGINT/SIGTERM drains in-flight requests before exiting.
 package main
 
 import (
@@ -43,6 +46,10 @@ func main() {
 		maxDim   = flag.Int("max-n", 2048, "largest accepted system dimension")
 		grace    = flag.Duration("grace", 10*time.Second, "drain budget on SIGINT/SIGTERM")
 		logFmt   = flag.String("log", "off", "structured request/attempt logging to stderr: off | text | json")
+
+		traces      = flag.Int("traces", 256, "tail-sampled trace store capacity (0 disables /debug/traces)")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "latency above which a request trace is always retained")
+		traceSample = flag.Int("trace-sample", 16, "keep 1 in this many fast+successful request traces (1 = keep all)")
 	)
 	flag.Parse()
 
@@ -71,14 +78,22 @@ func main() {
 		fatal(err)
 	}
 	// An active Observer keeps the phase-latency histograms and /snapshot
-	// phase totals live for every solve the daemon runs.
+	// phase totals live for every solve the daemon runs — and populates the
+	// per-request span trees the trace store retains.
 	obs.SetActive(obs.New(0))
+	if *traces > 0 {
+		obs.SetTraceStore(obs.NewTraceStore(obs.TraceStoreConfig{
+			Capacity:      *traces,
+			SlowThreshold: *traceSlow,
+			SampleEvery:   *traceSample,
+		}))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "kpd: serving on http://%s (/v1/solve /v1/solve_batch /v1/factor /metrics /snapshot /healthz)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "kpd: serving on http://%s (/v1/solve /v1/solve_batch /v1/factor /metrics /snapshot /debug/traces /healthz)\n", ln.Addr())
 
 	ctx, stop := server.SignalContext(context.Background())
 	defer stop()

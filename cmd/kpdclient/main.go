@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -82,7 +83,14 @@ func main() {
 			resp, err = client.Factor(ctx, req)
 		}
 		if err != nil {
+			// APIError.Error() already quotes the trace id; surface it on
+			// its own line too so scripts can grep it and pull the request
+			// out of the server's /debug/traces.
 			fmt.Fprintln(os.Stderr, "kpdclient:", err)
+			var apiErr *server.APIError
+			if errors.As(err, &apiErr) && apiErr.TraceID != "" {
+				fmt.Fprintf(os.Stderr, "kpdclient: trace_id=%s (see kpd /debug/traces?id=%s)\n", apiErr.TraceID, apiErr.TraceID)
+			}
 			os.Exit(1)
 		}
 		rtt := time.Since(start)
@@ -105,8 +113,8 @@ func main() {
 		if *op != "factor" {
 			verified = ", verified locally"
 		}
-		fmt.Printf("%s n=%d cache=%s server=%.1fms rtt=%s digest=%s…%s\n",
-			*op, resp.N, resp.Cache, resp.ElapsedMS, rtt.Round(time.Millisecond), resp.Digest[:12], verified)
+		fmt.Printf("%s n=%d cache=%s server=%.1fms rtt=%s digest=%s… trace=%s%s\n",
+			*op, resp.N, resp.Cache, resp.ElapsedMS, rtt.Round(time.Millisecond), resp.Digest[:12], resp.TraceID, verified)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	kpdload -addr http://127.0.0.1:8080 -c 8 -requests 200 -n 64
 //	kpdload -c 16 -requests 500 -n 64 -matrices 4   # 4 distinct matrices → high hit rate
 //	kpdload -c 32 -requests 200 -n 96 -matrices 200 # all-miss: stress factoring + queue
+//	kpdload -c 8 -requests 200 -n 64 -json          # machine-readable kpdload/v1 report
 //
 // A non-zero exit means requests failed for reasons other than 429
 // backpressure (which is load shedding working as designed, reported but
@@ -17,11 +18,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +34,40 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/server"
 )
+
+// loadSchema identifies the -json report layout for downstream tooling,
+// following the kpbench/v1 convention.
+const loadSchema = "kpdload/v1"
+
+// loadReport is the kpdload -json document: the run configuration plus the
+// throughput / latency-quantile / cache / error numbers the text report
+// prints, machine-readable for CI trend tracking.
+type loadReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	Addr       string `json:"addr"`
+	Clients    int    `json:"clients"`
+	Requests   int    `json:"requests"`
+	Dim        int    `json:"n"`
+	Matrices   int    `json:"matrices"`
+	Rhs        int    `json:"rhs,omitempty"`
+	WallNs     int64  `json:"wall_ns"`
+	Throughput float64 `json:"throughput_rps"`
+	OK         int64  `json:"ok"`
+	P50Ns      int64  `json:"p50_ns"`
+	P90Ns      int64  `json:"p90_ns"`
+	P99Ns      int64  `json:"p99_ns"`
+	MaxNs      int64  `json:"max_ns"`
+	CacheHits  int64  `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	HitRate    float64 `json:"hit_rate"`
+	Rejected   int64  `json:"rejected"`
+	Failed     int64  `json:"failed"`
+	Wrong      int64  `json:"wrong"`
+	// Statuses maps HTTP status code (as a string, for JSON) to count.
+	Statuses map[string]int `json:"statuses"`
+}
 
 func main() {
 	var (
@@ -42,6 +80,7 @@ func main() {
 		p        = flag.Uint64("p", ff.P62, "prime field modulus")
 		seed     = flag.Uint64("seed", 1, "matrix generation seed")
 		deadline = flag.Duration("deadline", 30*time.Second, "per-request deadline")
+		jsonOut  = flag.Bool("json", false, "emit the kpdload/v1 JSON report on stdout instead of the text summary")
 	)
 	flag.Parse()
 	if *clients < 1 || *requests < 1 || *n < 1 || *mats < 1 {
@@ -158,31 +197,79 @@ func main() {
 	elapsed := time.Since(start)
 
 	ok := int64(len(latencies))
-	fmt.Printf("kpdload: %d requests, %d clients, n=%d, %d distinct matrices, rhs=%d\n",
-		*requests, *clients, *n, *mats, *rhs)
-	fmt.Printf("  wall %s, throughput %.1f req/s\n", elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds())
-	if ok > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		q := func(p float64) time.Duration { return latencies[min(int(p*float64(ok)), int(ok)-1)] }
-		fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
-			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-			q(0.99).Round(time.Microsecond), latencies[ok-1].Round(time.Microsecond))
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) time.Duration {
+		if ok == 0 {
+			return 0
+		}
+		return latencies[min(int(p*float64(ok)), int(ok)-1)]
 	}
-	fmt.Printf("  cache: %d hits, %d misses (%.1f%% hit rate)\n",
-		hits.Load(), misses.Load(), 100*float64(hits.Load())/float64(max(hits.Load()+misses.Load(), 1)))
-	fmt.Printf("  rejected (429 backpressure): %d\n", rejected.Load())
-	statusMu.Lock()
-	codes := make([]int, 0, len(statuses))
-	for c := range statuses {
-		codes = append(codes, c)
+	hitRate := float64(hits.Load()) / float64(max(hits.Load()+misses.Load(), 1))
+
+	if *jsonOut {
+		report := loadReport{
+			Schema:     loadSchema,
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			Addr:       *addr,
+			Clients:    *clients,
+			Requests:   *requests,
+			Dim:        *n,
+			Matrices:   *mats,
+			Rhs:        *rhs,
+			WallNs:     elapsed.Nanoseconds(),
+			Throughput: float64(ok) / elapsed.Seconds(),
+			OK:         ok,
+			P50Ns:      q(0.50).Nanoseconds(),
+			P90Ns:      q(0.90).Nanoseconds(),
+			P99Ns:      q(0.99).Nanoseconds(),
+			CacheHits:  hits.Load(),
+			CacheMisses: misses.Load(),
+			HitRate:    hitRate,
+			Rejected:   rejected.Load(),
+			Failed:     failed.Load(),
+			Wrong:      wrong.Load(),
+			Statuses:   make(map[string]int),
+		}
+		if ok > 0 {
+			report.MaxNs = latencies[ok-1].Nanoseconds()
+		}
+		statusMu.Lock()
+		for c, count := range statuses {
+			report.Statuses[strconv.Itoa(c)] = count
+		}
+		statusMu.Unlock()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "kpdload:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("kpdload: %d requests, %d clients, n=%d, %d distinct matrices, rhs=%d\n",
+			*requests, *clients, *n, *mats, *rhs)
+		fmt.Printf("  wall %s, throughput %.1f req/s\n", elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds())
+		if ok > 0 {
+			fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
+				q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+				q(0.99).Round(time.Microsecond), latencies[ok-1].Round(time.Microsecond))
+		}
+		fmt.Printf("  cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits.Load(), misses.Load(), 100*hitRate)
+		fmt.Printf("  rejected (429 backpressure): %d\n", rejected.Load())
+		statusMu.Lock()
+		codes := make([]int, 0, len(statuses))
+		for c := range statuses {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		fmt.Printf("  status:")
+		for _, c := range codes {
+			fmt.Printf(" %d×%d", c, statuses[c])
+		}
+		fmt.Println()
+		statusMu.Unlock()
 	}
-	sort.Ints(codes)
-	fmt.Printf("  status:")
-	for _, c := range codes {
-		fmt.Printf(" %d×%d", c, statuses[c])
-	}
-	fmt.Println()
-	statusMu.Unlock()
 	if w := wrong.Load(); w > 0 {
 		fmt.Fprintf(os.Stderr, "kpdload: %d responses FAILED local verification\n", w)
 		os.Exit(1)

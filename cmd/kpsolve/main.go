@@ -177,11 +177,19 @@ func main() {
 	}
 	b := bs.Col(0)
 
+	// A per-run trace identity: carried as a bare context tag (not a full
+	// span-attribution scope — the CLI keeps span parentage on the global
+	// Observer chain so the Instrumented field-op attribution in -trace
+	// output stays exact), it stamps every flight-recorder entry and
+	// per-attempt log record, so a crash dump names the failing run.
+	tc := obs.NewTraceContext()
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+
 	start := time.Now()
 	switch *op {
 	case "solve":
 		if bs.Cols > 1 {
-			x, err := s.SolveBatch(a, bs)
+			x, err := s.SolveBatchCtx(ctx, a, bs)
 			if err != nil {
 				fatal(err)
 			}
@@ -192,33 +200,33 @@ func main() {
 				matrix.Mul[uint64](f, a, x).Equal(f, bs))
 			break
 		}
-		x, err := s.Solve(a, b)
+		x, err := s.SolveCtx(ctx, a, b)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("x = %s\n", ff.VecString[uint64](f, x))
 		fmt.Printf("verified A·x = b: %v\n", ff.VecEqual[uint64](f, a.MulVec(f, x), b))
 	case "det":
-		d, err := s.Det(a)
+		d, err := s.DetCtx(ctx, a)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("det(A) = %d\n", d)
 	case "inv":
-		inv, err := s.Inverse(a)
+		inv, err := s.InverseCtx(ctx, a)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("A⁻¹ computed (Theorem 6 circuit); A·A⁻¹ = I: %v\n",
 			matrix.Mul[uint64](f, a, inv).Equal(f, matrix.Identity[uint64](f, a.Rows)))
 	case "rank":
-		r, err := s.Rank(a)
+		r, err := s.RankCtx(ctx, a)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("rank(A) = %d\n", r)
 	case "transposed":
-		x, err := s.TransposedSolve(a, b)
+		x, err := s.TransposedSolveCtx(ctx, a, b)
 		if err != nil {
 			fatal(err)
 		}

@@ -244,35 +244,56 @@ func (s *Solver[E]) FactorCtx(ctx context.Context, a *matrix.Dense[E]) (*Factore
 // 0 or > n. For a possibly-singular matrix, call IsSingular first or use
 // the Gaussian baseline in package matrix.
 func (s *Solver[E]) Det(a *matrix.Dense[E]) (E, error) {
+	return s.DetCtx(context.Background(), a)
+}
+
+// DetCtx is Det carrying a context: a trace context on ctx tags the flight
+// recorder entry and attempt logs with the owning request.
+func (s *Solver[E]) DetCtx(ctx context.Context, a *matrix.Dense[E]) (E, error) {
 	var zero E
 	if err := s.checkChar(a.Rows); err != nil {
 		return zero, err
 	}
-	return kp.Det(s.f, s.mul, a, s.params(nil))
+	return kp.Det(s.f, s.mul, a, s.params(ctx))
 }
 
 // Inverse returns A⁻¹ (Theorem 6: Baur–Strassen gradient of the
 // determinant circuit). Requires characteristic 0 or > n.
 func (s *Solver[E]) Inverse(a *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return s.InverseCtx(context.Background(), a)
+}
+
+// InverseCtx is Inverse carrying a context (see DetCtx).
+func (s *Solver[E]) InverseCtx(ctx context.Context, a *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	if err := s.checkChar(a.Rows); err != nil {
 		return nil, err
 	}
-	return kp.Inverse(s.f, s.mul, a, s.params(nil))
+	return kp.Inverse(s.f, s.mul, a, s.params(ctx))
 }
 
 // TransposedSolve solves Aᵀ·x = b via the transposition principle (end of
 // §4) without forming Aᵀ.
 func (s *Solver[E]) TransposedSolve(a *matrix.Dense[E], b []E) ([]E, error) {
+	return s.TransposedSolveCtx(context.Background(), a, b)
+}
+
+// TransposedSolveCtx is TransposedSolve carrying a context (see DetCtx).
+func (s *Solver[E]) TransposedSolveCtx(ctx context.Context, a *matrix.Dense[E], b []E) ([]E, error) {
 	if err := s.checkChar(a.Rows); err != nil {
 		return nil, err
 	}
-	return kp.TransposedSolve(s.f, a, b, s.params(nil))
+	return kp.TransposedSolve(s.f, a, b, s.params(ctx))
 }
 
 // Rank returns rank(A) (§5, Monte Carlo with one-sided error shrinking
 // geometrically in the retry count).
 func (s *Solver[E]) Rank(a *matrix.Dense[E]) (int, error) {
-	return kp.Rank(s.f, a, s.params(nil))
+	return s.RankCtx(context.Background(), a)
+}
+
+// RankCtx is Rank carrying a context (see DetCtx).
+func (s *Solver[E]) RankCtx(ctx context.Context, a *matrix.Dense[E]) (int, error) {
+	return kp.Rank(s.f, a, s.params(ctx))
 }
 
 // Nullspace returns a verified basis of the right null space of a square

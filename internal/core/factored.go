@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/kp"
 	"repro/internal/matrix"
 )
@@ -23,10 +25,23 @@ func (h *Factored[E]) Dim() int { return h.fa.Dim() }
 // Krylov phase.
 func (h *Factored[E]) Solve(b []E) ([]E, error) { return h.fa.Solve(b) }
 
+// SolveCtx is Solve carrying a request context: the backsolve/verify spans
+// record under the context's trace scope, so a kpd cache hit is
+// attributable to the request that replayed it.
+func (h *Factored[E]) SolveCtx(ctx context.Context, b []E) ([]E, error) {
+	return h.fa.SolveCtx(ctx, b)
+}
+
 // InverseApply returns the verified X = A⁻¹·B for all columns of B in one
 // fused backsolve.
 func (h *Factored[E]) InverseApply(b *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	return h.fa.InverseApply(b)
+}
+
+// InverseApplyCtx is InverseApply carrying a request context for span
+// attribution (see SolveCtx).
+func (h *Factored[E]) InverseApplyCtx(ctx context.Context, b *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return h.fa.InverseApplyCtx(ctx, b)
 }
 
 // Det returns det(A) from the cached characteristic polynomial. Unlike

@@ -86,7 +86,7 @@ func (fa *Factorization[E]) ladderMerge(ladder []*matrix.Dense[E]) {
 // randomness or a singular input) surfaces as ff.ErrDivisionByZero.
 func factorOnce[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], rnd Randomness[E]) (*Factorization[E], error) {
 	n := a.Rows
-	sp := obs.StartPhase(obs.PhaseBatchPrecondition)
+	sp := obs.StartPhaseCtx(ctx, obs.PhaseBatchPrecondition)
 	defer sp.End()
 	hd := matrix.HankelDense(f, rnd.H)
 	atilde := matrix.ScaleColumnsDiag(f, mul.Mul(f, a, hd), rnd.D)
@@ -111,8 +111,8 @@ func factorOnce[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier
 // squarings recur), the fused Cayley–Hamilton combination
 // −(1/c₀)·Σⱼ c_{j+1}·Ãʲ·B, and the preconditioner undo X = H·(D·X̃). The
 // result is unverified — callers wrap it in their own batch/verify check.
-func (fa *Factorization[E]) backsolve(bm *matrix.Dense[E]) *matrix.Dense[E] {
-	sp := obs.StartPhase(obs.PhaseBatchBacksolve)
+func (fa *Factorization[E]) backsolve(ctx context.Context, bm *matrix.Dense[E]) *matrix.Dense[E] {
+	sp := obs.StartPhaseCtx(ctx, obs.PhaseBatchBacksolve)
 	defer sp.End()
 	f, n, k := fa.f, fa.n, bm.Cols
 	ladder := fa.ladderSnapshot()
@@ -140,12 +140,20 @@ func (fa *Factorization[E]) Dim() int { return fa.n }
 // probe certification was also fooled) is reported as ErrRetriesExhausted
 // — re-Factor to retry with fresh randomness.
 func (fa *Factorization[E]) Solve(b []E) ([]E, error) {
+	return fa.SolveCtx(nil, b)
+}
+
+// SolveCtx is Solve carrying a request context: spans record under the
+// context's trace scope (per-request attribution in kpd) and ctx is not
+// otherwise consulted — the backsolve is non-iterative, so there is no
+// useful cancellation point inside it.
+func (fa *Factorization[E]) SolveCtx(ctx context.Context, b []E) ([]E, error) {
 	if len(b) != fa.n {
 		return nil, fmt.Errorf("kp: Factorization.Solve needs a length-%d right-hand side (got %d): %w", fa.n, len(b), ErrBadShape)
 	}
 	bm := &matrix.Dense[E]{Rows: fa.n, Cols: 1, Data: append([]E(nil), b...)}
-	x := fa.backsolve(bm)
-	sp := obs.StartPhase(obs.PhaseBatchVerify)
+	x := fa.backsolve(ctx, bm)
+	sp := obs.StartPhaseCtx(ctx, obs.PhaseBatchVerify)
 	ok := ff.VecEqual(fa.f, fa.a.MulVec(fa.f, x.Col(0)), b)
 	sp.End()
 	if !ok {
@@ -158,14 +166,20 @@ func (fa *Factorization[E]) Solve(b []E) ([]E, error) {
 // fused backsolve. Any column failing verification fails the whole call
 // with ErrRetriesExhausted (re-Factor to retry).
 func (fa *Factorization[E]) InverseApply(bm *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return fa.InverseApplyCtx(nil, bm)
+}
+
+// InverseApplyCtx is InverseApply carrying a request context for span
+// attribution (see SolveCtx).
+func (fa *Factorization[E]) InverseApplyCtx(ctx context.Context, bm *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	if bm.Rows != fa.n {
 		return nil, fmt.Errorf("kp: Factorization.InverseApply needs %d-row columns (got %d): %w", fa.n, bm.Rows, ErrBadShape)
 	}
 	if bm.Cols == 0 {
 		return matrix.NewDense(fa.f, fa.n, 0), nil
 	}
-	x := fa.backsolve(bm)
-	sp := obs.StartPhase(obs.PhaseBatchVerify)
+	x := fa.backsolve(ctx, bm)
+	sp := obs.StartPhaseCtx(ctx, obs.PhaseBatchVerify)
 	ok := fa.mul.Mul(fa.f, fa.a, x).Equal(fa.f, bm)
 	sp.End()
 	if !ok {
@@ -228,8 +242,8 @@ func Factor[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], 
 			return nil, err
 		}
 		probe := ff.SampleVec(f, p.Src, n, p.Subset)
-		x := fa.backsolve(&matrix.Dense[E]{Rows: n, Cols: 1, Data: append([]E(nil), probe...)})
-		sp := obs.StartPhase(obs.PhaseBatchVerify)
+		x := fa.backsolve(p.Ctx, &matrix.Dense[E]{Rows: n, Cols: 1, Data: append([]E(nil), probe...)})
+		sp := obs.StartPhaseCtx(p.Ctx, obs.PhaseBatchVerify)
 		ok := ff.VecEqual(f, a.MulVec(f, x.Col(0)), probe)
 		sp.End()
 		if ok {
@@ -289,8 +303,8 @@ func SolveBatch[E any](f ff.Field[E], mul matrix.Multiplier[E], a, bm *matrix.De
 			return nil, err
 		}
 		sub := pickColumns(f, bm, pending)
-		x := fa.backsolve(sub)
-		sp := obs.StartPhase(obs.PhaseBatchVerify)
+		x := fa.backsolve(p.Ctx, sub)
+		sp := obs.StartPhaseCtx(p.Ctx, obs.PhaseBatchVerify)
 		ax := fa.mul.Mul(f, a, x)
 		var still []int
 		for idx, col := range pending {

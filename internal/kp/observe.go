@@ -95,13 +95,21 @@ type attemptRecorder struct {
 	logger  *slog.Logger
 	started time.Time
 	count   int
+	tc      obs.TraceContext // owning request identity (zero when untraced)
+	scope   *obs.TraceScope  // owning request scope, for attempt accounting
 }
 
-// newAttemptRecorder starts the driver-level clock. p must be filled.
+// newAttemptRecorder starts the driver-level clock. p must be filled. When
+// p.Ctx carries a trace context (kpd requests, traced CLI runs) every
+// attempt record, log line and the flight entry are tagged with it, and a
+// full TraceScope additionally receives the per-request attempt count the
+// tail sampler keys its "unlucky" retention rule on.
 func newAttemptRecorder(solver string, n, rhs int, p Params) *attemptRecorder {
 	return &attemptRecorder{
 		solver: solver, n: n, rhs: rhs, subset: p.Subset,
 		logger: p.Logger, started: time.Now(),
+		tc:    obs.TraceFromContext(p.Ctx),
+		scope: obs.ScopeFromContext(p.Ctx),
 	}
 }
 
@@ -112,12 +120,13 @@ func (r *attemptRecorder) attempt(outcome, phase string, wall time.Duration) {
 		outcome = obs.OutcomeSuccess
 	}
 	r.count++
+	r.scope.NoteAttempt()
 	obs.RecordAttempt(obs.Attempt{
 		Solver: r.solver, N: r.n, Subset: r.subset,
 		Outcome: outcome, Phase: phase, Wall: wall,
 	})
 	if r.logger != nil {
-		r.logger.LogAttrs(context.Background(), slog.LevelInfo, "kp.attempt",
+		attrs := []slog.Attr{
 			slog.String("solver", r.solver),
 			slog.Int("attempt", r.count),
 			slog.Int("n", r.n),
@@ -125,7 +134,11 @@ func (r *attemptRecorder) attempt(outcome, phase string, wall time.Duration) {
 			slog.String("outcome", outcome),
 			slog.String("phase", phase),
 			slog.Duration("wall", wall),
-		)
+		}
+		if !r.tc.IsZero() {
+			attrs = append(attrs, slog.String("trace", r.tc.Trace.String()))
+		}
+		r.logger.LogAttrs(context.Background(), slog.LevelInfo, "kp.attempt", attrs...)
 	}
 }
 
@@ -146,18 +159,23 @@ func (r *attemptRecorder) finish(err error) {
 	obs.RecordFlight(obs.FlightEntry{
 		Op: r.solver, N: r.n, Rhs: r.rhs, Subset: r.subset,
 		Attempts: r.count, Outcome: outcome, Wall: time.Since(r.started),
+		Trace: r.tc.Trace, Span: r.tc.Span,
 	})
 	if r.logger != nil {
 		level := slog.LevelInfo
 		if err != nil {
 			level = slog.LevelWarn
 		}
-		r.logger.LogAttrs(context.Background(), level, "kp.done",
+		attrs := []slog.Attr{
 			slog.String("solver", r.solver),
 			slog.Int("n", r.n),
 			slog.Int("attempts", r.count),
 			slog.String("outcome", outcome),
 			slog.Duration("wall", time.Since(r.started)),
-		)
+		}
+		if !r.tc.IsZero() {
+			attrs = append(attrs, slog.String("trace", r.tc.Trace.String()))
+		}
+		r.logger.LogAttrs(context.Background(), level, "kp.done", attrs...)
 	}
 }

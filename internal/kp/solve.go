@@ -97,7 +97,7 @@ func charPolyCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplie
 	// close eagerly for tight timing and again via defer: the defer is the
 	// leak guard that keeps no span (and no stale Observer current pointer)
 	// open when an error, a cancellation or a panic exits early.
-	sp := obs.StartPhase(krylovPhase)
+	sp := obs.StartPhaseCtx(ctx, krylovPhase)
 	defer sp.End()
 	v := &matrix.Dense[E]{Rows: n, Cols: 1, Data: append([]E(nil), rnd.V...)}
 	k := matrix.KrylovBlockDoubling(f, mul, atilde, v, 2*n, pows)
@@ -108,7 +108,7 @@ func charPolyCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplie
 	}
 	// Lemma 1 system: T_n·(c_{n−1},…,c₀)ᵀ = (a_n,…,a_{2n−1})ᵀ, solved with
 	// the Toeplitz solver of §3 (Theorem 3 + Cayley–Hamilton).
-	sp = obs.StartPhase(minpolyPhase)
+	sp = obs.StartPhaseCtx(ctx, minpolyPhase)
 	defer sp.End()
 	tm := structured.NewToeplitz(a[:2*n-1])
 	rhs := a[n : 2*n]
@@ -142,7 +142,7 @@ func solveOnceCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multipli
 	if a.Cols != n || len(b) != n {
 		panic("kp: SolveOnce needs a square system")
 	}
-	sp := obs.StartPhase(obs.PhasePrecondition)
+	sp := obs.StartPhaseCtx(ctx, obs.PhasePrecondition)
 	defer sp.End()
 	atilde := precondition(f, mul, a, rnd)
 	sp.End()
@@ -156,7 +156,7 @@ func solveOnceCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multipli
 	// Cayley–Hamilton: x̃ = −(1/pₙ)·Σ_{j=0}^{n−1} p_{n−1−j}·Ãʲ·b, with
 	// pₙ = cp[0] and p_{n−1−j} = cp[j+1]; the Krylov vectors Ãʲb come from
 	// one more doubling pass.
-	sp = obs.StartPhase(obs.PhaseBacksolve)
+	sp = obs.StartPhaseCtx(ctx, obs.PhaseBacksolve)
 	defer sp.End()
 	kb := matrix.KrylovDoubling(f, mul, atilde, b, n)
 	var acc []E

@@ -26,6 +26,11 @@ type FlightEntry struct {
 	Attempts int           `json:"attempts"` // Las Vegas attempts consumed
 	Outcome  string        `json:"outcome"`  // "ok" or the error text
 	Wall     time.Duration `json:"wall_ns"`
+	// Trace and Span identify the owning request when the driver ran under
+	// a trace context (kpd requests, kpsolve operations), so a crash dump
+	// cross-links to /debug/traces and server logs.
+	Trace TraceID `json:"trace,omitzero"`
+	Span  SpanID  `json:"span,omitzero"`
 }
 
 // flightCapacity is the ring size: enough recent history for a post-mortem
@@ -82,8 +87,12 @@ func WriteFlightRecord(w io.Writer) {
 		if e.Rhs > 1 {
 			rhs = fmt.Sprintf(" rhs=%d", e.Rhs)
 		}
-		fmt.Fprintf(w, "  #%-4d %s  %-12s n=%-5d%s |S|=%d attempts=%d wall=%s  %s\n",
-			e.Seq, e.When.Format("15:04:05.000"), e.Op, e.N, rhs, e.Subset, e.Attempts, e.Wall, e.Outcome)
+		id := ""
+		if !e.Trace.IsZero() {
+			id = fmt.Sprintf("  trace=%s span=%s", e.Trace, e.Span)
+		}
+		fmt.Fprintf(w, "  #%-4d %s  %-12s n=%-5d%s |S|=%d attempts=%d wall=%s  %s%s\n",
+			e.Seq, e.When.Format("15:04:05.000"), e.Op, e.N, rhs, e.Subset, e.Attempts, e.Wall, e.Outcome, id)
 	}
 }
 

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
+	"time"
 )
 
 // marshalSnapshot renders the /snapshot document. It is a variable so the
@@ -20,6 +22,9 @@ var marshalSnapshot = func(doc SnapshotDoc) ([]byte, error) {
 //	/snapshot  one JSON document with everything /metrics has, plus the
 //	           flight-recorder ring and the active Observer's phase totals
 //	/healthz   liveness: 200 "ok"
+//	/debug/traces  the tail-sampled request trace store (JSON list;
+//	           ?id=<trace-id> for one span tree, &format=chrome for a
+//	           Chrome trace_event export) — 404 until SetTraceStore
 //
 // kpsolve -serve and kpbench -serve mount it on a dedicated listener; a
 // production embedder mounts it on its own mux next to pprof.
@@ -37,6 +42,9 @@ type SnapshotDoc struct {
 	Attempts []BoundsLine `json:"attempts"`
 	// Flight is the flight-recorder ring, oldest first.
 	Flight []FlightEntry `json:"flight"`
+	// Runtime is the runtime/metrics gauge set (GC pauses, scheduler
+	// latency, goroutines, heap) also exported on /metrics.
+	Runtime map[string]float64 `json:"runtime"`
 	// PhaseTotals and DroppedSpans reflect the active Observer, when one
 	// is installed.
 	PhaseTotals  map[string]PhaseTotal `json:"phase_totals,omitempty"`
@@ -50,6 +58,7 @@ func Snapshot() SnapshotDoc {
 		Histograms: Histograms(),
 		Attempts:   BoundsReport(),
 		Flight:     FlightEntries(),
+		Runtime:    RuntimeSnapshot(),
 	}
 	if o := Active(); o != nil {
 		doc.PhaseTotals = o.PhaseTotals()
@@ -58,8 +67,93 @@ func Snapshot() SnapshotDoc {
 	return doc
 }
 
-// Handler returns the telemetry mux serving /metrics, /snapshot and
-// /healthz.
+// TraceSummary is one /debug/traces list entry: the request summary
+// without the span tree (fetch the full trace by id for that).
+type TraceSummary struct {
+	TraceID   string        `json:"trace_id"`
+	Route     string        `json:"route"`
+	N         int           `json:"n,omitempty"`
+	Status    int           `json:"status"`
+	Cache     string        `json:"cache,omitempty"`
+	Attempts  int           `json:"attempts"`
+	Error     string        `json:"error,omitempty"`
+	Start     time.Time     `json:"start"`
+	Wall      time.Duration `json:"wall_ns"`
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	Kept      string        `json:"kept"`
+	Spans     int           `json:"spans"`
+}
+
+// tracesDoc is the /debug/traces list document.
+type tracesDoc struct {
+	Capacity      int            `json:"capacity"`
+	SlowThreshold time.Duration  `json:"slow_threshold_ns"`
+	SampleEvery   int            `json:"sample_every"`
+	Traces        []TraceSummary `json:"traces"`
+}
+
+// handleTraces serves the tail-sampled trace store:
+//
+//	/debug/traces                     JSON list, newest first
+//	/debug/traces?id=<trace-id>       one full trace (span tree included)
+//	/debug/traces?id=<id>&format=chrome  the trace as Chrome trace_event JSON
+func handleTraces(w http.ResponseWriter, r *http.Request) {
+	ts := ActiveTraceStore()
+	if ts == nil {
+		http.Error(w, "trace store not enabled", http.StatusNotFound)
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		rt, ok := ts.Get(id)
+		if !ok {
+			http.Error(w, "trace "+id+" not retained (evicted or sampled out)", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			var buf bytes.Buffer
+			if err := WriteRequestTrace(&buf, rt); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(buf.Bytes())
+			return
+		}
+		writeJSONDoc(w, rt)
+		return
+	}
+	traces := ts.Traces()
+	doc := tracesDoc{
+		Capacity:      ts.Config().Capacity,
+		SlowThreshold: ts.Config().SlowThreshold,
+		SampleEvery:   ts.Config().SampleEvery,
+		Traces:        make([]TraceSummary, 0, len(traces)),
+	}
+	for _, rt := range traces {
+		doc.Traces = append(doc.Traces, TraceSummary{
+			TraceID: rt.TraceID, Route: rt.Route, N: rt.N, Status: rt.Status,
+			Cache: rt.Cache, Attempts: rt.Attempts, Error: rt.Error,
+			Start: rt.Start, Wall: rt.Wall, QueueWait: rt.QueueWait,
+			Kept: rt.Kept, Spans: len(rt.Spans),
+		})
+	}
+	writeJSONDoc(w, doc)
+}
+
+// writeJSONDoc marshals into memory first (the /snapshot discipline: a late
+// encode error must not corrupt a committed 200).
+func writeJSONDoc(w http.ResponseWriter, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// Handler returns the telemetry mux serving /metrics, /snapshot,
+// /debug/traces and /healthz.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -85,5 +179,6 @@ func Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/debug/traces", handleTraces)
 	return mux
 }

@@ -85,16 +85,19 @@ const (
 	PhaseBatchVerify = "batch/verify"
 )
 
-// SpanRecord is one completed span as stored in the Observer's ring.
+// SpanRecord is one completed span as stored in the Observer's ring (and,
+// for spans opened under a request TraceScope, in the scope's collection
+// serialized by the /debug/traces trace store).
 type SpanRecord struct {
-	ID       int64         // 1-based span id, unique per Observer
-	Parent   int64         // enclosing span's id, 0 for a top-level span
-	Name     string        // phase name
-	Start    time.Duration // offset from the Observer's epoch
-	Dur      time.Duration // wall time between StartPhase and End
-	GID      int64         // goroutine that started the span
-	FieldOps uint64        // field operations folded in via AddFieldOps
-	MulCalls uint64        // multiplier invocations folded in
+	ID       int64         `json:"id"`        // 1-based span id, unique per Observer
+	Parent   int64         `json:"parent"`    // enclosing span's id, 0 for a top-level span
+	Name     string        `json:"name"`      // phase name
+	Start    time.Duration `json:"start_ns"`  // offset from the Observer's epoch
+	Dur      time.Duration `json:"dur_ns"`    // wall time between StartPhase and End
+	GID      int64         `json:"gid"`       // goroutine that started the span
+	FieldOps uint64        `json:"field_ops"` // field operations folded in via AddFieldOps
+	MulCalls uint64        `json:"mul_calls"` // multiplier invocations folded in
+	Trace    TraceID       `json:"trace"`     // owning request's trace id (zero for unscoped spans)
 }
 
 // Observer collects completed spans into a fixed-capacity ring buffer and
@@ -151,6 +154,7 @@ func Active() *Observer { return active.Load() }
 // every method as a no-op, so call sites never branch on enablement.
 type Span struct {
 	obs    *Observer
+	scope  *TraceScope // owning request scope; nil for Observer-global spans
 	parent *Span
 	id     int64
 	pid    int64
@@ -223,7 +227,11 @@ func (s *Span) End() {
 		return
 	}
 	o := s.obs
-	o.current.CompareAndSwap(s, s.parent)
+	if s.scope != nil {
+		s.scope.current.CompareAndSwap(s, s.parent)
+	} else {
+		o.current.CompareAndSwap(s, s.parent)
+	}
 	rec := SpanRecord{
 		ID:       s.id,
 		Parent:   s.pid,
@@ -233,6 +241,10 @@ func (s *Span) End() {
 		GID:      s.gid,
 		FieldOps: s.ops.Load(),
 		MulCalls: s.calls.Load(),
+	}
+	if s.scope != nil {
+		rec.Trace = s.scope.tc.Trace
+		s.scope.append(rec)
 	}
 	o.mu.Lock()
 	if int(o.next) >= len(o.ring) {

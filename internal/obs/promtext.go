@@ -91,6 +91,7 @@ func WriteMetrics(w io.Writer) {
 
 	writeHistogramFamilies(w, Histograms())
 	writeAttemptMetrics(w, BoundsReport())
+	writeRuntimeMetrics(w)
 }
 
 // writeHistogramFamilies groups the snapshots by family name and emits one

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"sort"
+)
+
+// Runtime profiling gauges: a fixed set of runtime/metrics samples read at
+// scrape time and exported beside the kp_ registry on /metrics. They answer
+// the "was it us or the runtime?" half of a slow-request investigation — a
+// p99 spike that coincides with a GC pause burst or scheduling latency is
+// a different bug than one that does not. Names keep the conventional go_
+// prefix (no kp_ mangling) so standard dashboards pick them up.
+
+// runtimeSamples is the fixed sample set. Reading a fixed set through one
+// metrics.Read call is the cheap, allocation-stable pattern the runtime
+// documentation recommends for scrape paths.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/latencies:seconds",
+	"/gc/pauses:seconds",
+	"/gc/cycles/total:gc-cycles",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+}
+
+// RuntimeSnapshot reads the runtime metric set and derives the exported
+// gauges: goroutine count, GC cycle count, heap/total bytes, and
+// p50/p99/max quantiles of the GC pause and scheduler latency
+// distributions (nanoseconds).
+func RuntimeSnapshot() map[string]float64 {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	out := make(map[string]float64, 16)
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			out["go_goroutines"] = float64(s.Value.Uint64())
+		case "/gc/cycles/total:gc-cycles":
+			out["go_gc_cycles_total"] = float64(s.Value.Uint64())
+		case "/memory/classes/heap/objects:bytes":
+			out["go_heap_objects_bytes"] = float64(s.Value.Uint64())
+		case "/memory/classes/total:bytes":
+			out["go_memory_total_bytes"] = float64(s.Value.Uint64())
+		case "/gc/pauses:seconds":
+			histQuantiles(out, "go_gc_pause", s.Value.Float64Histogram())
+		case "/sched/latencies:seconds":
+			histQuantiles(out, "go_sched_latency", s.Value.Float64Histogram())
+		}
+	}
+	return out
+}
+
+// histQuantiles derives <prefix>_{count,p50_ns,p99_ns,max_ns} from a
+// runtime seconds-histogram. Quantiles interpolate on bucket lower bounds;
+// ±Inf boundary buckets clamp to their finite neighbor.
+func histQuantiles(out map[string]float64, prefix string, h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	out[prefix+"_count"] = float64(total)
+	out[prefix+"_p50_ns"] = histQuantile(h, total, 0.50) * 1e9
+	out[prefix+"_p99_ns"] = histQuantile(h, total, 0.99) * 1e9
+	out[prefix+"_max_ns"] = histMax(h) * 1e9
+}
+
+// histQuantile returns the q-quantile (in the histogram's unit, seconds)
+// using the lower bound of the bucket the quantile falls in.
+func histQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			lo := h.Buckets[i]
+			if math.IsInf(lo, -1) {
+				lo = 0
+			}
+			return lo
+		}
+	}
+	return 0
+}
+
+// histMax returns the lower bound of the highest non-empty bucket.
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		lo := h.Buckets[i]
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		if math.IsInf(lo, 1) && i > 0 {
+			lo = h.Buckets[i-1]
+		}
+		return lo
+	}
+	return 0
+}
+
+// writeRuntimeMetrics emits the runtime gauges in Prometheus text format.
+func writeRuntimeMetrics(w io.Writer) {
+	snap := RuntimeSnapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		promHeader(w, n, "gauge", fmt.Sprintf("Go runtime metric %q.", n))
+		fmt.Fprintf(w, "%s %s\n", n, formatFloat(snap[n]))
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeSnapshotGauges(t *testing.T) {
+	// Force at least one GC cycle so the pause histogram is non-trivial.
+	runtime.GC()
+	snap := RuntimeSnapshot()
+	for _, name := range []string{
+		"go_goroutines", "go_gc_cycles_total", "go_heap_objects_bytes", "go_memory_total_bytes",
+		"go_gc_pause_count", "go_gc_pause_p50_ns", "go_gc_pause_p99_ns", "go_gc_pause_max_ns",
+		"go_sched_latency_count", "go_sched_latency_p50_ns", "go_sched_latency_p99_ns", "go_sched_latency_max_ns",
+	} {
+		v, ok := snap[name]
+		if !ok {
+			t.Fatalf("RuntimeSnapshot misses %s", name)
+		}
+		if v < 0 {
+			t.Fatalf("%s = %v, want ≥ 0", name, v)
+		}
+	}
+	if snap["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %v, want ≥ 1", snap["go_goroutines"])
+	}
+	if snap["go_gc_cycles_total"] < 1 {
+		t.Fatalf("go_gc_cycles_total = %v after runtime.GC(), want ≥ 1", snap["go_gc_cycles_total"])
+	}
+	if snap["go_gc_pause_max_ns"] < snap["go_gc_pause_p50_ns"] {
+		t.Fatalf("pause max %v < p50 %v", snap["go_gc_pause_max_ns"], snap["go_gc_pause_p50_ns"])
+	}
+}
+
+func TestMetricsEndpointIncludesRuntimeGauges(t *testing.T) {
+	runtime.GC()
+	var sb strings.Builder
+	WriteMetrics(&sb)
+	text := sb.String()
+	for _, family := range []string{
+		"\ngo_goroutines ", "\ngo_gc_pause_p99_ns ", "\ngo_gc_pause_count ",
+		"\ngo_sched_latency_p99_ns ", "\ngo_memory_total_bytes ",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("/metrics output misses %q", strings.TrimSpace(family))
+		}
+	}
+	// The runtime names keep their conventional go_ prefix, never the kp_
+	// mangling of the internal registry.
+	if strings.Contains(text, "kp_go_") {
+		t.Fatal("runtime gauges were kp_-mangled")
+	}
+}
+
+func TestHistQuantileOnSyntheticHistogram(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1e-6, 1e-3, 1},
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if got := histQuantile(h, total, 0.50); got != 1e-6 {
+		t.Fatalf("p50 = %v, want 1e-6 (middle bucket lower bound)", got)
+	}
+	if got := histQuantile(h, total, 0.99); got != 1e-3 {
+		t.Fatalf("p99 = %v, want 1e-3 (top bucket lower bound)", got)
+	}
+	if got := histMax(h); got != 1e-3 {
+		t.Fatalf("max = %v, want 1e-3", got)
+	}
+	// Empty histogram: all zeros, no panic.
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if histQuantile(empty, 0, 0.5) != 0 || histMax(empty) != 0 {
+		t.Fatal("empty histogram should yield zeros")
+	}
+}

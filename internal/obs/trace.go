@@ -30,13 +30,21 @@ type traceFile struct {
 	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
-// WriteTrace writes the recorded spans as Chrome trace_event JSON. The
-// metrics registry snapshot rides along under otherData so one file
-// carries both the timeline and the pool counters.
-func (o *Observer) WriteTrace(w io.Writer) error {
-	records := o.Records()
+// traceEventsOf converts span records to trace_event entries. Scoped spans
+// carry their owning request's trace id in args so a multi-request
+// timeline remains attributable per request.
+func traceEventsOf(records []SpanRecord) []traceEvent {
 	events := make([]traceEvent, 0, len(records))
 	for _, r := range records {
+		args := map[string]any{
+			"span_id":   r.ID,
+			"parent":    r.Parent,
+			"field_ops": r.FieldOps,
+			"mul_calls": r.MulCalls,
+		}
+		if !r.Trace.IsZero() {
+			args["trace_id"] = r.Trace.String()
+		}
 		events = append(events, traceEvent{
 			Name: r.Name,
 			Cat:  "phase",
@@ -45,25 +53,48 @@ func (o *Observer) WriteTrace(w io.Writer) error {
 			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
 			Pid:  1,
 			Tid:  r.GID,
-			Args: map[string]any{
-				"span_id":   r.ID,
-				"parent":    r.Parent,
-				"field_ops": r.FieldOps,
-				"mul_calls": r.MulCalls,
-			},
+			Args: args,
 		})
 	}
+	return events
+}
+
+// writeTraceEventDoc writes one trace_event document for the given records.
+func writeTraceEventDoc(w io.Writer, records []SpanRecord, other map[string]any) error {
+	return json.NewEncoder(w).Encode(traceFile{
+		TraceEvents:     traceEventsOf(records),
+		DisplayTimeUnit: "ms",
+		OtherData:       other,
+	})
+}
+
+// WriteTrace writes the recorded spans as Chrome trace_event JSON. The
+// metrics registry snapshot rides along under otherData so one file
+// carries both the timeline and the pool counters.
+func (o *Observer) WriteTrace(w io.Writer) error {
 	other := map[string]any{
 		"metrics":         MetricsSnapshot(),
 		"spans_dropped":   o.Dropped(),
 		"field_ops_total": o.TotalFieldOps(),
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{
-		TraceEvents:     events,
-		DisplayTimeUnit: "ms",
-		OtherData:       other,
-	})
+	return writeTraceEventDoc(w, o.Records(), other)
+}
+
+// WriteRequestTrace writes one retained request trace as a Chrome
+// trace_event document — the per-trace export behind
+// /debug/traces?id=…&format=chrome.
+func WriteRequestTrace(w io.Writer, rt RequestTrace) error {
+	other := map[string]any{
+		"trace_id":      rt.TraceID,
+		"route":         rt.Route,
+		"status":        rt.Status,
+		"cache":         rt.Cache,
+		"attempts":      rt.Attempts,
+		"kept":          rt.Kept,
+		"queue_wait_ns": rt.QueueWait.Nanoseconds(),
+		"wall_ns":       rt.Wall.Nanoseconds(),
+	}
+	return writeTraceEventDoc(w, rt.Spans, other)
 }
 
 // WriteTraceFile writes the trace to the named file.

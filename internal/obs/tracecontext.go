@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-request distributed tracing. A TraceContext is the W3C Trace Context
+// identity of one request — a 128-bit trace id plus the 64-bit span id of
+// the caller's active span — propagated on the wire as the "traceparent"
+// header (kpdclient/kpdload → kpd) and in-process through context.Context.
+//
+// A TraceScope is the per-request attribution state: it carries the
+// request's TraceContext, its own current-span pointer (so concurrent
+// requests no longer interleave their span parentage through the single
+// Observer-global pointer), and a bounded collection of the request's
+// completed spans for the tail-sampling TraceStore. StartPhaseCtx consults
+// the context for a scope; without one it degrades to the Observer-global
+// behavior, and with no active Observer it is the same one-atomic-load nil
+// fast path as StartPhase.
+
+// TraceID is the 128-bit W3C trace id. The zero value is invalid ("no
+// trace").
+type TraceID [16]byte
+
+// SpanID is the 64-bit W3C parent/span id. The zero value is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 32-digit lowercase hex form ("" for the zero id).
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// String returns the 16-digit lowercase hex form ("" for the zero id).
+func (s SpanID) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(s[:])
+}
+
+// MarshalJSON renders the id as its hex string ("" when zero), keeping
+// /debug/traces and flight-ring JSON human-greppable.
+func (t TraceID) MarshalJSON() ([]byte, error) { return []byte(`"` + t.String() + `"`), nil }
+
+// MarshalJSON renders the id as its hex string ("" when zero).
+func (s SpanID) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON accepts the hex string form ("" decodes to the zero id), so
+// exported trace documents round-trip through tooling.
+func (t *TraceID) UnmarshalJSON(b []byte) error { return unmarshalHexID(t[:], b, "trace id") }
+
+// UnmarshalJSON accepts the hex string form ("" decodes to the zero id).
+func (s *SpanID) UnmarshalJSON(b []byte) error { return unmarshalHexID(s[:], b, "span id") }
+
+// unmarshalHexID decodes a JSON hex string of exactly 2*len(dst) digits (or
+// "" for the zero id) into dst.
+func unmarshalHexID(dst []byte, b []byte, what string) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("obs: %s is not a JSON string: %s", what, b)
+	}
+	src := string(b[1 : len(b)-1])
+	if src == "" {
+		clear(dst)
+		return nil
+	}
+	if !decodeLowerHex(dst, src) {
+		return fmt.Errorf("obs: %s %q is not %d lowercase hex digits", what, src, 2*len(dst))
+	}
+	return nil
+}
+
+// TraceContext identifies one request: the trace it belongs to and the span
+// id of its most recent hop (the caller's span on an incoming traceparent,
+// this process's root span after Child).
+type TraceContext struct {
+	Trace TraceID
+	Span  SpanID
+	// Flags is the W3C trace-flags octet; bit 0 is "sampled". Minted
+	// contexts set it — tail sampling decides retention at request end, so
+	// every request is recorded while in flight.
+	Flags byte
+}
+
+// IsZero reports whether the context carries no trace.
+func (tc TraceContext) IsZero() bool { return tc.Trace.IsZero() }
+
+// NewTraceContext mints a fresh root context: random non-zero trace and
+// span ids, sampled flag set.
+func NewTraceContext() TraceContext {
+	var tc TraceContext
+	tc.Trace = newTraceID()
+	tc.Span = newSpanID()
+	tc.Flags = 0x01
+	return tc
+}
+
+// Child returns a context in the same trace with a freshly minted span id —
+// what a server does with an incoming traceparent before using it as its
+// own identity.
+func (tc TraceContext) Child() TraceContext {
+	tc.Span = newSpanID()
+	return tc
+}
+
+func newTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		// crypto/rand.Read never fails on supported platforms (Go ≥ 1.24
+		// aborts the process rather than returning an error).
+		cryptorand.Read(t[:])
+	}
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		cryptorand.Read(s[:])
+	}
+	return s
+}
+
+// Traceparent renders the context in W3C form:
+// "00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>". A zero context
+// renders "".
+func (tc TraceContext) Traceparent() string {
+	if tc.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", hex.EncodeToString(tc.Trace[:]), hex.EncodeToString(tc.Span[:]), tc.Flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header. Per the spec it
+// requires lowercase hex, rejects the all-zero trace and span ids and
+// version 0xff, and tolerates future versions carrying extra "-"-separated
+// fields after the flags. Callers treat any error as "start a fresh trace"
+// — a malformed header must never take a request down.
+func ParseTraceparent(h string) (TraceContext, error) {
+	var tc TraceContext
+	if len(h) < 55 {
+		return tc, fmt.Errorf("obs: traceparent too short (%d bytes)", len(h))
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, fmt.Errorf("obs: traceparent delimiters malformed")
+	}
+	version, ok := hexByte(h[0], h[1])
+	if !ok {
+		return tc, fmt.Errorf("obs: traceparent version is not hex")
+	}
+	if version == 0xff {
+		return tc, fmt.Errorf("obs: traceparent version ff is forbidden")
+	}
+	if version == 0x00 && len(h) != 55 {
+		return tc, fmt.Errorf("obs: version-00 traceparent must be exactly 55 bytes, got %d", len(h))
+	}
+	if version > 0x00 && len(h) > 55 && h[55] != '-' {
+		return tc, fmt.Errorf("obs: traceparent trailing fields malformed")
+	}
+	if !decodeLowerHex(tc.Trace[:], h[3:35]) {
+		return tc, fmt.Errorf("obs: trace-id is not lowercase hex")
+	}
+	if tc.Trace.IsZero() {
+		return TraceContext{}, fmt.Errorf("obs: all-zero trace-id is invalid")
+	}
+	if !decodeLowerHex(tc.Span[:], h[36:52]) {
+		return TraceContext{}, fmt.Errorf("obs: parent-id is not lowercase hex")
+	}
+	if tc.Span.IsZero() {
+		return TraceContext{}, fmt.Errorf("obs: all-zero parent-id is invalid")
+	}
+	flags, ok := hexByte(h[53], h[54])
+	if !ok {
+		return TraceContext{}, fmt.Errorf("obs: trace-flags are not hex")
+	}
+	tc.Flags = flags
+	return tc, nil
+}
+
+// hexByte decodes two lowercase hex digits into one byte.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// decodeLowerHex decodes src (lowercase hex, len(dst)*2 digits) into dst.
+func decodeLowerHex(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		b, ok := hexByte(src[2*i], src[2*i+1])
+		if !ok {
+			return false
+		}
+		dst[i] = b
+	}
+	return true
+}
+
+// scopeSpanCap bounds the spans one TraceScope retains for the trace
+// store: a pathological request (thousands of Las Vegas attempts) must not
+// hold unbounded memory. Beyond the cap the newest spans are dropped and
+// counted.
+const scopeSpanCap = 512
+
+// TraceScope is one request's span-attribution state. Spans started with a
+// scope-bearing context parent through the scope's own current pointer
+// instead of the Observer-global one, so any number of concurrent requests
+// keep clean per-request span trees, and their completed records are both
+// committed to the Observer's ring (feeding the global phase totals and
+// latency histograms exactly as before) and collected here for the
+// tail-sampling TraceStore.
+//
+// A scope also accumulates request-level annotations the trace store keys
+// its retention on: the Las Vegas attempt count (fed by the kp drivers)
+// and the admission queue wait (fed by the server).
+type TraceScope struct {
+	tc      TraceContext
+	current atomic.Pointer[Span]
+
+	attempts  atomic.Int64
+	queueWait atomic.Int64 // nanoseconds
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int64
+}
+
+// NewScope returns a scope for the given request identity.
+func NewScope(tc TraceContext) *TraceScope { return &TraceScope{tc: tc} }
+
+// TraceContext returns the scope's request identity.
+func (sc *TraceScope) TraceContext() TraceContext {
+	if sc == nil {
+		return TraceContext{}
+	}
+	return sc.tc
+}
+
+// OpenSpanName returns the name of the scope's innermost open span ("" when
+// none) — the per-request analogue of Observer.OpenSpanName, asserted by
+// the leak-guard tests.
+func (sc *TraceScope) OpenSpanName() string {
+	if sc == nil {
+		return ""
+	}
+	if s := sc.current.Load(); s != nil {
+		return s.name
+	}
+	return ""
+}
+
+// NoteAttempt counts one Las Vegas attempt against the request (nil-safe).
+func (sc *TraceScope) NoteAttempt() {
+	if sc != nil {
+		sc.attempts.Add(1)
+	}
+}
+
+// Attempts returns the Las Vegas attempts charged to the request.
+func (sc *TraceScope) Attempts() int {
+	if sc == nil {
+		return 0
+	}
+	return int(sc.attempts.Load())
+}
+
+// SetQueueWait records how long the request waited for an execution slot.
+func (sc *TraceScope) SetQueueWait(d time.Duration) {
+	if sc != nil {
+		sc.queueWait.Store(int64(d))
+	}
+}
+
+// QueueWait returns the recorded admission queue wait.
+func (sc *TraceScope) QueueWait() time.Duration {
+	if sc == nil {
+		return 0
+	}
+	return time.Duration(sc.queueWait.Load())
+}
+
+// append collects one completed span (capped at scopeSpanCap).
+func (sc *TraceScope) append(rec SpanRecord) {
+	sc.mu.Lock()
+	if len(sc.spans) < scopeSpanCap {
+		sc.spans = append(sc.spans, rec)
+	} else {
+		sc.dropped++
+	}
+	sc.mu.Unlock()
+}
+
+// Spans returns the request's completed spans in completion order.
+func (sc *TraceScope) Spans() []SpanRecord {
+	if sc == nil {
+		return nil
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make([]SpanRecord, len(sc.spans))
+	copy(out, sc.spans)
+	return out
+}
+
+// SpansDropped returns how many spans overflowed the scope's cap.
+func (sc *TraceScope) SpansDropped() int64 {
+	if sc == nil {
+		return 0
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.dropped
+}
+
+// Context keys. Scope and bare trace are separate keys: a server request
+// carries a full scope (per-request span attribution), while a CLI run may
+// carry only the TraceContext to tag flight-ring entries and attempt logs
+// without redirecting span parentage away from the Observer-global chain
+// (which would detach the Instrumented field-op attribution it relies on).
+type scopeCtxKey struct{}
+type traceCtxKey struct{}
+
+// ContextWithScope returns ctx carrying the scope (and hence its trace).
+func ContextWithScope(ctx context.Context, sc *TraceScope) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, scopeCtxKey{}, sc)
+}
+
+// ScopeFromContext returns the scope carried by ctx, or nil (nil-safe).
+func ScopeFromContext(ctx context.Context) *TraceScope {
+	if ctx == nil {
+		return nil
+	}
+	sc, _ := ctx.Value(scopeCtxKey{}).(*TraceScope)
+	return sc
+}
+
+// ContextWithTrace returns ctx carrying a bare TraceContext for tagging
+// (flight entries, attempt records) without a span-attribution scope.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the TraceContext carried by ctx — from its
+// scope if one is present, else from a bare ContextWithTrace tag, else the
+// zero context. Nil-safe.
+func TraceFromContext(ctx context.Context) TraceContext {
+	if ctx == nil {
+		return TraceContext{}
+	}
+	if sc := ScopeFromContext(ctx); sc != nil {
+		return sc.tc
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
+// StartPhaseCtx opens a span on the active Observer, attributing it to the
+// request scope carried by ctx when one is present: the span parents
+// through the scope's current pointer and its completed record is tagged
+// with the scope's trace id and collected for the trace store. Without a
+// scope it behaves exactly like StartPhase, and with no active Observer it
+// is the same nil fast path (one atomic load, ctx untouched).
+func StartPhaseCtx(ctx context.Context, name string) *Span {
+	o := active.Load()
+	if o == nil {
+		return nil
+	}
+	if sc := ScopeFromContext(ctx); sc != nil {
+		return o.startScoped(sc, name)
+	}
+	return o.StartSpan(name)
+}
+
+// startScoped opens a span whose parentage lives on the scope instead of
+// the Observer-global current pointer.
+func (o *Observer) startScoped(sc *TraceScope, name string) *Span {
+	s := &Span{
+		obs:   o,
+		scope: sc,
+		name:  name,
+		start: time.Since(o.epoch),
+		gid:   goroutineID(),
+		id:    o.ids.Add(1),
+	}
+	if parent := sc.current.Load(); parent != nil {
+		s.parent = parent
+		s.pid = parent.id
+	}
+	sc.current.Store(s)
+	return s
+}

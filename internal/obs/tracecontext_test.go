@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if tc.IsZero() {
+		t.Fatal("NewTraceContext returned a zero context")
+	}
+	if tc.Flags&0x01 == 0 {
+		t.Fatal("minted context should set the sampled flag")
+	}
+	h := tc.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent length = %d, want 55: %q", len(h), h)
+	}
+	if !strings.HasPrefix(h, "00-") {
+		t.Fatalf("traceparent should be version 00: %q", h)
+	}
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got != tc {
+		t.Fatalf("round trip mismatch: sent %+v, parsed %+v", tc, got)
+	}
+}
+
+func TestTraceparentKnownVector(t *testing.T) {
+	// The W3C spec's example header.
+	h := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent: %v", err)
+	}
+	if tc.Trace.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %s", tc.Trace)
+	}
+	if tc.Span.String() != "00f067aa0ba902b7" {
+		t.Fatalf("span id = %s", tc.Span)
+	}
+	if tc.Flags != 0x01 {
+		t.Fatalf("flags = %#x, want 0x01", tc.Flags)
+	}
+	if tc.Traceparent() != h {
+		t.Fatalf("re-rendered %q, want %q", tc.Traceparent(), h)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	bad := []struct {
+		name string
+		h    string
+	}{
+		{"empty", ""},
+		{"short", "00-4bf92f35"},
+		{"uppercase hex", strings.ToUpper(valid)},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01"},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz"},
+		{"wrong delimiters", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01"},
+		{"version 00 with trailing data", valid + "-extra"},
+		{"future version with non-dash trailer", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x"},
+	}
+	for _, tt := range bad {
+		if _, err := ParseTraceparent(tt.h); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted a malformed header", tt.name, tt.h)
+		}
+	}
+	// Future versions with extra dash-separated fields must parse (the spec
+	// requires forward compatibility).
+	future := "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extrafield"
+	if _, err := ParseTraceparent(future); err != nil {
+		t.Errorf("future-version header rejected: %v", err)
+	}
+}
+
+// FuzzParseTraceparent asserts the parser never panics and that everything
+// it accepts renders back to a header it accepts again (idempotence of the
+// accept set), regardless of input shape.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what")
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, err := ParseTraceparent(h)
+		if err != nil {
+			return
+		}
+		if tc.Trace.IsZero() || tc.Span.IsZero() {
+			t.Fatalf("accepted %q with a zero id", h)
+		}
+		again, err := ParseTraceparent(tc.Traceparent())
+		if err != nil {
+			t.Fatalf("re-parse of accepted %q failed: %v", h, err)
+		}
+		if again.Trace != tc.Trace || again.Span != tc.Span || again.Flags != tc.Flags {
+			t.Fatalf("re-parse of %q changed the context", h)
+		}
+	})
+}
+
+func TestChildKeepsTraceChangesSpan(t *testing.T) {
+	tc := NewTraceContext()
+	child := tc.Child()
+	if child.Trace != tc.Trace {
+		t.Fatal("Child changed the trace id")
+	}
+	if child.Span == tc.Span {
+		t.Fatal("Child kept the parent span id")
+	}
+	if child.Span.IsZero() {
+		t.Fatal("Child minted a zero span id")
+	}
+}
+
+func TestContextCarriers(t *testing.T) {
+	// Nil and empty contexts are safe and carry nothing.
+	if sc := ScopeFromContext(nil); sc != nil {
+		t.Fatal("nil ctx produced a scope")
+	}
+	if tc := TraceFromContext(nil); !tc.IsZero() {
+		t.Fatal("nil ctx produced a trace")
+	}
+
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(nil, tc)
+	if got := TraceFromContext(ctx); got != tc {
+		t.Fatalf("bare trace tag: got %+v, want %+v", got, tc)
+	}
+	if ScopeFromContext(ctx) != nil {
+		t.Fatal("bare trace tag must not produce a scope")
+	}
+
+	sc := NewScope(tc)
+	ctx = ContextWithScope(nil, sc)
+	if ScopeFromContext(ctx) != sc {
+		t.Fatal("scope did not round-trip through the context")
+	}
+	if got := TraceFromContext(ctx); got != tc {
+		t.Fatalf("scope-carried trace: got %+v, want %+v", got, tc)
+	}
+}
+
+// TestScopedSpansKeepPerRequestParentage is the tentpole property: two
+// scopes interleaving span starts on one Observer keep their own parent
+// chains and collect only their own records, while the Observer ring still
+// receives everything (the global phase totals stay whole).
+func TestScopedSpansKeepPerRequestParentage(t *testing.T) {
+	o := New(64)
+	withObserver(t, o)
+
+	scA := NewScope(NewTraceContext())
+	scB := NewScope(NewTraceContext())
+	ctxA := ContextWithScope(nil, scA)
+	ctxB := ContextWithScope(nil, scB)
+
+	rootA := StartPhaseCtx(ctxA, "request/a")
+	rootB := StartPhaseCtx(ctxB, "request/b")
+	childA := StartPhaseCtx(ctxA, "phase/a")
+	childB := StartPhaseCtx(ctxB, "phase/b")
+	if scA.OpenSpanName() != "phase/a" || scB.OpenSpanName() != "phase/b" {
+		t.Fatalf("open spans = %q / %q", scA.OpenSpanName(), scB.OpenSpanName())
+	}
+	childB.End()
+	childA.End()
+	rootB.End()
+	rootA.End()
+	if scA.OpenSpanName() != "" || scB.OpenSpanName() != "" {
+		t.Fatal("scopes left spans open")
+	}
+
+	for name, sc := range map[string]*TraceScope{"a": scA, "b": scB} {
+		spans := sc.Spans()
+		if len(spans) != 2 {
+			t.Fatalf("scope %s collected %d spans, want 2", name, len(spans))
+		}
+		// Completion order: the child ends first.
+		child, root := spans[0], spans[1]
+		if child.Name != "phase/"+name || root.Name != "request/"+name {
+			t.Fatalf("scope %s spans = %q, %q", name, child.Name, root.Name)
+		}
+		if child.Parent != root.ID {
+			t.Fatalf("scope %s child parented to %d, want root %d (cross-request leakage)", name, child.Parent, root.ID)
+		}
+		want := sc.TraceContext().Trace
+		for _, rec := range spans {
+			if rec.Trace != want {
+				t.Fatalf("scope %s span %q tagged with trace %s, want %s", name, rec.Name, rec.Trace, want)
+			}
+		}
+	}
+
+	// The Observer ring still saw all four spans.
+	if got := len(o.Records()); got != 4 {
+		t.Fatalf("observer ring has %d records, want 4", got)
+	}
+}
+
+func TestScopeSpanCapBoundsMemory(t *testing.T) {
+	withObserver(t, New(2*scopeSpanCap))
+	sc := NewScope(NewTraceContext())
+	ctx := ContextWithScope(nil, sc)
+	for i := 0; i < scopeSpanCap+10; i++ {
+		StartPhaseCtx(ctx, "phase/spin").End()
+	}
+	if got := len(sc.Spans()); got != scopeSpanCap {
+		t.Fatalf("scope retained %d spans, want cap %d", got, scopeSpanCap)
+	}
+	if got := sc.SpansDropped(); got != 10 {
+		t.Fatalf("dropped = %d, want 10", got)
+	}
+}
+
+func TestNilScopeMethodsAreSafe(t *testing.T) {
+	var sc *TraceScope
+	sc.NoteAttempt()
+	sc.SetQueueWait(1)
+	if sc.Attempts() != 0 || sc.QueueWait() != 0 || sc.OpenSpanName() != "" || sc.Spans() != nil || sc.SpansDropped() != 0 {
+		t.Fatal("nil scope leaked state")
+	}
+	if !sc.TraceContext().IsZero() {
+		t.Fatal("nil scope has a trace")
+	}
+}
+
+// BenchmarkSpanCtxDisabled guards the disabled fast path of the ctx-aware
+// entry point: with no active Observer it must stay one atomic load and
+// zero allocations, like BenchmarkSpanDisabled.
+func BenchmarkSpanCtxDisabled(b *testing.B) {
+	SetActive(nil)
+	ctx := ContextWithScope(nil, NewScope(NewTraceContext()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartPhaseCtx(ctx, PhaseKrylov)
+		sp.AddFieldOps(10, 1)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanCtxScoped prices the enabled scoped path (span machinery +
+// scope collection).
+func BenchmarkSpanCtxScoped(b *testing.B) {
+	o := New(1 << 10)
+	SetActive(o)
+	defer SetActive(nil)
+	ctx := ContextWithScope(nil, NewScope(NewTraceContext()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartPhaseCtx(ctx, PhaseKrylov)
+		sp.AddFieldOps(10, 1)
+		sp.End()
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newTestStore(cfg TraceStoreConfig) *TraceStore { return NewTraceStore(cfg) }
+
+func TestTraceStoreRetentionRules(t *testing.T) {
+	ts := newTestStore(TraceStoreConfig{Capacity: 16, SlowThreshold: 100 * time.Millisecond, SampleEvery: 1 << 30})
+	cases := []struct {
+		name string
+		rt   RequestTrace
+		kept string
+	}{
+		{"slow", RequestTrace{TraceID: "slow", Wall: 150 * time.Millisecond, Status: 200}, KeptSlow},
+		{"errored 429", RequestTrace{TraceID: "e429", Status: 429}, KeptError},
+		{"errored 503", RequestTrace{TraceID: "e503", Status: 503}, KeptError},
+		{"errored 422", RequestTrace{TraceID: "e422", Status: 422}, KeptError},
+		{"unlucky", RequestTrace{TraceID: "retry", Status: 200, Attempts: 2}, KeptUnlucky},
+	}
+	for _, tt := range cases {
+		if !ts.Record(tt.rt) {
+			t.Fatalf("%s: must always be retained", tt.name)
+		}
+		got, ok := ts.Get(tt.rt.TraceID)
+		if !ok {
+			t.Fatalf("%s: not found after Record", tt.name)
+		}
+		if got.Kept != tt.kept {
+			t.Fatalf("%s: kept = %q, want %q", tt.name, got.Kept, tt.kept)
+		}
+	}
+	// Error classification beats slow: a slow 503 is retained as an error.
+	ts.Record(RequestTrace{TraceID: "slow503", Status: 503, Wall: time.Second})
+	if got, _ := ts.Get("slow503"); got.Kept != KeptError {
+		t.Fatalf("slow 503 kept = %q, want %q", got.Kept, KeptError)
+	}
+}
+
+func TestTraceStoreDeterministicSampling(t *testing.T) {
+	ts := newTestStore(TraceStoreConfig{Capacity: 64, SlowThreshold: time.Hour, SampleEvery: 4})
+	kept := 0
+	for i := 0; i < 16; i++ {
+		if ts.Record(RequestTrace{TraceID: fmt.Sprintf("boring-%d", i), Status: 200, Attempts: 1}) {
+			kept++
+		}
+	}
+	if kept != 4 {
+		t.Fatalf("kept %d of 16 boring requests with SampleEvery=4, want 4", kept)
+	}
+	// SampleEvery=1 keeps everything.
+	all := newTestStore(TraceStoreConfig{Capacity: 64, SlowThreshold: time.Hour, SampleEvery: 1})
+	for i := 0; i < 8; i++ {
+		if !all.Record(RequestTrace{TraceID: fmt.Sprintf("b-%d", i), Status: 200}) {
+			t.Fatal("SampleEvery=1 must keep every request")
+		}
+	}
+	sampled := all.Traces()
+	for _, rt := range sampled {
+		if rt.Kept != KeptSampled {
+			t.Fatalf("boring request kept as %q, want %q", rt.Kept, KeptSampled)
+		}
+	}
+}
+
+func TestTraceStoreRingEvictsOldestFirst(t *testing.T) {
+	ts := newTestStore(TraceStoreConfig{Capacity: 4, SlowThreshold: time.Hour, SampleEvery: 1})
+	for i := 0; i < 7; i++ {
+		ts.Record(RequestTrace{TraceID: fmt.Sprintf("t%d", i), Status: 200})
+	}
+	if ts.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", ts.Len())
+	}
+	got := ts.Traces()
+	want := []string{"t6", "t5", "t4", "t3"} // newest first; t0–t2 evicted
+	if len(got) != len(want) {
+		t.Fatalf("Traces returned %d entries, want %d", len(got), len(want))
+	}
+	for i, rt := range got {
+		if rt.TraceID != want[i] {
+			t.Fatalf("Traces()[%d] = %s, want %s", i, rt.TraceID, want[i])
+		}
+	}
+	if _, ok := ts.Get("t0"); ok {
+		t.Fatal("t0 should have been evicted")
+	}
+	// Retention reason does not protect against ring eviction: an errored
+	// trace ages out like any other once the ring wraps past it.
+	ts.Record(RequestTrace{TraceID: "err", Status: 500})
+	for i := 0; i < 4; i++ {
+		ts.Record(RequestTrace{TraceID: fmt.Sprintf("later%d", i), Status: 200})
+	}
+	if _, ok := ts.Get("err"); ok {
+		t.Fatal("errored trace must still age out of a full ring")
+	}
+}
+
+func TestTraceStoreConfigDefaults(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{})
+	cfg := ts.Config()
+	if cfg.Capacity != 256 || cfg.SlowThreshold != 250*time.Millisecond || cfg.SampleEvery != 16 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestActiveTraceStoreGlobal(t *testing.T) {
+	prev := ActiveTraceStore()
+	t.Cleanup(func() { SetTraceStore(prev) })
+	SetTraceStore(nil)
+	if ActiveTraceStore() != nil {
+		t.Fatal("nil store should disable")
+	}
+	ts := NewTraceStore(TraceStoreConfig{})
+	SetTraceStore(ts)
+	if ActiveTraceStore() != ts {
+		t.Fatal("installed store not returned")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client is a minimal typed client for the kpd /v1 endpoints, shared by
@@ -21,14 +23,21 @@ type Client struct {
 }
 
 // APIError is a non-2xx response from the server, carrying the HTTP status
-// (429 = backpressure, 422 = singular input, 504 = deadline, …) and the
-// server's error text.
+// (429 = backpressure, 422 = singular input, 504 = deadline, …), the
+// server's error text, and the request's trace id — quote it when reading
+// the server's /debug/traces or log.
 type APIError struct {
-	Status int
-	Msg    string
+	Status  int
+	Msg     string
+	TraceID string
 }
 
-func (e *APIError) Error() string { return fmt.Sprintf("kpd: %d: %s", e.Status, e.Msg) }
+func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("kpd: %d: %s (trace %s)", e.Status, e.Msg, e.TraceID)
+	}
+	return fmt.Sprintf("kpd: %d: %s", e.Status, e.Msg)
+}
 
 // Solve posts req to /v1/solve.
 func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
@@ -55,6 +64,14 @@ func (c *Client) post(ctx context.Context, path string, req SolveRequest) (*Solv
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate the request's trace identity: reuse a trace already on ctx
+	// (a traced caller), else mint a fresh one per request, so every kpd
+	// request is cross-linkable even from untraced tools.
+	tc := obs.TraceFromContext(ctx)
+	if tc.IsZero() {
+		tc = obs.NewTraceContext()
+	}
+	hreq.Header.Set("traceparent", tc.Traceparent())
 	hc := c.HTTP
 	if hc == nil {
 		hc = &http.Client{Timeout: 2 * time.Minute}
@@ -71,9 +88,9 @@ func (c *Client) post(ctx context.Context, path string, req SolveRequest) (*Solv
 	if hresp.StatusCode != http.StatusOK {
 		var apiErr errorResponse
 		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-			return nil, &APIError{Status: hresp.StatusCode, Msg: apiErr.Error}
+			return nil, &APIError{Status: hresp.StatusCode, Msg: apiErr.Error, TraceID: apiErr.TraceID}
 		}
-		return nil, &APIError{Status: hresp.StatusCode, Msg: string(raw)}
+		return nil, &APIError{Status: hresp.StatusCode, Msg: string(raw), TraceID: tc.Trace.String()}
 	}
 	var resp SolveResponse
 	if err := json.Unmarshal(raw, &resp); err != nil {

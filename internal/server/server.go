@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,33 +194,100 @@ type SolveResponse struct {
 	Cache string `json:"cache"`
 	// ElapsedMS is the server-side wall time of the request.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// TraceID identifies the request in /debug/traces and the server log.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
-// errorResponse is the JSON body of every non-2xx response.
+// errorResponse is the JSON body of every non-2xx response. TraceID lets a
+// failing client quote the exact request when reading /debug/traces or the
+// server log.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
-// handle runs the common request pipeline: decode, validate, admission,
-// deadline, digest/cache, route-specific math, respond.
+// handle runs the common request pipeline: trace identity, decode,
+// validate, admission, deadline, digest/cache, route-specific math,
+// respond, tail-sample.
 func (s *Server) handle(w http.ResponseWriter, r *http.Request, route string, lat *obs.Histogram) {
 	start := time.Now()
 	reqTotal.Inc()
-	status, resp, err := s.serve(r, route)
-	lat.Observe(time.Since(start).Nanoseconds())
+
+	// Request identity: continue the caller's trace when a valid W3C
+	// traceparent came in (our root span becomes a child of the caller's
+	// span), else mint a fresh trace. A malformed header must never fail
+	// the request — it only loses the caller's linkage.
+	var parentSpan obs.SpanID
+	tc := obs.NewTraceContext()
+	if parent, perr := obs.ParseTraceparent(r.Header.Get("traceparent")); perr == nil {
+		parentSpan = parent.Span
+		tc = parent.Child()
+	}
+	scope := obs.NewScope(tc)
+	ctx := obs.ContextWithScope(r.Context(), scope)
+	w.Header().Set("traceparent", tc.Traceparent())
+
+	// pprof labels: a CPU or goroutine profile taken while this request
+	// runs attributes its samples to the trace id and route.
+	var (
+		status int
+		resp   *SolveResponse
+		err    error
+	)
+	pprof.Do(ctx, pprof.Labels("trace_id", tc.Trace.String(), "route", route), func(ctx context.Context) {
+		sp := obs.StartPhaseCtx(ctx, "request/"+route)
+		status, resp, err = s.serve(r.WithContext(ctx), route)
+		sp.End()
+	})
+	wall := time.Since(start)
+	lat.Observe(wall.Nanoseconds())
+
 	if err != nil {
 		if status == http.StatusTooManyRequests {
 			reqRejected.Inc()
 		} else {
 			reqErrors.Inc()
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
-		s.logRequest(route, resp, status, start, err)
+		writeJSON(w, status, errorResponse{Error: err.Error(), TraceID: tc.Trace.String()})
+	} else {
+		status = http.StatusOK
+		resp.TraceID = tc.Trace.String()
+		resp.ElapsedMS = float64(wall.Microseconds()) / 1000
+		writeJSON(w, http.StatusOK, resp)
+	}
+	s.logRequest(route, resp, status, start, tc, err)
+	s.recordTrace(route, resp, status, start, wall, tc, parentSpan, scope, err)
+}
+
+// recordTrace submits the finished request to the tail-sampling trace
+// store, when one is installed; the store decides retention (slow, errored,
+// unlucky, or background sample).
+func (s *Server) recordTrace(route string, resp *SolveResponse, status int, start time.Time, wall time.Duration, tc obs.TraceContext, parentSpan obs.SpanID, scope *obs.TraceScope, err error) {
+	ts := obs.ActiveTraceStore()
+	if ts == nil {
 		return
 	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
-	s.logRequest(route, resp, http.StatusOK, start, nil)
+	rt := obs.RequestTrace{
+		TraceID:      tc.Trace.String(),
+		SpanID:       tc.Span.String(),
+		ParentSpanID: parentSpan.String(),
+		Route:        route,
+		Status:       status,
+		Attempts:     scope.Attempts(),
+		Start:        start,
+		Wall:         wall,
+		QueueWait:    scope.QueueWait(),
+		Spans:        scope.Spans(),
+		SpansDropped: scope.SpansDropped(),
+	}
+	if resp != nil {
+		rt.N = resp.N
+		rt.Cache = resp.Cache
+	}
+	if err != nil {
+		rt.Error = err.Error()
+	}
+	ts.Record(rt)
 }
 
 // serve decodes and executes one request, returning the HTTP status and
@@ -270,7 +338,16 @@ func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, erro
 		if err != nil {
 			return nil, err
 		}
-		return solver.WithSource(s.splitSource()).FactorCtx(ctx, a)
+		// Nested pprof label: profile samples inside the expensive
+		// cache-miss factorization additionally carry phase=factor.
+		var (
+			fa   *core.Factored[uint64]
+			ferr error
+		)
+		pprof.Do(ctx, pprof.Labels("phase", "factor"), func(ctx context.Context) {
+			fa, ferr = solver.WithSource(s.splitSource()).FactorCtx(ctx, a)
+		})
+		return fa, ferr
 	})
 	if err != nil {
 		return errStatus(err), nil, err
@@ -281,7 +358,7 @@ func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, erro
 	case "factor":
 		return http.StatusOK, resp, nil
 	case "solve":
-		x, err := fa.Solve(req.B)
+		x, err := fa.SolveCtx(ctx, req.B)
 		if err != nil {
 			return errStatus(err), nil, err
 		}
@@ -294,7 +371,7 @@ func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, erro
 				bm.Set(i, j, v%f.Modulus())
 			}
 		}
-		x, err := fa.InverseApply(bm)
+		x, err := fa.InverseApplyCtx(ctx, bm)
 		if err != nil {
 			return errStatus(err), nil, err
 		}
@@ -362,15 +439,25 @@ func (s *Server) acquire(ctx context.Context) (func(), int, error) {
 				fmt.Errorf("server at capacity (%d executing, %d queued); retry later", s.cfg.MaxConcurrent, s.cfg.MaxQueue)
 		}
 		queueDepth.Set(s.queued.Load())
+		// The wait is a span on the request's trace (queue/wait) and an
+		// annotation on its scope, so the tail sampler can show where a
+		// slow request's time went before any math ran.
+		sp := obs.StartPhaseCtx(ctx, "queue/wait")
+		sc := obs.ScopeFromContext(ctx)
 		wait := time.Now()
 		select {
 		case s.sem <- struct{}{}:
 			s.queued.Add(-1)
 			queueDepth.Set(s.queued.Load())
-			queueWaitHist.Observe(time.Since(wait).Nanoseconds())
+			d := time.Since(wait)
+			queueWaitHist.Observe(d.Nanoseconds())
+			sc.SetQueueWait(d)
+			sp.End()
 		case <-ctx.Done():
 			s.queued.Add(-1)
 			queueDepth.Set(s.queued.Load())
+			sc.SetQueueWait(time.Since(wait))
+			sp.End()
 			return nil, http.StatusServiceUnavailable, fmt.Errorf("canceled while queued: %w", ctx.Err())
 		}
 	}
@@ -452,7 +539,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // logRequest emits the per-request slog record when logging is configured.
-func (s *Server) logRequest(route string, resp *SolveResponse, status int, start time.Time, err error) {
+// The trace attr cross-links the record to /debug/traces and to the per-
+// attempt kp records carrying the same id.
+func (s *Server) logRequest(route string, resp *SolveResponse, status int, start time.Time, tc obs.TraceContext, err error) {
 	if s.cfg.Logger == nil {
 		return
 	}
@@ -460,6 +549,7 @@ func (s *Server) logRequest(route string, resp *SolveResponse, status int, start
 		slog.String("route", route),
 		slog.Int("status", status),
 		slog.Duration("wall", time.Since(start)),
+		slog.String("trace", tc.Trace.String()),
 	}
 	if resp != nil {
 		attrs = append(attrs, slog.Int("n", resp.N), slog.String("cache", resp.Cache))

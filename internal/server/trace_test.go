@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// withTraceStore installs a fresh tail-sampling store that keeps every
+// request (SampleEvery 1), restoring the previous global on cleanup.
+func withTraceStore(t *testing.T) *obs.TraceStore {
+	t.Helper()
+	prev := obs.ActiveTraceStore()
+	store := obs.NewTraceStore(obs.TraceStoreConfig{Capacity: 64, SlowThreshold: time.Hour, SampleEvery: 1})
+	obs.SetTraceStore(store)
+	t.Cleanup(func() { obs.SetTraceStore(prev) })
+	return store
+}
+
+// TestTraceparentPropagation is the tentpole end-to-end check: a client
+// traceparent flows through the server, comes back on the response, and the
+// retained trace carries the request's span tree tagged with the same id.
+func TestTraceparentPropagation(t *testing.T) {
+	withObserver(t)
+	store := withTraceStore(t)
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, _, req := testSystem(t, 7, 16)
+	body, _ := json.Marshal(req)
+	const clientTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const clientSpan = "00f067aa0ba902b7"
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(body))
+	hreq.Header.Set("traceparent", "00-"+clientTrace+"-"+clientSpan+"-01")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(hresp.Body)
+		t.Fatalf("status %d: %s", hresp.StatusCode, raw)
+	}
+
+	// The response echoes the trace on the header and in the body.
+	echoed, err := obs.ParseTraceparent(hresp.Header.Get("traceparent"))
+	if err != nil {
+		t.Fatalf("response traceparent: %v", err)
+	}
+	if echoed.Trace.String() != clientTrace {
+		t.Fatalf("response trace = %s, want the client's %s", echoed.Trace, clientTrace)
+	}
+	if echoed.Span.String() == clientSpan {
+		t.Fatal("server reused the client's span id instead of minting a child")
+	}
+	var resp SolveResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != clientTrace {
+		t.Fatalf("body trace_id = %q, want %q", resp.TraceID, clientTrace)
+	}
+
+	// The retained trace: correct linkage, summary, and a span tree whose
+	// every span is tagged with the request's trace id.
+	rt, ok := store.Get(clientTrace)
+	if !ok {
+		t.Fatal("request not retained in the trace store")
+	}
+	if rt.ParentSpanID != clientSpan {
+		t.Fatalf("parent span = %q, want the client's %q", rt.ParentSpanID, clientSpan)
+	}
+	if rt.SpanID != echoed.Span.String() {
+		t.Fatalf("root span = %q, want the echoed %q", rt.SpanID, echoed.Span)
+	}
+	if rt.Route != "solve" || rt.Status != 200 || rt.Cache != "miss" || rt.N != 16 {
+		t.Fatalf("summary = route %q status %d cache %q n %d", rt.Route, rt.Status, rt.Cache, rt.N)
+	}
+	if rt.Attempts < 1 {
+		t.Fatalf("attempts = %d, want ≥ 1", rt.Attempts)
+	}
+	if len(rt.Spans) == 0 {
+		t.Fatal("trace retained no spans")
+	}
+	names := make(map[string]bool)
+	for _, sp := range rt.Spans {
+		names[sp.Name] = true
+		if sp.Trace.String() != clientTrace {
+			t.Fatalf("span %q tagged with trace %q, want %q", sp.Name, sp.Trace, clientTrace)
+		}
+	}
+	for _, want := range []string{"request/solve", obs.PhaseBatchKrylov, obs.PhaseBatchBacksolve} {
+		if !names[want] {
+			t.Fatalf("span tree misses %q (has %v)", want, names)
+		}
+	}
+}
+
+// TestMalformedTraceparentFallsBackToFreshTrace: a garbage header must not
+// fail the request — the server mints its own identity.
+func TestMalformedTraceparentFallsBackToFreshTrace(t *testing.T) {
+	withTraceStore(t)
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, _, req := testSystem(t, 8, 16)
+	body, _ := json.Marshal(req)
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(body))
+	hreq.Header.Set("traceparent", "garbage-in")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("malformed traceparent failed the request: %d", hresp.StatusCode)
+	}
+	var resp SolveResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.TraceID) != 32 {
+		t.Fatalf("fresh trace id = %q, want 32 hex digits", resp.TraceID)
+	}
+}
+
+// TestClientSendsTraceparentAndSurfacesErrors: the typed Client mints a
+// traceparent per request (honoring one already on ctx) and APIError quotes
+// the server's trace id.
+func TestClientSendsTraceparentAndSurfacesErrors(t *testing.T) {
+	store := withTraceStore(t)
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+
+	// A caller-provided trace rides ctx end to end.
+	tc := obs.NewTraceContext()
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+	_, _, req := testSystem(t, 9, 16)
+	resp, err := client.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != tc.Trace.String() {
+		t.Fatalf("server saw trace %q, client sent %q", resp.TraceID, tc.Trace)
+	}
+
+	// An invalid request: the APIError carries the trace id and the trace
+	// is retained as an error.
+	bad := SolveRequest{P: req.P, A: [][]uint64{}}
+	_, err = client.Solve(context.Background(), bad)
+	if err == nil {
+		t.Fatal("empty system should fail")
+	}
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error type %T, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", apiErr.Status)
+	}
+	if len(apiErr.TraceID) != 32 {
+		t.Fatalf("APIError trace id = %q, want 32 hex digits", apiErr.TraceID)
+	}
+	if !strings.Contains(apiErr.Error(), apiErr.TraceID) {
+		t.Fatalf("APIError.Error() %q does not quote the trace id", apiErr.Error())
+	}
+	rt, ok := store.Get(apiErr.TraceID)
+	if !ok {
+		t.Fatal("errored request not retained")
+	}
+	if rt.Kept != obs.KeptError || rt.Status != 400 || rt.Error == "" {
+		t.Fatalf("errored trace = kept %q status %d error %q", rt.Kept, rt.Status, rt.Error)
+	}
+}
+
+// TestDebugTracesEndpoint drives /debug/traces through the server mux: the
+// list document, the per-trace span tree, and the Chrome export.
+func TestDebugTracesEndpoint(t *testing.T) {
+	withObserver(t)
+	withTraceStore(t)
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+
+	_, _, req := testSystem(t, 10, 16)
+	resp, err := client.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		hresp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hresp.Body.Close()
+		raw, _ := io.ReadAll(hresp.Body)
+		if hresp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, hresp.StatusCode, raw)
+		}
+		return raw
+	}
+
+	var list struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Route   string `json:"route"`
+			Spans   int    `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(get("/debug/traces"), &list); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range list.Traces {
+		if tr.TraceID == resp.TraceID {
+			found = true
+			if tr.Route != "solve" || tr.Spans == 0 {
+				t.Fatalf("list entry = %+v", tr)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in /debug/traces list", resp.TraceID)
+	}
+
+	var full obs.RequestTrace
+	if err := json.Unmarshal(get("/debug/traces?id="+resp.TraceID), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.TraceID != resp.TraceID || len(full.Spans) == 0 {
+		t.Fatalf("full trace = id %q, %d spans", full.TraceID, len(full.Spans))
+	}
+
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get("/debug/traces?id="+resp.TraceID+"&format=chrome"), &chrome); err != nil {
+		t.Fatal(err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+
+	// Without a store, the endpoint 404s instead of serving stale data.
+	obs.SetTraceStore(nil)
+	hresp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled store served %d, want 404", hresp.StatusCode)
+	}
+}
+
+// TestQueueWaitSpanOnContention: a request that had to queue records the
+// wait on its retained trace.
+func TestQueueWaitSpanOnContention(t *testing.T) {
+	withObserver(t)
+	store := withTraceStore(t)
+	gate := make(chan struct{})
+	s := newTestServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.MaxQueue = 4
+	})
+	s.testHookInSlot = func() { <-gate }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+
+	_, _, req := testSystem(t, 11, 16)
+	done := make(chan error, 2)
+	var ids [2]obs.TraceContext
+	for i := range ids {
+		ids[i] = obs.NewTraceContext()
+		go func(tc obs.TraceContext) {
+			_, err := client.Solve(obs.ContextWithTrace(context.Background(), tc), req)
+			done <- err
+		}(ids[i])
+	}
+	// Both requests are in (one in the slot, one queued); release the gate
+	// after they have had time to collide.
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	for range ids {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waited := 0
+	for _, tc := range ids {
+		rt, ok := store.Get(tc.Trace.String())
+		if !ok {
+			t.Fatalf("trace %s not retained", tc.Trace)
+		}
+		if rt.QueueWait > 0 {
+			waited++
+			names := make(map[string]bool)
+			for _, sp := range rt.Spans {
+				names[sp.Name] = true
+			}
+			if !names["queue/wait"] {
+				t.Fatalf("queued request has QueueWait=%s but no queue/wait span (spans %v)", rt.QueueWait, names)
+			}
+		}
+	}
+	if waited == 0 {
+		t.Fatal("neither request recorded a queue wait despite MaxConcurrent=1 and a wedged slot")
+	}
+}
