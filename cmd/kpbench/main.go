@@ -12,6 +12,7 @@
 //	kpbench -md             # emit Markdown (for EXPERIMENTS.md)
 //	kpbench -json -n 64,128 # per-phase op counts/timings as JSON
 //	kpbench -rhs 8 -n 256   # batched multi-RHS rows (implies -json)
+//	kpbench -structured     # Toeplitz workload: dense vs implicit vs GS rows
 //	kpbench -pprof :6060    # serve net/http/pprof + /debug/vars
 package main
 
@@ -45,6 +46,8 @@ func main() {
 		jsonF    = flag.Bool("json", false, "run the per-phase solve benchmark and emit a BENCH JSON report instead of experiment tables")
 		nFlag    = flag.String("n", "64,128,256", "comma-separated system dimensions for -json")
 		rhs      = flag.Int("rhs", 1, "right-hand sides per system: >1 adds batched SolveBatch rows (with their independent-solves baseline) to the -json report, and implies -json")
+		structd  = flag.Bool("structured", false, "add the Toeplitz workload to the -json report (dense vs implicit vs Gohberg–Semencul rows at -structured-n), and implies -json")
+		structN  = flag.String("structured-n", "256,1024", "comma-separated Toeplitz dimensions for -structured")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
 		serve    = flag.String("serve", "", "serve telemetry (/metrics Prometheus text, /snapshot JSON, /healthz) on this address for live scraping while the benchmarks run, e.g. :9090")
 		workers  = flag.Int("workers", 0, "worker count for the shared matrix pool (0 = GOMAXPROCS)")
@@ -104,7 +107,7 @@ func main() {
 	if *rhs < 1 {
 		fatal(fmt.Errorf("-rhs wants a positive count, got %d", *rhs))
 	}
-	if *jsonF || *rhs > 1 {
+	if *jsonF || *rhs > 1 || *structd {
 		if *mul == "all" {
 			// The JSON trajectory tracks the serial baseline against the
 			// pooled kernels; blocked/strassen ride in via -mul.
@@ -117,6 +120,17 @@ func main() {
 		report, err := exp.BenchJSON(ns, muls, *seed, *rhs)
 		if err != nil {
 			fatal(err)
+		}
+		if *structd {
+			sns, err := parseDims(*structN)
+			if err != nil {
+				fatal(err)
+			}
+			runs, err := exp.BenchStructured(sns, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			report.Runs = append(report.Runs, runs...)
 		}
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fatal(err)

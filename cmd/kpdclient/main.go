@@ -36,6 +36,7 @@ func main() {
 		seed     = flag.Uint64("seed", uint64(time.Now().UnixNano()), "matrix generation seed (fix it to re-request the same matrix)")
 		repeat   = flag.Int("repeat", 1, "send the same system this many times (2nd+ should be cache hits)")
 		deadline = flag.Duration("deadline", 10*time.Second, "per-request deadline")
+		precond  = flag.String("precond", "", "preconditioner route: dense | implicit (empty = server default; cache entries are per-mode)")
 	)
 	flag.Parse()
 	if *repeat < 1 || *n < 1 || *rhs < 1 {
@@ -54,6 +55,7 @@ func main() {
 		P:          *p,
 		A:          denseRows(a),
 		DeadlineMS: deadline.Milliseconds(),
+		Precond:    *precond,
 	}
 	var bs *matrix.Dense[uint64]
 	switch *op {

@@ -8,6 +8,8 @@
 //	kpsolve -op solve -in system.txt  # read a system from a file
 //	kpsolve -n 64 -rhs 8              # batched solve of 8 right-hand sides
 //	kpsolve -n 256 -mul parallel      # pooled multicore multiplication
+//	kpsolve -n 256 -precond implicit  # black-box Ã = A·H·D (no dense matmul)
+//	kpsolve -n 256 -op gs             # Theorem 3 Toeplitz Gohberg–Semencul solve
 //	kpsolve -n 128 -trace out.json    # per-phase Chrome trace_event timeline
 //	kpsolve -n 512 -pprof :6060       # live pprof + /debug/vars metrics
 //	kpsolve -n 256 -serve :9090       # Prometheus /metrics + JSON /snapshot
@@ -61,7 +63,8 @@ func main() {
 	var (
 		n      = flag.Int("n", 16, "dimension for randomly generated instances")
 		p      = flag.Uint64("p", ff.P62, "prime field modulus (for -in files it must match the file)")
-		op     = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed")
+		op     = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed | gs (Theorem 3 Toeplitz fast path)")
+		prec   = flag.String("precond", "dense", "preconditioner route for the Theorem 4 pipeline: dense (materialize Ã = A·H·D) | implicit (black-box composition, no dense matmul)")
 		in     = flag.String("in", "", "read the system from a file instead of generating it")
 		rhs    = flag.Int("rhs", 1, "right-hand sides for randomly generated op=solve instances; >1 solves them as one batch")
 		mul    = flag.String("mul", "classical", "matrix multiplier: "+strings.Join(matrix.Names(), "|"))
@@ -156,11 +159,12 @@ func main() {
 		}
 	}
 	s, err := core.NewSolver[uint64](f, core.Options{
-		Seed:       *seed,
-		Multiplier: names[0],
-		Observer:   observer,
-		Instrument: observer != nil,
-		Logger:     logger,
+		Seed:        *seed,
+		Multiplier:  names[0],
+		PrecondMode: *prec,
+		Observer:    observer,
+		Instrument:  observer != nil,
+		Logger:      logger,
 	})
 	if err != nil {
 		usage(err)
@@ -174,6 +178,13 @@ func main() {
 	}
 	if bs.Cols > 1 && *op != "solve" {
 		usage(fmt.Errorf("op %q takes a single right-hand side (got %d); only op=solve is batched", *op, bs.Cols))
+	}
+	if *op == "gs" && *in == "" {
+		// The fast path wants a Toeplitz system; regenerate A from 2n−1
+		// entries (the dense draw above kept the randomness deterministic
+		// but is not Toeplitz).
+		a = matrix.ToeplitzDense[uint64](f, ff.SampleVec[uint64](f, src, 2**n-1, f.Modulus()))
+		fmt.Printf("regenerated A as a random %d×%d Toeplitz matrix\n", *n, *n)
 	}
 	b := bs.Col(0)
 
@@ -225,6 +236,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("rank(A) = %d\n", r)
+	case "gs":
+		entries, err := toeplitzEntries(a)
+		if err != nil {
+			usage(err)
+		}
+		x, err := s.SolveToeplitzGS(entries, b)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("x = %s\n", ff.VecString[uint64](f, x))
+		fmt.Printf("verified T·x = b (Theorem 3 Gohberg–Semencul): %v\n",
+			ff.VecEqual[uint64](f, a.MulVec(f, x), b))
 	case "transposed":
 		x, err := s.TransposedSolveCtx(ctx, a, b)
 		if err != nil {
@@ -286,6 +309,30 @@ func writeTrace(o *obs.Observer, stats *matrix.MulStats, path string) error {
 		fmt.Printf("  WARNING: span field-ops %d != instrumented field-ops %d\n", spanOps, snap.FieldOps)
 	}
 	return nil
+}
+
+// toeplitzEntries checks that a is Toeplitz and returns its 2n−1 defining
+// entries in the D[n−1+i−j] layout (D[0] = top-right corner). op=gs on a
+// file system refuses non-Toeplitz input instead of silently solving a
+// different matrix.
+func toeplitzEntries(a *matrix.Dense[uint64]) ([]uint64, error) {
+	n := a.Rows
+	for i := 1; i < n; i++ {
+		for j := 1; j < n; j++ {
+			if a.At(i, j) != a.At(i-1, j-1) {
+				return nil, fmt.Errorf("op=gs needs a Toeplitz matrix, but A[%d][%d] != A[%d][%d]", i, j, i-1, j-1)
+			}
+		}
+	}
+	d := make([]uint64, 2*n-1)
+	for k := range d {
+		if k <= n-1 {
+			d[k] = a.At(0, n-1-k)
+		} else {
+			d[k] = a.At(k-(n-1), 0)
+		}
+	}
+	return d, nil
 }
 
 // readSystem parses "n p" followed by n×n matrix entries and one or more

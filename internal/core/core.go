@@ -79,6 +79,14 @@ type Options struct {
 	// (obs.BoundsReport) and the flight recorder, which need no
 	// configuration.
 	Logger *slog.Logger
+	// PrecondMode selects how Solve/SolveBatch/Factor realize the Theorem 4
+	// preconditioner Ã = A·H·D: "dense" (default, materialized with one
+	// O(n^ω) product) or "implicit" (A, H, D composed as black boxes; the
+	// Hankel factor applies through its cached NTT transform and the
+	// precondition phase performs zero dense matrix products). Results are
+	// identical either way; only the cost profile changes. Unknown names are
+	// a NewSolver error.
+	PrecondMode string
 }
 
 // Solver bundles a field, a random stream and the algorithm configuration.
@@ -92,6 +100,7 @@ type Solver[E any] struct {
 	stats   *matrix.MulStats
 	obs     *obs.Observer
 	logger  *slog.Logger
+	precond kp.PrecondMode
 }
 
 // NewSolver returns a Solver over the given field, or an error for an
@@ -124,6 +133,10 @@ func NewSolver[E any](f ff.Field[E], opts Options) (*Solver[E], error) {
 	if subset == 0 {
 		subset = kp.DefaultSubset(f)
 	}
+	precond, err := kp.ParsePrecondMode(opts.PrecondMode)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	s := &Solver[E]{
 		f:       f,
 		src:     ff.NewSource(seed),
@@ -133,6 +146,7 @@ func NewSolver[E any](f ff.Field[E], opts Options) (*Solver[E], error) {
 		wmul:    wmul,
 		obs:     opts.Observer,
 		logger:  opts.Logger,
+		precond: precond,
 	}
 	if opts.Instrument {
 		im := matrix.NewInstrumented(mul)
@@ -158,8 +172,11 @@ func MustNewSolver[E any](f ff.Field[E], opts Options) *Solver[E] {
 // params returns the solver's configuration as a kp.Params carrying the
 // given context.
 func (s *Solver[E]) params(ctx context.Context) kp.Params {
-	return kp.Params{Src: s.src, Subset: s.subset, Retries: s.retries, Ctx: ctx, Logger: s.logger}
+	return kp.Params{Src: s.src, Subset: s.subset, Retries: s.retries, Ctx: ctx, Logger: s.logger, Precond: s.precond}
 }
+
+// PrecondMode returns the preconditioner realization this solver uses.
+func (s *Solver[E]) PrecondMode() kp.PrecondMode { return s.precond }
 
 // WithSource returns a copy of the solver drawing all randomness from src
 // instead of the solver's own stream. A Solver's embedded source is a
@@ -357,6 +374,31 @@ func (s *Solver[E]) SolveToeplitz(entries []E, b []E) ([]E, error) {
 		return nil, err
 	}
 	return structured.Solve(s.f, t, b)
+}
+
+// FactorToeplitz runs the Theorem 3 pipeline once (Newton iteration on the
+// Gohberg–Semencul implicit inverse → characteristic polynomial → first and
+// last columns of T⁻¹) and returns the reusable fast-path handle: each
+// subsequent SolveVec costs four triangular-Toeplitz products. Requires
+// characteristic 0 or > n; singular T is matrix.ErrSingular.
+func (s *Solver[E]) FactorToeplitz(entries []E) (*structured.GSSolver[E], error) {
+	t := structured.NewToeplitz(entries)
+	if err := s.checkChar(t.N); err != nil {
+		return nil, err
+	}
+	return structured.NewGSSolver(s.f, t)
+}
+
+// SolveToeplitzGS solves the non-singular Toeplitz system T·x = b through
+// the Gohberg–Semencul backend (FactorToeplitz + one SolveVec) — the
+// Theorem 3 alternative to the Cayley–Hamilton route of SolveToeplitz,
+// cross-checked against Wiedemann in the differential suite.
+func (s *Solver[E]) SolveToeplitzGS(entries []E, b []E) ([]E, error) {
+	gs, err := s.FactorToeplitz(entries)
+	if err != nil {
+		return nil, err
+	}
+	return gs.SolveVec(s.f, b), nil
 }
 
 // GCD returns the monic gcd of two polynomials through Sylvester-matrix

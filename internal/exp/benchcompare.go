@@ -27,19 +27,28 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 }
 
 // CompareBaseline checks cur against base cell by cell and returns one
-// message per regression: a (n, multiplier, rhs) run whose wall_ns exceeds
-// the baseline's by more than the fractional tolerance (0.10 = 10% slower).
-// Rhs 0 (legacy reports) and 1 are the same cell, so old baselines keep
-// gating single-solve rows; batch rows only gate against baselines that
-// carry them. Cells present in only one report are ignored — the gate
-// guards shared coverage, it does not force identical grids across PRs.
+// message per regression: a (n, multiplier, rhs, precond, workload) run
+// whose wall_ns exceeds the baseline's by more than the fractional
+// tolerance (0.10 = 10% slower). Rhs 0 (legacy reports) and 1 are the same
+// cell, and legacy rows without a precond label are "dense", so old
+// baselines keep gating single-solve dense rows; implicit, GS and
+// structured-workload rows only gate against baselines that carry them.
+// Cells present in only one report are ignored — the gate guards shared
+// coverage, it does not force identical grids across PRs.
 func CompareBaseline(cur, base *BenchReport, tol float64) []string {
 	key := func(r BenchRun) string {
 		rhs := r.Rhs
 		if rhs == 0 {
 			rhs = 1
 		}
-		return fmt.Sprintf("%d/%s/%d", r.Dim, r.Multiplier, rhs)
+		k := fmt.Sprintf("%d/%s/%d", r.Dim, r.Multiplier, rhs)
+		if r.Precond != "" && r.Precond != "dense" {
+			k += "/" + r.Precond
+		}
+		if r.Workload != "" {
+			k += "@" + r.Workload
+		}
+		return k
 	}
 	baseCells := make(map[string]int64, len(base.Runs))
 	for _, r := range base.Runs {
@@ -56,6 +65,12 @@ func CompareBaseline(cur, base *BenchReport, tol float64) []string {
 			cell := fmt.Sprintf("n=%d %s", r.Dim, r.Multiplier)
 			if r.Rhs > 1 {
 				cell = fmt.Sprintf("%s rhs=%d", cell, r.Rhs)
+			}
+			if r.Precond != "" && r.Precond != "dense" {
+				cell = fmt.Sprintf("%s precond=%s", cell, r.Precond)
+			}
+			if r.Workload != "" {
+				cell = fmt.Sprintf("%s workload=%s", cell, r.Workload)
 			}
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: wall %.2fms vs baseline %.2fms (+%.0f%%, tolerance %.0f%%)",

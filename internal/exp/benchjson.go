@@ -11,6 +11,7 @@ import (
 	"repro/internal/ff"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/structured"
 )
 
 // kpbench -json: the machine-readable benchmark that seeds the BENCH_*.json
@@ -32,6 +33,11 @@ type BenchPhase struct {
 	FieldOps uint64 `json:"field_ops"`
 	MulCalls uint64 `json:"mul_calls"`
 	Spans    int    `json:"spans"`
+	// ApplyNs / ApplyCalls are the black-box apply time and count inside
+	// the phase — the implicit route's analogue of mul_calls (dense
+	// products never happen there, structured applies do).
+	ApplyNs    int64  `json:"apply_ns,omitempty"`
+	ApplyCalls uint64 `json:"apply_calls,omitempty"`
 }
 
 // BenchRun is one (n, multiplier, rhs) measurement.
@@ -40,9 +46,22 @@ type BenchRun struct {
 	Multiplier string `json:"multiplier"`
 	// Rhs is the number of right-hand sides; 0 (legacy reports) and 1 both
 	// mean a single traced Solve. Rows with Rhs > 1 measure SolveBatch.
-	Rhs    int                   `json:"rhs,omitempty"`
-	WallNs int64                 `json:"wall_ns"`
-	Phases map[string]BenchPhase `json:"phases"`
+	Rhs int `json:"rhs,omitempty"`
+	// Precond is the preconditioner route: "dense" (materialized Ã, also
+	// the meaning of "" in legacy reports), "implicit" (black-box Ã), or
+	// "gs" (the Theorem 3 Gohberg–Semencul fast path, Toeplitz rows only).
+	Precond string `json:"precond,omitempty"`
+	// Workload is "" for a dense random system, "toeplitz" for the
+	// structured workload (A is a random non-singular Toeplitz matrix).
+	Workload string                `json:"workload,omitempty"`
+	WallNs   int64                 `json:"wall_ns"`
+	Phases   map[string]BenchPhase `json:"phases"`
+	// PrecondNs is the wall time of the precondition phase alone — the
+	// head-to-head cell for dense formation of A·H·D vs implicit wiring.
+	PrecondNs int64 `json:"precond_ns,omitempty"`
+	// ApplyNs / ApplyCalls total the black-box apply work across phases.
+	ApplyNs    int64  `json:"apply_ns,omitempty"`
+	ApplyCalls uint64 `json:"apply_calls,omitempty"`
 	// FieldOpsTotal is the matrix.Instrumented total for the run; the sum
 	// of the per-phase field_ops must match it (each op is attributed to
 	// exactly one span).
@@ -165,9 +184,96 @@ func BenchJSON(ns []int, muls []string, seed uint64, rhs int) (*BenchReport, err
 			}
 			report.Runs = append(report.Runs, *batch)
 		}
+
+		// One implicit-preconditioner row per n: the same solve with Ã left
+		// as a black-box composition. The multiplier label is nominal — the
+		// implicit route performs no dense matrix-matrix products, which is
+		// exactly what its precond_ns and mul-call columns demonstrate.
+		impOpts := core.Options{Seed: seed, Multiplier: "classical", Instrument: true, PrecondMode: "implicit"}
+		imp, err := benchOne(f, impOpts, a, n, "classical", prev, func(s *core.Solver[uint64]) (func() bool, error) {
+			x, err := s.Solve(a, b)
+			if err != nil {
+				return nil, err
+			}
+			return func() bool { return ff.VecEqual[uint64](f, a.MulVec(f, x), b) }, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench n=%d implicit: %w", n, err)
+		}
+		report.Runs = append(report.Runs, *imp)
 	}
 	report.Metrics = obs.MetricsSnapshot()
 	return report, nil
+}
+
+// BenchStructured runs the Toeplitz workload: for each n, a random
+// non-singular Toeplitz system solved three ways — the Theorem 4 dense
+// route on the materialized matrix, the same pipeline with the implicit
+// preconditioner, and the Theorem 3 Gohberg–Semencul fast path that never
+// materializes anything dense. The GS row has no phase table (the
+// structured backend is not span-instrumented); its wall_ns against the
+// dense row's is the headline structured speedup.
+func BenchStructured(ns []int, seed uint64) ([]BenchRun, error) {
+	f := fpCirc
+	prev := obs.Active()
+	defer obs.SetActive(prev)
+	var runs []BenchRun
+	for _, n := range ns {
+		src := ff.NewSource(seed + 7*uint64(n))
+		var entries []uint64
+		var tm structured.Toeplitz[uint64]
+		var a *matrix.Dense[uint64]
+		// Redraw until the Toeplitz matrix is usable by all three backends
+		// (GS needs a non-singular T with charpoly constant term ≠ 0; a
+		// random draw fails with probability ≈ n/p ≈ 0).
+		for {
+			tm = structured.RandomToeplitz[uint64](f, src, n, f.Modulus())
+			entries = tm.D
+			a = tm.Dense(f)
+			if _, err := structured.NewGSSolver(f, tm); err == nil {
+				break
+			}
+		}
+		b := ff.SampleVec[uint64](f, src, n, f.Modulus())
+
+		for _, mode := range []string{"dense", "implicit"} {
+			opts := core.Options{Seed: seed, Multiplier: "classical", Instrument: true, PrecondMode: mode}
+			run, err := benchOne(f, opts, a, n, "classical", prev, func(s *core.Solver[uint64]) (func() bool, error) {
+				x, err := s.Solve(a, b)
+				if err != nil {
+					return nil, err
+				}
+				return func() bool { return ff.VecEqual[uint64](f, a.MulVec(f, x), b) }, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("structured bench n=%d %s: %w", n, mode, err)
+			}
+			run.Workload = "toeplitz"
+			runs = append(runs, *run)
+		}
+
+		// Theorem 3 fast path: Newton + Gohberg–Semencul on the 2n−1
+		// defining entries, one structured solve, no dense object anywhere.
+		gsSolver, err := core.NewSolver[uint64](f, core.Options{Seed: seed, Multiplier: "classical"})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		x, err := gsSolver.SolveToeplitzGS(entries, b)
+		wall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("structured bench n=%d gs: %w", n, err)
+		}
+		runs = append(runs, BenchRun{
+			Dim:        n,
+			Multiplier: "classical",
+			Precond:    "gs",
+			Workload:   "toeplitz",
+			WallNs:     wall.Nanoseconds(),
+			Verified:   ff.VecEqual[uint64](f, tm.MulVec(f, x), b),
+		})
+	}
+	return runs, nil
 }
 
 // benchOne times one traced, instrumented solver call and folds the
@@ -204,19 +310,32 @@ func benchOne(f ff.Fp64, opts core.Options, a *matrix.Dense[uint64], n int, name
 	plainWall := time.Since(plainStart)
 	snap := s.MulStats().Snapshot()
 	phases := make(map[string]BenchPhase)
+	var precondNs, applyNs int64
+	var applyCalls uint64
 	for phase, t := range o.PhaseTotals() {
 		phases[phase] = BenchPhase{
-			WallNs:   t.Wall.Nanoseconds(),
-			FieldOps: t.FieldOps,
-			MulCalls: t.MulCalls,
-			Spans:    t.Count,
+			WallNs:     t.Wall.Nanoseconds(),
+			FieldOps:   t.FieldOps,
+			MulCalls:   t.MulCalls,
+			Spans:      t.Count,
+			ApplyNs:    t.ApplyTime.Nanoseconds(),
+			ApplyCalls: t.ApplyCalls,
 		}
+		if phase == obs.PhasePrecondition || phase == obs.PhaseBatchPrecondition {
+			precondNs += t.Wall.Nanoseconds()
+		}
+		applyNs += t.ApplyTime.Nanoseconds()
+		applyCalls += t.ApplyCalls
 	}
 	return &BenchRun{
 		Dim:           n,
 		Multiplier:    name,
+		Precond:       string(s.PrecondMode()),
 		WallNs:        wall.Nanoseconds(),
 		Phases:        phases,
+		PrecondNs:     precondNs,
+		ApplyNs:       applyNs,
+		ApplyCalls:    applyCalls,
 		FieldOpsTotal: snap.FieldOps,
 		MulCalls:      snap.Calls,
 		MulWallNs:     snap.Wall.Nanoseconds(),

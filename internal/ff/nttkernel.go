@@ -43,25 +43,16 @@ func (f Fp64) NTTInPlace(a []uint64, root uint64, log2n int) bool {
 	if log2n == 0 {
 		return true
 	}
-	// Stage s uses ω_s = root^(2^{log2n−s}); Montgomery form is closed
-	// under mulRedc, so the squaring chain stays in form.
-	stageRoot := make([]uint64, log2n+1)
-	stageRoot[log2n] = f.toMont(root)
-	for s := log2n - 1; s >= 1; s-- {
-		stageRoot[s] = f.mulRedc(stageRoot[s+1], stageRoot[s+1])
-	}
+	// The per-stage twiddle tables are immutable and shared process-wide
+	// (ntttables.go): repeated transforms at one size — the cached
+	// structured applies issue thousands per solve — skip the root-chain
+	// and table rebuild entirely.
 	p := f.p
-	tw := make([]uint64, n/2)
-	rModP := f.mulRedc(1%p, f.r2) // toMont(1) = R mod p
+	twAll := f.nttTwiddles(root, log2n)
 	for s := 1; s <= log2n; s++ {
 		m := 1 << s
 		half := m / 2
-		wm := stageRoot[s]
-		w := rModP
-		for j := 0; j < half; j++ {
-			tw[j] = w
-			w = f.mulRedc(w, wm)
-		}
+		tw := twAll[half-1 : m-1]
 		for k := 0; k < n; k += m {
 			lo, up := a[k:k+half], a[k+half:k+m]
 			for j := 0; j < half; j++ {

@@ -1,0 +1,101 @@
+package ff
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Per-kernel twiddle caching and NTT capability probing. The fused
+// transform of nttkernel.go used to rebuild its stage-root chain and
+// twiddle table on every call; the structured-matrix fast path applies the
+// same transform thousands of times per solve (twice per black-box
+// product), so the tables are hoisted into a process-wide cache keyed by
+// (modulus, root, size). Entries are immutable once built, so lock-free
+// reads through sync.Map are safe and the hot path pays one map load.
+
+// ErrNoRootOfUnity reports a field whose multiplicative group has no
+// primitive 2-power root of unity of the required order — a prime p with
+// p − 1 insufficiently divisible by 2 (including the p = 2 sentinel). It is
+// a typed sentinel so callers can fall back to schoolbook arithmetic with
+// errors.Is instead of recovering a panic.
+var ErrNoRootOfUnity = errors.New("ff: field has no primitive 2-power root of unity of the required order")
+
+// ErrNoNTTKernel reports a field backend without a fused in-place
+// transform (ff.NTTKernel): wrapper fields, big-integer fields, and the
+// p = 2 sentinel whose REDC constants do not exist.
+var ErrNoNTTKernel = errors.New("ff: field backend has no fused NTT kernel")
+
+// NTTSupport reports whether f can run the fused kernel transform at
+// length 2^log2n, returning the primitive root to drive it with. The error
+// is typed: errors.Is(err, ErrNoRootOfUnity) for a prime with too little
+// 2-adicity (or p = 2), errors.Is(err, ErrNoNTTKernel) for a backend with
+// no fused transform at all. Callers must treat any error as "take the
+// schoolbook path", never as fatal.
+func NTTSupport[E any](f Field[E], log2n int) (root E, err error) {
+	var zero E
+	ker, ok := any(f).(NTTKernel[E])
+	if !ok {
+		return zero, fmt.Errorf("ff: %T: %w", f, ErrNoNTTKernel)
+	}
+	r, ok := any(f).(RootsOfUnity[E])
+	if !ok {
+		return zero, fmt.Errorf("ff: %T has no 2-power roots of unity: %w", f, ErrNoRootOfUnity)
+	}
+	root, ok = r.RootOfUnity(log2n)
+	if !ok {
+		return zero, fmt.Errorf("ff: order 2^%d exceeds the 2-adicity of the unit group: %w", log2n, ErrNoRootOfUnity)
+	}
+	// Probe the kernel with a trivial transform: backends that advertise
+	// the interface but cannot run it (p = 2 has no REDC constants) report
+	// false instead of panicking, and callers must fall back.
+	probe := make([]E, 1)
+	probe[0] = f.Zero()
+	if !ker.NTTInPlace(probe, f.One(), 0) {
+		return zero, fmt.Errorf("ff: %T fused transform unavailable for this modulus: %w", f, ErrNoNTTKernel)
+	}
+	return root, nil
+}
+
+// nttKey identifies one cached twiddle table: the transform is determined
+// by the modulus, the primitive root, and the size.
+type nttKey struct {
+	p, root uint64
+	log2n   int
+}
+
+// nttTwiddleCache maps nttKey → []uint64: the Montgomery-form twiddles of
+// every butterfly stage, concatenated so stage s (1-based) occupies
+// [2^{s−1}−1, 2^s−1). Total n−1 words per (p, root, size) triple.
+var nttTwiddleCache sync.Map
+
+// nttTwiddles returns the cached stage-concatenated twiddle table for a
+// 2^log2n transform with the given primitive root, building it on first
+// use. log2n must be ≥ 1.
+func (f Fp64) nttTwiddles(root uint64, log2n int) []uint64 {
+	key := nttKey{p: f.p, root: root, log2n: log2n}
+	if v, ok := nttTwiddleCache.Load(key); ok {
+		return v.([]uint64)
+	}
+	// Stage s uses ω_s = root^(2^{log2n−s}); Montgomery form is closed
+	// under mulRedc, so the squaring chain stays in form.
+	stageRoot := make([]uint64, log2n+1)
+	stageRoot[log2n] = f.toMont(root)
+	for s := log2n - 1; s >= 1; s-- {
+		stageRoot[s] = f.mulRedc(stageRoot[s+1], stageRoot[s+1])
+	}
+	tw := make([]uint64, (1<<log2n)-1)
+	rModP := f.mulRedc(1%f.p, f.r2) // toMont(1) = R mod p
+	for s := 1; s <= log2n; s++ {
+		half := 1 << (s - 1)
+		w := rModP
+		wm := stageRoot[s]
+		stage := tw[half-1 : 2*half-1]
+		for j := range stage {
+			stage[j] = w
+			w = f.mulRedc(w, wm)
+		}
+	}
+	actual, _ := nttTwiddleCache.LoadOrStore(key, tw)
+	return actual.([]uint64)
+}

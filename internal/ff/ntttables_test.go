@@ -1,0 +1,106 @@
+package ff
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// M61 = 2⁶¹ − 1 is prime but maximally NTT-hostile: 2⁶¹ − 2 = 2·(2⁶⁰ − 1),
+// so the unit group's 2-adicity is 1 and no transform of length ≥ 4 exists.
+const m61 uint64 = 2305843009213693951
+
+// TestNTTSupportUnfriendlyPrime is the regression test for the construction
+// contract: a prime without a large-enough 2-adic root must surface the
+// typed ErrNoRootOfUnity — never a panic — so callers can fall back to the
+// schoolbook path.
+func TestNTTSupportUnfriendlyPrime(t *testing.T) {
+	f := MustFp64(m61)
+	if v := f.twoAdicity(); v != 1 {
+		t.Fatalf("twoAdicity(M61) = %d, want 1", v)
+	}
+	if _, err := NTTSupport[uint64](f, 2); !errors.Is(err, ErrNoRootOfUnity) {
+		t.Fatalf("NTTSupport(M61, 4-point) error = %v, want ErrNoRootOfUnity", err)
+	}
+	// The largest supported order still works.
+	root, err := NTTSupport[uint64](f, 1)
+	if err != nil {
+		t.Fatalf("NTTSupport(M61, 2-point): %v", err)
+	}
+	if f.Mul(root, root) != f.One() || root == f.One() {
+		t.Fatalf("root %d is not a primitive square root of unity", root)
+	}
+}
+
+// TestNTTSupportP2Sentinel: the p = 2 sentinel has no REDC constants and no
+// non-trivial roots; both failure modes must be typed errors.
+func TestNTTSupportP2Sentinel(t *testing.T) {
+	f := MustFp64(2)
+	if _, err := NTTSupport[uint64](f, 1); !errors.Is(err, ErrNoRootOfUnity) {
+		t.Fatalf("NTTSupport(F_2, 2-point) error = %v, want ErrNoRootOfUnity", err)
+	}
+	// Even the trivial 1-point transform is refused: the fused kernel
+	// cannot run without an odd modulus, and the probe must report that
+	// instead of panicking.
+	if _, err := NTTSupport[uint64](f, 0); !errors.Is(err, ErrNoNTTKernel) {
+		t.Fatalf("NTTSupport(F_2, 1-point) error = %v, want ErrNoNTTKernel", err)
+	}
+	// The in-place kernel itself keeps its boolean contract.
+	if f.NTTInPlace([]uint64{0, 1}, 1, 1) {
+		t.Fatal("NTTInPlace over F_2 reported success")
+	}
+}
+
+// TestNTTSupportWrapperField: fields without the fused kernel (FpBig) are a
+// typed ErrNoNTTKernel, the cue for the generic path.
+func TestNTTSupportWrapperField(t *testing.T) {
+	f, err := NewFpBig(new(big.Int).SetUint64(PNTT62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NTTSupport(f, 3); !errors.Is(err, ErrNoNTTKernel) {
+		t.Fatalf("NTTSupport(FpBig) error = %v, want ErrNoNTTKernel", err)
+	}
+}
+
+// TestNTTTwiddleCacheStability: the cached-table transform must agree with
+// itself across calls (first call builds, second reads the cache) and
+// round-trip through the inverse transform.
+func TestNTTTwiddleCacheStability(t *testing.T) {
+	f := MustFp64(PNTT62)
+	const log2n = 6
+	root, err := NTTSupport[uint64](f, log2n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << log2n
+	src := NewSource(7)
+	orig := SampleVec[uint64](f, src, n, f.Modulus())
+
+	a := append([]uint64(nil), orig...)
+	b := append([]uint64(nil), orig...)
+	if !f.NTTInPlace(a, root, log2n) || !f.NTTInPlace(b, root, log2n) {
+		t.Fatal("fused transform unexpectedly unavailable")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transform diverged between cold and cached calls at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	rootInv, err := f.Inv(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.NTTInPlace(a, rootInv, log2n) {
+		t.Fatal("inverse transform unavailable")
+	}
+	nInv, err := f.Inv(f.FromInt64(int64(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if f.Mul(a[i], nInv) != orig[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}

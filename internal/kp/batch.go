@@ -52,12 +52,24 @@ type Factorization[E any] struct {
 	scale  E                // −1/cp[0]
 	n      int
 
+	// mode is the preconditioner realization this factorization was built
+	// under (it determines the backsolve route and is part of the kpd cache
+	// key). In PrecondImplicit, atilde/hd/pows stay nil and abox/h carry the
+	// operator instead.
+	mode PrecondMode
+	abox matrix.BlackBox[E]
+	h    structured.Hankel[E]
+
 	// mu guards pows, the Ã^{2^i} ladder shared by concurrent backsolves.
 	// The individual matrices are immutable once appended; only the slice
 	// itself mutates.
 	mu   sync.Mutex
 	pows []*matrix.Dense[E]
 }
+
+// Mode returns the preconditioner realization the factorization was built
+// under.
+func (fa *Factorization[E]) Mode() PrecondMode { return fa.mode }
 
 // ladderSnapshot returns a private copy of the power-ladder slice header.
 // The caller may append to it freely: the copy has its own backing array,
@@ -84,7 +96,10 @@ func (fa *Factorization[E]) ladderMerge(ladder []*matrix.Dense[E]) {
 // randomness, recording the batch/precondition, batch/krylov and
 // batch/minpoly spans. A zero constant term (singular Ã: unlucky
 // randomness or a singular input) surfaces as ff.ErrDivisionByZero.
-func factorOnce[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], rnd Randomness[E]) (*Factorization[E], error) {
+func factorOnce[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], rnd Randomness[E], mode PrecondMode) (*Factorization[E], error) {
+	if mode == PrecondImplicit {
+		return factorOnceImplicit(ctx, f, mul, a, rnd)
+	}
 	n := a.Rows
 	sp := obs.StartPhaseCtx(ctx, obs.PhaseBatchPrecondition)
 	defer sp.End()
@@ -102,7 +117,30 @@ func factorOnce[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier
 	}
 	return &Factorization[E]{
 		f: f, mul: mul, a: a, rnd: rnd, atilde: atilde, hd: hd,
-		cp: cp, scale: scale, pows: pows, n: n,
+		cp: cp, scale: scale, pows: pows, n: n, mode: PrecondDense,
+	}, nil
+}
+
+// factorOnceImplicit is the shared front end with Ã composed, never formed:
+// the batch/precondition span performs no dense multiplication at all, and
+// the Krylov/minpoly phases run on black-box applies.
+func factorOnceImplicit[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], rnd Randomness[E]) (*Factorization[E], error) {
+	n := a.Rows
+	sp := obs.StartPhaseCtx(ctx, obs.PhaseBatchPrecondition)
+	defer sp.End()
+	abox, h := preconditionBox(f, a, rnd)
+	sp.End()
+	cp, err := charPolyImplicitCtx(ctx, f, abox, rnd, obs.PhaseBatchKrylov, obs.PhaseBatchMinPoly)
+	if err != nil {
+		return nil, err
+	}
+	scale, err := f.Div(f.Neg(f.One()), cp[0])
+	if err != nil {
+		return nil, inPhase(obs.PhaseBatchMinPoly, err)
+	}
+	return &Factorization[E]{
+		f: f, mul: mul, a: a, rnd: rnd,
+		cp: cp, scale: scale, n: n, mode: PrecondImplicit, abox: abox, h: h,
 	}, nil
 }
 
@@ -114,6 +152,9 @@ func factorOnce[E any](ctx context.Context, f ff.Field[E], mul matrix.Multiplier
 func (fa *Factorization[E]) backsolve(ctx context.Context, bm *matrix.Dense[E]) *matrix.Dense[E] {
 	sp := obs.StartPhaseCtx(ctx, obs.PhaseBatchBacksolve)
 	defer sp.End()
+	if fa.mode == PrecondImplicit {
+		return fa.backsolveImplicit(bm)
+	}
 	f, n, k := fa.f, fa.n, bm.Cols
 	ladder := fa.ladderSnapshot()
 	wb := matrix.KrylovBlockDoubling(f, fa.mul, fa.atilde, bm, n, &ladder)
@@ -129,6 +170,23 @@ func (fa *Factorization[E]) backsolve(ctx context.Context, bm *matrix.Dense[E]) 
 		}
 	}
 	return fa.mul.Mul(f, fa.hd, xt)
+}
+
+// backsolveImplicit runs the per-column iterative Cayley–Hamilton backsolve
+// on the composed operator: n−1 black-box applies per column (O(n² log n)
+// each with the cached-NTT Hankel apply), then the structured undo
+// x = H·(D·x̃) — no dense ladder, no dense H product.
+func (fa *Factorization[E]) backsolveImplicit(bm *matrix.Dense[E]) *matrix.Dense[E] {
+	f, n, k := fa.f, fa.n, bm.Cols
+	out := matrix.NewDense(f, n, k)
+	for j := 0; j < k; j++ {
+		xt := chBacksolveBox(f, fa.abox, fa.cp, fa.scale, bm.Col(j))
+		x := undoPrecondition(f, fa.h, fa.rnd.D, xt)
+		for i := 0; i < n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
 }
 
 // Dim returns the dimension of the factored matrix.
@@ -228,7 +286,7 @@ func Factor[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], 
 		}
 		rnd := DrawRandomness(f, p.Src, n, p.Subset)
 		start := time.Now()
-		fa, err := factorOnce(p.Ctx, f, mul, a, rnd)
+		fa, err := factorOnce(p.Ctx, f, mul, a, rnd, p.Precond)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				rec.finish(err)
@@ -289,7 +347,7 @@ func SolveBatch[E any](f ff.Field[E], mul matrix.Multiplier[E], a, bm *matrix.De
 		}
 		rnd := DrawRandomness(f, p.Src, n, p.Subset)
 		start := time.Now()
-		fa, err := factorOnce(p.Ctx, f, mul, a, rnd)
+		fa, err := factorOnce(p.Ctx, f, mul, a, rnd, p.Precond)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				rec.finish(err)

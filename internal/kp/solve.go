@@ -187,7 +187,7 @@ func solveOnceCtx[E any](ctx context.Context, f ff.Field[E], mul matrix.Multipli
 	for i := range dx {
 		dx[i] = f.Mul(rnd.D[i], xt[i])
 	}
-	h := structured.Hankel[E]{N: n, D: rnd.H}
+	h := structured.NewHankel(rnd.H)
 	return h.MulVec(f, dx), nil
 }
 
@@ -212,7 +212,13 @@ func Solve[E any](f ff.Field[E], mul matrix.Multiplier[E], a *matrix.Dense[E], b
 		}
 		rnd := DrawRandomness(f, p.Src, n, p.Subset)
 		start := time.Now()
-		x, err := solveOnceCtx(p.Ctx, f, mul, a, b, rnd)
+		var x []E
+		var err error
+		if p.Precond == PrecondImplicit {
+			x, err = solveOnceImplicitCtx(p.Ctx, f, a, b, rnd)
+		} else {
+			x, err = solveOnceCtx(p.Ctx, f, mul, a, b, rnd)
+		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				rec.finish(err)

@@ -30,6 +30,26 @@ func (b SparseBox[E]) Dims() (int, int) { return b.M.Rows(), b.M.Cols() }
 // Apply returns M·x.
 func (b SparseBox[E]) Apply(f ff.Field[E], x []E) []E { return b.M.Apply(f, x) }
 
+// DiagBox is a diagonal matrix as a black box: Apply costs n scalar
+// multiplications. It is the D factor of the Kaltofen–Pan preconditioner
+// Ã = A·H·D in the implicit (never materialized) route.
+type DiagBox[E any] struct{ D []E }
+
+// Dims returns the (square) shape.
+func (b DiagBox[E]) Dims() (int, int) { return len(b.D), len(b.D) }
+
+// Apply returns diag(D)·x.
+func (b DiagBox[E]) Apply(f ff.Field[E], x []E) []E {
+	if len(x) != len(b.D) {
+		panic("matrix: DiagBox dimension mismatch")
+	}
+	out := make([]E, len(x))
+	for i := range out {
+		out[i] = f.Mul(b.D[i], x[i])
+	}
+	return out
+}
+
 // ComposedBox applies a chain of black boxes right to left: (B₁∘B₂∘…)(x).
 // It represents products like Ã = A·H·D without forming them, the way
 // Wiedemann's preconditioned algorithm consumes them.

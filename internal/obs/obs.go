@@ -97,7 +97,12 @@ type SpanRecord struct {
 	GID      int64         `json:"gid"`       // goroutine that started the span
 	FieldOps uint64        `json:"field_ops"` // field operations folded in via AddFieldOps
 	MulCalls uint64        `json:"mul_calls"` // multiplier invocations folded in
-	Trace    TraceID       `json:"trace"`     // owning request's trace id (zero for unscoped spans)
+	// ApplyNs/ApplyCalls account the black-box matrix-vector products folded
+	// in via AddApplyTime — the implicit-preconditioning pipeline's unit of
+	// work, where MulCalls (dense matrix-matrix products) stays zero.
+	ApplyNs    int64   `json:"apply_ns,omitempty"`
+	ApplyCalls uint64  `json:"apply_calls,omitempty"`
+	Trace      TraceID `json:"trace"` // owning request's trace id (zero for unscoped spans)
 }
 
 // Observer collects completed spans into a fixed-capacity ring buffer and
@@ -160,10 +165,12 @@ type Span struct {
 	pid    int64
 	name   string
 	start  time.Duration
-	gid    int64
-	ops    atomic.Uint64
-	calls  atomic.Uint64
-	ended  atomic.Bool
+	gid        int64
+	ops        atomic.Uint64
+	calls      atomic.Uint64
+	applyNs    atomic.Int64
+	applyCalls atomic.Uint64
+	ended      atomic.Bool
 }
 
 // StartPhase opens a span on the active Observer (nil, at the cost of one
@@ -217,6 +224,27 @@ func AddFieldOps(ops, calls uint64) {
 	o.current.Load().AddFieldOps(ops, calls)
 }
 
+// AddApplyTime attributes d of black-box apply wall time (and calls apply
+// invocations) to the span.
+func (s *Span) AddApplyTime(d time.Duration, calls uint64) {
+	if s == nil {
+		return
+	}
+	s.applyNs.Add(d.Nanoseconds())
+	s.applyCalls.Add(calls)
+}
+
+// AddApplyTime attributes black-box apply time to the innermost open span
+// of the active Observer — the hook the kp implicit-preconditioning boxes
+// report through, giving kpbench its apply_ns column.
+func AddApplyTime(d time.Duration, calls uint64) {
+	o := active.Load()
+	if o == nil {
+		return
+	}
+	o.current.Load().AddApplyTime(d, calls)
+}
+
 // End closes the span and commits its record to the Observer's ring. The
 // enclosing span (if any) becomes the innermost open span again. End is
 // idempotent: the second and later calls are no-ops, so call sites close
@@ -233,14 +261,16 @@ func (s *Span) End() {
 		o.current.CompareAndSwap(s, s.parent)
 	}
 	rec := SpanRecord{
-		ID:       s.id,
-		Parent:   s.pid,
-		Name:     s.name,
-		Start:    s.start,
-		Dur:      time.Since(o.epoch) - s.start,
-		GID:      s.gid,
-		FieldOps: s.ops.Load(),
-		MulCalls: s.calls.Load(),
+		ID:         s.id,
+		Parent:     s.pid,
+		Name:       s.name,
+		Start:      s.start,
+		Dur:        time.Since(o.epoch) - s.start,
+		GID:        s.gid,
+		FieldOps:   s.ops.Load(),
+		MulCalls:   s.calls.Load(),
+		ApplyNs:    s.applyNs.Load(),
+		ApplyCalls: s.applyCalls.Load(),
 	}
 	if s.scope != nil {
 		rec.Trace = s.scope.tc.Trace
@@ -297,10 +327,12 @@ func (o *Observer) Dropped() int64 {
 
 // PhaseTotal aggregates the spans sharing one name.
 type PhaseTotal struct {
-	Count    int           // completed spans with this name
-	Wall     time.Duration // summed span durations
-	FieldOps uint64        // summed field operations
-	MulCalls uint64        // summed multiplier invocations
+	Count      int           // completed spans with this name
+	Wall       time.Duration // summed span durations
+	FieldOps   uint64        // summed field operations
+	MulCalls   uint64        // summed multiplier invocations
+	ApplyTime  time.Duration // summed black-box apply wall time
+	ApplyCalls uint64        // summed black-box apply invocations
 }
 
 // PhaseTotals aggregates the recorded spans by name — the per-phase
@@ -313,6 +345,8 @@ func (o *Observer) PhaseTotals() map[string]PhaseTotal {
 		t.Wall += r.Dur
 		t.FieldOps += r.FieldOps
 		t.MulCalls += r.MulCalls
+		t.ApplyTime += time.Duration(r.ApplyNs)
+		t.ApplyCalls += r.ApplyCalls
 		totals[r.Name] = t
 	}
 	return totals

@@ -55,6 +55,7 @@ func mulSchoolbook[E any](f ff.Field[E], a, b []E) []E {
 		}
 		return c
 	}
+	one := f.One()
 	terms := make([]E, 0, min(len(a), len(b)))
 	for k := range c {
 		terms = terms[:0]
@@ -70,7 +71,17 @@ func mulSchoolbook[E any](f ff.Field[E], a, b []E) []E {
 			if f.IsZero(a[i]) || f.IsZero(b[k-i]) {
 				continue
 			}
-			terms = append(terms, f.Mul(a[i], b[k-i]))
+			// Units multiply for free, mirroring the x·1 folding of traced
+			// circuits (I − λT entries and Newton's constant terms make
+			// these common on the structured path).
+			switch {
+			case f.Equal(a[i], one):
+				terms = append(terms, b[k-i])
+			case f.Equal(b[k-i], one):
+				terms = append(terms, a[i])
+			default:
+				terms = append(terms, f.Mul(a[i], b[k-i]))
+			}
 		}
 		c[k] = ff.SumTree(f, terms)
 	}

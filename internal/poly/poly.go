@@ -110,10 +110,24 @@ func Add[E any](f ff.Field[E], a, b []E) []E {
 		return Trim(f, c)
 	}
 	n := max(len(a), len(b))
+	m := min(len(a), len(b))
 	c := make([]E, n)
-	for i := range c {
-		c[i] = f.Add(Coef(f, a, i), Coef(f, b, i))
+	for i := 0; i < m; i++ {
+		// Skip additions a traced circuit folds away (x + 0 = x): interior
+		// zeros are common in the structured path's series coefficients,
+		// and a counted run should not be charged for them.
+		switch {
+		case f.IsZero(a[i]):
+			c[i] = b[i]
+		case f.IsZero(b[i]):
+			c[i] = a[i]
+		default:
+			c[i] = f.Add(a[i], b[i])
+		}
 	}
+	// Past the shorter operand the sum is the longer one verbatim.
+	copy(c[m:], a[m:])
+	copy(c[m:], b[m:])
 	return Trim(f, c)
 }
 
@@ -130,9 +144,24 @@ func Sub[E any](f ff.Field[E], a, b []E) []E {
 		return Trim(f, c)
 	}
 	n := max(len(a), len(b))
+	m := min(len(a), len(b))
 	c := make([]E, n)
-	for i := range c {
-		c[i] = f.Sub(Coef(f, a, i), Coef(f, b, i))
+	for i := 0; i < m; i++ {
+		// Mirror circuit folding: x − 0 = x; 0 − y costs one negation
+		// (OpNeg and OpSub both count as additions in the circuit model).
+		switch {
+		case f.IsZero(b[i]):
+			c[i] = a[i]
+		case f.IsZero(a[i]):
+			c[i] = f.Neg(b[i])
+		default:
+			c[i] = f.Sub(a[i], b[i])
+		}
+	}
+	// Tails: a's survives verbatim, b's is negated.
+	copy(c[m:], a[m:])
+	for i := len(a); i < len(b); i++ {
+		c[i] = f.Neg(b[i])
 	}
 	return Trim(f, c)
 }

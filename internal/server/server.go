@@ -84,6 +84,13 @@ type Config struct {
 	// MaxDim rejects systems larger than MaxDim×MaxDim with 400 before any
 	// work happens (default 2048).
 	MaxDim int
+	// PrecondMode selects the default preconditioner route for requests
+	// that do not ask for one: "dense" (materialized Ã = A·H·D, the
+	// default) or "implicit" (black-box composition, no dense products
+	// before the verify). Each request may override it via the "precond"
+	// field; the factorization cache keys entries by digest AND mode, so
+	// the two routes never alias each other's cached factorizations.
+	PrecondMode string
 	// Logger, when non-nil, receives one record per request (route, n,
 	// cache, status, wall) and is forwarded to the solvers' per-attempt
 	// logging.
@@ -98,8 +105,10 @@ type Server struct {
 	srcMu sync.Mutex
 	src   *ff.Source
 
+	precond kp.PrecondMode // default preconditioner mode (validated in New)
+
 	solverMu sync.Mutex
-	solvers  map[uint64]*core.Solver[uint64] // one per field modulus
+	solvers  map[solverKey]*core.Solver[uint64] // one per (modulus, precond mode)
 
 	sem    chan struct{} // execution slots (MaxConcurrent)
 	queued atomic.Int64
@@ -136,13 +145,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxDim <= 0 {
 		cfg.MaxDim = 2048
 	}
+	precond, err := kp.ParsePrecondMode(cfg.PrecondMode)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	return &Server{
 		cfg:     cfg,
+		precond: precond,
 		cache:   NewCache[uint64](cfg.CacheSize),
 		src:     ff.NewSource(cfg.Seed),
-		solvers: make(map[uint64]*core.Solver[uint64]),
+		solvers: make(map[solverKey]*core.Solver[uint64]),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 	}, nil
+}
+
+// solverKey identifies one configured solver: requests in different fields
+// or different preconditioner modes must not share a core.Solver, because
+// the mode is baked into the solver's kp.Params.
+type solverKey struct {
+	modulus uint64
+	precond kp.PrecondMode
 }
 
 // Handler returns the service mux: the /v1 solve endpoints plus the obs
@@ -176,6 +198,11 @@ type SolveRequest struct {
 	// DeadlineMS bounds this request's wall time; 0 or anything above the
 	// server's MaxDeadline is clamped to MaxDeadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Precond overrides the server's default preconditioner mode for this
+	// request: "dense" or "implicit" ("" = server default). Factorizations
+	// are cached per (matrix, mode), so switching modes on a repeat matrix
+	// is a cache miss, not a wrong answer.
+	Precond string `json:"precond,omitempty"`
 }
 
 // SolveResponse is the JSON response of every /v1 endpoint.
@@ -187,8 +214,11 @@ type SolveResponse struct {
 	Xs [][]uint64 `json:"xs,omitempty"`
 	// N is the system dimension.
 	N int `json:"n"`
-	// Digest is the canonical matrix digest — the factorization cache key.
+	// Digest is the canonical matrix digest. The factorization cache key
+	// is this digest qualified by the preconditioner mode.
 	Digest string `json:"digest"`
+	// Precond is the preconditioner mode this request ran under.
+	Precond string `json:"precond"`
 	// Cache is "hit" when the factorization came from the cache, "miss"
 	// when this request computed it.
 	Cache string `json:"cache"`
@@ -308,6 +338,14 @@ func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, erro
 	}
 	n := a.Rows
 
+	// Preconditioner mode: per-request override, else the server default.
+	precond := s.precond
+	if req.Precond != "" {
+		if precond, err = kp.ParsePrecondMode(req.Precond); err != nil {
+			return http.StatusBadRequest, nil, err
+		}
+	}
+
 	// Per-request deadline, clamped to the server cap, cancels the Las
 	// Vegas drivers cooperatively via kp.Params.Ctx (the request context
 	// also dies when the client disconnects or the server drains).
@@ -331,10 +369,15 @@ func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, erro
 	}
 
 	// Factorization via the digest-keyed cache: repeat matrices skip the
-	// Krylov phase and go straight to the backsolve.
+	// Krylov phase and go straight to the backsolve. The key qualifies the
+	// matrix digest with the preconditioner mode — a dense-preconditioned
+	// Factored and an implicit one for the same matrix hold different
+	// internal state (materialized Ã vs black-box composition) and must
+	// never collide.
 	digest := matrix.DigestString[uint64](f, a)
-	fa, hit, err := s.cache.GetOrFactor(ctx, digest, func() (*core.Factored[uint64], error) {
-		solver, err := s.solverFor(f)
+	cacheKey := digest + "|precond=" + string(precond)
+	fa, hit, err := s.cache.GetOrFactor(ctx, cacheKey, func() (*core.Factored[uint64], error) {
+		solver, err := s.solverFor(f, precond)
 		if err != nil {
 			return nil, err
 		}
@@ -352,7 +395,7 @@ func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, erro
 	if err != nil {
 		return errStatus(err), nil, err
 	}
-	resp := &SolveResponse{N: n, Digest: digest, Cache: cacheLabel(hit)}
+	resp := &SolveResponse{N: n, Digest: digest, Precond: string(precond), Cache: cacheLabel(hit)}
 
 	switch route {
 	case "factor":
@@ -468,23 +511,26 @@ func (s *Server) acquire(ctx context.Context) (func(), int, error) {
 	}, 0, nil
 }
 
-// solverFor returns (creating on first use) the solver for f's modulus.
-func (s *Server) solverFor(f ff.Fp64) (*core.Solver[uint64], error) {
+// solverFor returns (creating on first use) the solver for f's modulus and
+// the given preconditioner mode.
+func (s *Server) solverFor(f ff.Fp64, precond kp.PrecondMode) (*core.Solver[uint64], error) {
+	key := solverKey{modulus: f.Modulus(), precond: precond}
 	s.solverMu.Lock()
 	defer s.solverMu.Unlock()
-	if sv, ok := s.solvers[f.Modulus()]; ok {
+	if sv, ok := s.solvers[key]; ok {
 		return sv, nil
 	}
 	sv, err := core.NewSolver[uint64](f, core.Options{
-		Seed:       s.cfg.Seed,
-		Multiplier: s.cfg.Multiplier,
-		Retries:    s.cfg.Retries,
-		Logger:     s.cfg.Logger,
+		Seed:        s.cfg.Seed,
+		Multiplier:  s.cfg.Multiplier,
+		Retries:     s.cfg.Retries,
+		PrecondMode: string(precond),
+		Logger:      s.cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.solvers[f.Modulus()] = sv
+	s.solvers[key] = sv
 	return sv, nil
 }
 

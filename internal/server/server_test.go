@@ -419,3 +419,102 @@ func contains(haystack, needle string) bool {
 	}
 	return false
 }
+
+// TestPrecondModeCacheKeying is the no-collision check for the PR's cache
+// contract: dense- and implicit-preconditioned factorizations of the SAME
+// matrix are distinct cache entries — the second mode misses instead of
+// picking up the first mode's Factored — while repeats within a mode hit.
+func TestPrecondModeCacheKeying(t *testing.T) {
+	s := newTestServer(t, nil) // server default: dense
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+
+	// NTT-friendly field, so the implicit route runs its cached transforms.
+	f := ff.MustFp64(ff.PNTT62)
+	src := ff.NewSource(17)
+	n := 12
+	a := matrix.Random[uint64](f, src, n, n, f.Modulus())
+	req := SolveRequest{P: ff.PNTT62, A: make([][]uint64, n)}
+	for i := 0; i < n; i++ {
+		req.A[i] = a.Row(i)
+	}
+	req.B = ff.SampleVec[uint64](f, src, n, f.Modulus())
+
+	req.Precond = "implicit"
+	resp, err := client.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "miss" || resp.Precond != "implicit" {
+		t.Fatalf("implicit solve: cache=%q precond=%q, want miss/implicit", resp.Cache, resp.Precond)
+	}
+	if !ff.VecEqual[uint64](f, a.MulVec(f, resp.X), req.B) {
+		t.Fatal("implicit solve: A·x ≠ b")
+	}
+
+	// Same matrix, dense mode: must NOT alias the implicit entry.
+	req.Precond = "dense"
+	resp2, err := client.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cache != "miss" || resp2.Precond != "dense" {
+		t.Fatalf("dense solve of cached-implicit matrix: cache=%q precond=%q, want miss/dense", resp2.Cache, resp2.Precond)
+	}
+	if !ff.VecEqual[uint64](f, a.MulVec(f, resp2.X), req.B) {
+		t.Fatal("dense solve: A·x ≠ b")
+	}
+	if resp.Digest != resp2.Digest {
+		t.Fatal("modes disagree on the canonical matrix digest")
+	}
+	if got := s.cache.Len(); got != 2 {
+		t.Fatalf("cache holds %d entries for one matrix in two modes, want 2", got)
+	}
+
+	// Repeats within each mode hit their own entry.
+	for _, mode := range []string{"implicit", "dense", ""} {
+		req.Precond = mode
+		resp, err := client.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatalf("mode %q repeat: %v", mode, err)
+		}
+		if resp.Cache != "hit" {
+			t.Fatalf("mode %q repeat: cache=%q, want hit", mode, resp.Cache)
+		}
+	}
+
+	// An unknown mode is a 400, before any math runs.
+	req.Precond = "sideways"
+	if _, err := client.Solve(context.Background(), req); err == nil {
+		t.Fatal("unknown precond mode accepted")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.Status != 400 {
+		t.Fatalf("unknown precond mode: got %v, want 400", err)
+	}
+}
+
+// TestServerDefaultPrecondImplicit: a server configured with
+// PrecondMode "implicit" applies it to requests that don't choose, and a
+// bogus configured mode fails construction.
+func TestServerDefaultPrecondImplicit(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.PrecondMode = "implicit" })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+
+	f, a, req := testSystem(t, 23, 10)
+	resp, err := client.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Precond != "implicit" {
+		t.Fatalf("default-mode solve ran precond=%q, want implicit", resp.Precond)
+	}
+	if !ff.VecEqual[uint64](f, a.MulVec(f, resp.X), req.B) {
+		t.Fatal("A·x ≠ b under the implicit server default")
+	}
+
+	if _, err := New(Config{PrecondMode: "upside-down"}); err == nil {
+		t.Fatal("New accepted an unknown PrecondMode")
+	}
+}

@@ -1,10 +1,38 @@
 package structured
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/ff"
 )
+
+// BenchmarkToeplitzApply is the before/after for the persistent NTT apply:
+// "cached" exercises the constructor path (transform of D computed once,
+// each product = forward + pointwise + inverse on process-wide twiddle
+// tables), "schoolbook" forces the legacy per-call poly.Mul via a
+// zero-value literal.
+func BenchmarkToeplitzApply(b *testing.B) {
+	f := ff.MustFp64(ff.PNTT62)
+	for _, n := range []int{256, 1024} {
+		src := ff.NewSource(5)
+		tm := RandomToeplitz[uint64](f, src, n, ff.PNTT62)
+		legacy := Toeplitz[uint64]{N: tm.N, D: tm.D}
+		x := ff.SampleVec[uint64](f, src, n, ff.PNTT62)
+		b.Run(fmt.Sprintf("cached/n=%d", n), func(b *testing.B) {
+			tm.MulVec(f, x) // warm the cache outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm.MulVec(f, x)
+			}
+		})
+		b.Run(fmt.Sprintf("schoolbook/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				legacy.MulVec(f, x)
+			}
+		})
+	}
+}
 
 func BenchmarkCharPoly(b *testing.B) {
 	f := ff.MustFp64(ff.PNTT62)

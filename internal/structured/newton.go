@@ -46,15 +46,25 @@ func InverseSeriesColumns[E any](f ff.Field[E], t Toeplitz[E], k int) (u, w Seri
 	u0inv = s1.One()
 
 	for prec := 1; prec < k; {
+		prev := prec
 		prec *= 2
 		if prec > k {
 			prec = k
 		}
 		s := poly.NewSeries(f, prec)
 		b := seriesToeplitz(s, t, prec)
-		g := GS[[]E]{U: u, W: w}
-		uNew := newtonColumn(s, b, g, u, u0inv)
-		wNew := newtonColumn(s, b, g, w, u0inv)
+		// Middle-product form: the residual e − B·col of a column that is
+		// correct mod λ^prev is exactly divisible by λ^prev, so X_{i−1}
+		// only ever acts on the quotient — at the complementary precision
+		// prec − prev, with its GS columns truncated to match. This halves
+		// the four GS bivariate products of each column step (and collapses
+		// them entirely on the clamped final round, where prec − prev is
+		// tiny), without changing a single output coefficient.
+		sh := poly.NewSeries(f, prec-prev)
+		g := GS[[]E]{U: truncSeriesVec(sh, u), W: truncSeriesVec(sh, w)}
+		ui := poly.TruncDeg(f, u0inv, sh.K)
+		uNew := newtonColumn(s, sh, b, g, u, ui, prev)
+		wNew := newtonColumn(s, sh, b, g, w, ui, prev)
 		u, w = uNew, wNew
 		// Refresh 1/u₀ to the new precision: y ← y(2 − u₀y), twice.
 		two := s.FromInt64(2)
@@ -84,25 +94,61 @@ func seriesToeplitz[E any](s poly.Series[E], t Toeplitz[E], prec int) Toeplitz[[
 // newtonColumn advances one column of the inverse by the residual form of
 // the Newton step, algebraically equal to X_{i−1}(2I − B·X_{i−1})e:
 //
-//	col_new = col + X_{i−1}·(e − B·col)
+//	col_new = col + λ^shift · X_{i−1}·((e − B·col)/λ^shift)
 //
 // where X_{i−1} is applied through the GS representation with the
 // maintained u₀-inverse. The residual form needs only X_{i−1} ≡ B⁻¹
-// (mod λ^p): the error of col_new is (X_{i−1}B − I)(B⁻¹e − col) ≡ 0
-// (mod λ^{2p}), a product of two λ^p-small factors. The unit vector e is
-// recovered as the constant term of col (X₀ = I).
-func newtonColumn[E any](s poly.Series[E], b Toeplitz[[]E], g GS[[]E], col SeriesVec[E], u0inv []E) SeriesVec[E] {
+// (mod λ^shift): the error of col_new is (X_{i−1}B − I)(B⁻¹e − col) ≡ 0
+// (mod λ^{2·shift}), a product of two λ^shift-small factors. col is exact
+// mod λ^shift, so the residual's low shift coefficients vanish identically
+// and the division is a plain coefficient shift; the GS apply then runs in
+// the smaller ring sh = K[[λ]]/λ^{prec−shift} (its result below λ^shift of
+// the correction is all that survives the final truncation). The unit
+// vector e is recovered as the constant term of col (X₀ = I).
+func newtonColumn[E any](s, sh poly.Series[E], b Toeplitz[[]E], g GS[[]E], col SeriesVec[E], u0inv []E, shift int) SeriesVec[E] {
 	n := b.N
 	res := b.MulVec(s, col)
+	rhat := make(SeriesVec[E], n)
 	for i := 0; i < n; i++ {
 		e := constTerm(s, col[i]) // 0 or 1
-		res[i] = s.Sub(e, res[i])
+		r := s.Sub(e, res[i])
+		if len(r) <= shift {
+			rhat[i] = nil
+		} else {
+			rhat[i] = r[shift:]
+		}
 	}
-	corr := g.ApplyWithInv(s, res, u0inv)
+	corr := g.ApplyWithInv(sh, rhat, u0inv)
 	out := make(SeriesVec[E], n)
 	for i := 0; i < n; i++ {
-		out[i] = s.Add(col[i], corr[i])
+		out[i] = splice(s, col[i], corr[i], shift)
 	}
+	return out
+}
+
+// truncSeriesVec truncates every entry of v to the ring s's precision.
+func truncSeriesVec[E any](s poly.Series[E], v SeriesVec[E]) SeriesVec[E] {
+	out := make(SeriesVec[E], len(v))
+	for i := range v {
+		out[i] = poly.TruncDeg(s.F, v[i], s.K)
+	}
+	return out
+}
+
+// splice returns col + λ^shift·corr for deg col < shift ≤ shift + deg corr
+// < s.K: the supports are disjoint, so the sum is a concatenation with zero
+// padding in between — no field operations, exactly what a traced circuit
+// would fold the coefficient-wise addition down to.
+func splice[E any](s poly.Series[E], col, corr []E, shift int) []E {
+	if len(corr) == 0 {
+		return col
+	}
+	out := make([]E, shift+len(corr))
+	copy(out, col)
+	for i := len(col); i < shift; i++ {
+		out[i] = s.F.Zero()
+	}
+	copy(out[shift:], corr)
 	return out
 }
 

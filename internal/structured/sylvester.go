@@ -20,6 +20,11 @@ import (
 type Sylvester[E any] struct {
 	A, B []E // trimmed, non-constant
 	m, n int // degrees of A and B
+
+	// antt/bntt cache the forward transforms of A and B (see nttCache): the
+	// Wiedemann driver issues 2(m+n) applies against one operator, so both
+	// transforms are computed exactly once per Sylvester value.
+	antt, bntt *nttCache[E]
 }
 
 // NewSylvester builds the operator for non-zero polynomials a, b, at least
@@ -33,7 +38,7 @@ func NewSylvester[E any](f ff.Field[E], a, b []E) Sylvester[E] {
 	if m+n == 0 {
 		panic("structured: Sylvester needs a non-constant polynomial")
 	}
-	return Sylvester[E]{A: a, B: b, m: m, n: n}
+	return Sylvester[E]{A: a, B: b, m: m, n: n, antt: &nttCache[E]{}, bntt: &nttCache[E]{}}
 }
 
 // Dims returns (m+n, m+n).
@@ -46,9 +51,20 @@ func (s Sylvester[E]) Apply(f ff.Field[E], x []E) []E {
 	}
 	u := x[:s.n]
 	v := x[s.n:]
+	dim := s.m + s.n
+	out := make([]E, dim)
+	// Both products fit one transform length: deg(u·a), deg(v·b) < m+n.
+	if s.n > 0 && s.m > 0 {
+		uaNTT := make([]E, dim)
+		if s.antt.convolve(f, s.A, u, 0, dim, uaNTT) && s.bntt.convolve(f, s.B, v, 0, dim, out) {
+			for i := range out {
+				out[i] = f.Add(out[i], uaNTT[i])
+			}
+			return out
+		}
+	}
 	ua := poly.Mul(f, u, s.A)
 	vb := poly.Mul(f, v, s.B)
-	out := make([]E, s.m+s.n)
 	for i := range out {
 		out[i] = f.Add(poly.Coef(f, ua, i), poly.Coef(f, vb, i))
 	}

@@ -8,10 +8,52 @@
 package structured
 
 import (
+	"sync"
+
 	"repro/internal/ff"
 	"repro/internal/matrix"
 	"repro/internal/poly"
 )
+
+// nttCache is the persistent transform state shared by every copy of a
+// structured matrix built through a constructor: the plan and the forward
+// transform of the 2n−1 defining entries, computed once on the first apply
+// so the 2n Krylov products of a solve each pay one forward transform of x,
+// one pointwise product and one inverse transform — O(n log n) — instead of
+// a fresh O(n log n)-with-full-setup poly.Mul. Built lazily because the
+// field is an argument of MulVec, not of the constructor; fields without a
+// fused kernel (wrappers, circuits, FpBig, the p = 2 sentinel and primes of
+// small 2-adicity) leave ok = false and keep the schoolbook path, so traced
+// circuit structure and op counts are untouched.
+type nttCache[E any] struct {
+	once sync.Once
+	plan *poly.NTTPlan[E]
+	dhat []E
+	ok   bool
+}
+
+// convolve fills the cache on first use and, when the field supports the
+// fused transform, writes coefficients [lo, hi) of D(z)·x(z) into out,
+// reporting whether it did.
+func (c *nttCache[E]) convolve(f ff.Field[E], d, x []E, lo, hi int, out []E) bool {
+	if c == nil {
+		return false
+	}
+	c.once.Do(func() {
+		plan, err := poly.NewNTTPlan(f, len(d)+len(x)-1)
+		if err != nil {
+			return // typed ErrNoRootOfUnity / ErrNoNTTKernel: schoolbook fallback
+		}
+		c.plan = plan
+		c.dhat = plan.Transform(d)
+		c.ok = true
+	})
+	if !c.ok {
+		return false
+	}
+	c.plan.ConvolveHat(c.dhat, x, lo, hi, out)
+	return true
+}
 
 // Toeplitz is an n×n Toeplitz matrix, stored by its 2n−1 defining entries:
 //
@@ -22,6 +64,11 @@ import (
 type Toeplitz[E any] struct {
 	N int
 	D []E
+
+	// ntt, when non-nil, holds the lazily-built persistent transform of D
+	// (shared by copies of this value). Zero-value literals skip it and use
+	// the schoolbook product; the constructors below always attach one.
+	ntt *nttCache[E]
 }
 
 // NewToeplitz builds an n×n Toeplitz matrix from its 2n−1 entries.
@@ -29,12 +76,12 @@ func NewToeplitz[E any](d []E) Toeplitz[E] {
 	if len(d)%2 == 0 {
 		panic("structured: Toeplitz needs 2n−1 entries")
 	}
-	return Toeplitz[E]{N: (len(d) + 1) / 2, D: d}
+	return Toeplitz[E]{N: (len(d) + 1) / 2, D: d, ntt: &nttCache[E]{}}
 }
 
 // RandomToeplitz draws the 2n−1 entries uniformly from the canonical subset.
 func RandomToeplitz[E any](f ff.Field[E], src *ff.Source, n int, subset uint64) Toeplitz[E] {
-	return Toeplitz[E]{N: n, D: ff.SampleVec(f, src, 2*n-1, subset)}
+	return NewToeplitz(ff.SampleVec(f, src, 2*n-1, subset))
 }
 
 // At returns T[i][j].
@@ -51,18 +98,23 @@ func (t Toeplitz[E]) Leading(k int) Toeplitz[E] {
 	if k < 1 || k > t.N {
 		panic("structured: Leading out of range")
 	}
-	return Toeplitz[E]{N: k, D: t.D[t.N-k : t.N+k-1]}
+	return Toeplitz[E]{N: k, D: t.D[t.N-k : t.N+k-1], ntt: &nttCache[E]{}}
 }
 
 // MulVec returns T·x with one polynomial multiplication: the i-th output
 // coordinate is the coefficient of z^{n−1+i} in D(z)·x(z) (cost O(M(n))
 // instead of n², the reduction the paper spells out before display (5)).
+// On fields with a fused NTT kernel the transform of D is cached in the
+// struct, so each product is one forward transform + pointwise + inverse.
 func (t Toeplitz[E]) MulVec(f ff.Field[E], x []E) []E {
 	if len(x) != t.N {
 		panic("structured: MulVec dimension mismatch")
 	}
-	prod := poly.Mul(f, t.D, x)
 	out := make([]E, t.N)
+	if t.ntt.convolve(f, t.D, x, t.N-1, 2*t.N-1, out) {
+		return out
+	}
+	prod := poly.Mul(f, t.D, x)
 	for i := range out {
 		out[i] = poly.Coef(f, prod, t.N-1+i)
 	}
@@ -81,7 +133,7 @@ func (t Toeplitz[E]) Transpose() Toeplitz[E] {
 	for i := range rev {
 		rev[i] = t.D[len(t.D)-1-i]
 	}
-	return Toeplitz[E]{N: t.N, D: rev}
+	return Toeplitz[E]{N: t.N, D: rev, ntt: &nttCache[E]{}}
 }
 
 // Hankel is an n×n Hankel matrix stored by its 2n−1 anti-diagonal entries:
@@ -91,6 +143,10 @@ func (t Toeplitz[E]) Transpose() Toeplitz[E] {
 type Hankel[E any] struct {
 	N int
 	D []E
+
+	// ntt: see Toeplitz — lazily-built persistent transform of D, attached
+	// by the constructors, skipped by zero-value literals.
+	ntt *nttCache[E]
 }
 
 // NewHankel builds an n×n Hankel matrix from its 2n−1 entries.
@@ -98,7 +154,7 @@ func NewHankel[E any](d []E) Hankel[E] {
 	if len(d)%2 == 0 {
 		panic("structured: Hankel needs 2n−1 entries")
 	}
-	return Hankel[E]{N: (len(d) + 1) / 2, D: d}
+	return Hankel[E]{N: (len(d) + 1) / 2, D: d, ntt: &nttCache[E]{}}
 }
 
 // At returns H[i][j].
@@ -116,11 +172,12 @@ func (h Hankel[E]) Mirror() Toeplitz[E] {
 	for i := range rev {
 		rev[i] = h.D[len(h.D)-1-i]
 	}
-	return Toeplitz[E]{N: h.N, D: rev}
+	return Toeplitz[E]{N: h.N, D: rev, ntt: &nttCache[E]{}}
 }
 
 // MulVec returns H·x: coordinate i is the coefficient of z^{n−1+i} in
-// D(z)·x̃(z) with x̃ the reversal of x.
+// D(z)·x̃(z) with x̃ the reversal of x. Like Toeplitz.MulVec, the transform
+// of D is cached when the field has a fused NTT kernel.
 func (h Hankel[E]) MulVec(f ff.Field[E], x []E) []E {
 	if len(x) != h.N {
 		panic("structured: MulVec dimension mismatch")
@@ -129,8 +186,11 @@ func (h Hankel[E]) MulVec(f ff.Field[E], x []E) []E {
 	for i := range xr {
 		xr[i] = x[h.N-1-i]
 	}
-	prod := poly.Mul(f, h.D, xr)
 	out := make([]E, h.N)
+	if h.ntt.convolve(f, h.D, xr, h.N-1, 2*h.N-1, out) {
+		return out
+	}
+	prod := poly.Mul(f, h.D, xr)
 	for i := range out {
 		out[i] = poly.Coef(f, prod, h.N-1+i)
 	}
