@@ -12,6 +12,7 @@
 //	kpbench -md             # emit Markdown (for EXPERIMENTS.md)
 //	kpbench -json -n 64,128 # per-phase op counts/timings as JSON
 //	kpbench -rhs 8 -n 256   # batched multi-RHS rows (implies -json)
+//	kpbench -ring zz        # exact ℤ rows: residues, CRT, parallel efficiency (implies -json)
 //	kpbench -structured     # Toeplitz workload: dense vs implicit vs GS rows
 //	kpbench -pprof :6060    # serve net/http/pprof + /debug/vars
 package main
@@ -47,6 +48,7 @@ func main() {
 		nFlag    = flag.String("n", "64,128,256", "comma-separated system dimensions for -json")
 		rhs      = flag.Int("rhs", 1, "right-hand sides per system: >1 adds batched SolveBatch rows (with their independent-solves baseline) to the -json report, and implies -json")
 		structd  = flag.Bool("structured", false, "add the Toeplitz workload to the -json report (dense vs implicit vs Gohberg–Semencul rows at -structured-n), and implies -json")
+		ringF    = flag.String("ring", "fp", "fp, or zz to add exact integer RNS/CRT rows (residue count, per-residue wall, CRT/reconstruct time, parallel efficiency) to the -json report at the -n dimensions; implies -json")
 		structN  = flag.String("structured-n", "256,1024", "comma-separated Toeplitz dimensions for -structured")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and the obs metrics registry (/debug/vars) on this address, e.g. :6060")
 		serve    = flag.String("serve", "", "serve telemetry (/metrics Prometheus text, /snapshot JSON, /healthz) on this address for live scraping while the benchmarks run, e.g. :9090")
@@ -107,7 +109,10 @@ func main() {
 	if *rhs < 1 {
 		fatal(fmt.Errorf("-rhs wants a positive count, got %d", *rhs))
 	}
-	if *jsonF || *rhs > 1 || *structd {
+	if *ringF != "fp" && *ringF != "zz" {
+		fatal(fmt.Errorf("-ring wants fp or zz, got %q (qq instances clear denominators into zz ones; bench the zz rows)", *ringF))
+	}
+	if *jsonF || *rhs > 1 || *structd || *ringF != "fp" {
 		if *mul == "all" {
 			// The JSON trajectory tracks the serial baseline against the
 			// pooled kernels; blocked/strassen ride in via -mul.
@@ -127,6 +132,20 @@ func main() {
 				fatal(err)
 			}
 			runs, err := exp.BenchStructured(sns, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			report.Runs = append(report.Runs, runs...)
+		}
+		if *ringF == "zz" {
+			// Ring rows bench the whole multi-modulus engine; the inner
+			// per-residue multiplier is one knob, so default to the serial
+			// baseline unless -mul narrows the set explicitly.
+			ringMuls := muls
+			if *mul == "all" {
+				ringMuls = []string{"classical"}
+			}
+			runs, err := exp.BenchRing(ns, ringMuls, *seed)
 			if err != nil {
 				fatal(err)
 			}

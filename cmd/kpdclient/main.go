@@ -9,6 +9,7 @@
 //	kpdclient -addr http://127.0.0.1:8080 -n 64 -repeat 3 # same matrix 3×: cache hits
 //	kpdclient -addr http://127.0.0.1:8080 -n 64 -rhs 8    # batched solve
 //	kpdclient -addr http://127.0.0.1:8080 -op factor      # warm the cache only
+//	kpdclient -addr http://127.0.0.1:8080 -n 16 -ring zz  # exact integer solve
 //
 // Exit codes: 0 success, 1 request/verification failure, 2 usage.
 package main
@@ -18,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/big"
 	"os"
 	"time"
 
@@ -37,10 +39,19 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "send the same system this many times (2nd+ should be cache hits)")
 		deadline = flag.Duration("deadline", 10*time.Second, "per-request deadline")
 		precond  = flag.String("precond", "", "preconditioner route: dense | implicit (empty = server default; cache entries are per-mode)")
+		ring     = flag.String("ring", "fp", "coefficient ring: fp (one word prime field) | zz (exact over the integers; op=solve only)")
 	)
 	flag.Parse()
 	if *repeat < 1 || *n < 1 || *rhs < 1 {
 		fmt.Fprintln(os.Stderr, "kpdclient: -n, -rhs and -repeat want positive values")
+		os.Exit(2)
+	}
+	if *ring == "zz" {
+		runRing(*addr, *op, *n, *seed, *repeat, *deadline, *precond)
+		return
+	}
+	if *ring != "fp" {
+		fmt.Fprintf(os.Stderr, "kpdclient: -ring wants fp or zz, got %q\n", *ring)
 		os.Exit(2)
 	}
 
@@ -118,6 +129,95 @@ func main() {
 		fmt.Printf("%s n=%d cache=%s server=%.1fms rtt=%s digest=%s… trace=%s%s\n",
 			*op, resp.N, resp.Cache, resp.ElapsedMS, rtt.Round(time.Millisecond), resp.Digest[:12], resp.TraceID, verified)
 	}
+}
+
+// runRing posts an exact integer solve (ring=zz) and verifies the returned
+// rationals locally over ℚ. Repeats with a fixed -seed re-send the same
+// matrix, so the second round should report cache=hit: every residue
+// factorization is served from the server's per-prime cache.
+func runRing(addr, op string, n int, seed uint64, repeat int, deadline time.Duration, precond string) {
+	if op != "solve" {
+		fmt.Fprintf(os.Stderr, "kpdclient: -ring zz supports -op solve only, got %q\n", op)
+		os.Exit(2)
+	}
+	src := ff.NewSource(seed)
+	const bound = 999
+	draw := func() string {
+		return fmt.Sprintf("%d", src.Intn(2*bound+1)-bound)
+	}
+	az := make([][]string, n)
+	for i := range az {
+		az[i] = make([]string, n)
+		for j := range az[i] {
+			az[i][j] = draw()
+		}
+	}
+	bz := make([]string, n)
+	for i := range bz {
+		bz[i] = draw()
+	}
+	req := server.SolveRequest{
+		Ring:       "zz",
+		Az:         az,
+		Bz:         bz,
+		DeadlineMS: deadline.Milliseconds(),
+		Precond:    precond,
+	}
+	client := &server.Client{BaseURL: addr}
+	ctx := context.Background()
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		resp, err := client.Solve(ctx, req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kpdclient:", err)
+			var apiErr *server.APIError
+			if errors.As(err, &apiErr) && apiErr.TraceID != "" {
+				fmt.Fprintf(os.Stderr, "kpdclient: trace_id=%s (see kpd /debug/traces?id=%s)\n", apiErr.TraceID, apiErr.TraceID)
+			}
+			os.Exit(1)
+		}
+		rtt := time.Since(start)
+		if !verifyRing(az, bz, resp.Xr) {
+			fmt.Fprintln(os.Stderr, "kpdclient: returned x does not satisfy A·x = b over ℚ")
+			os.Exit(1)
+		}
+		residues := 0
+		if resp.RNS != nil {
+			residues = resp.RNS.Residues
+		}
+		fmt.Printf("solve ring=zz n=%d residues=%d cache=%s server=%.1fms rtt=%s digest=%s… trace=%s, verified locally\n",
+			resp.N, residues, resp.Cache, resp.ElapsedMS, rtt.Round(time.Millisecond), resp.Digest[:12], resp.TraceID)
+	}
+}
+
+// verifyRing checks A·x = b exactly over ℚ from the wire strings.
+func verifyRing(az [][]string, bz []string, xr []string) bool {
+	if len(xr) != len(bz) {
+		return false
+	}
+	x := make([]*big.Rat, len(xr))
+	for i, s := range xr {
+		r, ok := new(big.Rat).SetString(s)
+		if !ok {
+			return false
+		}
+		x[i] = r
+	}
+	for i, row := range az {
+		acc := new(big.Rat)
+		for j, s := range row {
+			a, ok := new(big.Rat).SetString(s)
+			if !ok {
+				return false
+			}
+			acc.Add(acc, a.Mul(a, x[j]))
+		}
+		b, ok := new(big.Rat).SetString(bz[i])
+		if !ok || acc.Cmp(b) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // denseRows flattens a dense matrix into the wire row-of-rows form.

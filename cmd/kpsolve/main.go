@@ -10,6 +10,8 @@
 //	kpsolve -n 256 -mul parallel      # pooled multicore multiplication
 //	kpsolve -n 256 -precond implicit  # black-box Ã = A·H·D (no dense matmul)
 //	kpsolve -n 256 -op gs             # Theorem 3 Toeplitz Gohberg–Semencul solve
+//	kpsolve -n 8 -ring zz -op solve   # exact solve over ℤ (RNS/CRT engine)
+//	kpsolve -n 8 -ring qq -op det     # exact determinant of a rational matrix
 //	kpsolve -n 128 -trace out.json    # per-phase Chrome trace_event timeline
 //	kpsolve -n 512 -pprof :6060       # live pprof + /debug/vars metrics
 //	kpsolve -n 256 -serve :9090       # Prometheus /metrics + JSON /snapshot
@@ -23,6 +25,11 @@
 // is not given the file's field is adopted, and an explicit -p that
 // disagrees with the file is an error — silently reducing a system mod the
 // wrong prime would "verify" an answer to a different system.
+//
+// -ring selects the coefficient ring. The default fp runs over one word
+// prime field; zz and qq run the RNS/CRT multi-modulus engine and print
+// exact integer/rational answers (op solve | det | rank; the instance is
+// randomly generated, -in stays fp-only).
 //
 // Exit codes map the typed error taxonomy so scripts can branch without
 // parsing messages:
@@ -44,6 +51,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"math/big"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -56,6 +64,7 @@ import (
 	"repro/internal/kp"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/rns"
 	"repro/internal/server"
 )
 
@@ -64,6 +73,7 @@ func main() {
 		n      = flag.Int("n", 16, "dimension for randomly generated instances")
 		p      = flag.Uint64("p", ff.P62, "prime field modulus (for -in files it must match the file)")
 		op     = flag.String("op", "solve", "operation: solve | det | inv | rank | transposed | gs (Theorem 3 Toeplitz fast path)")
+		ring   = flag.String("ring", "fp", "coefficient ring: fp (one word prime field) | zz (exact over the integers) | qq (exact over the rationals)")
 		prec   = flag.String("precond", "dense", "preconditioner route for the Theorem 4 pipeline: dense (materialize Ã = A·H·D) | implicit (black-box composition, no dense matmul)")
 		in     = flag.String("in", "", "read the system from a file instead of generating it")
 		rhs    = flag.Int("rhs", 1, "right-hand sides for randomly generated op=solve instances; >1 solves them as one batch")
@@ -130,6 +140,29 @@ func main() {
 			serveDone <- server.ServeUntil(serveCtx, ln, obs.Handler(), 5*time.Second)
 		}()
 	}
+	// holdTelemetry blocks on SIGINT/SIGTERM after the output when -serve is
+	// set, keeping /metrics up for collectors (shared by the fp and ring
+	// exits).
+	holdTelemetry := func() {
+		if *serve == "" {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "kpsolve: holding telemetry endpoints open; SIGINT/SIGTERM to exit\n")
+		sigCtx, stop := server.SignalContext(context.Background())
+		var serveErr error
+		select {
+		case <-sigCtx.Done():
+			serveStop() // graceful drain: in-flight scrapes finish
+			serveErr = <-serveDone
+		case serveErr = <-serveDone:
+			// The listener failed on its own; nothing left to hold open.
+		}
+		stop()
+		if serveErr != nil {
+			fatal(serveErr)
+		}
+		fmt.Fprintln(os.Stderr, "kpsolve: telemetry drained, bye")
+	}
 	// -trace needs an Observer for the timeline; -serve installs one too so
 	// the phase-latency histograms and /snapshot phase totals are live, not
 	// just the always-on attempt statistics.
@@ -137,6 +170,31 @@ func main() {
 	if *trace != "" || *serve != "" {
 		observer = obs.New(0)
 	}
+
+	if *ring != "fp" {
+		// The exact rings generate their own instances and print exact
+		// answers; the fp-only file/batch/trace-cross-check flags stay out.
+		if *in != "" {
+			usage(fmt.Errorf("-in reads fp systems; -ring %s generates a random instance", *ring))
+		}
+		if *rhs != 1 {
+			usage(fmt.Errorf("-rhs is fp-only; -ring %s solves a single right-hand side", *ring))
+		}
+		if observer != nil {
+			// The RNS engine records its phases (rns/primes, rns/residue,
+			// rns/crt, rns/verify) on the process-global active Observer.
+			obs.SetActive(observer)
+		}
+		runRing(*ring, *op, *n, *seed, names[0], *prec, logger)
+		if *trace != "" {
+			if err := writeTrace(observer, nil, *trace); err != nil {
+				fatal(err)
+			}
+		}
+		holdTelemetry()
+		return
+	}
+
 	pSet := false
 	flag.Visit(func(fl *flag.Flag) {
 		if fl.Name == "p" {
@@ -267,28 +325,137 @@ func main() {
 		}
 	}
 
-	if *serve != "" {
-		fmt.Fprintf(os.Stderr, "kpsolve: holding telemetry endpoints open; SIGINT/SIGTERM to exit\n")
-		sigCtx, stop := server.SignalContext(context.Background())
-		var serveErr error
-		select {
-		case <-sigCtx.Done():
-			serveStop() // graceful drain: in-flight scrapes finish
-			serveErr = <-serveDone
-		case serveErr = <-serveDone:
-			// The listener failed on its own; nothing left to hold open.
-		}
-		stop()
-		if serveErr != nil {
-			fatal(serveErr)
-		}
-		fmt.Fprintln(os.Stderr, "kpsolve: telemetry drained, bye")
+	holdTelemetry()
+}
+
+// runRing executes op over ℤ or ℚ through the RNS/CRT engine: a random
+// instance, an exact answer (big rationals/integers on stdout), and the
+// residue statistics that summarize the multi-modulus run.
+func runRing(ring, op string, n int, seed uint64, mul, prec string, logger *slog.Logger) {
+	if op != "solve" && op != "det" && op != "rank" {
+		usage(fmt.Errorf("op %q is not available over %s; -ring zz|qq supports solve|det|rank", op, ring))
 	}
+	s, err := core.NewIntSolver(core.IntOptions{
+		Seed:        seed,
+		Multiplier:  mul,
+		PrecondMode: prec,
+		Logger:      logger,
+	})
+	if err != nil {
+		usage(err)
+	}
+	src := ff.NewSource(seed + 1)
+	tc := obs.NewTraceContext()
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+
+	var a *rns.IntMat
+	switch ring {
+	case "zz":
+		a = randomIntMat(src, n, 999)
+		fmt.Printf("generated a random %d×%d integer matrix with entries in [-999, 999]\n", n, n)
+	case "qq":
+		if op != "solve" {
+			usage(fmt.Errorf("op %q over qq is not supported; rank and det are invariant under clearing denominators — use -ring zz", op))
+		}
+		fmt.Printf("generated a random %d×%d rational system with entries num/den, |num| ≤ 99, den ≤ 9\n", n, n)
+	default:
+		usage(fmt.Errorf("unknown -ring %q (want fp|zz|qq)", ring))
+	}
+
+	start := time.Now()
+	var stats *kp.RingStats
+	switch {
+	case ring == "qq":
+		aq, bq := randomRatSystem(src, n)
+		x, st, err := s.SolveRatCtx(ctx, aq, bq)
+		if err != nil {
+			fatal(err)
+		}
+		stats = st
+		for i, r := range x.Rats() {
+			fmt.Printf("x[%d] = %s\n", i, r.RatString())
+		}
+		fmt.Printf("verified A·x = b exactly over ℚ: %v\n", st.Verified)
+	case op == "solve":
+		b := randomIntVec(src, n, 999)
+		x, st, err := s.SolveIntCtx(ctx, a, b)
+		if err != nil {
+			fatal(err)
+		}
+		stats = st
+		for i, r := range x.Rats() {
+			fmt.Printf("x[%d] = %s\n", i, r.RatString())
+		}
+		fmt.Printf("verified A·x = b exactly over ℚ: %v\n", st.Verified)
+	case op == "det":
+		d, st, err := s.DetIntCtx(ctx, a)
+		if err != nil {
+			fatal(err)
+		}
+		stats = st
+		fmt.Printf("det(A) = %s\n", d)
+	case op == "rank":
+		r, st, err := s.RankIntCtx(ctx, a)
+		if err != nil {
+			fatal(err)
+		}
+		stats = st
+		fmt.Printf("rank(A) = %d\n", r)
+	}
+	fmt.Printf("residues: %d over %d-bit NTT primes (%d bad prime(s) replaced), factor cache %d hit / %d miss\n",
+		stats.Residues, 62, stats.BadPrimes, stats.CacheHits, stats.CacheMisses)
+	fmt.Printf("phases: primes %s · residues wall %s (sum %s, parallel efficiency %.2f×) · crt+reconstruct %s · verify %s\n",
+		time.Duration(stats.PrimesNs), time.Duration(stats.ResidueWallNs), time.Duration(stats.ResidueSumNs),
+		stats.ParallelEfficiency, time.Duration(stats.CRTNs), time.Duration(stats.VerifyNs))
+	fmt.Printf("elapsed: %s\n", time.Since(start))
+}
+
+// randomIntMat draws an n×n integer matrix with entries uniform in
+// [-max, max].
+func randomIntMat(src *ff.Source, n int, max int64) *rns.IntMat {
+	a := rns.NewIntMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, big.NewInt(int64(src.Intn(int(2*max+1)))-max))
+		}
+	}
+	return a
+}
+
+// randomIntVec draws an n-vector with entries uniform in [-max, max].
+func randomIntVec(src *ff.Source, n int, max int64) []*big.Int {
+	b := make([]*big.Int, n)
+	for i := range b {
+		b[i] = big.NewInt(int64(src.Intn(int(2*max+1))) - max)
+	}
+	return b
+}
+
+// randomRatSystem draws an n×n rational system with numerators in
+// [-99, 99] and denominators in [1, 9].
+func randomRatSystem(src *ff.Source, n int) ([][]*big.Rat, []*big.Rat) {
+	draw := func() *big.Rat {
+		return big.NewRat(int64(src.Intn(199))-99, int64(src.Intn(9))+1)
+	}
+	a := make([][]*big.Rat, n)
+	for i := range a {
+		a[i] = make([]*big.Rat, n)
+		for j := range a[i] {
+			a[i][j] = draw()
+		}
+	}
+	b := make([]*big.Rat, n)
+	for i := range b {
+		b[i] = draw()
+	}
+	return a, b
 }
 
 // writeTrace exports the observer's timeline and prints the per-phase
 // summary, cross-checked against the Instrumented multiplier totals (the
-// two count the same operations through independent paths).
+// two count the same operations through independent paths). A nil stats
+// skips the multiplier cross-check — the ring engine runs one instrumented
+// multiplier per residue, so no single MulStats covers the run.
 func writeTrace(o *obs.Observer, stats *matrix.MulStats, path string) error {
 	if err := o.WriteTraceFile(path); err != nil {
 		return err
@@ -302,11 +469,13 @@ func writeTrace(o *obs.Observer, stats *matrix.MulStats, path string) error {
 	if dropped := o.Dropped(); dropped > 0 {
 		fmt.Printf("  (%d spans dropped: ring wrapped)\n", dropped)
 	}
-	snap := stats.Snapshot()
-	fmt.Printf("  multiplier: %d calls, %d classical-equivalent field-ops, wall %s, busy %s\n",
-		snap.Calls, snap.FieldOps, snap.Wall, snap.Busy)
-	if spanOps := o.TotalFieldOps(); spanOps != snap.FieldOps {
-		fmt.Printf("  WARNING: span field-ops %d != instrumented field-ops %d\n", spanOps, snap.FieldOps)
+	if stats != nil {
+		snap := stats.Snapshot()
+		fmt.Printf("  multiplier: %d calls, %d classical-equivalent field-ops, wall %s, busy %s\n",
+			snap.Calls, snap.FieldOps, snap.Wall, snap.Busy)
+		if spanOps := o.TotalFieldOps(); spanOps != snap.FieldOps {
+			fmt.Printf("  WARNING: span field-ops %d != instrumented field-ops %d\n", spanOps, snap.FieldOps)
+		}
 	}
 	return nil
 }

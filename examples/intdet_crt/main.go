@@ -1,7 +1,12 @@
-// Exact integer determinants by Chinese remaindering: run the Kaltofen–Pan
-// determinant over several word-sized prime fields and reconstruct the
-// integer value — the classic application pattern for abstract-field
-// algorithms (the same code runs unchanged over every F_p).
+// Exact integer determinants by Chinese remaindering — the classic
+// application pattern for abstract-field algorithms (the same generic
+// determinant code runs unchanged over every F_p).
+//
+// Since PR 9 the whole pattern is one call: core.IntSolver sizes a
+// certified prime set from the Hadamard bound, runs the Kaltofen–Pan
+// determinant over each residue field concurrently, recombines by CRT,
+// and verifies the result a posteriori. This example makes that call and
+// cross-checks it against exact rational Gaussian elimination.
 //
 //	go run ./examples/intdet_crt
 package main
@@ -10,81 +15,50 @@ import (
 	"fmt"
 	"log"
 	"math/big"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ff"
 	"repro/internal/matrix"
+	"repro/internal/rns"
 )
-
-// Word-sized primes just below 2⁶² (verified by NewFp64).
-var crtPrimes = []uint64{
-	4611686018427387847, // 2⁶² − 57
-	4611686018427387817, // 2⁶² − 87
-	4611686018427387787, // 2⁶² − 117
-}
 
 func main() {
 	const n = 12
 	src := ff.NewSource(99)
 
 	// An integer matrix with entries in [−50, 50].
-	entries := make([][]int64, n)
-	for i := range entries {
-		entries[i] = make([]int64, n)
-		for j := range entries[i] {
-			entries[i][j] = int64(src.Uint64n(101)) - 50
+	a := rns.NewIntMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, big.NewInt(int64(src.Uint64n(101))-50))
 		}
 	}
+	bound := rns.HadamardBound(a)
+	fmt.Printf("n = %d, Hadamard bound ≈ %s\n", n, sci(bound))
 
-	// Hadamard bound: |det| ≤ ∏ row norms ≤ (50·√n)ⁿ. Check the CRT
-	// modulus covers 2×bound (sign range).
-	bound := hadamardBound(entries)
-	modulus := big.NewInt(1)
-	for _, p := range crtPrimes {
-		modulus.Mul(modulus, new(big.Int).SetUint64(p))
+	// One call replaces the old hand-rolled loop: prime selection (residue
+	// count certified from the Hadamard bound), one KP determinant per
+	// residue field across a worker pool, CRT, and verification against a
+	// fresh check prime.
+	s := core.MustNewIntSolver(core.IntOptions{Seed: 1})
+	start := time.Now()
+	det, stats, err := s.DetInt(a)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if modulus.Cmp(new(big.Int).Lsh(bound, 1)) <= 0 {
-		log.Fatal("CRT modulus too small for the Hadamard bound; add primes")
+	for i, p := range stats.Primes {
+		fmt.Printf("residue %d: NTT prime %d\n", i, p)
 	}
-	fmt.Printf("n = %d, Hadamard bound ≈ %s, CRT modulus ≈ %s\n",
-		n, sci(bound), sci(modulus))
-
-	// Residues via the Kaltofen–Pan determinant over each F_p.
-	residues := make([]*big.Int, len(crtPrimes))
-	for k, p := range crtPrimes {
-		f := ff.MustFp64(p)
-		s, err := core.NewSolver[uint64](f, core.Options{Seed: uint64(k) + 1})
-		if err != nil {
-			log.Fatal(err)
-		}
-		a := matrix.NewDense[uint64](f, n, n)
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				a.Set(i, j, f.FromInt64(entries[i][j]))
-			}
-		}
-		d, err := s.Det(a)
-		if err != nil {
-			log.Fatalf("F_%d: %v", p, err)
-		}
-		residues[k] = new(big.Int).SetUint64(d)
-		fmt.Printf("det mod %d = %d\n", p, d)
-	}
-
-	// CRT reconstruction into the symmetric range.
-	det := crt(residues, crtPrimes)
-	half := new(big.Int).Rsh(modulus, 1)
-	if det.Cmp(half) > 0 {
-		det.Sub(det, modulus)
-	}
-	fmt.Printf("det(A) = %s\n", det)
+	fmt.Printf("det(A) = %s  (%d residues, verified=%v, %s)\n",
+		det, stats.Residues, stats.Verified, time.Since(start).Round(time.Microsecond))
 
 	// Cross-check with exact rational Gaussian elimination.
 	rf := ff.NewRat()
 	ra := matrix.NewDense[*big.Rat](rf, n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			ra.Set(i, j, rf.FromInt64(entries[i][j]))
+			ra.Set(i, j, new(big.Rat).SetInt(a.At(i, j)))
 		}
 	}
 	want, err := matrix.Det[*big.Rat](rf, ra)
@@ -92,40 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("exact rational check: %s — match: %v\n",
-		want.RatString(), want.Num().Cmp(det) == 0 && want.IsInt())
-}
-
-func hadamardBound(rows [][]int64) *big.Int {
-	bound := big.NewInt(1)
-	for _, row := range rows {
-		norm2 := big.NewInt(0)
-		for _, v := range row {
-			norm2.Add(norm2, new(big.Int).Mul(big.NewInt(v), big.NewInt(v)))
-		}
-		// Integer ceiling of the row norm.
-		r := new(big.Int).Sqrt(norm2)
-		r.Add(r, big.NewInt(1))
-		bound.Mul(bound, r)
-	}
-	return bound
-}
-
-// crt combines residues by iterative pairwise reconstruction.
-func crt(residues []*big.Int, primes []uint64) *big.Int {
-	x := new(big.Int).Set(residues[0])
-	m := new(big.Int).SetUint64(primes[0])
-	for i := 1; i < len(primes); i++ {
-		p := new(big.Int).SetUint64(primes[i])
-		// x' ≡ x (mod m), x' ≡ r (mod p): x' = x + m·((r−x)·m⁻¹ mod p).
-		diff := new(big.Int).Sub(residues[i], x)
-		diff.Mod(diff, p)
-		minv := new(big.Int).ModInverse(new(big.Int).Mod(m, p), p)
-		t := new(big.Int).Mul(diff, minv)
-		t.Mod(t, p)
-		x.Add(x, new(big.Int).Mul(m, t))
-		m.Mul(m, p)
-	}
-	return x.Mod(x, m)
+		want.RatString(), want.IsInt() && want.Num().Cmp(det) == 0)
 }
 
 func sci(v *big.Int) string {

@@ -1,0 +1,64 @@
+// Exact solving over ℚ: a rational system A·x = b answered with exact
+// rationals, no floating point anywhere. core.IntSolver clears
+// denominators row by row, solves the integer image over a certified set
+// of word-sized NTT primes (one independent Kaltofen–Pan solve per
+// residue field), recombines by CRT, recovers the rational entries by
+// lattice-based rational reconstruction, and verifies A·x = b exactly.
+//
+// The demo solves a Hilbert-like system — the standard stress test for
+// exact rational arithmetic, where naive floating point loses all digits
+// by n ≈ 12 — and prints the exact answer plus the residue statistics.
+//
+//	go run ./examples/ratsolve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	const n = 10
+
+	// The Hilbert matrix H[i][j] = 1/(i+j+1) with b[i] = 1: notoriously
+	// ill-conditioned over ℝ (condition number ≈ 10¹³ at n = 10), exactly
+	// solvable over ℚ.
+	a := make([][]*big.Rat, n)
+	for i := range a {
+		a[i] = make([]*big.Rat, n)
+		for j := range a[i] {
+			a[i][j] = big.NewRat(1, int64(i+j+1))
+		}
+	}
+	b := make([]*big.Rat, n)
+	for i := range b {
+		b[i] = big.NewRat(1, 1)
+	}
+
+	s := core.MustNewIntSolver(core.IntOptions{Seed: 7})
+	start := time.Now()
+	x, stats, err := s.SolveRat(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range x.Rats() {
+		fmt.Printf("x[%d] = %s\n", i, r.RatString())
+	}
+	fmt.Printf("\n%d residue fields, %d bad prime(s) replaced, parallel efficiency %.2f×, %s total\n",
+		stats.Residues, stats.BadPrimes, stats.ParallelEfficiency, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("verified A·x = b exactly over ℚ: %v\n", stats.Verified)
+
+	// Sanity: the solution of the Hilbert system is integral (a classical
+	// identity — the inverse Hilbert matrix has integer entries).
+	allInt := true
+	for _, r := range x.Rats() {
+		if !r.IsInt() {
+			allInt = false
+		}
+	}
+	fmt.Printf("all entries integral (inverse Hilbert matrices are integer): %v\n", allInt)
+}

@@ -38,4 +38,17 @@ var (
 	// ≤ n, violating Theorem 4's hypothesis (use the any-characteristic
 	// §5 routes instead).
 	ErrCharacteristicTooSmall = errors.New("field characteristic too small for Theorem 4 (use the any-characteristic §5 routes)")
+
+	// ErrBoundTooSmall reports a multi-modulus (RNS/CRT) run whose prime
+	// set was forced — by an explicit rns.Params.Primes count or Bound
+	// override — below what the answer actually needs: the CRT modulus
+	// cannot separate the true result from an alias. The certified
+	// (Hadamard/Cramer) sizing never produces this error.
+	ErrBoundTooSmall = errors.New("CRT modulus too small for the result (raise rns.Params.Primes or Bound)")
+
+	// ErrReconstructFailed reports a rational reconstruction with no
+	// num/den pair inside the requested bounds — either the modulus is too
+	// small for the true answer (see ErrBoundTooSmall) or the residue is
+	// not congruent to any bounded rational.
+	ErrReconstructFailed = errors.New("rational reconstruction found no bounded num/den pair")
 )

@@ -27,14 +27,16 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 }
 
 // CompareBaseline checks cur against base cell by cell and returns one
-// message per regression: a (n, multiplier, rhs, precond, workload) run
-// whose wall_ns exceeds the baseline's by more than the fractional
+// message per regression: a (ring, n, multiplier, rhs, precond, workload)
+// run whose wall_ns exceeds the baseline's by more than the fractional
 // tolerance (0.10 = 10% slower). Rhs 0 (legacy reports) and 1 are the same
 // cell, and legacy rows without a precond label are "dense", so old
-// baselines keep gating single-solve dense rows; implicit, GS and
-// structured-workload rows only gate against baselines that carry them.
-// Cells present in only one report are ignored — the gate guards shared
-// coverage, it does not force identical grids across PRs.
+// baselines keep gating single-solve dense rows; implicit, GS,
+// structured-workload and ring rows only gate against baselines that carry
+// them (the ring qualifier keeps a zz row from colliding with the fp row
+// of the same n and multiplier). Cells present in only one report are
+// ignored — the gate guards shared coverage, it does not force identical
+// grids across PRs.
 func CompareBaseline(cur, base *BenchReport, tol float64) []string {
 	key := func(r BenchRun) string {
 		rhs := r.Rhs
@@ -47,6 +49,9 @@ func CompareBaseline(cur, base *BenchReport, tol float64) []string {
 		}
 		if r.Workload != "" {
 			k += "@" + r.Workload
+		}
+		if r.Ring != "" {
+			k = r.Ring + "!" + k
 		}
 		return k
 	}
@@ -63,6 +68,9 @@ func CompareBaseline(cur, base *BenchReport, tol float64) []string {
 		limit := float64(bw) * (1 + tol)
 		if float64(r.WallNs) > limit {
 			cell := fmt.Sprintf("n=%d %s", r.Dim, r.Multiplier)
+			if r.Ring != "" {
+				cell = fmt.Sprintf("%s ring=%s", cell, r.Ring)
+			}
 			if r.Rhs > 1 {
 				cell = fmt.Sprintf("%s rhs=%d", cell, r.Rhs)
 			}

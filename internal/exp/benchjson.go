@@ -88,6 +88,20 @@ type BenchRun struct {
 	// IndepWallNs / WallNs — the amortization factor of the batch engine.
 	IndepWallNs  int64   `json:"indep_wall_ns,omitempty"`
 	BatchSpeedup float64 `json:"batch_speedup,omitempty"`
+	// Ring is "" for field rows and "zz" for exact integer rows (BenchRing);
+	// the fields below are ring rows only. Residues counts the residue
+	// fields CRT'd together, ResidueWallNs/ResidueSumNs split the concurrent
+	// residue phase into wall vs serialized time (their ratio is
+	// ParallelEfficiency), CRTNs is Chinese remaindering plus rational
+	// reconstruction, and RNSVerifyNs the a-posteriori exact check over ℤ.
+	Ring               string  `json:"ring,omitempty"`
+	Residues           int     `json:"residues,omitempty"`
+	BadPrimes          int     `json:"bad_primes,omitempty"`
+	ResidueWallNs      int64   `json:"residue_wall_ns,omitempty"`
+	ResidueSumNs       int64   `json:"residue_sum_ns,omitempty"`
+	CRTNs              int64   `json:"crt_ns,omitempty"`
+	RNSVerifyNs        int64   `json:"rns_verify_ns,omitempty"`
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
 }
 
 // BenchReport is the kpbench -json document.

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ff"
+	"repro/internal/rns"
+)
+
+// kpbench -ring zz: exact integer rows for the BENCH_*.json trajectory.
+// One row = one exact Solve of a random n×n integer system through the
+// RNS/CRT engine — every residue field solved independently by the
+// Theorem 4 pipeline, then Chinese remaindering, rational reconstruction
+// and the a-posteriori verification over ℤ. The row carries the residue
+// count and the phase split (residue wall vs serialized sum, CRT and
+// verify time), so the trajectory tracks both the exact-solve wall time
+// and the realized parallel efficiency of the residue fan-out.
+
+// ringEntryBound is the magnitude of the random integer entries; the
+// Hadamard/Cramer bound (and hence the residue count) grows with it.
+const ringEntryBound = 999
+
+// BenchRing runs one exact ℤ-solve per (n, multiplier) pair and returns
+// the ring rows. The multiplier names the per-residue inner black box.
+func BenchRing(ns []int, muls []string, seed uint64) ([]BenchRun, error) {
+	var runs []BenchRun
+	for _, n := range ns {
+		src := ff.NewSource(seed + 13*uint64(n))
+		a := rns.NewIntMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, big.NewInt(int64(src.Intn(2*ringEntryBound+1))-ringEntryBound))
+			}
+		}
+		b := make([]*big.Int, n)
+		for i := range b {
+			b[i] = big.NewInt(int64(src.Intn(2*ringEntryBound+1)) - ringEntryBound)
+		}
+		for _, name := range muls {
+			s, err := core.NewIntSolver(core.IntOptions{Seed: seed, Multiplier: name})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			_, stats, err := s.SolveInt(a, b)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("ring bench n=%d mul=%s: %w", n, name, err)
+			}
+			runs = append(runs, BenchRun{
+				Dim:                n,
+				Multiplier:         name,
+				Ring:               "zz",
+				WallNs:             wall.Nanoseconds(),
+				Verified:           stats.Verified,
+				Residues:           stats.Residues,
+				BadPrimes:          stats.BadPrimes,
+				ResidueWallNs:      stats.ResidueWallNs,
+				ResidueSumNs:       stats.ResidueSumNs,
+				CRTNs:              stats.CRTNs,
+				RNSVerifyNs:        stats.VerifyNs,
+				ParallelEfficiency: stats.ParallelEfficiency,
+			})
+		}
+	}
+	return runs, nil
+}

@@ -1,0 +1,105 @@
+package ff
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// NTT-friendly prime generation for the RNS/CRT multi-modulus engine
+// (the lattigo GenerateNTTPrimes idiom): word-sized primes p ≡ 1 mod 2^a,
+// so F_p contains primitive 2^k-th roots of unity for every k ≤ a and the
+// Hankel-preconditioner NTT fast path (and every poly NTT product) is
+// available in each residue field. The generator walks candidates
+// descending from 2^bits in steps of 2^a, so successive primes are
+// distinct, deterministic, and as large as possible — maximizing the bits
+// each residue contributes to the CRT modulus.
+
+// DefaultNTTPrimeBits is the default residue prime size: primes just below
+// 2⁶², the largest size the Fp64 lazy-reduction kernels accept.
+const DefaultNTTPrimeBits = 62
+
+// DefaultNTTLog2n is the default guaranteed two-adicity of generated
+// primes: 2^20 | p−1 admits NTT sizes up to 2^20 — Hankel applies for
+// systems up to n ≈ 2^18, far beyond any dimension this code runs.
+const DefaultNTTLog2n = 20
+
+// NTTPrimeSeq generates distinct NTT-friendly primes on demand, descending
+// from 2^bits. The sequence is deterministic: two sequences with the same
+// parameters yield the same primes in the same order. It is not safe for
+// concurrent use; guard Next with a mutex when workers share one sequence.
+type NTTPrimeSeq struct {
+	bits  int
+	log2n int
+	next  *big.Int // next candidate, ≡ 1 mod 2^log2n
+	step  *big.Int // 2^log2n
+	floor *big.Int // smallest acceptable candidate (2^(bits−1))
+}
+
+// NewNTTPrimeSeq returns a generator of primes p < 2^bits with
+// p ≡ 1 mod 2^log2n. bits must be in [20, 62] (Fp64 word primes) and
+// log2n in [1, bits−2]; zero values select the defaults.
+func NewNTTPrimeSeq(bits, log2n int) (*NTTPrimeSeq, error) {
+	if bits == 0 {
+		bits = DefaultNTTPrimeBits
+	}
+	if log2n == 0 {
+		log2n = DefaultNTTLog2n
+	}
+	if bits < 20 || bits > 62 {
+		return nil, fmt.Errorf("ff: NTT prime size %d bits out of range [20, 62]", bits)
+	}
+	if log2n < 1 || log2n > bits-2 {
+		return nil, fmt.Errorf("ff: NTT two-adicity 2^%d out of range [2^1, 2^%d]", log2n, bits-2)
+	}
+	step := new(big.Int).Lsh(big.NewInt(1), uint(log2n))
+	// Largest v < 2^bits with v ≡ 1 mod 2^log2n: 2^bits − 2^log2n + 1.
+	first := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	first.Sub(first, step)
+	first.Add(first, big.NewInt(1))
+	return &NTTPrimeSeq{
+		bits:  bits,
+		log2n: log2n,
+		next:  first,
+		step:  step,
+		floor: new(big.Int).Lsh(big.NewInt(1), uint(bits-1)),
+	}, nil
+}
+
+// Log2n returns the guaranteed two-adicity exponent: 2^Log2n divides p−1
+// for every generated prime.
+func (g *NTTPrimeSeq) Log2n() int { return g.log2n }
+
+// Next returns the next prime in the sequence, or an error once the
+// candidate walk falls below 2^(bits−1) — which cannot happen for any
+// realistic residue count (there are billions of 62-bit NTT primes).
+func (g *NTTPrimeSeq) Next() (uint64, error) {
+	for g.next.Cmp(g.floor) > 0 {
+		cand := g.next.Uint64()
+		g.next.Sub(g.next, g.step)
+		if new(big.Int).SetUint64(cand).ProbablyPrime(32) {
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("ff: exhausted %d-bit primes ≡ 1 mod 2^%d", g.bits, g.log2n)
+}
+
+// GenerateNTTPrimes returns the first count primes of the (bits, log2n)
+// sequence — distinct word-sized NTT-friendly primes in descending order.
+func GenerateNTTPrimes(bits, log2n, count int) ([]uint64, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("ff: GenerateNTTPrimes wants a positive count, got %d", count)
+	}
+	g, err := NewNTTPrimeSeq(bits, log2n)
+	if err != nil {
+		return nil, err
+	}
+	primes := make([]uint64, 0, count)
+	for len(primes) < count {
+		p, err := g.Next()
+		if err != nil {
+			return nil, err
+		}
+		primes = append(primes, p)
+	}
+	return primes, nil
+}

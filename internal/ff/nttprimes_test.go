@@ -1,0 +1,101 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestGenerateNTTPrimes: every generated prime must build a valid Fp64,
+// carry the promised two-adicity (usable roots of unity for the NTT fast
+// path), be distinct, and come out in descending order deterministically.
+func TestGenerateNTTPrimes(t *testing.T) {
+	const count = 8
+	primes, err := GenerateNTTPrimes(62, 20, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(primes) != count {
+		t.Fatalf("got %d primes, want %d", len(primes), count)
+	}
+	seen := make(map[uint64]bool)
+	for i, p := range primes {
+		if seen[p] {
+			t.Fatalf("duplicate prime %d", p)
+		}
+		seen[p] = true
+		if i > 0 && primes[i-1] <= p {
+			t.Fatalf("primes not descending: %d then %d", primes[i-1], p)
+		}
+		if p>>61 != 1 {
+			t.Fatalf("prime %d is not 62-bit", p)
+		}
+		if (p-1)%(1<<20) != 0 {
+			t.Fatalf("prime %d lacks 2^20 | p−1", p)
+		}
+		f, err := NewFp64(p)
+		if err != nil {
+			t.Fatalf("NewFp64(%d): %v", p, err)
+		}
+		// A primitive 2^20-th root of unity must exist and have exact order.
+		w, ok := f.RootOfUnity(20)
+		if !ok {
+			t.Fatalf("prime %d: no 2^20-th root of unity", p)
+		}
+		if f.Pow(w, 1<<19) != p-1 {
+			t.Fatalf("prime %d: root of unity has wrong order", p)
+		}
+	}
+
+	// Determinism: a second generation yields the same sequence.
+	again, err := GenerateNTTPrimes(62, 20, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range primes {
+		if primes[i] != again[i] {
+			t.Fatalf("sequence not deterministic at %d: %d vs %d", i, primes[i], again[i])
+		}
+	}
+}
+
+// TestNTTPrimeSeqResumes: a sequence hands out fresh primes across calls —
+// the bad-prime replacement path draws from the same walk the initial set
+// came from, so replacements never collide with primes already in use.
+func TestNTTPrimeSeqResumes(t *testing.T) {
+	g, err := NewNTTPrimeSeq(0, 0) // defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Log2n() != DefaultNTTLog2n {
+		t.Fatalf("Log2n = %d, want default %d", g.Log2n(), DefaultNTTLog2n)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 12; i++ {
+		p, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("Next repeated prime %d", p)
+		}
+		seen[p] = true
+		if !new(big.Int).SetUint64(p).ProbablyPrime(32) {
+			t.Fatalf("Next returned composite %d", p)
+		}
+	}
+}
+
+// TestNTTPrimeSeqRejectsBadParams: out-of-range sizes fail loudly instead
+// of silently producing unusable residue fields.
+func TestNTTPrimeSeqRejectsBadParams(t *testing.T) {
+	for _, tc := range []struct{ bits, log2n int }{
+		{19, 10}, {63, 10}, {40, 39}, {30, -1},
+	} {
+		if _, err := NewNTTPrimeSeq(tc.bits, tc.log2n); err == nil {
+			t.Fatalf("NewNTTPrimeSeq(%d, %d) accepted invalid params", tc.bits, tc.log2n)
+		}
+	}
+	if _, err := GenerateNTTPrimes(62, 20, 0); err == nil {
+		t.Fatal("GenerateNTTPrimes accepted count 0")
+	}
+}

@@ -259,9 +259,11 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
-// TestLegacyWrappers keeps the deprecated positional-argument shims working
-// and equal to their Params-based replacements.
-func TestLegacyWrappers(t *testing.T) {
+// TestParamsDrivers exercises the canonical Params-based entry points —
+// Solve, Det, Rank, Inverse, TransposedSolve — on one shared system. (The
+// deprecated *Legacy positional wrappers these drivers replaced are gone;
+// see the README migration notes.)
+func TestParamsDrivers(t *testing.T) {
 	fp := ff.MustFp64(ff.P31)
 	src := ff.NewSource(101)
 	n := 5
@@ -273,45 +275,42 @@ func TestLegacyWrappers(t *testing.T) {
 		}
 	}
 	b := ff.SampleVec[uint64](fp, src, n, ff.P31)
+	p := Params{Src: ff.NewSource(1), Subset: ff.P31}
 
-	x, err := SolveLegacy[uint64](fp, matrix.Classical[uint64]{}, a, b, ff.NewSource(1), ff.P31, 0)
+	x, err := Solve[uint64](fp, matrix.Classical[uint64]{}, a, b, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := Solve[uint64](fp, matrix.Classical[uint64]{}, a, b, Params{Src: ff.NewSource(1), Subset: ff.P31})
-	if err != nil {
-		t.Fatal(err)
+	if !ff.VecEqual[uint64](fp, a.MulVec(fp, x), b) {
+		t.Fatal("Solve wrong")
 	}
-	if !ff.VecEqual[uint64](fp, x, want) {
-		t.Fatal("SolveLegacy differs from Solve")
-	}
-	d, err := DetLegacy[uint64](fp, matrix.Classical[uint64]{}, a, ff.NewSource(1), ff.P31, 0)
+	d, err := Det[uint64](fp, matrix.Classical[uint64]{}, a, Params{Src: ff.NewSource(1), Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
 	wd, _ := matrix.Det[uint64](fp, a)
 	if d != wd {
-		t.Fatalf("DetLegacy = %d, want %d", d, wd)
+		t.Fatalf("Det = %d, want %d", d, wd)
 	}
-	r, err := RankLegacy[uint64](fp, a, ff.NewSource(1), ff.P31, 0)
+	r, err := Rank[uint64](fp, a, Params{Src: ff.NewSource(1), Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r != n {
-		t.Fatalf("RankLegacy = %d, want %d", r, n)
+		t.Fatalf("Rank = %d, want %d", r, n)
 	}
-	inv, err := InverseLegacy[uint64](fp, matrix.Classical[uint64]{}, a, ff.NewSource(1), ff.P31, 0)
+	inv, err := Inverse[uint64](fp, matrix.Classical[uint64]{}, a, Params{Src: ff.NewSource(1), Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !matrix.Mul[uint64](fp, a, inv).Equal(fp, matrix.Identity[uint64](fp, n)) {
-		t.Fatal("InverseLegacy wrong")
+		t.Fatal("Inverse wrong")
 	}
-	xt, err := TransposedSolveLegacy[uint64](fp, a, b, ff.NewSource(1), ff.P31, 0)
+	xt, err := TransposedSolve[uint64](fp, a, b, Params{Src: ff.NewSource(1), Subset: ff.P31})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ff.VecEqual[uint64](fp, a.Transpose().MulVec(fp, xt), b) {
-		t.Fatal("TransposedSolveLegacy wrong")
+		t.Fatal("TransposedSolve wrong")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"io"
+	"math/big"
 
 	"repro/internal/ff"
 )
@@ -56,6 +57,38 @@ func Digest[E any](f ff.Field[E], m *Dense[E]) [DigestSize]byte {
 // representation the kpd API reports.
 func DigestString[E any](f ff.Field[E], m *Dense[E]) string {
 	d := Digest(f, m)
+	return hex.EncodeToString(d[:])
+}
+
+// DigestInts returns the canonical digest of an integer matrix — the ring-ℤ
+// analogue of Digest, under its own domain tag so a ℤ matrix and an F_p
+// matrix can never collide. data is row-major with len = rows·cols; entries
+// enter through big.Int.String (the canonical signed decimal), so any two
+// big.Int representations of the same integer digest equal. The kpd server
+// keys the per-prime factorization cache of ring=zz requests on these
+// (qualified by the residue prime), so repeat integer matrices skip every
+// Krylov phase.
+func DigestInts(rows, cols int, data []*big.Int) [DigestSize]byte {
+	if len(data) != rows*cols {
+		panic("matrix: DigestInts data length does not match dimensions")
+	}
+	h := sha256.New()
+	writeToken(h, []byte("kp/matrix/zz/v1"))
+	var dims [16]byte
+	binary.BigEndian.PutUint64(dims[0:8], uint64(rows))
+	binary.BigEndian.PutUint64(dims[8:16], uint64(cols))
+	h.Write(dims[:])
+	for _, e := range data {
+		writeToken(h, []byte(e.String()))
+	}
+	var out [DigestSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// DigestIntsString returns the hex form of DigestInts.
+func DigestIntsString(rows, cols int, data []*big.Int) string {
+	d := DigestInts(rows, cols, data)
 	return hex.EncodeToString(d[:])
 }
 

@@ -85,6 +85,27 @@ const (
 	PhaseBatchVerify = "batch/verify"
 )
 
+// RNS/CRT multi-modulus phases: the ring-ℤ/ℚ engine (kp.IntEngine) splits
+// an exact integer or rational problem into independent word-prime residue
+// solves and recombines. The "rns/" prefix keeps the number-theoretic
+// bookkeeping distinguishable from the per-residue Theorem 4 phases, which
+// nest under each rns/residue span with their usual batch/* names.
+const (
+	// PhaseRNSPrimes is the certified prime-set generation: Hadamard/Cramer
+	// bound → residue count → NTT-friendly word primes.
+	PhaseRNSPrimes = "rns/primes"
+	// PhaseRNSResidue is one residue field's solve: reduce mod p, factor
+	// (or hit the per-prime factorization cache), backsolve. One span per
+	// residue; they run concurrently across the worker pool.
+	PhaseRNSResidue = "rns/residue"
+	// PhaseRNSCRT is the Chinese-remainder combination and, for solves, the
+	// per-coordinate rational reconstruction (the half-gcd lattice step).
+	PhaseRNSCRT = "rns/crt"
+	// PhaseRNSVerify is the a-posteriori exact check over ℤ: A·num = den·b
+	// (solve) or a fresh check-prime residue comparison (det).
+	PhaseRNSVerify = "rns/verify"
+)
+
 // SpanRecord is one completed span as stored in the Observer's ring (and,
 // for spans opened under a request TraceScope, in the scope's collection
 // serialized by the /debug/traces trace store).

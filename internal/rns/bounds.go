@@ -1,0 +1,93 @@
+package rns
+
+import "math/big"
+
+// Certified result-magnitude bounds: how big can the answer be, and
+// therefore how many residue primes the CRT modulus needs. Everything here
+// is integer arithmetic on ceilings — the bounds are upper bounds, never
+// estimates, so the certified prime count can be pessimistic but cannot
+// undershoot (undershooting is exactly the ErrBoundTooSmall failure mode
+// reserved for user overrides).
+
+// HadamardBound returns the column-norm Hadamard bound on |det(A)|:
+// ∏_j ceil(‖col_j‖₂), with each factor clamped to ≥ 1 so the product also
+// bounds every (n−1)-column sub-product (used by the Cramer numerator
+// bound). A must be square.
+func HadamardBound(a *IntMat) *big.Int {
+	bound := big.NewInt(1)
+	norm2 := new(big.Int)
+	sq := new(big.Int)
+	for j := 0; j < a.Cols; j++ {
+		norm2.SetInt64(0)
+		for i := 0; i < a.Rows; i++ {
+			e := a.At(i, j)
+			norm2.Add(norm2, sq.Mul(e, e))
+		}
+		// ceil(√norm2), clamped to ≥ 1: Sqrt floors, so add 1 unless the
+		// norm is an exact square of the floor.
+		r := new(big.Int).Sqrt(norm2)
+		if sq.Mul(r, r).Cmp(norm2) < 0 {
+			r.Add(r, bigOne)
+		}
+		if r.Sign() == 0 {
+			r.SetInt64(1)
+		}
+		bound.Mul(bound, r)
+	}
+	return bound
+}
+
+// SolveBound returns the Cramer magnitude bound for A·x = b over ℤ: a
+// single N with |numerator_i| ≤ N and 0 < denominator ≤ N for the reduced
+// rational solution. By Cramer, x_i = det(A_i(b))/det(A): the denominator
+// divides det(A), so HadamardBound(A) covers it; each numerator determinant
+// replaces one column of A by b, and is bounded by the product of the other
+// columns' norms (≤ HadamardBound(A), every factor being ≥ 1) times
+// ceil(‖b‖₂).
+func SolveBound(a *IntMat, b []*big.Int) *big.Int {
+	h := HadamardBound(a)
+	norm2 := new(big.Int)
+	sq := new(big.Int)
+	for _, e := range b {
+		norm2.Add(norm2, sq.Mul(e, e))
+	}
+	r := new(big.Int).Sqrt(norm2)
+	if sq.Mul(r, r).Cmp(norm2) < 0 {
+		r.Add(r, bigOne)
+	}
+	if r.Sign() == 0 {
+		r.SetInt64(1)
+	}
+	return h.Mul(h, r)
+}
+
+// PrimesFor returns how many primes of the given bit size the CRT modulus
+// needs to cover the reconstruction window for answers of magnitude ≤
+// bound: rational reconstruction of num/den with |num|, den ≤ bound is
+// unique iff M > 2·bound², so the count satisfies 2^((bits−1)·count) >
+// 2·bound² (every generated prime exceeds 2^(bits−1)).
+func PrimesFor(bound *big.Int, bits int) int {
+	// need = 2·bound² + 1; count = ceil(bitlen(need) / (bits−1)), min 1.
+	need := new(big.Int).Mul(bound, bound)
+	need.Lsh(need, 1)
+	need.Add(need, bigOne)
+	per := bits - 1
+	count := (need.BitLen() + per - 1) / per
+	if count < 1 {
+		count = 1
+	}
+	return count
+}
+
+// DetPrimesFor is PrimesFor for a plain integer result (no denominator):
+// the symmetric CRT range must cover [−bound, bound], i.e. M > 2·bound.
+func DetPrimesFor(bound *big.Int, bits int) int {
+	need := new(big.Int).Lsh(bound, 1)
+	need.Add(need, bigOne)
+	per := bits - 1
+	count := (need.BitLen() + per - 1) / per
+	if count < 1 {
+		count = 1
+	}
+	return count
+}

@@ -1,0 +1,58 @@
+package rns
+
+import "math/big"
+
+// Chinese remainder combination. The engine solves each residue field
+// independently; CRT glues the word-sized answers back into ℤ/M for the
+// full modulus M = ∏ p_k, after which SymmetricReduce (integers) or
+// Reconstruct (rationals) maps into the true answer range.
+
+// CRTBasis precomputes the mixed products for a fixed prime set so that
+// combining many values (every coordinate of a solution vector) pays the
+// per-prime setup once.
+type CRTBasis struct {
+	Primes []uint64
+	M      *big.Int   // ∏ primes
+	terms  []*big.Int // terms[k] = M_k · (M_k⁻¹ mod p_k), M_k = M / p_k
+}
+
+// NewCRTBasis builds the basis for distinct primes.
+func NewCRTBasis(primes []uint64) *CRTBasis {
+	m := big.NewInt(1)
+	for _, p := range primes {
+		m.Mul(m, new(big.Int).SetUint64(p))
+	}
+	terms := make([]*big.Int, len(primes))
+	pk := new(big.Int)
+	for k, p := range primes {
+		pk.SetUint64(p)
+		mk := new(big.Int).Quo(m, pk)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(mk, pk), pk)
+		terms[k] = mk.Mul(mk, inv) // M_k · (M_k⁻¹ mod p_k)
+	}
+	return &CRTBasis{Primes: append([]uint64(nil), primes...), M: m, terms: terms}
+}
+
+// Combine returns the unique x ∈ [0, M) with x ≡ residues[k] mod p_k.
+func (b *CRTBasis) Combine(residues []uint64) *big.Int {
+	if len(residues) != len(b.Primes) {
+		panic("rns: residue count does not match CRT basis")
+	}
+	x := new(big.Int)
+	t := new(big.Int)
+	for k, r := range residues {
+		x.Add(x, t.Mul(b.terms[k], t.SetUint64(r)))
+	}
+	return x.Mod(x, b.M)
+}
+
+// SymmetricReduce maps x ∈ [0, M) into the symmetric range (−M/2, M/2] —
+// the integer a CRT residue represents when the true answer may be
+// negative.
+func SymmetricReduce(x, m *big.Int) *big.Int {
+	half := new(big.Int).Rsh(m, 1)
+	if x.Cmp(half) > 0 {
+		return new(big.Int).Sub(x, m)
+	}
+	return new(big.Int).Set(x)
+}

@@ -1,0 +1,53 @@
+package rns
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Solving over ℚ reduces to solving over ℤ: scaling row i of [A | b] by the
+// least common multiple of its denominators leaves the solution vector x
+// unchanged (each equation is multiplied by a nonzero constant), so the
+// engine clears denominators row by row and runs the integer pipeline.
+
+// ClearDenominators returns the integer system equivalent to the rational
+// system A·x = b: each row of [A | b] is scaled by the LCM of its entries'
+// denominators. a must be rectangular with len(b) == len(a).
+func ClearDenominators(a [][]*big.Rat, b []*big.Rat) (*IntMat, []*big.Int, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("rns: empty system: %w", ErrBadShape)
+	}
+	if len(b) != n {
+		return nil, nil, fmt.Errorf("rns: %d rows but %d right-hand entries: %w", n, len(b), ErrBadShape)
+	}
+	cols := len(a[0])
+	m := &IntMat{Rows: n, Cols: cols, Data: make([]*big.Int, n*cols)}
+	bi := make([]*big.Int, n)
+	lcm := new(big.Int)
+	g := new(big.Int)
+	for i, row := range a {
+		if len(row) != cols {
+			return nil, nil, fmt.Errorf("rns: row %d has %d entries, want %d: %w", i, len(row), cols, ErrBadShape)
+		}
+		// L = lcm of the row's denominators (all positive by big.Rat's
+		// normalization).
+		lcm.SetInt64(1)
+		for _, e := range row {
+			d := e.Denom()
+			g.GCD(nil, nil, lcm, d)
+			lcm.Mul(lcm, new(big.Int).Quo(d, g))
+		}
+		d := b[i].Denom()
+		g.GCD(nil, nil, lcm, d)
+		lcm.Mul(lcm, new(big.Int).Quo(d, g))
+		// Scale the row: entry num·(L/den) is exact by construction.
+		for j, e := range row {
+			v := new(big.Int).Quo(lcm, e.Denom())
+			m.Data[i*cols+j] = v.Mul(v, e.Num())
+		}
+		v := new(big.Int).Quo(lcm, b[i].Denom())
+		bi[i] = v.Mul(v, b[i].Num())
+	}
+	return m, bi, nil
+}

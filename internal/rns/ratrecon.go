@@ -1,0 +1,85 @@
+package rns
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rational reconstruction: the lattice step that turns a CRT residue back
+// into the unique bounded rational it came from. Given u ≡ num·den⁻¹
+// (mod M), the pairs (n, d) with n ≡ u·d (mod M) form a 2-dimensional
+// lattice; the extended Euclidean remainder sequence on (M, u) walks its
+// short vectors (this is exactly the computation a half-gcd accelerates —
+// the remainders r_i and cofactors t_i satisfy r_i ≡ t_i·u (mod M), with
+// |r_i| shrinking while |t_i| grows), and the first remainder ≤ numBound
+// yields the answer. Uniqueness holds whenever M > 2·numBound·denBound,
+// which is what PrimesFor certifies.
+
+// Reconstruct returns (num, den) with num ≡ u·den (mod M), |num| ≤
+// numBound, 0 < den ≤ denBound and gcd(num, den) = 1, or
+// ErrReconstructFailed when no such pair exists. u must lie in [0, M).
+func Reconstruct(u, m, numBound, denBound *big.Int) (*big.Int, *big.Int, error) {
+	if u.Sign() < 0 || u.Cmp(m) >= 0 {
+		return nil, nil, fmt.Errorf("rns: residue %s outside [0, M): %w", u, ErrReconstructFailed)
+	}
+	// Remainder sequence invariant: r = s·M + t·u (s untracked), so every
+	// (r_i, t_i) is a lattice point: r_i ≡ t_i·u (mod M).
+	r0, r1 := new(big.Int).Set(m), new(big.Int).Set(u)
+	t0, t1 := new(big.Int), big.NewInt(1)
+	q, tmp := new(big.Int), new(big.Int)
+	for r1.Sign() != 0 && r1.Cmp(numBound) > 0 {
+		q.Quo(r0, r1)
+		// (r0, r1) ← (r1, r0 − q·r1); same rotation for t.
+		tmp.Mul(q, r1)
+		r0.Sub(r0, tmp)
+		r0, r1 = r1, r0
+		tmp.Mul(q, t1)
+		t0.Sub(t0, tmp)
+		t0, t1 = t1, t0
+	}
+	num := new(big.Int).Set(r1)
+	den := new(big.Int).Set(t1)
+	if den.Sign() < 0 {
+		den.Neg(den)
+		num.Neg(num)
+	}
+	if den.Sign() == 0 || den.Cmp(denBound) > 0 {
+		return nil, nil, fmt.Errorf("rns: denominator %s exceeds bound %s: %w", den, denBound, ErrReconstructFailed)
+	}
+	// The unique bounded solution is coprime; a common factor means the
+	// walk landed on a multiple — no bounded representative exists.
+	if num.Sign() != 0 {
+		g := new(big.Int).GCD(nil, nil, tmp.Abs(num), den)
+		if g.Cmp(bigOne) != 0 {
+			return nil, nil, fmt.Errorf("rns: gcd(num, den) = %s ≠ 1: %w", g, ErrReconstructFailed)
+		}
+	}
+	return num, den, nil
+}
+
+// ReconstructVec reconstructs every coordinate of a CRT-combined solution
+// vector against shared bounds and returns the lowest-common-denominator
+// form. residues[i] ∈ [0, M) is x_i mod M.
+func ReconstructVec(residues []*big.Int, m, numBound, denBound *big.Int) (*RatVec, error) {
+	nums := make([]*big.Int, len(residues))
+	dens := make([]*big.Int, len(residues))
+	lcm := big.NewInt(1)
+	tmp := new(big.Int)
+	for i, u := range residues {
+		n, d, err := Reconstruct(u, m, numBound, denBound)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %d: %w", i, err)
+		}
+		nums[i], dens[i] = n, d
+		// lcm ← lcm·d / gcd(lcm, d)
+		g := tmp.GCD(nil, nil, lcm, d)
+		lcm.Mul(lcm, new(big.Int).Quo(d, g))
+	}
+	// Scale numerators onto the common denominator.
+	for i := range nums {
+		nums[i].Mul(nums[i], tmp.Quo(lcm, dens[i]))
+	}
+	v := &RatVec{Num: nums, Den: lcm}
+	v.Normalize()
+	return v, nil
+}

@@ -1,0 +1,220 @@
+package rns
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// residueOf maps num/den into ℤ/M: u = num·den⁻¹ mod M.
+func residueOf(t *testing.T, num, den, m *big.Int) *big.Int {
+	t.Helper()
+	inv := new(big.Int).ModInverse(new(big.Int).Mod(den, m), m)
+	if inv == nil {
+		t.Fatalf("den %s not invertible mod %s", den, m)
+	}
+	u := new(big.Int).Mul(new(big.Int).Mod(num, m), inv)
+	return u.Mod(u, m)
+}
+
+// TestReconstructRoundTrip: random rationals inside the bound round-trip
+// residue → (num, den) exactly, including negative numerators and integer
+// (den = 1) cases.
+func TestReconstructRoundTrip(t *testing.T) {
+	primes, err := ff.GenerateNTTPrimes(62, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := NewCRTBasis(primes)
+	bound := big.NewInt(1 << 30)
+	src := ff.NewSource(7)
+	for i := 0; i < 200; i++ {
+		num := big.NewInt(int64(src.Uint64n(1<<30)) - (1 << 29))
+		den := big.NewInt(int64(src.Uint64n(1<<30)) + 1)
+		g := new(big.Int).GCD(nil, nil, new(big.Int).Abs(num), den)
+		if num.Sign() != 0 {
+			num.Quo(num, g)
+			den.Quo(den, g)
+		} else {
+			den.SetInt64(1)
+		}
+		u := residueOf(t, num, den, basis.M)
+		gn, gd, err := Reconstruct(u, basis.M, bound, bound)
+		if err != nil {
+			t.Fatalf("round %d: %v (num=%s den=%s)", i, err, num, den)
+		}
+		if gn.Cmp(num) != 0 || gd.Cmp(den) != 0 {
+			t.Fatalf("round %d: got %s/%s, want %s/%s", i, gn, gd, num, den)
+		}
+	}
+}
+
+// TestReconstructDenominatorAtBound: the extreme admissible pair — both
+// numerator and denominator exactly at the bound — still reconstructs when
+// M > 2·N·D, and the bound arithmetic (PrimesFor) certifies exactly that.
+func TestReconstructDenominatorAtBound(t *testing.T) {
+	bound := new(big.Int).Lsh(big.NewInt(1), 100) // 2^100
+	count := PrimesFor(bound, 62)
+	primes, err := ff.GenerateNTTPrimes(62, 20, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := NewCRTBasis(primes)
+	// num = −bound, den = bound−1 (coprime: bound is a power of two).
+	num := new(big.Int).Neg(bound)
+	den := new(big.Int).Sub(bound, big.NewInt(1))
+	u := residueOf(t, num, den, basis.M)
+	gn, gd, err := Reconstruct(u, basis.M, bound, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gn.Cmp(num) != 0 || gd.Cmp(den) != 0 {
+		t.Fatalf("got %s/%s, want %s/%s", gn, gd, num, den)
+	}
+}
+
+// TestReconstructBoundTooSmall: a rational outside the stated bound is
+// detected, not silently aliased.
+func TestReconstructBoundTooSmall(t *testing.T) {
+	primes, err := ff.GenerateNTTPrimes(62, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := NewCRTBasis(primes)
+	// A denominator far beyond the tiny stated bound.
+	num := big.NewInt(123456789)
+	den := big.NewInt(1<<40 + 1)
+	u := residueOf(t, num, den, basis.M)
+	small := big.NewInt(1000)
+	if _, _, err := Reconstruct(u, basis.M, small, small); !errors.Is(err, ErrReconstructFailed) {
+		t.Fatalf("err = %v, want ErrReconstructFailed", err)
+	}
+}
+
+// TestReconstructVecCommonDenominator: per-coordinate reconstruction folds
+// into the canonical lowest-common-denominator form.
+func TestReconstructVecCommonDenominator(t *testing.T) {
+	primes, err := ff.GenerateNTTPrimes(62, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := NewCRTBasis(primes)
+	// x = (1/2, −3/4, 5, 0) → common den 4, nums (2, −3, 20, 0).
+	nums := []*big.Int{big.NewInt(1), big.NewInt(-3), big.NewInt(5), big.NewInt(0)}
+	dens := []*big.Int{big.NewInt(2), big.NewInt(4), big.NewInt(1), big.NewInt(1)}
+	res := make([]*big.Int, len(nums))
+	for i := range nums {
+		res[i] = residueOf(t, nums[i], dens[i], basis.M)
+	}
+	bound := big.NewInt(1 << 20)
+	v, err := ReconstructVec(res, basis.M, bound, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Den.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("common den = %s, want 4", v.Den)
+	}
+	want := []int64{2, -3, 20, 0}
+	for i, w := range want {
+		if v.Num[i].Cmp(big.NewInt(w)) != 0 {
+			t.Fatalf("num[%d] = %s, want %d", i, v.Num[i], w)
+		}
+	}
+	if v.IsInt() {
+		t.Fatal("IsInt true for a fractional vector")
+	}
+}
+
+// TestCRTBasisCombine: CRT agrees with direct residue arithmetic, and the
+// symmetric reduction recovers negative integers.
+func TestCRTBasisCombine(t *testing.T) {
+	primes, err := ff.GenerateNTTPrimes(62, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := NewCRTBasis(primes)
+	want := big.NewInt(-987654321123456789)
+	res := make([]uint64, len(primes))
+	tmp := new(big.Int)
+	for k, p := range primes {
+		tmp.Mod(want, tmp.SetUint64(p))
+		res[k] = tmp.Uint64()
+	}
+	x := basis.Combine(res)
+	got := SymmetricReduce(x, basis.M)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("CRT round trip = %s, want %s", got, want)
+	}
+}
+
+// TestPrimesForCoversBound: the certified count always yields a modulus
+// strictly beyond the 2·N·D uniqueness window.
+func TestPrimesForCoversBound(t *testing.T) {
+	for _, bits := range []int{40, 62} {
+		bound := new(big.Int).Lsh(big.NewInt(1), 200)
+		count := PrimesFor(bound, bits)
+		primes, err := ff.GenerateNTTPrimes(bits, 10, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := big.NewInt(1)
+		for _, p := range primes {
+			m.Mul(m, new(big.Int).SetUint64(p))
+		}
+		need := new(big.Int).Mul(bound, bound)
+		need.Lsh(need, 1)
+		if m.Cmp(need) <= 0 {
+			t.Fatalf("bits=%d: modulus %s does not exceed 2·bound² = %s", bits, m, need)
+		}
+	}
+}
+
+// FuzzReconstructRoundTrip round-trips arbitrary bounded rationals through
+// residue formation and reconstruction — the fuzz analogue of the solve →
+// reconstruct pipeline for a single coordinate.
+func FuzzReconstructRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(-3), int64(7))
+	f.Add(int64(0), int64(1))
+	f.Add(int64(1<<40), int64(1))
+	f.Add(int64(-1<<40), int64(1<<40)-1)
+	primes, err := ff.GenerateNTTPrimes(62, 20, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	basis := NewCRTBasis(primes)
+	bound := new(big.Int).Lsh(big.NewInt(1), 62)
+	f.Fuzz(func(t *testing.T, rawNum, rawDen int64) {
+		if rawDen == 0 {
+			return
+		}
+		num := big.NewInt(rawNum)
+		den := big.NewInt(rawDen)
+		if den.Sign() < 0 {
+			den.Neg(den)
+			num.Neg(num)
+		}
+		if num.Sign() == 0 {
+			den.SetInt64(1)
+		} else {
+			g := new(big.Int).GCD(nil, nil, new(big.Int).Abs(num), den)
+			num.Quo(num, g)
+			den.Quo(den, g)
+		}
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(den, basis.M), basis.M)
+		if inv == nil {
+			return // den shares a factor with M; not a reachable solve case
+		}
+		u := new(big.Int).Mul(new(big.Int).Mod(num, basis.M), inv)
+		u.Mod(u, basis.M)
+		gn, gd, err := Reconstruct(u, basis.M, bound, bound)
+		if err != nil {
+			t.Fatalf("Reconstruct(%s/%s): %v", num, den, err)
+		}
+		if gn.Cmp(num) != 0 || gd.Cmp(den) != 0 {
+			t.Fatalf("got %s/%s, want %s/%s", gn, gd, num, den)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postJSON posts a raw JSON body and decodes the response envelope.
+func postJSON(t *testing.T, h http.Handler, path, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(body)))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("response %q: %v", w.Body.String(), err)
+	}
+	return w.Code, m
+}
+
+func postSolve(t *testing.T, h http.Handler, req SolveRequest) (int, *SolveResponse, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, m := postJSON(t, h, "/v1/solve", string(body))
+	var resp SolveResponse
+	raw, _ := json.Marshal(m)
+	_ = json.Unmarshal(raw, &resp)
+	return code, &resp, m
+}
+
+// TestRingZZSolve: exact integer solve over the wire — the response
+// carries canonical rational strings, ring stats, and the second request
+// on the same matrix hits the residue factorization cache.
+func TestRingZZSolve(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	req := SolveRequest{
+		Ring: "zz",
+		Az: [][]string{
+			{"4", "-2", "1"},
+			{"3", "6", "-4"},
+			{"2", "1", "8"},
+		},
+		Bz: []string{"12", "-25", "32"},
+	}
+	code, resp, _ := postSolve(t, h, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if resp.Ring != "zz" || resp.Cache != "miss" {
+		t.Fatalf("ring/cache: %+v", resp)
+	}
+	if resp.RNS == nil || !resp.RNS.Verified || resp.RNS.Residues < 1 {
+		t.Fatalf("rns stats: %+v", resp.RNS)
+	}
+	if len(resp.Xr) != 3 {
+		t.Fatalf("xr: %v", resp.Xr)
+	}
+	// Verify the returned strings solve the system exactly over ℚ.
+	x := make([]*big.Rat, 3)
+	for i, sx := range resp.Xr {
+		r, ok := new(big.Rat).SetString(sx)
+		if !ok {
+			t.Fatalf("xr[%d] = %q not rational", i, sx)
+		}
+		x[i] = r
+	}
+	a := [][]int64{{4, -2, 1}, {3, 6, -4}, {2, 1, 8}}
+	b := []int64{12, -25, 32}
+	for i := range a {
+		acc := new(big.Rat)
+		for j := range a[i] {
+			acc.Add(acc, new(big.Rat).Mul(new(big.Rat).SetInt64(a[i][j]), x[j]))
+		}
+		if acc.Cmp(new(big.Rat).SetInt64(b[i])) != 0 {
+			t.Fatalf("row %d residual: %s", i, acc.RatString())
+		}
+	}
+
+	// Same matrix, different RHS: all residue factorizations are cached.
+	req.Bz = []string{"1", "0", "-1"}
+	code, resp2, _ := postSolve(t, h, req)
+	if code != http.StatusOK {
+		t.Fatalf("repeat status %d", code)
+	}
+	if resp2.Cache != "hit" {
+		t.Fatalf("repeat request cache = %q, want hit (stats %+v)", resp2.Cache, resp2.RNS)
+	}
+	if resp2.RNS.CacheMisses != 0 || resp2.RNS.CacheHits < 1 {
+		t.Fatalf("repeat stats: %+v", resp2.RNS)
+	}
+	if resp2.Digest != resp.Digest {
+		t.Fatal("digest changed between identical matrices")
+	}
+}
+
+// TestRingQQSolve: rational entries ("num/den") round-trip exactly.
+func TestRingQQSolve(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	req := SolveRequest{
+		Ring: "qq",
+		Az: [][]string{
+			{"1/2", "1/3"},
+			{"-2/5", "1"},
+		},
+		Bz: []string{"5/6", "3/5"},
+	}
+	code, resp, _ := postSolve(t, h, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, resp)
+	}
+	x := make([]*big.Rat, 2)
+	for i, sx := range resp.Xr {
+		r, ok := new(big.Rat).SetString(sx)
+		if !ok {
+			t.Fatalf("xr[%d] = %q", i, sx)
+		}
+		x[i] = r
+	}
+	// Row 0: x0/2 + x1/3 = 5/6; row 1: −2x0/5 + x1 = 3/5.
+	r0 := new(big.Rat).Add(new(big.Rat).Mul(big.NewRat(1, 2), x[0]), new(big.Rat).Mul(big.NewRat(1, 3), x[1]))
+	if r0.Cmp(big.NewRat(5, 6)) != 0 {
+		t.Fatalf("row 0 residual %s", r0.RatString())
+	}
+	r1 := new(big.Rat).Add(new(big.Rat).Mul(big.NewRat(-2, 5), x[0]), x[1])
+	if r1.Cmp(big.NewRat(3, 5)) != 0 {
+		t.Fatalf("row 1 residual %s", r1.RatString())
+	}
+}
+
+// TestRingSingular422: a singular ℤ system maps to 422, like its field
+// counterpart.
+func TestRingSingular422(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Retries = 2 })
+	code, _, m := postSolve(t, s.Handler(), SolveRequest{
+		Ring: "zz",
+		Az:   [][]string{{"1", "2"}, {"2", "4"}},
+		Bz:   []string{"1", "1"},
+	})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, body %v", code, m)
+	}
+}
+
+// TestRingValidation: ring routes reject malformed ring requests with 400
+// and a useful message.
+func TestRingValidation(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	cases := []struct {
+		name string
+		path string
+		body string
+	}{
+		{"unknown ring", "/v1/solve", `{"ring":"gf9","az":[["1"]],"bz":["1"]}`},
+		{"ring on batch", "/v1/solve_batch", `{"ring":"zz","az":[["1"]],"bz":["1"]}`},
+		{"fp fields with zz", "/v1/solve", `{"ring":"zz","p":31,"az":[["1"]],"bz":["1"]}`},
+		{"non-integer entry", "/v1/solve", `{"ring":"zz","az":[["x"]],"bz":["1"]}`},
+		{"missing rhs", "/v1/solve", `{"ring":"zz","az":[["1"]]}`},
+		{"bad verify", "/v1/solve", `{"ring":"zz","az":[["1"]],"bz":["1"],"verify":"maybe"}`},
+	}
+	for _, tc := range cases {
+		code, m := postJSON(t, h, tc.path, tc.body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, body %v", tc.name, code, m)
+		}
+	}
+}
+
+// TestUnknownFieldRejected: the strict decoder names the offending field
+// in a 400 — client typos fail loudly (the api versioning satellite).
+func TestUnknownFieldRejected(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	code, m := postJSON(t, h, "/v1/solve", `{"p":4611686018427387847,"a":[[1]],"b":[1],"subste":31}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, body %v", code, m)
+	}
+	msg, _ := m["error"].(string)
+	if !strings.Contains(msg, "subste") {
+		t.Fatalf("error %q does not name the unknown field", msg)
+	}
+	// A correct body on the same server still works.
+	code, m = postJSON(t, h, "/v1/solve", `{"p":4611686018427387847,"a":[[2]],"b":[4]}`)
+	if code != http.StatusOK {
+		t.Fatalf("clean request status %d, body %v", code, m)
+	}
+}

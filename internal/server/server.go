@@ -11,6 +11,17 @@
 //	POST /v1/factor       {"p":…,"a":[[…]]}                → {"digest":…,…}
 //	GET  /metrics /snapshot /healthz                        (obs.Handler)
 //
+// /v1/solve additionally accepts "ring": "zz" or "qq" with string-valued
+// entries ("az"/"bz"), solving exactly over ℤ/ℚ through the RNS/CRT
+// multi-modulus engine; the response then carries the exact rational
+// solution ("xr") and the run's RingStats ("rns"). Per-(matrix, prime)
+// factorizations are cached in the engine, so repeat ring requests on the
+// same matrix skip every residue front end.
+//
+// Request bodies are strict: unknown top-level fields are rejected with
+// 400 naming the offending field, so client typos (or version drift) fail
+// loudly instead of being silently ignored.
+//
 // Every response carries the canonical matrix digest and whether the
 // factorization came from the cache ("hit") or was computed ("miss");
 // repeat matrices skip the Krylov phase entirely.
@@ -28,18 +39,22 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/big"
 	"net/http"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/ff"
 	"repro/internal/kp"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/rns"
 )
 
 // Request-level telemetry, exposed on /metrics with the rest of the obs
@@ -113,6 +128,10 @@ type Server struct {
 	sem    chan struct{} // execution slots (MaxConcurrent)
 	queued atomic.Int64
 
+	// intEng drives ring=zz/qq requests; it owns the per-(matrix, prime)
+	// residue factorization cache, shared across requests.
+	intEng *kp.IntEngine
+
 	// testHookInSlot, when non-nil, runs while a request holds an
 	// execution slot — tests use it to wedge the server and probe the
 	// admission control deterministically.
@@ -149,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	intMul, _ := matrix.ByName[uint64](cfg.Multiplier) // validated above
 	return &Server{
 		cfg:     cfg,
 		precond: precond,
@@ -156,6 +176,7 @@ func New(cfg Config) (*Server, error) {
 		src:     ff.NewSource(cfg.Seed),
 		solvers: make(map[solverKey]*core.Solver[uint64]),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		intEng:  kp.NewIntEngine(intMul),
 	}, nil
 }
 
@@ -203,6 +224,18 @@ type SolveRequest struct {
 	// are cached per (matrix, mode), so switching modes on a repeat matrix
 	// is a cache miss, not a wrong answer.
 	Precond string `json:"precond,omitempty"`
+	// Ring selects the coefficient ring: "fp" (default; word prime field
+	// P), "zz" (integers) or "qq" (rationals). zz/qq are /v1/solve only and
+	// take the system in Az/Bz instead of A/B.
+	Ring string `json:"ring,omitempty"`
+	// Az is the n×n matrix for ring zz/qq, entries as decimal strings
+	// (ring qq also accepts "num/den").
+	Az [][]string `json:"az,omitempty"`
+	// Bz is the right-hand side for ring zz/qq (length n).
+	Bz []string `json:"bz,omitempty"`
+	// Verify overrides the ring engine's a-posteriori exact check: "on"
+	// (default) or "off". Ignored for ring fp.
+	Verify string `json:"verify,omitempty"`
 }
 
 // SolveResponse is the JSON response of every /v1 endpoint.
@@ -226,6 +259,14 @@ type SolveResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// TraceID identifies the request in /debug/traces and the server log.
 	TraceID string `json:"trace_id,omitempty"`
+	// Ring echoes the coefficient ring the request ran over ("" = fp).
+	Ring string `json:"ring,omitempty"`
+	// Xr is the exact solution for ring zz/qq, one canonical rational
+	// string ("num" or "num/den") per coordinate.
+	Xr []string `json:"xr,omitempty"`
+	// RNS reports the multi-modulus run (residue count, bad primes, cache
+	// hits, phase times, parallel efficiency) for ring zz/qq.
+	RNS *kp.RingStats `json:"rns,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response. TraceID lets a
@@ -329,22 +370,35 @@ func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, erro
 	// before validation sees the dimensions.
 	limit := int64(s.cfg.MaxDim)*int64(s.cfg.MaxDim)*24 + 1<<20
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
+	// Strict body: a typo'd or unsupported top-level field is a client bug
+	// the server must name, not silently ignore.
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return http.StatusBadRequest, nil, fmt.Errorf("decode request: %w", err)
 	}
-	f, a, err := s.buildSystem(&req)
-	if err != nil {
-		return http.StatusBadRequest, nil, err
-	}
-	n := a.Rows
 
 	// Preconditioner mode: per-request override, else the server default.
+	var err error
 	precond := s.precond
 	if req.Precond != "" {
 		if precond, err = kp.ParsePrecondMode(req.Precond); err != nil {
 			return http.StatusBadRequest, nil, err
 		}
 	}
+
+	switch req.Ring {
+	case "", "fp":
+	case "zz", "qq":
+		return s.serveRing(r, route, &req, precond)
+	default:
+		return http.StatusBadRequest, nil, fmt.Errorf("unknown ring %q (want \"fp\", \"zz\" or \"qq\")", req.Ring)
+	}
+
+	f, a, err := s.buildSystem(&req)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	n := a.Rows
 
 	// Per-request deadline, clamped to the server cap, cancels the Las
 	// Vegas drivers cooperatively via kp.Params.Ctx (the request context
@@ -427,6 +481,151 @@ func (s *Server) serve(r *http.Request, route string) (int, *SolveResponse, erro
 	default:
 		return http.StatusNotFound, nil, fmt.Errorf("unknown route %q", route)
 	}
+}
+
+// serveRing executes a ring=zz/qq request: exact solve over ℤ/ℚ through
+// the multi-modulus engine, under the same admission control and deadline
+// regime as the field routes. Only /v1/solve supports exact rings.
+func (s *Server) serveRing(r *http.Request, route string, req *SolveRequest, precond kp.PrecondMode) (int, *SolveResponse, error) {
+	if route != "solve" {
+		return http.StatusBadRequest, nil, fmt.Errorf("ring %q is supported on /v1/solve only, not /v1/%s: %w", req.Ring, route, kp.ErrBadShape)
+	}
+	if len(req.A) > 0 || len(req.B) > 0 || len(req.Bs) > 0 || req.P != 0 {
+		return http.StatusBadRequest, nil, fmt.Errorf("ring %q takes the system in \"az\"/\"bz\"; \"p\"/\"a\"/\"b\"/\"bs\" do not apply: %w", req.Ring, kp.ErrBadShape)
+	}
+	verify, err := rns.ParseVerifyMode(req.Verify)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	n := len(req.Az)
+	if n == 0 {
+		return http.StatusBadRequest, nil, fmt.Errorf("empty system: %w", kp.ErrBadShape)
+	}
+	if n > s.cfg.MaxDim {
+		return http.StatusBadRequest, nil, fmt.Errorf("dimension %d exceeds the server limit %d: %w", n, s.cfg.MaxDim, kp.ErrBadShape)
+	}
+	if len(req.Bz) != n {
+		return http.StatusBadRequest, nil, fmt.Errorf("right-hand side has %d entries, want %d: %w", len(req.Bz), n, kp.ErrBadShape)
+	}
+
+	deadline := s.cfg.MaxDeadline
+	if req.DeadlineMS > 0 && time.Duration(req.DeadlineMS)*time.Millisecond < deadline {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	release, status, err := s.acquire(ctx)
+	if err != nil {
+		return status, nil, err
+	}
+	defer release()
+	if s.testHookInSlot != nil {
+		s.testHookInSlot()
+	}
+
+	rp := rns.Params{Verify: verify, Workers: s.cfg.MaxConcurrent}
+	kpp := kp.Params{Src: s.splitSource(), Retries: s.cfg.Retries, Ctx: ctx, Logger: s.cfg.Logger, Precond: precond}
+	var (
+		x     *rns.RatVec
+		stats *kp.RingStats
+	)
+	switch req.Ring {
+	case "zz":
+		a, b, berr := buildIntSystem(req.Az, req.Bz)
+		if berr != nil {
+			return http.StatusBadRequest, nil, berr
+		}
+		resp := &SolveResponse{N: n, Ring: req.Ring, Precond: string(precond), Digest: a.Digest()}
+		x, stats, err = s.intEng.Solve(ctx, a, b, rp, kpp)
+		if err != nil {
+			return errStatus(err), nil, err
+		}
+		return ringOK(resp, x, stats)
+	default: // "qq"
+		a, b, berr := buildRatSystem(req.Az, req.Bz)
+		if berr != nil {
+			return http.StatusBadRequest, nil, berr
+		}
+		ai, bi, cerr := rns.ClearDenominators(a, b)
+		if cerr != nil {
+			return http.StatusBadRequest, nil, cerr
+		}
+		resp := &SolveResponse{N: n, Ring: req.Ring, Precond: string(precond), Digest: ai.Digest()}
+		x, stats, err = s.intEng.Solve(ctx, ai, bi, rp, kpp)
+		if err != nil {
+			return errStatus(err), nil, err
+		}
+		return ringOK(resp, x, stats)
+	}
+}
+
+// ringOK fills the ring response: canonical rational strings plus the
+// engine stats, with the cache label summarizing the residue lookups.
+func ringOK(resp *SolveResponse, x *rns.RatVec, stats *kp.RingStats) (int, *SolveResponse, error) {
+	xr := make([]string, x.Len())
+	for i := range xr {
+		xr[i] = x.Rat(i).RatString()
+	}
+	resp.Xr = xr
+	resp.RNS = stats
+	resp.Cache = cacheLabel(stats.CacheMisses == 0 && stats.CacheHits > 0)
+	return http.StatusOK, resp, nil
+}
+
+// buildIntSystem parses decimal-string entries into the ℤ system.
+func buildIntSystem(az [][]string, bz []string) (*rns.IntMat, []*big.Int, error) {
+	n := len(az)
+	a := rns.NewIntMat(n, n)
+	for i, row := range az {
+		if len(row) != n {
+			return nil, nil, fmt.Errorf("row %d has %d entries, want %d: %w", i, len(row), n, kp.ErrBadShape)
+		}
+		for j, e := range row {
+			v, ok := new(big.Int).SetString(strings.TrimSpace(e), 10)
+			if !ok {
+				return nil, nil, fmt.Errorf("a[%d][%d]: %q is not a decimal integer: %w", i, j, e, kp.ErrBadShape)
+			}
+			a.Set(i, j, v)
+		}
+	}
+	b := make([]*big.Int, n)
+	for i, e := range bz {
+		v, ok := new(big.Int).SetString(strings.TrimSpace(e), 10)
+		if !ok {
+			return nil, nil, fmt.Errorf("b[%d]: %q is not a decimal integer: %w", i, e, kp.ErrBadShape)
+		}
+		b[i] = v
+	}
+	return a, b, nil
+}
+
+// buildRatSystem parses rational-string entries ("3", "-2/7", "1.5") into
+// the ℚ system.
+func buildRatSystem(az [][]string, bz []string) ([][]*big.Rat, []*big.Rat, error) {
+	n := len(az)
+	a := make([][]*big.Rat, n)
+	for i, row := range az {
+		if len(row) != n {
+			return nil, nil, fmt.Errorf("row %d has %d entries, want %d: %w", i, len(row), n, kp.ErrBadShape)
+		}
+		a[i] = make([]*big.Rat, n)
+		for j, e := range row {
+			v, ok := new(big.Rat).SetString(strings.TrimSpace(e))
+			if !ok {
+				return nil, nil, fmt.Errorf("a[%d][%d]: %q is not a rational: %w", i, j, e, kp.ErrBadShape)
+			}
+			a[i][j] = v
+		}
+	}
+	b := make([]*big.Rat, n)
+	for i, e := range bz {
+		v, ok := new(big.Rat).SetString(strings.TrimSpace(e))
+		if !ok {
+			return nil, nil, fmt.Errorf("b[%d]: %q is not a rational: %w", i, e, kp.ErrBadShape)
+		}
+		b[i] = v
+	}
+	return a, b, nil
 }
 
 // buildSystem validates the request shape and materializes the field and
@@ -553,6 +752,9 @@ func errStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, kp.ErrBadShape), errors.Is(err, kp.ErrCharacteristicTooSmall):
 		return http.StatusBadRequest
+	case errors.Is(err, errs.ErrBoundTooSmall), errors.Is(err, errs.ErrReconstructFailed):
+		// Undersized forced prime set / bound: a property of the request.
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, kp.ErrSingular), errors.Is(err, kp.ErrInconsistent), errors.Is(err, kp.ErrRetriesExhausted):
 		// Exhausted retries on a non-singular input have probability
 		// ≈ (3n²/|S|)^retries ≈ 0, so this is virtually always "the matrix
