@@ -92,7 +92,14 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("-serve %s: %w", *serve, err))
 		}
-		fmt.Fprintf(os.Stderr, "kpbench: telemetry on http://%s (/metrics /snapshot /healthz)\n", ln.Addr())
+		// The closed-loop surfaces ride along on a serving benchmark run:
+		// bad-prime storms in the ring sweeps fire triggered captures, and
+		// the timeline lets a collector read rates instead of raw totals.
+		obs.SetProfileStore(obs.NewProfileStore(obs.ProfileStoreConfig{}))
+		tl := obs.NewTimeline(obs.TimelineConfig{Interval: time.Second})
+		obs.SetTimeline(tl)
+		tl.Start()
+		fmt.Fprintf(os.Stderr, "kpbench: telemetry on http://%s (/metrics /snapshot /debug/profiles /debug/timeline /healthz)\n", ln.Addr())
 		ctx, stop := server.SignalContext(context.Background())
 		done := make(chan error, 1)
 		go func() {

@@ -11,13 +11,20 @@
 //	kpd -addr :8080 -log json            # structured request + attempt records
 //
 // Endpoints: POST /v1/solve, /v1/solve_batch, /v1/factor (JSON bodies, see
-// internal/server); GET /metrics (Prometheus), /snapshot (JSON),
-// /debug/traces (tail-sampled request traces), /healthz. Repeat matrices
-// hit the factorization cache and skip the Krylov phase — watch
+// internal/server); GET /metrics (Prometheus 0.0.4, or OpenMetrics with
+// exemplars via Accept negotiation / ?format=openmetrics), /snapshot
+// (JSON), /debug/traces (tail-sampled request traces), /debug/profiles
+// (triggered pprof captures), /debug/timeline (metrics sample ring),
+// /debug/slo (objective status), /healthz. Repeat matrices hit the
+// factorization cache and skip the Krylov phase — watch
 // kp_server_cache_hits_total and the absence of new batch/krylov spans.
 // Every request gets a W3C trace context (honoring an incoming traceparent
 // header); slow, errored and unlucky requests are always retained in the
-// trace store. SIGINT/SIGTERM drains in-flight requests before exiting.
+// trace store, and slow requests, queue saturation and RNS bad-prime
+// storms fire triggered profile captures cross-linked by trace id. With
+// -slo, latency/error/efficiency objectives are evaluated as multi-window
+// burn rates over the timeline and a breach degrades /healthz (503).
+// SIGINT/SIGTERM drains in-flight requests before exiting.
 package main
 
 import (
@@ -52,6 +59,19 @@ func main() {
 		traces      = flag.Int("traces", 256, "tail-sampled trace store capacity (0 disables /debug/traces)")
 		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "latency above which a request trace is always retained")
 		traceSample = flag.Int("trace-sample", 16, "keep 1 in this many fast+successful request traces (1 = keep all)")
+
+		profiles    = flag.Int("profiles", 32, "triggered profile store capacity (0 disables /debug/profiles)")
+		profileCPU  = flag.Duration("profile-cpu", 250*time.Millisecond, "CPU capture window per trigger (negative = heap only)")
+		profileCool = flag.Duration("profile-cooldown", 10*time.Second, "minimum interval between captures per trigger reason")
+
+		timelineCap      = flag.Int("timeline", 360, "metrics timeline capacity in samples (0 disables /debug/timeline)")
+		timelineInterval = flag.Duration("timeline-interval", 10*time.Second, "metrics timeline sampling interval")
+
+		slo     = flag.Bool("slo", false, "evaluate SLO burn rates over the timeline (degrades /healthz on breach)")
+		sloP99  = flag.Duration("slo-p99", 250*time.Millisecond, "latency objective: 99% of /v1/solve requests faster than this")
+		sloFast = flag.Duration("slo-fast", time.Minute, "fast burn window")
+		sloSlow = flag.Duration("slo-slow", 15*time.Minute, "slow burn window")
+		sloBurn = flag.Float64("slo-burn", 1.0, "burn-rate threshold; breach when both windows burn at or above it")
 	)
 	flag.Parse()
 
@@ -91,12 +111,40 @@ func main() {
 			SampleEvery:   *traceSample,
 		}))
 	}
+	if *profiles > 0 {
+		obs.SetProfileStore(obs.NewProfileStore(obs.ProfileStoreConfig{
+			Capacity:    *profiles,
+			CPUDuration: *profileCPU,
+			Cooldown:    *profileCool,
+		}))
+	}
+	if *timelineCap > 0 {
+		tl := obs.NewTimeline(obs.TimelineConfig{
+			Capacity: *timelineCap,
+			Interval: *timelineInterval,
+		})
+		obs.SetTimeline(tl)
+		tl.Start()
+		defer tl.Stop()
+		if *slo {
+			eng := obs.NewSLOEngine(obs.SLOConfig{
+				FastWindow: *sloFast,
+				SlowWindow: *sloSlow,
+				Burn:       *sloBurn,
+			}, tl, obs.DefaultKpdObjectives(*sloP99))
+			obs.SetSLOEngine(eng)
+			eng.Start()
+			defer eng.Stop()
+		}
+	} else if *slo {
+		fatal(fmt.Errorf("-slo needs the timeline: set -timeline > 0"))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "kpd: serving on http://%s (/v1/solve /v1/solve_batch /v1/factor /metrics /snapshot /debug/traces /healthz)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "kpd: serving on http://%s (/v1/solve /v1/solve_batch /v1/factor /metrics /snapshot /debug/traces /debug/profiles /debug/timeline /healthz)\n", ln.Addr())
 
 	ctx, stop := server.SignalContext(context.Background())
 	defer stop()

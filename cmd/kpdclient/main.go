@@ -38,6 +38,7 @@ func main() {
 		seed     = flag.Uint64("seed", uint64(time.Now().UnixNano()), "matrix generation seed (fix it to re-request the same matrix)")
 		repeat   = flag.Int("repeat", 1, "send the same system this many times (2nd+ should be cache hits)")
 		deadline = flag.Duration("deadline", 10*time.Second, "per-request deadline")
+		slow     = flag.Duration("slow", 250*time.Millisecond, "round-trip time above which the server's trace and profile URLs are printed (0 disables; match kpd -trace-slow)")
 		precond  = flag.String("precond", "", "preconditioner route: dense | implicit (empty = server default; cache entries are per-mode)")
 		ring     = flag.String("ring", "fp", "coefficient ring: fp (one word prime field) | zz (exact over the integers; op=solve only)")
 	)
@@ -47,7 +48,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *ring == "zz" {
-		runRing(*addr, *op, *n, *seed, *repeat, *deadline, *precond)
+		runRing(*addr, *op, *n, *seed, *repeat, *deadline, *precond, *slow)
 		return
 	}
 	if *ring != "fp" {
@@ -98,15 +99,17 @@ func main() {
 		if err != nil {
 			// APIError.Error() already quotes the trace id; surface it on
 			// its own line too so scripts can grep it and pull the request
-			// out of the server's /debug/traces.
+			// out of the server's /debug/traces — and the profile store,
+			// since a failed request may have fired a triggered capture.
 			fmt.Fprintln(os.Stderr, "kpdclient:", err)
 			var apiErr *server.APIError
 			if errors.As(err, &apiErr) && apiErr.TraceID != "" {
-				fmt.Fprintf(os.Stderr, "kpdclient: trace_id=%s (see kpd /debug/traces?id=%s)\n", apiErr.TraceID, apiErr.TraceID)
+				fmt.Fprintf(os.Stderr, "kpdclient: trace_id=%s (see kpd /debug/traces?id=%s and /debug/profiles)\n", apiErr.TraceID, apiErr.TraceID)
 			}
 			os.Exit(1)
 		}
 		rtt := time.Since(start)
+		noteSlow(rtt, *slow, resp.TraceID)
 		// Trust but verify: the solver is Las Vegas, the transport is not.
 		switch *op {
 		case "solve":
@@ -135,7 +138,19 @@ func main() {
 // rationals locally over ℚ. Repeats with a fixed -seed re-send the same
 // matrix, so the second round should report cache=hit: every residue
 // factorization is served from the server's per-prime cache.
-func runRing(addr, op string, n int, seed uint64, repeat int, deadline time.Duration, precond string) {
+// noteSlow points at the server-side artifacts when a round trip crossed
+// the slow threshold: the tail-sampled trace store retains the request (it
+// was slow) and the profile store likely holds a capture fired while it
+// ran, both keyed by the same trace id.
+func noteSlow(rtt, slow time.Duration, traceID string) {
+	if slow <= 0 || rtt < slow || traceID == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "kpdclient: slow request (rtt=%s): trace_id=%s (see kpd /debug/traces?id=%s and /debug/profiles)\n",
+		rtt.Round(time.Millisecond), traceID, traceID)
+}
+
+func runRing(addr, op string, n int, seed uint64, repeat int, deadline time.Duration, precond string, slow time.Duration) {
 	if op != "solve" {
 		fmt.Fprintf(os.Stderr, "kpdclient: -ring zz supports -op solve only, got %q\n", op)
 		os.Exit(2)
@@ -172,11 +187,12 @@ func runRing(addr, op string, n int, seed uint64, repeat int, deadline time.Dura
 			fmt.Fprintln(os.Stderr, "kpdclient:", err)
 			var apiErr *server.APIError
 			if errors.As(err, &apiErr) && apiErr.TraceID != "" {
-				fmt.Fprintf(os.Stderr, "kpdclient: trace_id=%s (see kpd /debug/traces?id=%s)\n", apiErr.TraceID, apiErr.TraceID)
+				fmt.Fprintf(os.Stderr, "kpdclient: trace_id=%s (see kpd /debug/traces?id=%s and /debug/profiles)\n", apiErr.TraceID, apiErr.TraceID)
 			}
 			os.Exit(1)
 		}
 		rtt := time.Since(start)
+		noteSlow(rtt, slow, resp.TraceID)
 		if !verifyRing(az, bz, resp.Xr) {
 			fmt.Fprintln(os.Stderr, "kpdclient: returned x does not satisfy A·x = b over ℚ")
 			os.Exit(1)

@@ -132,7 +132,14 @@ func main() {
 		if err != nil {
 			usage(fmt.Errorf("-serve %s: %w", *serve, err))
 		}
-		fmt.Fprintf(os.Stderr, "kpsolve: telemetry on http://%s (/metrics /snapshot /healthz)\n", ln.Addr())
+		// A serving kpsolve gets the closed-loop surfaces too: triggered
+		// profile captures (bad-prime storms fire even without a server in
+		// front) and the metrics timeline behind /debug/timeline.
+		obs.SetProfileStore(obs.NewProfileStore(obs.ProfileStoreConfig{}))
+		tl := obs.NewTimeline(obs.TimelineConfig{Interval: time.Second})
+		obs.SetTimeline(tl)
+		tl.Start()
+		fmt.Fprintf(os.Stderr, "kpsolve: telemetry on http://%s (/metrics /snapshot /debug/profiles /debug/timeline /healthz)\n", ln.Addr())
 		var serveCtx context.Context
 		serveCtx, serveStop = context.WithCancel(context.Background())
 		serveDone = make(chan error, 1)

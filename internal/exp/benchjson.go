@@ -115,6 +115,16 @@ type BenchReport struct {
 	Seed         uint64           `json:"seed"`
 	Runs         []BenchRun       `json:"runs"`
 	Metrics      map[string]int64 `json:"metrics"`
+	// Direct measurements of the closed-loop telemetry hot paths, taken
+	// once per report. The per-run obs_overhead_ns delta sits inside
+	// scheduler noise at small n, so the perf gate checks these instead:
+	// ObsTimelineSampleNs is the cost of one full timeline sample (every
+	// counter, histogram and attempt group walked), amortized over a burst —
+	// against kpd's 10s sampling interval it must stay far under 1%.
+	// ObsExemplarObserveNs is one ObserveExemplar call (two atomic adds and
+	// a pointer swap) on the request-latency hot path.
+	ObsTimelineSampleNs  int64 `json:"obs_timeline_sample_ns"`
+	ObsExemplarObserveNs int64 `json:"obs_exemplar_observe_ns"`
 }
 
 // BenchJSON runs one traced Theorem 4 solve per (n, multiplier) pair — plus,
@@ -216,8 +226,34 @@ func BenchJSON(ns []int, muls []string, seed uint64, rhs int) (*BenchReport, err
 		}
 		report.Runs = append(report.Runs, *imp)
 	}
+	report.ObsTimelineSampleNs, report.ObsExemplarObserveNs = measureObsCosts()
 	report.Metrics = obs.MetricsSnapshot()
 	return report, nil
+}
+
+// measureObsCosts times the two closed-loop telemetry hot paths directly:
+// a full timeline sample over the registry as populated by the benchmark
+// runs (a realistic series count), and a single exemplar-tagged histogram
+// observation. Direct timing is what makes the <1% observability-overhead
+// claim checkable in CI — the run-level obs_overhead_ns subtraction is too
+// noisy to gate on.
+func measureObsCosts() (sampleNs, exemplarNs int64) {
+	tl := obs.NewTimeline(obs.TimelineConfig{Capacity: 8, Interval: time.Hour})
+	const samples = 16
+	start := time.Now()
+	for i := 0; i < samples; i++ {
+		tl.SampleNow()
+	}
+	sampleNs = time.Since(start).Nanoseconds() / samples
+
+	h := obs.NewLabeledHistogram("bench.obs.exemplar.ns", "probe", "observe")
+	const iters = 1 << 16
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		h.ObserveExemplar(int64(i), "cafefeedcafefeedcafefeedcafefeed")
+	}
+	exemplarNs = time.Since(start).Nanoseconds() / iters
+	return sampleNs, exemplarNs
 }
 
 // BenchStructured runs the Toeplitz workload: for each n, a random

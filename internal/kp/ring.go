@@ -45,6 +45,10 @@ var (
 	rnsBadPrimes     = obs.NewCounter("rns.bad_primes")
 	rnsCacheHits     = obs.NewCounter("rns.cache.hits")
 	rnsCacheMisses   = obs.NewCounter("rns.cache.misses")
+	// rnsEfficiency is the last run's realized residue fan-out speedup in
+	// milli-units (2500 = 2.5× — the metrics registry is integral). The SLO
+	// engine's efficiency_floor objective watches it.
+	rnsEfficiency = obs.NewGauge("rns.parallel.efficiency.milli")
 )
 
 // DefaultFactorCacheCap bounds the per-engine factorization cache: one
@@ -88,6 +92,7 @@ type RingStats struct {
 func (s *RingStats) finishTiming() {
 	if s.ResidueWallNs > 0 {
 		s.ParallelEfficiency = float64(s.ResidueSumNs) / float64(s.ResidueWallNs)
+		rnsEfficiency.Set(int64(s.ParallelEfficiency * 1000))
 	}
 }
 
@@ -562,6 +567,7 @@ func (e *IntEngine) runResidues(ctx context.Context, a *rns.IntMat, b []*big.Int
 					// Bad prime: primes[k] divides det(A). Replace it and
 					// re-solve this residue only.
 					rnsBadPrimes.Inc()
+					obs.NoteBadPrimeReplacement(obs.TraceFromContext(rctx).Trace.String())
 					mu.Lock()
 					stats.BadPrimes++
 					badCount++
@@ -673,6 +679,7 @@ func (e *IntEngine) checkDetResidue(ctx context.Context, a *rns.IntMat, seq *ff.
 			if isBadPrime(err) && ctxErr(ctx) == nil {
 				stats.BadPrimes++
 				rnsBadPrimes.Inc()
+				obs.NoteBadPrimeReplacement(obs.TraceFromContext(ctx).Trace.String())
 				continue
 			}
 			return false, err

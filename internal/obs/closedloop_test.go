@@ -1,0 +1,618 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- triggered profile store ---
+
+func TestProfileStoreTrigger(t *testing.T) {
+	ps := NewProfileStore(ProfileStoreConfig{CPUDuration: -1, Cooldown: time.Hour})
+	const trace = "0123456789abcdef0123456789abcdef"
+	id := ps.Trigger(TriggerSlowRequest, trace, "route=solve wall=1s")
+	if id == 0 {
+		t.Fatal("first trigger must capture")
+	}
+	c, data, ok := ps.Get(id)
+	if !ok || len(data) == 0 {
+		t.Fatalf("capture %d not retrievable (ok=%v, %d bytes)", id, ok, len(data))
+	}
+	if c.Kind != "heap" || c.Trigger != TriggerSlowRequest || c.TraceID != trace {
+		t.Fatalf("capture metadata wrong: %+v", c)
+	}
+	if got := ps.IDsForTrace(trace); len(got) != 1 || got[0] != id {
+		t.Fatalf("IDsForTrace = %v, want [%d]", got, id)
+	}
+
+	// Same reason inside the cooldown: suppressed. Different reason: fresh.
+	if again := ps.Trigger(TriggerSlowRequest, trace, ""); again != 0 {
+		t.Fatalf("cooldown did not suppress repeat trigger (id %d)", again)
+	}
+	if other := ps.Trigger(TriggerQueueSaturation, "", "queue full"); other == 0 {
+		t.Fatal("a different trigger reason must not share the cooldown")
+	}
+}
+
+func TestProfileStoreEviction(t *testing.T) {
+	ps := NewProfileStore(ProfileStoreConfig{Capacity: 2, CPUDuration: -1, Cooldown: time.Nanosecond})
+	first := ps.Trigger(TriggerManual, "", "one")
+	ps.Trigger(TriggerManual, "", "two")
+	ps.Trigger(TriggerManual, "", "three")
+	if ps.Len() != 2 {
+		t.Fatalf("ring holds %d captures, want capacity 2", ps.Len())
+	}
+	if _, _, ok := ps.Get(first); ok {
+		t.Fatal("oldest capture must be evicted")
+	}
+	profs := ps.Profiles()
+	if len(profs) != 2 || profs[0].Detail != "three" || profs[1].Detail != "two" {
+		t.Fatalf("Profiles() = %+v, want newest first [three two]", profs)
+	}
+}
+
+func TestProfileStoreCPUCapture(t *testing.T) {
+	ps := NewProfileStore(ProfileStoreConfig{CPUDuration: 10 * time.Millisecond, Cooldown: time.Hour})
+	ps.Trigger(TriggerManual, "feedfacefeedfacefeedfacefeedface", "cpu test")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, c := range ps.Profiles() {
+			if c.Kind == "cpu" {
+				if c.Size == 0 {
+					t.Fatal("cpu capture is empty")
+				}
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("cpu capture never landed in the ring")
+}
+
+func TestBadPrimeStormTrigger(t *testing.T) {
+	oldThreshold, oldWindow := stormThreshold, stormWindow
+	stormThreshold, stormWindow = 3, time.Hour
+	t.Cleanup(func() { stormThreshold, stormWindow = oldThreshold, oldWindow })
+
+	ps := NewProfileStore(ProfileStoreConfig{CPUDuration: -1, Cooldown: time.Hour})
+	SetProfileStore(ps)
+	t.Cleanup(func() { SetProfileStore(nil) })
+
+	NoteBadPrimeReplacement("")
+	NoteBadPrimeReplacement("")
+	if ps.Len() != 0 {
+		t.Fatal("below-threshold replacements must not trigger")
+	}
+	NoteBadPrimeReplacement("abcdabcdabcdabcdabcdabcdabcdabcd")
+	profs := ps.Profiles()
+	if len(profs) != 1 || profs[0].Trigger != TriggerBadPrimeStorm {
+		t.Fatalf("storm did not capture: %+v", profs)
+	}
+	if profs[0].TraceID != "abcdabcdabcdabcdabcdabcdabcdabcd" {
+		t.Fatalf("storm capture lost the tripping trace id: %+v", profs[0])
+	}
+}
+
+func TestProfilesHandlerAndTraceCrossLink(t *testing.T) {
+	ps := NewProfileStore(ProfileStoreConfig{CPUDuration: -1, Cooldown: time.Hour})
+	SetProfileStore(ps)
+	ts := NewTraceStore(TraceStoreConfig{Capacity: 8, SlowThreshold: time.Millisecond})
+	SetTraceStore(ts)
+	t.Cleanup(func() { SetProfileStore(nil); SetTraceStore(nil) })
+
+	const trace = "fade0123fade0123fade0123fade0123"
+	ts.Record(RequestTrace{TraceID: trace, Route: "solve", Status: 200, Wall: time.Second})
+	id := ps.Trigger(TriggerSlowRequest, trace, "route=solve")
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// List: the capture summary is there, newest first.
+	resp, err := srv.Client().Get(srv.URL + "/debug/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list profilesDoc
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Profiles) != 1 || list.Profiles[0].ID != id || list.Profiles[0].TraceID != trace {
+		t.Fatalf("/debug/profiles list = %+v", list)
+	}
+
+	// Download: raw pprof bytes.
+	resp, err = srv.Client().Get(fmt.Sprintf("%s/debug/profiles?id=%d", srv.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(raw) == 0 {
+		t.Fatalf("profile download: status %d, %d bytes", resp.StatusCode, len(raw))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("profile download content-type = %q", ct)
+	}
+
+	// The trace detail and list entries cross-link to the capture.
+	resp, err = srv.Client().Get(srv.URL + "/debug/traces?id=" + trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail struct {
+		TraceID    string  `json:"trace_id"`
+		ProfileIDs []int64 `json:"profile_ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if detail.TraceID != trace || len(detail.ProfileIDs) != 1 || detail.ProfileIDs[0] != id {
+		t.Fatalf("trace detail cross-link = %+v, want profile %d", detail, id)
+	}
+
+	// Unknown id: 404, not a panic or an empty 200.
+	resp, err = srv.Client().Get(srv.URL + "/debug/profiles?id=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown profile id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// --- metrics timeline ---
+
+func TestTimelineRingWrap(t *testing.T) {
+	ctr := NewCounter("test.timeline.wrap")
+	tl := NewTimeline(TimelineConfig{Capacity: 4, Interval: time.Hour})
+	const rounds = 7
+	for i := 0; i < rounds; i++ {
+		ctr.Add(5)
+		tl.SampleNow()
+	}
+	if tl.Len() != 4 {
+		t.Fatalf("ring holds %d samples, want capacity 4", tl.Len())
+	}
+	samples := tl.Samples()
+	// Oldest evicted: the survivors are seqs 4..7, oldest first.
+	for i, s := range samples {
+		if want := int64(rounds - 3 + i); s.Seq != want {
+			t.Fatalf("samples[%d].Seq = %d, want %d (oldest evicted, order kept)", i, s.Seq, want)
+		}
+	}
+	// Deltas stay correct across the wrap seam: 3 increments of 5 between
+	// the oldest survivor and the newest sample.
+	oldest, newest := samples[0], samples[len(samples)-1]
+	if d := newest.Metrics["test.timeline.wrap"] - oldest.Metrics["test.timeline.wrap"]; d != 15 {
+		t.Fatalf("windowed delta across seam = %d, want 15", d)
+	}
+	if rate, ok := tl.Rate("test.timeline.wrap", time.Hour); !ok || rate <= 0 {
+		t.Fatalf("Rate = %v ok=%v, want positive", rate, ok)
+	}
+}
+
+func TestTimelineCapturesHistsAndAttempts(t *testing.T) {
+	h := NewLabeledHistogram("test.timeline.ns", "route", "solve")
+	h.Observe(1000)
+	RecordAttempt(Attempt{Solver: "test.timeline", N: 8, Subset: 1 << 20, Outcome: OutcomeSuccess})
+	tl := NewTimeline(TimelineConfig{Capacity: 4, Interval: time.Hour})
+	s := tl.SampleNow()
+	hp, ok := s.Hists[`test.timeline.ns{route="solve"}`]
+	if !ok || hp.Count != 1 || len(hp.Buckets) == 0 {
+		t.Fatalf("sample missing histogram point: %+v", s.Hists)
+	}
+	ap, ok := s.Attempts["test.timeline/8/1048576"]
+	if !ok || ap.Attempts != 1 || ap.BoundEq2 <= 0 {
+		t.Fatalf("sample missing attempt point: %+v", s.Attempts)
+	}
+}
+
+func TestTimelineHandler(t *testing.T) {
+	tl := NewTimeline(TimelineConfig{Capacity: 4, Interval: time.Hour})
+	tl.SampleNow()
+	SetTimeline(tl)
+	t.Cleanup(func() { SetTimeline(nil) })
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc timelineDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Capacity != 4 || len(doc.Samples) != 1 {
+		t.Fatalf("/debug/timeline = capacity %d, %d samples", doc.Capacity, len(doc.Samples))
+	}
+}
+
+func TestTimelineStartStop(t *testing.T) {
+	tl := NewTimeline(TimelineConfig{Capacity: 16, Interval: 5 * time.Millisecond})
+	tl.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for tl.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	tl.Stop()
+	if tl.Len() < 2 {
+		t.Fatalf("sampler took only %d samples", tl.Len())
+	}
+	n := tl.Len()
+	time.Sleep(20 * time.Millisecond)
+	if tl.Len() != n {
+		t.Fatal("sampler kept running after Stop")
+	}
+}
+
+// --- SLO engine ---
+
+func TestSLOLatencyBreachDegradesHealthz(t *testing.T) {
+	hist := NewLabeledHistogram("test.slo.request.ns", "route", "solve")
+	tl := NewTimeline(TimelineConfig{Capacity: 16, Interval: time.Hour})
+	tl.SampleNow() // baseline before any traffic
+
+	eng := NewSLOEngine(SLOConfig{FastWindow: time.Hour, SlowWindow: time.Hour}, tl, []Objective{{
+		Name: "test_latency_p99", Kind: KindLatency,
+		Series:    `test.slo.request.ns{route="solve"}`,
+		Threshold: float64(50 * time.Millisecond), Budget: 0.01,
+	}})
+
+	// Quiet traffic: all requests fast, no burn.
+	for i := 0; i < 20; i++ {
+		hist.Observe(int64(time.Millisecond))
+	}
+	tl.SampleNow()
+	st := eng.Evaluate()
+	if st[0].BurnFast != 0 || st[0].Breached {
+		t.Fatalf("fast traffic must not burn: %+v", st[0])
+	}
+
+	// Regression: every request now blows the threshold.
+	ResetFlight()
+	t.Cleanup(ResetFlight)
+	for i := 0; i < 20; i++ {
+		hist.Observe(int64(time.Second))
+	}
+	tl.SampleNow()
+	st = eng.Evaluate()
+	if !st[0].Breached || st[0].BurnFast < 1 || st[0].BurnSlow < 1 {
+		t.Fatalf("slow traffic must breach: %+v", st[0])
+	}
+	if st[0].Since.IsZero() {
+		t.Fatal("breach must stamp Since")
+	}
+
+	// The breach is one flight-ring record and flips /healthz to 503.
+	var found bool
+	for _, e := range FlightEntries() {
+		if e.Op == "slo.breach" && strings.Contains(e.Outcome, "test_latency_p99") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("breach transition missing from the flight ring")
+	}
+
+	SetSLOEngine(eng)
+	t.Cleanup(func() { SetSLOEngine(nil) })
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || !strings.HasPrefix(string(body), "degraded\n") {
+		t.Fatalf("/healthz under breach = %d %q, want 503 degraded", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "test_latency_p99") {
+		t.Fatalf("degraded verdict does not name the objective: %q", body)
+	}
+
+	// kp_slo_* explains why on /metrics.
+	var sb strings.Builder
+	WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), "kp_slo_test_latency_p99_breached 1") {
+		t.Fatalf("/metrics missing breach gauge:\n%s", sb.String())
+	}
+
+	// /debug/slo serves the objective status.
+	resp, err = srv.Client().Get(srv.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Objectives []ObjectiveStatus `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(doc.Objectives) != 1 || !doc.Objectives[0].Breached {
+		t.Fatalf("/debug/slo = %+v", doc)
+	}
+
+	// Recovery: fast traffic again clears the breach (windows clip to the
+	// post-recovery samples once the slow burst ages out — emulate by
+	// shrinking the window to the newest delta).
+	for i := 0; i < 6000; i++ {
+		hist.Observe(int64(time.Millisecond))
+	}
+	tl.SampleNow()
+	st = eng.Evaluate()
+	if st[0].Breached {
+		t.Fatalf("diluted burn must clear the breach: %+v", st[0])
+	}
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("/healthz after recovery = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestSLOErrorRateBurn(t *testing.T) {
+	bad := NewCounter("test.slo.errors")
+	total := NewCounter("test.slo.requests")
+	tl := NewTimeline(TimelineConfig{Capacity: 8, Interval: time.Hour})
+	tl.SampleNow()
+	eng := NewSLOEngine(SLOConfig{FastWindow: time.Hour, SlowWindow: time.Hour}, tl, []Objective{{
+		Name: "test_error_rate", Kind: KindErrorRate,
+		Series: "test.slo.errors", TotalSeries: "test.slo.requests", Budget: 0.01,
+	}})
+	total.Add(100)
+	bad.Add(5) // 5% errors against a 1% budget: burn 5x
+	tl.SampleNow()
+	st := eng.Evaluate()
+	if st[0].BurnFast < 4.9 || st[0].BurnFast > 5.1 || !st[0].Breached {
+		t.Fatalf("error burn = %+v, want ~5x breach", st[0])
+	}
+}
+
+func TestSLOEfficiencyFloor(t *testing.T) {
+	g := NewGauge("test.slo.efficiency.milli")
+	tl := NewTimeline(TimelineConfig{Capacity: 8, Interval: time.Hour})
+	eng := NewSLOEngine(SLOConfig{FastWindow: time.Hour, SlowWindow: time.Hour}, tl, []Objective{{
+		Name: "test_efficiency", Kind: KindEfficiencyFloor,
+		Series: "test.slo.efficiency.milli", Threshold: 2000, Budget: 0.5,
+	}})
+	// Gauge never set: no eligible samples, no burn (a service that ran no
+	// ring traffic must not page about ring efficiency).
+	tl.SampleNow()
+	if st := eng.Evaluate(); st[0].BurnFast != 0 {
+		t.Fatalf("zero-traffic efficiency burn = %+v", st[0])
+	}
+	// Every sample below the floor: burn = 1/budget = 2x.
+	g.Set(1200)
+	tl.SampleNow()
+	g.Set(1100)
+	tl.SampleNow()
+	st := eng.Evaluate()
+	if st[0].BurnFast < 1.9 || !st[0].Breached {
+		t.Fatalf("below-floor efficiency burn = %+v, want ~2x breach", st[0])
+	}
+}
+
+func TestSLOAttemptBoundBurn(t *testing.T) {
+	tl := NewTimeline(TimelineConfig{Capacity: 8, Interval: time.Hour})
+	tl.SampleNow()
+	eng := NewSLOEngine(SLOConfig{FastWindow: time.Hour, SlowWindow: time.Hour}, tl, []Objective{{
+		Name: "test_attempt_bound", Kind: KindAttemptBound, Budget: 1,
+	}})
+	// n=8, |S|=2^20: eq (2) bound = 3·64/2^20 ≈ 1.8e-4. Half the attempts
+	// failing is astronomically over the bound.
+	for i := 0; i < 4; i++ {
+		RecordAttempt(Attempt{Solver: "test.slo.attempts", N: 8, Subset: 1 << 20, Outcome: OutcomeSuccess})
+		RecordAttempt(Attempt{Solver: "test.slo.attempts", N: 8, Subset: 1 << 20, Outcome: OutcomeDivZero})
+	}
+	tl.SampleNow()
+	st := eng.Evaluate()
+	if st[0].BurnFast < 100 || !st[0].Breached {
+		t.Fatalf("attempt-bound burn = %+v, want enormous breach", st[0])
+	}
+}
+
+// --- flight ring under concurrency ---
+
+// TestFlightRingConcurrentHammer spins writers and readers against the
+// flight ring at once; -race proves the locking, and the assertions prove
+// dumps stay internally consistent (bounded, sequenced) mid-storm.
+func TestFlightRingConcurrentHammer(t *testing.T) {
+	ResetFlight()
+	t.Cleanup(ResetFlight)
+	const writers, perWriter = 8, 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				RecordFlight(FlightEntry{Op: "hammer", N: w, Attempts: i, Outcome: "ok"})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				entries := FlightEntries()
+				if len(entries) > flightCapacity {
+					t.Errorf("dump of %d entries exceeds capacity %d", len(entries), flightCapacity)
+					return
+				}
+				for i := 1; i < len(entries); i++ {
+					if entries[i].Seq <= entries[i-1].Seq {
+						t.Errorf("dump out of order: seq %d after %d", entries[i].Seq, entries[i-1].Seq)
+						return
+					}
+				}
+				var sb strings.Builder
+				WriteFlightRecord(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if n := len(FlightEntries()); n != flightCapacity {
+		t.Fatalf("after %d writes the ring holds %d entries, want full capacity %d",
+			writers*perWriter, n, flightCapacity)
+	}
+}
+
+// --- OpenMetrics exposition ---
+
+// TestOpenMetricsExpositionLint validates the OpenMetrics output: EOF
+// terminator, counter family naming (TYPE without _total, samples with),
+// and well-formed exemplars whose values sit inside their bucket.
+func TestOpenMetricsExpositionLint(t *testing.T) {
+	// Seed dedicated series (seedTelemetry would double-count the exact
+	// values TestHandlerEndpoints asserts on the shared registry).
+	NewCounter("test.om.counter").Add(2)
+	NewGauge("test.om.gauge").Set(9)
+	NewLabeledHistogram("test.om.ns", "route", "solve").
+		ObserveExemplar(int64(123456), "cafe0123cafe0123cafe0123cafe0123")
+	RecordAttempt(Attempt{Solver: "test.om", N: 8, Subset: 4096, Outcome: OutcomeSuccess})
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	req, err := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintOpenMetrics(t, string(raw))
+
+	// ?format=openmetrics negotiates too (for humans with curl).
+	resp2, err := srv.Client().Get(srv.URL + "/metrics?format=openmetrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics") {
+		t.Fatalf("?format=openmetrics content-type = %q", ct)
+	}
+}
+
+var exemplarRe = regexp.MustCompile(`^\{trace_id="([0-9a-f]{32})"\} (\d+) (\d+(?:\.\d+)?)$`)
+
+// lintOpenMetrics enforces the OpenMetrics rules layered on the 0.0.4
+// lint: "# EOF" terminator, counter metadata named without _total while
+// samples keep it, exemplars only on bucket lines with value ≤ le.
+func lintOpenMetrics(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		t.Fatal("OpenMetrics exposition must end with # EOF")
+	}
+	typeOf := map[string]string{}
+	sawExemplar := false
+	var plain []string // lines with exemplars stripped, for the 0.0.4 lint
+	for i, line := range lines[:len(lines)-1] {
+		ln := i + 1
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) == 2 {
+				if parts[1] == "counter" && strings.HasSuffix(parts[0], "_total") {
+					t.Fatalf("line %d: OpenMetrics counter family %q must not carry _total", ln, parts[0])
+				}
+				typeOf[parts[0]] = parts[1]
+			}
+			plain = append(plain, line)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			plain = append(plain, line)
+			continue
+		}
+		sample, exemplar, hasEx := strings.Cut(line, " # ")
+		plain = append(plain, sample)
+		if !hasEx {
+			continue
+		}
+		sawExemplar = true
+		if !strings.Contains(sample, "_bucket{") {
+			t.Fatalf("line %d: exemplar on a non-bucket line: %q", ln, line)
+		}
+		m := exemplarRe.FindStringSubmatch(exemplar)
+		if m == nil {
+			t.Fatalf("line %d: malformed exemplar %q", ln, exemplar)
+		}
+		// The exemplar's value must fall inside the bucket it annotates.
+		s, err := parsePromSample(sample)
+		if err != nil {
+			t.Fatalf("line %d: %v", ln, err)
+		}
+		if le := s.labels["le"]; le != "+Inf" {
+			leV, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("line %d: unparseable le %q", ln, le)
+			}
+			exV, _ := strconv.ParseFloat(m[2], 64)
+			if exV > leV {
+				t.Fatalf("line %d: exemplar value %v above bucket le %v", ln, exV, leV)
+			}
+		}
+		if ts, _ := strconv.ParseFloat(m[3], 64); ts <= 0 {
+			t.Fatalf("line %d: exemplar timestamp %q not positive", ln, m[3])
+		}
+	}
+	if !sawExemplar {
+		t.Fatal("exposition carries no exemplars despite ObserveExemplar traffic")
+	}
+	// Counter samples still end in _total even though their family does not.
+	for family, typ := range typeOf {
+		if typ != "counter" {
+			continue
+		}
+		found := false
+		for _, line := range plain {
+			if strings.HasPrefix(line, family+"_total ") || strings.HasPrefix(line, family+"_total{") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("counter family %s has no %s_total sample", family, family)
+		}
+	}
+}

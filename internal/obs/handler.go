@@ -3,7 +3,10 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -82,6 +85,9 @@ type TraceSummary struct {
 	QueueWait time.Duration `json:"queue_wait_ns"`
 	Kept      string        `json:"kept"`
 	Spans     int           `json:"spans"`
+	// ProfileIDs cross-link to /debug/profiles?id= captures fired while
+	// this request ran (same trace id).
+	ProfileIDs []int64 `json:"profile_ids,omitempty"`
 }
 
 // tracesDoc is the /debug/traces list document.
@@ -119,7 +125,14 @@ func handleTraces(w http.ResponseWriter, r *http.Request) {
 			w.Write(buf.Bytes())
 			return
 		}
-		writeJSONDoc(w, rt)
+		detail := struct {
+			RequestTrace
+			ProfileIDs []int64 `json:"profile_ids,omitempty"`
+		}{RequestTrace: rt}
+		if ps := ActiveProfileStore(); ps != nil {
+			detail.ProfileIDs = ps.IDsForTrace(rt.TraceID)
+		}
+		writeJSONDoc(w, detail)
 		return
 	}
 	traces := ts.Traces()
@@ -129,15 +142,86 @@ func handleTraces(w http.ResponseWriter, r *http.Request) {
 		SampleEvery:   ts.Config().SampleEvery,
 		Traces:        make([]TraceSummary, 0, len(traces)),
 	}
+	ps := ActiveProfileStore()
 	for _, rt := range traces {
-		doc.Traces = append(doc.Traces, TraceSummary{
+		sum := TraceSummary{
 			TraceID: rt.TraceID, Route: rt.Route, N: rt.N, Status: rt.Status,
 			Cache: rt.Cache, Attempts: rt.Attempts, Error: rt.Error,
 			Start: rt.Start, Wall: rt.Wall, QueueWait: rt.QueueWait,
 			Kept: rt.Kept, Spans: len(rt.Spans),
-		})
+		}
+		if ps != nil {
+			sum.ProfileIDs = ps.IDsForTrace(rt.TraceID)
+		}
+		doc.Traces = append(doc.Traces, sum)
 	}
 	writeJSONDoc(w, doc)
+}
+
+// profilesDoc is the /debug/profiles list document.
+type profilesDoc struct {
+	Capacity    int              `json:"capacity"`
+	CPUDuration time.Duration    `json:"cpu_duration_ns"`
+	Cooldown    time.Duration    `json:"cooldown_ns"`
+	Profiles    []ProfileCapture `json:"profiles"`
+}
+
+// handleProfiles serves the triggered profile store:
+//
+//	/debug/profiles          JSON list of capture summaries, newest first
+//	/debug/profiles?id=<n>   the raw pprof bytes of one capture
+func handleProfiles(w http.ResponseWriter, r *http.Request) {
+	ps := ActiveProfileStore()
+	if ps == nil {
+		http.Error(w, "profile store not enabled", http.StatusNotFound)
+		return
+	}
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad profile id "+idStr, http.StatusBadRequest)
+			return
+		}
+		c, data, ok := ps.Get(id)
+		if !ok {
+			http.Error(w, "profile "+idStr+" not retained (evicted or never captured)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%s-%d.pprof", c.Kind, c.ID))
+		w.Write(data)
+		return
+	}
+	cfg := ps.Config()
+	writeJSONDoc(w, profilesDoc{
+		Capacity:    cfg.Capacity,
+		CPUDuration: cfg.CPUDuration,
+		Cooldown:    cfg.Cooldown,
+		Profiles:    ps.Profiles(),
+	})
+}
+
+// timelineDoc is the /debug/timeline document.
+type timelineDoc struct {
+	Capacity int              `json:"capacity"`
+	Interval time.Duration    `json:"interval_ns"`
+	Samples  []TimelineSample `json:"samples"`
+}
+
+// handleTimeline serves the metrics timeline ring, oldest sample first.
+func handleTimeline(w http.ResponseWriter, r *http.Request) {
+	tl := ActiveTimeline()
+	if tl == nil {
+		http.Error(w, "timeline not enabled", http.StatusNotFound)
+		return
+	}
+	cfg := tl.Config()
+	writeJSONDoc(w, timelineDoc{
+		Capacity: cfg.Capacity,
+		Interval: cfg.Interval,
+		Samples:  tl.Samples(),
+	})
 }
 
 // writeJSONDoc marshals into memory first (the /snapshot discipline: a late
@@ -152,11 +236,26 @@ func writeJSONDoc(w http.ResponseWriter, v any) {
 	w.Write(append(body, '\n'))
 }
 
+// wantsOpenMetrics reports whether the scrape asked for OpenMetrics, via
+// the Accept header (how Prometheus negotiates) or ?format=openmetrics
+// (how a human curls it).
+func wantsOpenMetrics(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
 // Handler returns the telemetry mux serving /metrics, /snapshot,
-// /debug/traces and /healthz.
+// /healthz, /debug/traces, /debug/profiles and /debug/timeline.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsOpenMetrics(r) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w)
 	})
@@ -177,8 +276,37 @@ func Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// With an SLO engine installed the liveness check becomes a
+		// readiness verdict: a breaching objective flips it to 503 with
+		// the burning objectives named, so the cheapest probe an operator
+		// (or a load balancer) already has tells them where to look next.
+		if e := ActiveSLOEngine(); e != nil {
+			if degraded, reasons := e.Verdict(); degraded {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte("degraded\n"))
+				for _, reason := range reasons {
+					w.Write([]byte(reason + "\n"))
+				}
+				return
+			}
+		}
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		e := ActiveSLOEngine()
+		if e == nil {
+			http.Error(w, "slo engine not enabled", http.StatusNotFound)
+			return
+		}
+		writeJSONDoc(w, struct {
+			FastWindow time.Duration     `json:"fast_window_ns"`
+			SlowWindow time.Duration     `json:"slow_window_ns"`
+			Burn       float64           `json:"burn_threshold"`
+			Objectives []ObjectiveStatus `json:"objectives"`
+		}{e.Config().FastWindow, e.Config().SlowWindow, e.Config().Burn, e.Status()})
+	})
 	mux.HandleFunc("/debug/traces", handleTraces)
+	mux.HandleFunc("/debug/profiles", handleProfiles)
+	mux.HandleFunc("/debug/timeline", handleTimeline)
 	return mux
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Lock-free log-bucketed histograms. Values (latencies in nanoseconds,
@@ -31,6 +32,19 @@ type Histogram struct {
 	labelVal string
 	sum      atomic.Uint64
 	buckets  [histBuckets]atomic.Uint64
+	// exemplars[i] is the most recent trace-tagged observation that landed
+	// in bucket i — the OpenMetrics exemplar the exposition attaches to the
+	// bucket, linking a latency band straight to a /debug/traces entry. Only
+	// ObserveExemplar writes here; plain Observe stays two atomic adds.
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one trace-tagged observation kept per bucket for the
+// OpenMetrics exposition (`# {trace_id="…"} value timestamp`).
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   uint64    `json:"value"`
+	Time    time.Time `json:"time"`
 }
 
 // Observe records one value (negative values clamp to 0).
@@ -44,6 +58,27 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.buckets[bits.Len64(u)].Add(1)
 	h.sum.Add(u)
+}
+
+// ObserveExemplar records one value like Observe and, when traceID is
+// non-empty, remembers it as the bucket's exemplar. The exemplar write is
+// one allocation plus an atomic pointer store — call sites that already
+// materialized a trace id (Span.End, the server's request path) afford it;
+// anonymous hot paths keep calling Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	u := uint64(0)
+	if v > 0 {
+		u = uint64(v)
+	}
+	i := bits.Len64(u)
+	h.buckets[i].Add(1)
+	h.sum.Add(u)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: u, Time: time.Now()})
+	}
 }
 
 // Count returns the number of recorded observations.
@@ -105,6 +140,9 @@ func (h *Histogram) Quantile(q float64) uint64 {
 type HistBucket struct {
 	Le    uint64 `json:"le"`
 	Count uint64 `json:"count"`
+	// Exemplar is the bucket's most recent trace-tagged observation, when
+	// one exists.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistSnapshot is a point-in-time copy of one histogram.
@@ -137,7 +175,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		if i == histBuckets-1 {
 			le = ^uint64(0)
 		}
-		snap.Buckets = append(snap.Buckets, HistBucket{Le: le, Count: c})
+		snap.Buckets = append(snap.Buckets, HistBucket{Le: le, Count: c, Exemplar: h.exemplars[i].Load()})
 		snap.Count += c
 	}
 	snap.P50 = h.Quantile(0.50)

@@ -44,6 +44,22 @@ func phaseLatencyHist(name string) *Histogram {
 	return h.(*Histogram)
 }
 
+// The canonical phase families are registered eagerly so /metrics and
+// /snapshot expose every phase.latency.ns series — the rns/* ones included —
+// from process start, not only after the first solve of that kind ran. The
+// exposition-parity regression test leans on this: a family registered
+// anywhere must appear on both endpoints.
+func init() {
+	for _, name := range []string{
+		PhasePrecondition, PhaseKrylov, PhaseMinPoly, PhaseBacksolve,
+		PhaseBatchPrecondition, PhaseBatchKrylov, PhaseBatchMinPoly,
+		PhaseBatchBacksolve, PhaseBatchVerify,
+		PhaseRNSPrimes, PhaseRNSResidue, PhaseRNSCRT, PhaseRNSVerify,
+	} {
+		phaseLatencyHist(name)
+	}
+}
+
 // Span taxonomy: the KP91 (SPAA 1991) algorithm steps. Theorem 4 emits
 // exactly these four top-level phases per attempt; the black-box
 // (Wiedemann) route reuses the same names so phase totals aggregate across
@@ -304,7 +320,10 @@ func (s *Span) End() {
 	o.ring[o.next%int64(len(o.ring))] = rec
 	o.next++
 	o.mu.Unlock()
-	phaseLatencyHist(s.name).Observe(rec.Dur.Nanoseconds())
+	// Trace-scoped spans stamp the latency sample as the bucket's exemplar,
+	// so a phase-latency band on /metrics links to the /debug/traces entry
+	// that produced it.
+	phaseLatencyHist(s.name).ObserveExemplar(rec.Dur.Nanoseconds(), rec.Trace.String())
 }
 
 // OpenSpanName returns the name of the innermost open span, or "" when no

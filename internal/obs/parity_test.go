@@ -1,0 +1,125 @@
+// Package obs_test holds the exposition parity regression test. It lives
+// outside package obs so it can blank-import the packages that register
+// the production metric families (internal/kp, internal/server — both of
+// which import obs, so an in-package test would be an import cycle) and
+// then assert that every registered family is visible on BOTH surfaces:
+// the /metrics text exposition and the /snapshot JSON document. A metric
+// that shows up in one but not the other is exactly the regression that
+// motivated this test: kp_rns_* phase histograms used to exist only once
+// RNS traffic had run, so a fresh daemon's /snapshot omitted them.
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+
+	_ "repro/internal/kp"     // registers rns.*, cache.*, precond.* families
+	_ "repro/internal/matrix" // registers pool.* families
+	_ "repro/internal/server" // registers server.* families
+)
+
+// mangle mirrors the exposition's name convention: "kp_" prefix, every
+// non-alphanumeric byte replaced by '_'. (Deliberately re-implemented: if
+// the convention drifts, this test fails loudly instead of following it.)
+func mangle(name string) string {
+	var b strings.Builder
+	b.WriteString("kp_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func TestEveryRegisteredFamilyOnBothSurfaces(t *testing.T) {
+	snap := obs.Snapshot()
+	var sb strings.Builder
+	obs.WriteMetrics(&sb)
+	text := sb.String()
+
+	if len(snap.Metrics) == 0 || len(snap.Histograms) == 0 {
+		t.Fatal("registry empty: the blank imports no longer register families")
+	}
+
+	// Every counter/gauge in the snapshot has a sample line on /metrics.
+	// The snapshot does not distinguish counters from gauges, so accept the
+	// plain name, the counter's _total form, or the gauge's _max companion.
+	for name := range snap.Metrics {
+		pn := mangle(strings.TrimSuffix(name, ".max"))
+		candidates := []string{pn + " ", pn + "{", pn + "_total ", pn + "_total{"}
+		if strings.HasSuffix(name, ".max") {
+			candidates = []string{pn + "_max "}
+		}
+		found := false
+		for _, c := range candidates {
+			if strings.Contains(text, "\n"+c) || strings.HasPrefix(text, c) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("registry metric %q (as %s) missing from /metrics", name, pn)
+		}
+	}
+
+	// Every histogram family in the snapshot is a histogram family on
+	// /metrics, with its labeled series present bucket by bucket.
+	for _, h := range snap.Histograms {
+		family := mangle(h.Name)
+		if !strings.Contains(text, "# TYPE "+family+" histogram") {
+			t.Errorf("histogram family %q (as %s) missing from /metrics", h.Name, family)
+			continue
+		}
+		if h.LabelKey != "" {
+			series := family + `_bucket{` + h.LabelKey + `="` + h.LabelValue + `"`
+			if !strings.Contains(text, series) {
+				t.Errorf("histogram series %s{%s=%q} missing from /metrics", h.Name, h.LabelKey, h.LabelValue)
+			}
+		}
+	}
+
+	// The reverse inclusion for families /metrics synthesizes beyond the
+	// registry (attempt bounds, runtime metrics) is covered by their own
+	// snapshot sections.
+	if snap.Attempts == nil && strings.Contains(text, "kp_attempts_total{") {
+		t.Error("/metrics has attempt counters but /snapshot has no attempts section")
+	}
+	if len(snap.Runtime) == 0 {
+		t.Error("/snapshot runtime section empty")
+	}
+}
+
+// TestRNSPhaseFamiliesPreRegistered pins the fix this parity test exists
+// for: the rns/* phase-latency series must be on both surfaces from
+// process start, before any exact solve has run.
+func TestRNSPhaseFamiliesPreRegistered(t *testing.T) {
+	phases := []string{
+		obs.PhaseRNSPrimes, obs.PhaseRNSResidue, obs.PhaseRNSCRT, obs.PhaseRNSVerify,
+		obs.PhasePrecondition, obs.PhaseKrylov, obs.PhaseMinPoly, obs.PhaseBacksolve,
+	}
+	snap := obs.Snapshot()
+	var sb strings.Builder
+	obs.WriteMetrics(&sb)
+	text := sb.String()
+	for _, phase := range phases {
+		inSnap := false
+		for _, h := range snap.Histograms {
+			if h.Name == "phase.latency.ns" && h.LabelValue == phase {
+				inSnap = true
+				break
+			}
+		}
+		if !inSnap {
+			t.Errorf("/snapshot missing phase.latency.ns series for %q", phase)
+		}
+		if !strings.Contains(text, `kp_phase_latency_ns_bucket{phase="`+phase+`"`) {
+			t.Errorf("/metrics missing kp_phase_latency_ns series for %q", phase)
+		}
+	}
+}

@@ -54,6 +54,22 @@ func promHeader(w io.Writer, name, typ, help string) {
 // (kp_attempts_total{solver,n,subset,outcome} counters beside
 // kp_attempt_failure_rate / kp_attempt_failure_bound_* gauges).
 func WriteMetrics(w io.Writer) {
+	writeExposition(w, false)
+}
+
+// WriteOpenMetrics writes the same telemetry state in OpenMetrics 1.0
+// format. The differences from the 0.0.4 text format that matter here:
+// counter family names drop the "_total" suffix on their metadata lines
+// (samples keep it), histogram buckets carry exemplars — the last
+// trace-tagged observation per bucket, "# {trace_id=\"…\"} value ts" —
+// and the exposition ends with the mandatory "# EOF" terminator. Serve it
+// with Content-Type "application/openmetrics-text; version=1.0.0".
+func WriteOpenMetrics(w io.Writer) {
+	writeExposition(w, true)
+	io.WriteString(w, "# EOF\n")
+}
+
+func writeExposition(w io.Writer, om bool) {
 	snap := MetricsSnapshot()
 	names := make([]string, 0, len(snap))
 	for n := range snap {
@@ -77,7 +93,13 @@ func WriteMetrics(w io.Writer) {
 			if !strings.HasSuffix(pn, "_total") {
 				pn += "_total"
 			}
-			promHeader(w, pn, "counter", fmt.Sprintf("Monotonic counter %q.", n))
+			// OpenMetrics names the counter family without the _total
+			// suffix; only the sample line keeps it.
+			family := pn
+			if om {
+				family = strings.TrimSuffix(pn, "_total")
+			}
+			promHeader(w, family, "counter", fmt.Sprintf("Monotonic counter %q.", n))
 			fmt.Fprintf(w, "%s %d\n", pn, snap[n])
 			continue
 		}
@@ -89,15 +111,28 @@ func WriteMetrics(w io.Writer) {
 		}
 	}
 
-	writeHistogramFamilies(w, Histograms())
-	writeAttemptMetrics(w, BoundsReport())
+	writeHistogramFamilies(w, Histograms(), om)
+	writeAttemptMetrics(w, BoundsReport(), om)
 	writeRuntimeMetrics(w)
+}
+
+// promExemplar renders an OpenMetrics exemplar suffix for a bucket line:
+// " # {trace_id=\"…\"} value unix_ts". The exemplar's value always falls
+// inside its bucket (both were derived from the same observation), which
+// the spec requires.
+func promExemplar(e *Exemplar) string {
+	if e == nil || e.TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %d %.3f",
+		promLabel(e.TraceID), e.Value, float64(e.Time.UnixNano())/1e9)
 }
 
 // writeHistogramFamilies groups the snapshots by family name and emits one
 // HELP/TYPE header per family followed by each labeled series' cumulative
-// buckets.
-func writeHistogramFamilies(w io.Writer, snaps []HistSnapshot) {
+// buckets. In OpenMetrics mode each bucket that retained a trace-tagged
+// observation carries it as an exemplar.
+func writeHistogramFamilies(w io.Writer, snaps []HistSnapshot, om bool) {
 	for i := 0; i < len(snaps); {
 		j := i
 		for j < len(snaps) && snaps[j].Name == snaps[i].Name {
@@ -111,14 +146,24 @@ func writeHistogramFamilies(w io.Writer, snaps []HistSnapshot) {
 				labelPrefix = fmt.Sprintf("%s=%q,", promName(s.LabelKey)[3:], promLabel(s.LabelValue))
 			}
 			var cum uint64
+			var infEx *Exemplar
 			for _, b := range s.Buckets {
 				if b.Le == ^uint64(0) {
+					infEx = b.Exemplar
 					continue // folded into +Inf below
 				}
 				cum += b.Count
-				fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", family, labelPrefix, b.Le, cum)
+				ex := ""
+				if om {
+					ex = promExemplar(b.Exemplar)
+				}
+				fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d%s\n", family, labelPrefix, b.Le, cum, ex)
 			}
-			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labelPrefix, s.Count)
+			ex := ""
+			if om {
+				ex = promExemplar(infEx)
+			}
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d%s\n", family, labelPrefix, s.Count, ex)
 			if s.LabelKey != "" {
 				fmt.Fprintf(w, "%s_sum{%s=%q} %d\n", family, promName(s.LabelKey)[3:], promLabel(s.LabelValue), s.Sum)
 				fmt.Fprintf(w, "%s_count{%s=%q} %d\n", family, promName(s.LabelKey)[3:], promLabel(s.LabelValue), s.Count)
@@ -134,7 +179,7 @@ func writeHistogramFamilies(w io.Writer, snaps []HistSnapshot) {
 // writeAttemptMetrics emits the Las Vegas attempt statistics: per-outcome
 // attempt counters and, per (solver, n, |S|) group, the observed failure
 // rate beside the equation (2), Lemma 2 and Theorem 2 bounds.
-func writeAttemptMetrics(w io.Writer, lines []BoundsLine) {
+func writeAttemptMetrics(w io.Writer, lines []BoundsLine, om bool) {
 	if len(lines) == 0 {
 		return
 	}
@@ -142,8 +187,14 @@ func writeAttemptMetrics(w io.Writer, lines []BoundsLine) {
 		return fmt.Sprintf("solver=%q,n=\"%d\",subset=\"%s\"",
 			promLabel(l.Solver), l.N, strconv.FormatUint(l.Subset, 10))
 	}
+	counterFamily := func(name string) string {
+		if om {
+			return strings.TrimSuffix(name, "_total")
+		}
+		return name
+	}
 
-	promHeader(w, "kp_attempts_total", "counter", "Las Vegas attempts by driver, dimension, subset size and outcome.")
+	promHeader(w, counterFamily("kp_attempts_total"), "counter", "Las Vegas attempts by driver, dimension, subset size and outcome.")
 	for _, l := range lines {
 		outcomes := make([]string, 0, len(l.ByOutcome))
 		for o := range l.ByOutcome {
@@ -155,7 +206,7 @@ func writeAttemptMetrics(w io.Writer, lines []BoundsLine) {
 		}
 	}
 
-	promHeader(w, "kp_attempt_failures_total", "counter", "Failed Las Vegas attempts by driver, dimension and subset size.")
+	promHeader(w, counterFamily("kp_attempt_failures_total"), "counter", "Failed Las Vegas attempts by driver, dimension and subset size.")
 	for _, l := range lines {
 		fmt.Fprintf(w, "kp_attempt_failures_total{%s} %d\n", groupLabels(l), l.Failures)
 	}

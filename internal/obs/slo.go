@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLO burn-rate engine: declarative objectives over the metrics timeline,
+// evaluated the way an SRE would by hand — how fast is the error budget
+// being consumed over a fast window AND a slow window — so a transient
+// blip (fast window hot, slow window calm) does not page, and a slow leak
+// (slow window hot, fast window calm) does not page twice after it is
+// over. An objective breaches only when both windows burn at or above the
+// configured rate. Breaches surface three ways: kp_slo_* gauges on
+// /metrics, a degraded verdict (HTTP 503) on /healthz naming the burning
+// objectives, and a one-line record in the flight ring so a post-mortem
+// dump shows when the budget started going.
+//
+// The objective kinds map onto the paper's claims where they can: the
+// attempt_bound objective compares the observed Las Vegas failure rate in
+// the window against equation (2)'s certified per-attempt bound, and the
+// efficiency_floor objective watches the measured residue fan-out
+// parallel efficiency that Theorem 1's processor-efficiency claim is
+// about.
+
+// Objective kinds.
+const (
+	// KindLatency bounds the fraction of observations of a histogram
+	// series (Series) above Threshold (ns) to Budget.
+	KindLatency = "latency"
+	// KindErrorRate bounds the ratio of two counters, Series/TotalSeries,
+	// to Budget.
+	KindErrorRate = "error_rate"
+	// KindEfficiencyFloor bounds the fraction of timeline samples where
+	// gauge Series sits below Threshold (only samples where the gauge is
+	// non-zero count) to Budget.
+	KindEfficiencyFloor = "efficiency_floor"
+	// KindAttemptBound compares the windowed Las Vegas failure rate of
+	// every attempt group against its equation (2) bound; the burn is the
+	// worst rate/bound ratio (scaled by Budget, normally 1).
+	KindAttemptBound = "attempt_bound"
+)
+
+// Objective is one declarative service-level objective.
+type Objective struct {
+	// Name identifies the objective in kp_slo_* metric names and /healthz
+	// verdicts; keep it snake_case.
+	Name string `json:"name"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Series is the histogram series key (KindLatency, see histSeriesKey),
+	// the bad-event counter (KindErrorRate), or the gauge name
+	// (KindEfficiencyFloor).
+	Series string `json:"series,omitempty"`
+	// TotalSeries is the denominator counter for KindErrorRate.
+	TotalSeries string `json:"total_series,omitempty"`
+	// Threshold is the latency cut in ns (KindLatency; bucket-resolution,
+	// factor of 2) or the gauge floor (KindEfficiencyFloor).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Budget is the allowed bad fraction (e.g. 0.01 → a p99 objective).
+	Budget float64 `json:"budget"`
+}
+
+// ObjectiveStatus is one objective's latest evaluation.
+type ObjectiveStatus struct {
+	Objective
+	// BurnFast and BurnSlow are the budget burn rates over the two
+	// windows: 1.0 means consuming exactly the budget, sustained.
+	BurnFast float64 `json:"burn_fast"`
+	BurnSlow float64 `json:"burn_slow"`
+	// Breached reports both windows at or above the engine's burn
+	// threshold.
+	Breached bool      `json:"breached"`
+	Since    time.Time `json:"since,omitempty"` // start of the current breach
+}
+
+// SLOConfig configures an SLOEngine; zero values select defaults.
+type SLOConfig struct {
+	// FastWindow and SlowWindow are the two burn windows (defaults 1m and
+	// 15m). Windows clip to the timeline's retained history.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// Burn is the breach threshold on both windows' burn rates (default
+	// 1.0 — budget consumed at sustained rate).
+	Burn float64
+	// Interval is the evaluation period (default: the timeline's sampling
+	// interval).
+	Interval time.Duration
+}
+
+// SLO telemetry on /metrics (beyond the per-objective gauges).
+var (
+	sloBreaches = NewCounter("slo.breaches")
+	sloDegraded = NewGauge("slo.degraded")
+)
+
+// SLOEngine evaluates objectives over a Timeline. Safe for concurrent use.
+type SLOEngine struct {
+	cfg        SLOConfig
+	timeline   *Timeline
+	objectives []Objective
+
+	// Per-objective exposition gauges, pre-registered so kp_slo_* families
+	// exist from engine construction.
+	burnFast []*Gauge
+	burnSlow []*Gauge
+	breach   []*Gauge
+
+	mu     sync.Mutex
+	status []ObjectiveStatus
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSLOEngine returns an engine evaluating the objectives over the
+// timeline, resolving zero config values. Call Start to launch the
+// evaluation loop; Evaluate works without it.
+func NewSLOEngine(cfg SLOConfig, tl *Timeline, objectives []Objective) *SLOEngine {
+	if cfg.FastWindow <= 0 {
+		cfg.FastWindow = time.Minute
+	}
+	if cfg.SlowWindow <= 0 {
+		cfg.SlowWindow = 15 * time.Minute
+	}
+	if cfg.Burn <= 0 {
+		cfg.Burn = 1.0
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = tl.Config().Interval
+	}
+	e := &SLOEngine{
+		cfg: cfg, timeline: tl, objectives: objectives,
+		status: make([]ObjectiveStatus, len(objectives)),
+		stop:   make(chan struct{}), done: make(chan struct{}),
+	}
+	for i, o := range objectives {
+		e.status[i] = ObjectiveStatus{Objective: o}
+		e.burnFast = append(e.burnFast, NewGauge("slo."+o.Name+".burn_fast_milli"))
+		e.burnSlow = append(e.burnSlow, NewGauge("slo."+o.Name+".burn_slow_milli"))
+		e.breach = append(e.breach, NewGauge("slo."+o.Name+".breached"))
+	}
+	return e
+}
+
+// Config returns the resolved configuration.
+func (e *SLOEngine) Config() SLOConfig { return e.cfg }
+
+// Start launches the evaluation loop until Stop.
+func (e *SLOEngine) Start() {
+	go func() {
+		defer close(e.done)
+		tick := time.NewTicker(e.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				e.Evaluate()
+			case <-e.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the evaluation loop and waits for it to exit. Idempotent.
+func (e *SLOEngine) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+// Evaluate runs one evaluation pass over the timeline: burn rates per
+// objective over both windows, gauge updates, breach transitions into the
+// flight ring.
+func (e *SLOEngine) Evaluate() []ObjectiveStatus {
+	newest, ok := e.timeline.Latest()
+	if !ok {
+		return e.Status()
+	}
+	fastOld, _ := e.timeline.At(e.cfg.FastWindow)
+	slowOld, _ := e.timeline.At(e.cfg.SlowWindow)
+	samples := e.timeline.Samples()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	degraded := false
+	for i := range e.status {
+		st := &e.status[i]
+		st.BurnFast = e.burn(st.Objective, fastOld, newest, samples, e.cfg.FastWindow)
+		st.BurnSlow = e.burn(st.Objective, slowOld, newest, samples, e.cfg.SlowWindow)
+		breached := st.BurnFast >= e.cfg.Burn && st.BurnSlow >= e.cfg.Burn
+		if breached && !st.Breached {
+			st.Since = time.Now()
+			sloBreaches.Inc()
+			RecordFlight(FlightEntry{
+				Op: "slo.breach",
+				Outcome: fmt.Sprintf("%s burning budget: fast=%.2fx slow=%.2fx (threshold %.2fx)",
+					st.Name, st.BurnFast, st.BurnSlow, e.cfg.Burn),
+			})
+		}
+		if !breached {
+			st.Since = time.Time{}
+		}
+		st.Breached = breached
+		e.burnFast[i].Set(int64(st.BurnFast * 1000))
+		e.burnSlow[i].Set(int64(st.BurnSlow * 1000))
+		if breached {
+			e.breach[i].Set(1)
+			degraded = true
+		} else {
+			e.breach[i].Set(0)
+		}
+	}
+	if degraded {
+		sloDegraded.Set(1)
+	} else {
+		sloDegraded.Set(0)
+	}
+	out := make([]ObjectiveStatus, len(e.status))
+	copy(out, e.status)
+	return out
+}
+
+// burn computes one objective's budget burn rate between two timeline
+// samples (old → new), with the full window's samples available for
+// gauge-style objectives.
+func (e *SLOEngine) burn(o Objective, old, cur TimelineSample, samples []TimelineSample, window time.Duration) float64 {
+	switch o.Kind {
+	case KindLatency:
+		h1, ok1 := cur.Hists[o.Series]
+		if !ok1 {
+			return 0
+		}
+		h0 := old.Hists[o.Series] // zero value when absent: empty history
+		total := float64(h1.Count) - float64(h0.Count)
+		if total <= 0 || o.Budget <= 0 {
+			return 0
+		}
+		bad := countOver(h1.Buckets, o.Threshold) - countOver(h0.Buckets, o.Threshold)
+		return (bad / total) / o.Budget
+
+	case KindErrorRate:
+		total := float64(cur.Metrics[o.TotalSeries] - old.Metrics[o.TotalSeries])
+		if total <= 0 || o.Budget <= 0 {
+			return 0
+		}
+		bad := float64(cur.Metrics[o.Series] - old.Metrics[o.Series])
+		return (bad / total) / o.Budget
+
+	case KindEfficiencyFloor:
+		cutoff := cur.When.Add(-window)
+		eligible, bad := 0, 0
+		for _, s := range samples {
+			if s.When.Before(cutoff) {
+				continue
+			}
+			v := s.Metrics[o.Series]
+			if v <= 0 {
+				continue // gauge never set: no ring traffic in this sample
+			}
+			eligible++
+			if float64(v) < o.Threshold {
+				bad++
+			}
+		}
+		if eligible == 0 || o.Budget <= 0 {
+			return 0
+		}
+		return (float64(bad) / float64(eligible)) / o.Budget
+
+	case KindAttemptBound:
+		budget := o.Budget
+		if budget <= 0 {
+			budget = 1
+		}
+		worst := 0.0
+		for key, a1 := range cur.Attempts {
+			a0 := old.Attempts[key]
+			dAtt := a1.Attempts - a0.Attempts
+			dFail := a1.Failures - a0.Failures
+			// Too few attempts in the window and the empirical rate is
+			// noise, not evidence against equation (2).
+			if dAtt < 4 || a1.BoundEq2 <= 0 {
+				continue
+			}
+			ratio := (float64(dFail) / float64(dAtt)) / a1.BoundEq2
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+		return worst / budget
+	}
+	return 0
+}
+
+// countOver counts observations above the threshold from raw log2 bucket
+// counts. A bucket counts when its upper bound exceeds the threshold, so
+// the cut has the histogram's factor-of-two resolution — fine for burn
+// rates, which compare windows of the same exposition against each other.
+func countOver(buckets []HistBucket, threshold float64) float64 {
+	var n uint64
+	for _, b := range buckets {
+		if b.Le == ^uint64(0) || float64(b.Le) > threshold {
+			n += b.Count
+		}
+	}
+	return float64(n)
+}
+
+// Status returns the latest evaluation per objective.
+func (e *SLOEngine) Status() []ObjectiveStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ObjectiveStatus, len(e.status))
+	copy(out, e.status)
+	return out
+}
+
+// Verdict reports whether any objective is breaching and names the
+// burning objectives — what /healthz serves.
+func (e *SLOEngine) Verdict() (degraded bool, reasons []string) {
+	for _, st := range e.Status() {
+		if st.Breached {
+			degraded = true
+			reasons = append(reasons, fmt.Sprintf("%s: burn fast=%.2fx slow=%.2fx over budget %.4g",
+				st.Name, st.BurnFast, st.BurnSlow, st.Budget))
+		}
+	}
+	return degraded, reasons
+}
+
+// DefaultKpdObjectives returns the kpd service objectives: request p99
+// latency, 5xx-class error rate, the RNS residue fan-out's parallel
+// efficiency floor (Theorem 1's measured quantity), and the Las Vegas
+// attempt rate against equation (2).
+func DefaultKpdObjectives(p99 time.Duration) []Objective {
+	return []Objective{
+		{
+			Name: "latency_solve_p99", Kind: KindLatency,
+			Series:    `server.request.ns{route="solve"}`,
+			Threshold: float64(p99.Nanoseconds()), Budget: 0.01,
+		},
+		{
+			Name: "error_rate", Kind: KindErrorRate,
+			Series: "server.errors", TotalSeries: "server.requests",
+			Budget: 0.01,
+		},
+		{
+			Name: "rns_parallel_efficiency", Kind: KindEfficiencyFloor,
+			Series: "rns.parallel.efficiency.milli", Threshold: 1000, Budget: 0.5,
+		},
+		{
+			Name: "attempt_bound_eq2", Kind: KindAttemptBound, Budget: 1,
+		},
+	}
+}
+
+// activeSLO is the process-global engine /healthz consults; nil keeps
+// /healthz unconditionally ok.
+var activeSLO atomic.Pointer[SLOEngine]
+
+// SetSLOEngine installs e as the process-global SLO engine (nil disables).
+func SetSLOEngine(e *SLOEngine) { activeSLO.Store(e) }
+
+// ActiveSLOEngine returns the installed engine, or nil.
+func ActiveSLOEngine() *SLOEngine { return activeSLO.Load() }

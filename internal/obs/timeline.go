@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics timeline: a background sampler that snapshots the whole metric
+// state — every counter/gauge, every histogram's count/sum/quantiles and
+// raw bucket counts, the Las Vegas attempt groups — into a bounded
+// in-memory ring at a fixed interval. The counters themselves only ever
+// say "how much since process start"; the timeline is what turns them into
+// rates and windowed deltas, which is what the SLO burn-rate engine and a
+// human diagnosing "when did p99 move" both need. Served as JSON at
+// /debug/timeline.
+
+// Timeline telemetry on /metrics (kp_timeline_…).
+var (
+	timelineSamples  = NewCounter("timeline.samples")
+	timelineSampleNs = NewHistogram("timeline.sample.ns")
+)
+
+// HistPoint is one histogram series at one instant: totals, quantile
+// estimates, and the raw (non-cumulative) bucket counts windowed deltas
+// are computed from.
+type HistPoint struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	P50     uint64       `json:"p50"`
+	P99     uint64       `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// AttemptPoint is one Las Vegas attempt group at one instant, with the
+// paper's bounds beside the cumulative counts.
+type AttemptPoint struct {
+	Attempts    int64   `json:"attempts"`
+	Failures    int64   `json:"failures"`
+	BoundEq2    float64 `json:"bound_eq2"`
+	BoundLemma2 float64 `json:"bound_lemma2"`
+}
+
+// TimelineSample is one tick of the sampler.
+type TimelineSample struct {
+	Seq  int64     `json:"seq"`
+	When time.Time `json:"when"`
+	// Metrics is the counter/gauge registry (gauges include "<name>.max").
+	Metrics map[string]int64 `json:"metrics"`
+	// Hists is keyed by series: `name` or `name{key="value"}`.
+	Hists map[string]HistPoint `json:"hists"`
+	// Attempts is keyed by "solver/n/subset".
+	Attempts map[string]AttemptPoint `json:"attempts,omitempty"`
+}
+
+// histSeriesKey names one histogram series in a sample.
+func histSeriesKey(s HistSnapshot) string {
+	if s.LabelKey == "" {
+		return s.Name
+	}
+	return fmt.Sprintf("%s{%s=%q}", s.Name, s.LabelKey, s.LabelValue)
+}
+
+// TimelineConfig configures a Timeline; zero values select defaults.
+type TimelineConfig struct {
+	// Capacity bounds the ring (default 360 samples — an hour at the
+	// default interval).
+	Capacity int
+	// Interval is the sampling period (default 10s).
+	Interval time.Duration
+}
+
+// Timeline is the bounded sample ring plus its sampler goroutine. Safe for
+// concurrent use.
+type Timeline struct {
+	cfg TimelineConfig
+
+	mu   sync.Mutex
+	ring []TimelineSample
+	next int64 // samples ever admitted; ring slot is next % cap
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewTimeline returns a timeline for the config, resolving zero values.
+// Call Start to launch the sampler; SampleNow works without it.
+func NewTimeline(cfg TimelineConfig) *Timeline {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 360
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	return &Timeline{
+		cfg:  cfg,
+		ring: make([]TimelineSample, 0, cfg.Capacity),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Config returns the resolved configuration.
+func (t *Timeline) Config() TimelineConfig { return t.cfg }
+
+// Start launches the sampler goroutine: one immediate sample, then one per
+// interval until Stop.
+func (t *Timeline) Start() {
+	go func() {
+		defer close(t.done)
+		t.SampleNow()
+		tick := time.NewTicker(t.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t.SampleNow()
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampler and waits for it to exit. Idempotent.
+func (t *Timeline) Stop() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+}
+
+// SampleNow takes one sample of the full metric state and admits it to the
+// ring. The cost of the walk is itself recorded (kp_timeline_sample_ns) so
+// the observability overhead is observable.
+func (t *Timeline) SampleNow() TimelineSample {
+	start := time.Now()
+	s := TimelineSample{
+		When:    start,
+		Metrics: MetricsSnapshot(),
+		Hists:   make(map[string]HistPoint),
+	}
+	for _, h := range Histograms() {
+		// Exemplars are served by /metrics; carrying them per sample would
+		// only multiply retained pointers.
+		buckets := make([]HistBucket, len(h.Buckets))
+		for i, b := range h.Buckets {
+			buckets[i] = HistBucket{Le: b.Le, Count: b.Count}
+		}
+		s.Hists[histSeriesKey(h)] = HistPoint{
+			Count: h.Count, Sum: h.Sum, P50: h.P50, P99: h.P99, Buckets: buckets,
+		}
+	}
+	if lines := BoundsReport(); len(lines) > 0 {
+		s.Attempts = make(map[string]AttemptPoint, len(lines))
+		for _, l := range lines {
+			key := fmt.Sprintf("%s/%d/%d", l.Solver, l.N, l.Subset)
+			s.Attempts[key] = AttemptPoint{
+				Attempts: l.Attempts, Failures: l.Failures,
+				BoundEq2: l.BoundEq2, BoundLemma2: l.BoundLemma2,
+			}
+		}
+	}
+
+	t.mu.Lock()
+	t.next++
+	s.Seq = t.next
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[(t.next-1)%int64(cap(t.ring))] = s
+	}
+	t.mu.Unlock()
+	timelineSamples.Inc()
+	timelineSampleNs.Observe(time.Since(start).Nanoseconds())
+	return s
+}
+
+// Samples returns the retained samples, oldest first.
+func (t *Timeline) Samples() []TimelineSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TimelineSample, 0, len(t.ring))
+	for k := int64(len(t.ring)); k >= 1; k-- {
+		out = append(out, t.ring[(t.next-k)%int64(cap(t.ring))])
+	}
+	return out
+}
+
+// Latest returns the newest sample.
+func (t *Timeline) Latest() (TimelineSample, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == 0 {
+		return TimelineSample{}, false
+	}
+	return t.ring[(t.next-1)%int64(cap(t.ring))], true
+}
+
+// At returns the newest retained sample at least age old — the far edge of
+// an SLO window. When the ring does not reach back that far it returns the
+// oldest sample (the window is clipped to available history).
+func (t *Timeline) At(age time.Duration) (TimelineSample, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == 0 {
+		return TimelineSample{}, false
+	}
+	cutoff := time.Now().Add(-age)
+	var oldest TimelineSample
+	for k := int64(len(t.ring)); k >= 1; k-- {
+		s := t.ring[(t.next-k)%int64(cap(t.ring))]
+		if k == int64(len(t.ring)) {
+			oldest = s
+		}
+		if !s.When.After(cutoff) {
+			oldest = s
+		} else {
+			break
+		}
+	}
+	return oldest, true
+}
+
+// Rate returns the per-second rate of a counter over the window between
+// the sample at least `window` old and the newest sample; ok is false when
+// fewer than two samples span the window.
+func (t *Timeline) Rate(metric string, window time.Duration) (float64, bool) {
+	newest, ok := t.Latest()
+	if !ok {
+		return 0, false
+	}
+	oldest, _ := t.At(window)
+	dt := newest.When.Sub(oldest.When).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	return float64(newest.Metrics[metric]-oldest.Metrics[metric]) / dt, true
+}
+
+// Len returns the number of retained samples.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// activeTimeline is the process-global timeline /debug/timeline serves and
+// the SLO engine evaluates over; nil disables both.
+var activeTimeline atomic.Pointer[Timeline]
+
+// SetTimeline installs t as the process-global timeline (nil disables).
+func SetTimeline(t *Timeline) { activeTimeline.Store(t) }
+
+// ActiveTimeline returns the installed timeline, or nil.
+func ActiveTimeline() *Timeline { return activeTimeline.Load() }

@@ -311,7 +311,10 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, route string, la
 		sp.End()
 	})
 	wall := time.Since(start)
-	lat.Observe(wall.Nanoseconds())
+	// The latency sample doubles as the bucket's OpenMetrics exemplar: a
+	// p99 spike on a dashboard carries the trace id of a request that
+	// caused it.
+	lat.ObserveExemplar(wall.Nanoseconds(), tc.Trace.String())
 
 	if err != nil {
 		if status == http.StatusTooManyRequests {
@@ -328,6 +331,13 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, route string, la
 	}
 	s.logRequest(route, resp, status, start, tc, err)
 	s.recordTrace(route, resp, status, start, wall, tc, parentSpan, scope, err)
+	// A request over the slow threshold fires a triggered profile capture
+	// tagged with the same trace id the trace store just retained, so
+	// /debug/traces and /debug/profiles cross-link for the post-mortem.
+	if ts := obs.ActiveTraceStore(); ts != nil && wall >= ts.Config().SlowThreshold {
+		obs.TriggerProfile(obs.TriggerSlowRequest, tc.Trace.String(),
+			fmt.Sprintf("route=%s wall=%s", route, wall))
+	}
 }
 
 // recordTrace submits the finished request to the tail-sampling trace
@@ -677,6 +687,12 @@ func (s *Server) acquire(ctx context.Context) (func(), int, error) {
 		// All slots busy: join the queue unless it is full.
 		if n := s.queued.Add(1); n > int64(s.cfg.MaxQueue) {
 			s.queued.Add(-1)
+			// Queue saturation is the second profile trigger: a capture
+			// taken while the server is wedged shows what the executing
+			// requests are doing, which the bounced request cannot.
+			obs.TriggerProfile(obs.TriggerQueueSaturation,
+				obs.TraceFromContext(ctx).Trace.String(),
+				fmt.Sprintf("queue full: %d executing, %d queued", s.cfg.MaxConcurrent, s.cfg.MaxQueue))
 			return nil, http.StatusTooManyRequests,
 				fmt.Errorf("server at capacity (%d executing, %d queued); retry later", s.cfg.MaxConcurrent, s.cfg.MaxQueue)
 		}
